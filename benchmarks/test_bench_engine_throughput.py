@@ -1,0 +1,39 @@
+"""Simulator throughput microbenchmarks (not a paper experiment).
+
+Measures branches/second of the trace-driven engine for each predictor
+preset, with and without confidence observation — the number that
+determines how far REPRO_SCALE / REPRO_BENCH_BRANCHES can be pushed.
+"""
+
+import pytest
+
+from repro.confidence.estimator import TageConfidenceEstimator
+from repro.sim.engine import simulate
+from repro.sim.runner import build_predictor
+from repro.traces.suites import cbp1_trace
+
+N_BRANCHES = 6_000
+
+
+@pytest.fixture(scope="module")
+def trace():
+    return cbp1_trace("INT-1", N_BRANCHES)
+
+
+@pytest.mark.parametrize("size", ["16K", "64K", "256K"])
+def test_throughput_plain(benchmark, trace, size):
+    def run():
+        return simulate(trace, build_predictor(size))
+
+    result = benchmark.pedantic(run, rounds=3, iterations=1)
+    assert result.n_branches == N_BRANCHES
+
+
+def test_throughput_with_estimator(benchmark, trace):
+    def run():
+        predictor = build_predictor("64K")
+        estimator = TageConfidenceEstimator(predictor)
+        return simulate(trace, predictor, estimator)
+
+    result = benchmark.pedantic(run, rounds=3, iterations=1)
+    assert result.classes is not None

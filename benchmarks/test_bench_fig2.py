@@ -1,0 +1,50 @@
+"""Figure 2: prediction / misprediction distribution per class, CBP-1.
+
+For each of the 20 CBP-1 traces and each predictor size, the left panel
+of the paper's figure is the per-class prediction coverage (stacked to
+100 %) and the right panel the per-class contribution to misp/KI.  The
+bench regenerates both series for the three sizes with the standard
+automaton.
+
+Shape assertions: coverages stack to 1; the BIM classes carry a
+significant share of predictions; on the large predictor the
+low/medium-conf-bim coverage shrinks versus the small one (§5.1.2:
+"medium confidence and low confidence predictions provided by the
+bimodal component nearly vanish on the large predictor").
+"""
+
+from conftest import cached_suite, emit, run_once  # noqa: F401
+
+from repro.confidence.classes import PredictionClass
+from repro.sim.report import format_distribution_figure
+
+
+def test_figure2(run_once):
+    def experiment():
+        return {size: cached_suite("CBP1", size) for size in ("16K", "64K", "256K")}
+
+    by_size = run_once(experiment)
+
+    sections = []
+    for size, results in by_size.items():
+        sections.append(
+            format_distribution_figure(results, title=f"Figure 2 data - {size} predictor, CBP-1")
+        )
+    emit("figure2", "\n\n".join(sections))
+
+    for size, results in by_size.items():
+        for result in results:
+            total = sum(result.classes.pcov(cls) for cls in PredictionClass)
+            assert abs(total - 1.0) < 1e-9, (size, result.trace_name)
+
+    def mean_pcov(results, cls):
+        return sum(result.classes.pcov(cls) for result in results) / len(results)
+
+    small, large = by_size["16K"], by_size["256K"]
+    shrinking = (PredictionClass.MEDIUM_CONF_BIM, PredictionClass.LOW_CONF_BIM)
+    small_share = sum(mean_pcov(small, cls) for cls in shrinking)
+    large_share = sum(mean_pcov(large, cls) for cls in shrinking)
+    assert large_share < small_share, "low/medium-conf-bim should shrink with capacity"
+
+    bim_classes = [cls for cls in PredictionClass if cls.is_bimodal]
+    assert sum(mean_pcov(small, cls) for cls in bim_classes) > 0.3

@@ -1,0 +1,45 @@
+"""Figure 3: prediction / misprediction distribution per class, CBP-2.
+
+Same series as Figure 2 for the 20 CBP-2 traces.  Extra shape
+assertions: the noisy benchmarks (gzip, twolf) carry a larger
+low-confidence share than the predictable ones (mpegaudio, eon), and
+their misp/KI is far higher.
+"""
+
+from conftest import cached_suite, emit, run_once  # noqa: F401
+
+from repro.confidence.classes import PredictionClass, confidence_level_of, ConfidenceLevel
+from repro.sim.report import format_distribution_figure
+
+
+def low_share(result):
+    return sum(
+        result.classes.pcov(cls)
+        for cls in PredictionClass
+        if confidence_level_of(cls) is ConfidenceLevel.LOW
+    )
+
+
+def test_figure3(run_once):
+    def experiment():
+        return {size: cached_suite("CBP2", size) for size in ("16K", "64K", "256K")}
+
+    by_size = run_once(experiment)
+
+    sections = [
+        format_distribution_figure(results, title=f"Figure 3 data - {size} predictor, CBP-2")
+        for size, results in by_size.items()
+    ]
+    emit("figure3", "\n\n".join(sections))
+
+    results = {result.trace_name: result for result in by_size["64K"]}
+    noisy = [results["164.gzip"], results["300.twolf"]]
+    easy = [results["222.mpegaudio"], results["252.eon"]]
+
+    assert min(r.mpki for r in noisy) > 2 * max(r.mpki for r in easy)
+    assert sum(low_share(r) for r in noisy) > sum(low_share(r) for r in easy)
+
+    for size, size_results in by_size.items():
+        for result in size_results:
+            total = sum(result.classes.pcov(cls) for cls in PredictionClass)
+            assert abs(total - 1.0) < 1e-9, (size, result.trace_name)

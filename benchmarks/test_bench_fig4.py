@@ -1,0 +1,46 @@
+"""Figure 4: misprediction rate (MKP) per prediction class, CBP-2
+subset, 64 Kbits predictor, standard automaton.
+
+Paper shape: the weak/nearly-weak tagged classes and low-conf-bim sit in
+the hundreds of MKP; high-conf-bim sits near zero; Stag sits near the
+application average (that is §5.3's motivation for modifying the
+automaton).
+"""
+
+from conftest import cached_suite, emit, run_once  # noqa: F401
+
+from repro.confidence.classes import PredictionClass
+from repro.sim.report import format_mprate_figure
+from repro.traces.suites import FIGURE4_TRACE_NAMES
+
+
+def test_figure4(run_once):
+    def experiment():
+        return cached_suite("CBP2", "64K", names=FIGURE4_TRACE_NAMES)
+
+    results = run_once(experiment)
+    emit(
+        "figure4",
+        format_mprate_figure(
+            results, title="Figure 4 data - MKP per class, 64Kbits, standard automaton"
+        ),
+    )
+
+    pooled_predictions = {cls: 0 for cls in PredictionClass}
+    pooled_misses = {cls: 0 for cls in PredictionClass}
+    for result in results:
+        for cls in PredictionClass:
+            pooled_predictions[cls] += result.classes.predictions(cls)
+            pooled_misses[cls] += result.classes.mispredictions(cls)
+
+    def rate(cls):
+        predictions = pooled_predictions[cls]
+        return 1000.0 * pooled_misses[cls] / predictions if predictions else 0.0
+
+    # Low-confidence classes are catastrophically mispredicted...
+    assert rate(PredictionClass.WTAG) > 200
+    assert rate(PredictionClass.LOW_CONF_BIM) > 200
+    # ... the strength ladder is monotone ...
+    assert rate(PredictionClass.WTAG) > rate(PredictionClass.NSTAG) > rate(PredictionClass.STAG)
+    # ... and high-conf-bim is far below the low classes.
+    assert rate(PredictionClass.HIGH_CONF_BIM) < rate(PredictionClass.LOW_CONF_BIM) / 5

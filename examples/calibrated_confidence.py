@@ -1,0 +1,42 @@
+#!/usr/bin/env python3
+"""Calibrated probability-of-misprediction from the observation classes.
+
+Malik et al. [8] argued consumers want a *probability*, not a label.
+The TAGE observation classes make that nearly free: track one EMA rate
+per class (a handful of registers), and each prediction's class maps to
+a calibrated misprediction probability.  This demo runs the calibration
+online and prints the reliability diagram: predicted probability vs
+observed frequency, plus Brier score and ECE.
+
+Run:  python examples/calibrated_confidence.py
+"""
+
+from repro import TageConfidenceEstimator, TageConfig, TagePredictor
+from repro.confidence.calibration import calibrate_simulation
+from repro.confidence.classes import CLASS_ORDER
+from repro.traces import cbp2_trace
+
+
+def main() -> None:
+    trace = cbp2_trace("164.gzip", n_branches=40_000)
+    predictor = TagePredictor(TageConfig.medium().with_probabilistic_automaton())
+    estimator = TageConfidenceEstimator(predictor)
+
+    tracker, report = calibrate_simulation(trace, predictor, estimator)
+
+    print(f"trace: {trace.name}, {len(trace)} branches\n")
+    print("learned per-class misprediction probabilities:")
+    table = tracker.table()
+    for cls in CLASS_ORDER:
+        if cls in table:
+            print(f"  {cls.value:<16} p(miss) = {table[cls]:.4f} "
+                  f"({tracker.observations(cls)} observations)")
+
+    print()
+    print(report.render())
+    print("\nA well-calibrated estimator has observed ~= predicted in every bin;")
+    print("the Brier score summarizes it in one number (lower is better).")
+
+
+if __name__ == "__main__":
+    main()

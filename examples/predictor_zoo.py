@@ -1,0 +1,61 @@
+#!/usr/bin/env python3
+"""Predictor zoo: TAGE against three decades of branch predictors.
+
+Runs every predictor in the library over the same traces at comparable
+storage budgets — the quantitative backdrop for the paper's premise that
+pre-2000 predictors (whose confidence estimation the prior literature
+studied) "perform quite poorly compared with the predictors proposed at
+the two Championships" (§1).
+
+Run:  python examples/predictor_zoo.py
+"""
+
+from repro.predictors.bimodal import BimodalPredictor
+from repro.predictors.gshare import GsharePredictor
+from repro.predictors.local import LocalHistoryPredictor
+from repro.predictors.ogehl import OgehlPredictor
+from repro.predictors.perceptron import PerceptronPredictor
+from repro.predictors.tage.config import TageConfig
+from repro.predictors.tage.loop import LtagePredictor
+from repro.predictors.tage.predictor import TagePredictor
+from repro.predictors.tournament import TournamentPredictor
+from repro.sim.engine import simulate
+from repro.traces import cbp1_trace
+
+TRACES = ("FP-1", "INT-1", "MM-1", "SERV-1")
+N_BRANCHES = 20_000
+
+PREDICTORS = {
+    "bimodal (8K entries)": lambda: BimodalPredictor(log_entries=13),
+    "gshare": lambda: GsharePredictor(log_entries=13, history_length=13),
+    "local 2-level": lambda: LocalHistoryPredictor(log_histories=11, history_length=10,
+                                                   log_pht=13),
+    "tournament (21264-ish)": lambda: TournamentPredictor(),
+    "perceptron": lambda: PerceptronPredictor(log_entries=8, history_length=24),
+    "O-GEHL": lambda: OgehlPredictor(n_tables=7, log_entries=10, max_history=120),
+    "TAGE 64K": lambda: TagePredictor(TageConfig.medium()),
+    "L-TAGE 64K": lambda: LtagePredictor(TageConfig.medium()),
+}
+
+
+def main() -> None:
+    traces = [cbp1_trace(name, N_BRANCHES) for name in TRACES]
+    header = f"{'predictor':<24} {'bits':>8} " + " ".join(f"{n:>8}" for n in TRACES) + f" {'mean':>8}"
+    print(header)
+    print("-" * len(header))
+    for label, factory in PREDICTORS.items():
+        mpkis = []
+        bits = 0
+        for trace in traces:
+            predictor = factory()
+            bits = predictor.storage_bits()
+            mpkis.append(simulate(trace, predictor).mpki)
+        mean = sum(mpkis) / len(mpkis)
+        cells = " ".join(f"{m:8.2f}" for m in mpkis)
+        print(f"{label:<24} {bits:>8} {cells} {mean:8.2f}")
+    print("\n(misp/KI; lower is better. TAGE/L-TAGE should dominate at")
+    print("comparable budgets, as the paper's premise requires.)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,50 @@
+#!/usr/bin/env python3
+"""SMT fetch arbitration with confidence estimation (§2.1, Luo et al.).
+
+Two hardware threads share one fetch port: a predictable FP workload and
+a noisy twolf-like workload.  The confidence policy steers fetch away
+from the thread with more unresolved low-confidence branches; the
+round-robin baseline is confidence-oblivious.
+
+Run:  python examples/smt_fetch_policy.py
+"""
+
+from repro import TageConfidenceEstimator, TageConfig, TagePredictor
+from repro.apps.smt_policy import SmtFetchModel, SmtPolicy
+from repro.traces import cbp1_trace, cbp2_trace
+
+
+def make_thread(trace):
+    predictor = TagePredictor(TageConfig.small())
+    estimator = TageConfidenceEstimator(predictor)
+    return (trace, predictor, estimator)
+
+
+def run(policy):
+    threads = [
+        make_thread(cbp1_trace("FP-1", 20_000)),
+        make_thread(cbp2_trace("300.twolf", 20_000)),
+    ]
+    # A fixed cycle budget makes this a bandwidth-allocation experiment:
+    # the policy decides which thread's instructions fill the window.
+    model = SmtFetchModel(threads, policy=policy, resolution_latency=12,
+                          max_cycles=24_000)
+    return model.run()
+
+
+def main() -> None:
+    print("thread 0: FP-1 (predictable)   thread 1: 300.twolf (noisy)")
+    print("fixed budget: 24000 fetch cycles\n")
+    for policy in (SmtPolicy.ROUND_ROBIN, SmtPolicy.CONFIDENCE):
+        stats = run(policy)
+        useful = stats.fetched_instructions - stats.wrong_path_instructions
+        print(f"{policy.value:<12} useful insts {useful:>7}   "
+              f"wrong-path fetch {stats.wrong_path_fraction:6.2%}   "
+              f"fairness {stats.fairness:.2f}   "
+              f"per-thread insts {stats.per_thread_fetched}")
+    print("\nThe confidence policy fills the same fetch budget with more")
+    print("useful instructions without fully starving the noisy thread.")
+
+
+if __name__ == "__main__":
+    main()

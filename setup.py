@@ -1,0 +1,11 @@
+"""Legacy build shim.
+
+The execution environment is offline and lacks the ``wheel`` package, so
+PEP 517 editable installs fail; this shim lets ``pip install -e .`` use
+the classic ``setup.py develop`` path.  All project metadata lives in
+``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

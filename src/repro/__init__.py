@@ -1,0 +1,77 @@
+"""Reproduction of "Storage Free Confidence Estimation for the TAGE branch
+predictor" (A. Seznec, HPCA 2011 / INRIA RR-7371).
+
+The package is organized as:
+
+``repro.common``
+    Bit-level substrate: saturating counters, deterministic RNGs,
+    global/folded branch history registers.
+``repro.traces``
+    Branch trace model, synthetic CBP-1/CBP-2 workload generators and
+    trace file IO.
+``repro.predictors``
+    Branch predictors: bimodal, gshare, perceptron, O-GEHL and the TAGE
+    predictor family with the paper's 16K/64K/256K-bit presets.
+``repro.confidence``
+    The paper's storage-free confidence estimation (7 observation classes,
+    3 confidence levels, adaptive saturation probability) plus the
+    storage-based JRS baselines and quality metrics.
+``repro.sim``
+    Trace-driven simulation engine, per-class statistics and experiment
+    runners that regenerate the paper's tables and figures.
+``repro.apps``
+    Confidence-estimation consumers: fetch gating and SMT fetch policy
+    models.
+
+Quickstart::
+
+    from repro import (
+        TageConfig, TagePredictor, TageConfidenceEstimator, simulate,
+    )
+    from repro.traces import cbp1_trace
+
+    trace = cbp1_trace("INT-1", n_branches=50_000)
+    predictor = TagePredictor(TageConfig.medium())
+    estimator = TageConfidenceEstimator(predictor)
+    result = simulate(trace, predictor, estimator)
+    print(result.mpki, result.class_table())
+"""
+
+from repro.confidence.adaptive import AdaptiveSaturationController
+from repro.confidence.classes import ConfidenceLevel, PredictionClass
+from repro.confidence.estimator import TageConfidenceEstimator
+from repro.confidence.jrs import EnhancedJrsEstimator, JrsEstimator
+from repro.confidence.metrics import BinaryConfidenceMetrics, ClassBreakdown
+from repro.predictors.base import BranchPredictor
+from repro.predictors.bimodal import BimodalPredictor
+from repro.predictors.gshare import GsharePredictor
+from repro.predictors.ogehl import OgehlPredictor
+from repro.predictors.perceptron import PerceptronPredictor
+from repro.predictors.tage import TageConfig, TagePredictor, TagePrediction
+from repro.sim.engine import SimulationResult, simulate
+from repro.traces.types import BranchRecord, Trace
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AdaptiveSaturationController",
+    "BimodalPredictor",
+    "BinaryConfidenceMetrics",
+    "BranchPredictor",
+    "BranchRecord",
+    "ClassBreakdown",
+    "ConfidenceLevel",
+    "EnhancedJrsEstimator",
+    "GsharePredictor",
+    "JrsEstimator",
+    "OgehlPredictor",
+    "PerceptronPredictor",
+    "PredictionClass",
+    "SimulationResult",
+    "TageConfidenceEstimator",
+    "TageConfig",
+    "TagePrediction",
+    "TagePredictor",
+    "Trace",
+    "simulate",
+]

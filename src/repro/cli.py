@@ -1,0 +1,155 @@
+"""Command-line interface.
+
+Usage (``python -m repro <command>``):
+
+* ``run-trace NAME`` — simulate one CBP trace with confidence
+  observation and print the per-class table.
+* ``run-suite SUITE`` — simulate a whole suite on one preset and print
+  the Table-2-style three-level summary.
+* ``gen-trace NAME PATH`` — generate a named trace and write it to a
+  trace file (gzip if the path ends in ``.gz``).
+* ``inspect PATH`` — print the statistics of a trace file.
+* ``list-traces`` — show the registered trace names.
+
+The CLI is a thin veneer over the library; each command maps to one or
+two public calls.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.confidence.estimator import TageConfidenceEstimator
+from repro.predictors.tage.config import (
+    AUTOMATON_PROBABILISTIC,
+    AUTOMATON_STANDARD,
+)
+from repro.sim.engine import simulate
+from repro.sim.report import format_confidence_table
+from repro.sim.runner import SIZES, SUITES, build_predictor, run_suite
+from repro.sim.stats import summarize
+from repro.traces.io import read_trace, write_trace
+from repro.traces.stats import analyze_trace
+from repro.traces.suites import (
+    CBP1_TRACE_NAMES,
+    CBP2_TRACE_NAMES,
+    cbp1_trace,
+    cbp2_trace,
+)
+
+__all__ = ["main", "build_parser"]
+
+
+def _get_trace(name: str, n_branches: int):
+    if name in CBP1_TRACE_NAMES:
+        return cbp1_trace(name, n_branches)
+    if name in CBP2_TRACE_NAMES:
+        return cbp2_trace(name, n_branches)
+    raise SystemExit(f"unknown trace {name!r}; try `list-traces`")
+
+
+def _add_predictor_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--size", choices=SIZES, default="64K",
+                        help="TAGE preset (paper Table 1)")
+    parser.add_argument("--automaton", choices=(AUTOMATON_STANDARD, AUTOMATON_PROBABILISTIC),
+                        default=AUTOMATON_STANDARD,
+                        help="3-bit counter update rule (paper §6)")
+    parser.add_argument("--sat-prob-log2", type=int, default=7, metavar="K",
+                        help="saturation probability 1/2^K (probabilistic automaton)")
+    parser.add_argument("--branches", type=int, default=50_000,
+                        help="dynamic branches per trace")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Storage-free TAGE confidence estimation (Seznec, HPCA 2011) reproduction",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    run_trace_cmd = commands.add_parser("run-trace", help="simulate one trace")
+    run_trace_cmd.add_argument("name")
+    _add_predictor_args(run_trace_cmd)
+
+    run_suite_cmd = commands.add_parser("run-suite", help="simulate a whole suite")
+    run_suite_cmd.add_argument("suite", choices=SUITES)
+    _add_predictor_args(run_suite_cmd)
+
+    gen_cmd = commands.add_parser("gen-trace", help="write a trace file")
+    gen_cmd.add_argument("name")
+    gen_cmd.add_argument("path")
+    gen_cmd.add_argument("--branches", type=int, default=50_000)
+
+    inspect_cmd = commands.add_parser("inspect", help="describe a trace file")
+    inspect_cmd.add_argument("path")
+
+    commands.add_parser("list-traces", help="list registered trace names")
+    return parser
+
+
+def _cmd_run_trace(args) -> int:
+    trace = _get_trace(args.name, args.branches)
+    predictor = build_predictor(
+        args.size, automaton=args.automaton, sat_prob_log2=args.sat_prob_log2
+    )
+    estimator = TageConfidenceEstimator(predictor)
+    result = simulate(trace, predictor, estimator)
+    print(result.class_table())
+    return 0
+
+
+def _cmd_run_suite(args) -> int:
+    results = run_suite(
+        args.suite,
+        size=args.size,
+        automaton=args.automaton,
+        sat_prob_log2=args.sat_prob_log2,
+        n_branches=args.branches,
+    )
+    for result in results:
+        print(f"{result.trace_name:<16} {result.mpki:6.2f} misp/KI  {result.mkp:6.1f} MKP")
+    summary = summarize(results)
+    print()
+    print(format_confidence_table(
+        {(args.size, args.suite): summary},
+        title="three-level summary (Pcov-MPcov (MPrate MKP))",
+    ))
+    return 0
+
+
+def _cmd_gen_trace(args) -> int:
+    trace = _get_trace(args.name, args.branches)
+    write_trace(trace, args.path)
+    print(f"wrote {len(trace)} records to {args.path}")
+    return 0
+
+
+def _cmd_inspect(args) -> int:
+    trace = read_trace(args.path)
+    print(analyze_trace(trace).summary())
+    return 0
+
+
+def _cmd_list_traces(args) -> int:
+    print("CBP-1:", " ".join(CBP1_TRACE_NAMES))
+    print("CBP-2:", " ".join(CBP2_TRACE_NAMES))
+    return 0
+
+
+_HANDLERS = {
+    "run-trace": _cmd_run_trace,
+    "run-suite": _cmd_run_suite,
+    "gen-trace": _cmd_gen_trace,
+    "inspect": _cmd_inspect,
+    "list-traces": _cmd_list_traces,
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return _HANDLERS[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,87 @@
+"""Bit manipulation helpers for table indexing and tag computation.
+
+Branch predictors address SRAM tables with a small number of index bits
+derived from the program counter and (folded) branch history.  The helpers
+here implement the usual mixing idioms found in the reference TAGE
+simulators: shifted-PC xor folding, bit reversal for tag hashing and
+fixed-width masking.
+"""
+
+from __future__ import annotations
+
+__all__ = ["mask", "fold_bits", "mix_pc", "reverse_bits", "parity"]
+
+
+def mask(width: int) -> int:
+    """Return a bit mask with the ``width`` low bits set.
+
+    >>> mask(4)
+    15
+    >>> mask(0)
+    0
+    """
+    if width < 0:
+        raise ValueError(f"mask width must be non-negative, got {width}")
+    return (1 << width) - 1
+
+
+def fold_bits(value: int, width: int) -> int:
+    """Fold an arbitrarily long non-negative integer into ``width`` bits.
+
+    Successive ``width``-bit chunks of ``value`` are xor-ed together.  This
+    is the stateless equivalent of the circular-shift-register folding used
+    for history compression (see :class:`repro.common.history.FoldedHistory`
+    for the O(1) incremental variant used in the simulation inner loop).
+
+    >>> fold_bits(0b1011_0110, 4)  # 0b1011 ^ 0b0110
+    13
+    """
+    if width <= 0:
+        raise ValueError(f"fold width must be positive, got {width}")
+    if value < 0:
+        raise ValueError(f"cannot fold negative value {value}")
+    folded = 0
+    chunk_mask = mask(width)
+    while value:
+        folded ^= value & chunk_mask
+        value >>= width
+    return folded
+
+
+def mix_pc(pc: int, width: int) -> int:
+    """Hash a program counter down to ``width`` bits.
+
+    Mixes in higher PC bits with two shifted xors so that branches whose
+    addresses differ only above the index range still map to different
+    entries reasonably often.  This mirrors the ``pc ^ (pc >> shift)``
+    idiom of the reference TAGE code.
+    """
+    if width <= 0:
+        raise ValueError(f"mix width must be positive, got {width}")
+    mixed = pc ^ (pc >> width) ^ (pc >> (2 * width))
+    return mixed & mask(width)
+
+
+def reverse_bits(value: int, width: int) -> int:
+    """Reverse the low ``width`` bits of ``value``.
+
+    Used by the tag hash so that the second history folding contributes
+    bits in the opposite order from the first, decorrelating the two.
+
+    >>> reverse_bits(0b0011, 4)
+    12
+    """
+    if width < 0:
+        raise ValueError(f"width must be non-negative, got {width}")
+    result = 0
+    for _ in range(width):
+        result = (result << 1) | (value & 1)
+        value >>= 1
+    return result
+
+
+def parity(value: int) -> int:
+    """Return the xor of all bits of a non-negative integer (0 or 1)."""
+    if value < 0:
+        raise ValueError(f"parity of negative value {value} is undefined")
+    return bin(value).count("1") & 1

@@ -1,0 +1,195 @@
+"""Saturating counter arithmetic.
+
+Two styles are provided:
+
+* free functions (:func:`saturating_update`,
+  :func:`signed_saturating_update`) for predictor inner loops where object
+  overhead matters;
+* small classes (:class:`SaturatingCounter`,
+  :class:`SignedSaturatingCounter`) for low-frequency bookkeeping state
+  such as TAGE's ``USE_ALT_ON_NA`` counter.
+
+Conventions follow the TAGE papers: an *n*-bit signed counter covers
+``[-2**(n-1), 2**(n-1) - 1]``; the *sign* (counter >= 0) is the taken
+prediction; the counter is *weak* when it is ``0`` or ``-1``; the paper's
+class discriminator is ``|2*ctr + 1|`` which is ``1`` for weak counters and
+``2**n - 1`` for saturated ones.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "saturating_update",
+    "signed_saturating_update",
+    "ctr_strength",
+    "is_weak",
+    "is_saturated",
+    "SaturatingCounter",
+    "SignedSaturatingCounter",
+]
+
+
+def saturating_update(value: int, up: bool, bits: int) -> int:
+    """Move an unsigned ``bits``-wide counter one step up or down, saturating.
+
+    >>> saturating_update(3, True, 2)
+    3
+    >>> saturating_update(0, False, 2)
+    0
+    """
+    if up:
+        limit = (1 << bits) - 1
+        return value + 1 if value < limit else value
+    return value - 1 if value > 0 else value
+
+
+def signed_saturating_update(value: int, up: bool, bits: int) -> int:
+    """Move a signed ``bits``-wide counter one step up or down, saturating.
+
+    The representable range is ``[-2**(bits-1), 2**(bits-1) - 1]``.
+
+    >>> signed_saturating_update(3, True, 3)
+    3
+    >>> signed_saturating_update(-4, False, 3)
+    -4
+    """
+    if up:
+        limit = (1 << (bits - 1)) - 1
+        return value + 1 if value < limit else value
+    limit = -(1 << (bits - 1))
+    return value - 1 if value > limit else value
+
+
+def ctr_strength(ctr: int) -> int:
+    """Return the paper's confidence discriminator ``|2*ctr + 1|``.
+
+    For a 3-bit counter the possible values are 1 (weak), 3 (nearly weak),
+    5 (nearly saturated) and 7 (saturated); the value is symmetric for
+    taken/not-taken predictions.
+
+    >>> [ctr_strength(c) for c in range(-4, 4)]
+    [7, 5, 3, 1, 1, 3, 5, 7]
+    """
+    return abs(2 * ctr + 1)
+
+
+def is_weak(ctr: int) -> bool:
+    """True when a signed prediction counter is in a weak state (0 or -1)."""
+    return ctr in (0, -1)
+
+
+def is_saturated(ctr: int, bits: int) -> bool:
+    """True when a signed ``bits``-wide counter is at either rail."""
+    return ctr == (1 << (bits - 1)) - 1 or ctr == -(1 << (bits - 1))
+
+
+class SaturatingCounter:
+    """Unsigned saturating counter with a configurable width.
+
+    >>> c = SaturatingCounter(bits=2, initial=0)
+    >>> c.increment(); c.increment(); c.value
+    2
+    """
+
+    __slots__ = ("bits", "_value", "_max")
+
+    def __init__(self, bits: int, initial: int = 0) -> None:
+        if bits <= 0:
+            raise ValueError(f"counter width must be positive, got {bits}")
+        self.bits = bits
+        self._max = (1 << bits) - 1
+        if not 0 <= initial <= self._max:
+            raise ValueError(f"initial value {initial} out of range for {bits} bits")
+        self._value = initial
+
+    @property
+    def value(self) -> int:
+        return self._value
+
+    @value.setter
+    def value(self, new_value: int) -> None:
+        if not 0 <= new_value <= self._max:
+            raise ValueError(f"value {new_value} out of range for {self.bits} bits")
+        self._value = new_value
+
+    @property
+    def max_value(self) -> int:
+        return self._max
+
+    def increment(self) -> None:
+        if self._value < self._max:
+            self._value += 1
+
+    def decrement(self) -> None:
+        if self._value > 0:
+            self._value -= 1
+
+    def reset(self, value: int = 0) -> None:
+        self.value = value
+
+    def is_max(self) -> bool:
+        return self._value == self._max
+
+    def __repr__(self) -> str:
+        return f"SaturatingCounter(bits={self.bits}, value={self._value})"
+
+
+class SignedSaturatingCounter:
+    """Signed saturating counter, range ``[-2**(bits-1), 2**(bits-1)-1]``.
+
+    The boolean interpretation (``positive_or_zero``) matches the TAGE
+    convention that the counter sign encodes a taken/not-taken prediction.
+
+    >>> c = SignedSaturatingCounter(bits=4, initial=0)
+    >>> c.update(up=False); c.value
+    -1
+    >>> c.positive_or_zero
+    False
+    """
+
+    __slots__ = ("bits", "_value", "_min", "_max")
+
+    def __init__(self, bits: int, initial: int = 0) -> None:
+        if bits <= 0:
+            raise ValueError(f"counter width must be positive, got {bits}")
+        self.bits = bits
+        self._max = (1 << (bits - 1)) - 1
+        self._min = -(1 << (bits - 1))
+        if not self._min <= initial <= self._max:
+            raise ValueError(f"initial value {initial} out of range for {bits} bits")
+        self._value = initial
+
+    @property
+    def value(self) -> int:
+        return self._value
+
+    @value.setter
+    def value(self, new_value: int) -> None:
+        if not self._min <= new_value <= self._max:
+            raise ValueError(f"value {new_value} out of range for {self.bits} bits")
+        self._value = new_value
+
+    @property
+    def min_value(self) -> int:
+        return self._min
+
+    @property
+    def max_value(self) -> int:
+        return self._max
+
+    @property
+    def positive_or_zero(self) -> bool:
+        return self._value >= 0
+
+    def update(self, up: bool) -> None:
+        if up:
+            if self._value < self._max:
+                self._value += 1
+        elif self._value > self._min:
+            self._value -= 1
+
+    def reset(self, value: int = 0) -> None:
+        self.value = value
+
+    def __repr__(self) -> str:
+        return f"SignedSaturatingCounter(bits={self.bits}, value={self._value})"

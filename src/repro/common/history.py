@@ -1,0 +1,176 @@
+"""Branch history registers.
+
+``GlobalHistory``
+    Shift register of branch outcomes; supports querying the bit that
+    *leaves* an arbitrary-length window, which the folded histories need
+    for O(1) incremental updates.
+``PathHistory``
+    Short register of low PC bits of recent branches, mixed into TAGE
+    indices to break pathological aliasing.
+``FoldedHistory``
+    The classic circular-shift-register compression of a long history into
+    a table-index-sized value (Michaud folding, used by O-GEHL and TAGE).
+
+A naive recomputation of an L-bit folded history costs O(L) per branch;
+the incremental form costs O(1) and the two are kept equivalent by a
+property-based test in ``tests/common/test_history.py``.
+"""
+
+from __future__ import annotations
+
+from repro.common.bitops import mask
+
+__all__ = ["GlobalHistory", "PathHistory", "FoldedHistory"]
+
+
+class GlobalHistory:
+    """Global branch outcome history, most recent outcome in bit 0.
+
+    The register keeps ``capacity`` bits; reads beyond the capacity raise.
+
+    >>> h = GlobalHistory(capacity=8)
+    >>> h.push(True); h.push(False)
+    >>> h.bit(0), h.bit(1)
+    (0, 1)
+    """
+
+    __slots__ = ("capacity", "_bits", "_mask")
+
+    def __init__(self, capacity: int) -> None:
+        if capacity <= 0:
+            raise ValueError(f"history capacity must be positive, got {capacity}")
+        self.capacity = capacity
+        self._bits = 0
+        self._mask = mask(capacity)
+
+    def push(self, taken: bool) -> None:
+        """Shift in the newest outcome (1 = taken)."""
+        self._bits = ((self._bits << 1) | int(taken)) & self._mask
+
+    def bit(self, age: int) -> int:
+        """Outcome of the branch ``age`` steps ago (0 = most recent)."""
+        if not 0 <= age < self.capacity:
+            raise IndexError(f"history age {age} outside capacity {self.capacity}")
+        return (self._bits >> age) & 1
+
+    def window(self, length: int) -> int:
+        """The most recent ``length`` outcomes packed into an int."""
+        if not 0 <= length <= self.capacity:
+            raise ValueError(f"window length {length} outside capacity {self.capacity}")
+        return self._bits & mask(length)
+
+    def reset(self) -> None:
+        self._bits = 0
+
+    def __repr__(self) -> str:
+        return f"GlobalHistory(capacity={self.capacity}, bits={self._bits:#x})"
+
+
+class PathHistory:
+    """Register of low PC bits of the most recent branches.
+
+    TAGE mixes a short path history into its indices; one bit of the PC per
+    branch, bounded length.
+
+    >>> p = PathHistory(length=16)
+    >>> p.push(0x4004f7)
+    >>> p.value & 1
+    1
+    """
+
+    __slots__ = ("length", "_bits", "_mask")
+
+    def __init__(self, length: int) -> None:
+        if length <= 0:
+            raise ValueError(f"path history length must be positive, got {length}")
+        self.length = length
+        self._bits = 0
+        self._mask = mask(length)
+
+    def push(self, pc: int) -> None:
+        self._bits = ((self._bits << 1) | (pc & 1)) & self._mask
+
+    @property
+    def value(self) -> int:
+        return self._bits
+
+    def reset(self) -> None:
+        self._bits = 0
+
+    def __repr__(self) -> str:
+        return f"PathHistory(length={self.length}, bits={self._bits:#x})"
+
+
+class FoldedHistory:
+    """Incrementally folded history: ``original_length`` bits into
+    ``compressed_length`` bits.
+
+    Folding treats the history as a polynomial over GF(2) reduced modulo
+    ``x**compressed_length + 1``; inserting the newest bit and removing the
+    oldest are both O(1):
+
+    * shift the compressed register left by one, inserting the new bit;
+    * xor the outgoing (oldest) bit at position
+      ``original_length % compressed_length``;
+    * wrap the bit that overflowed the register back into bit 0.
+
+    The register state is a linear function (over GF(2)) of the live
+    history bits: a bit of age *a* (0 = newest) contributes at position
+    ``a % compressed_length``.  :meth:`fold_window` computes that closed
+    form directly and serves as the oracle for the incremental update.
+    """
+
+    __slots__ = ("original_length", "compressed_length", "_comp", "_out_pos", "_mask")
+
+    def __init__(self, original_length: int, compressed_length: int) -> None:
+        if original_length <= 0:
+            raise ValueError(f"original length must be positive, got {original_length}")
+        if compressed_length <= 0:
+            raise ValueError(f"compressed length must be positive, got {compressed_length}")
+        self.original_length = original_length
+        self.compressed_length = compressed_length
+        self._comp = 0
+        self._out_pos = original_length % compressed_length
+        self._mask = mask(compressed_length)
+
+    @property
+    def value(self) -> int:
+        return self._comp
+
+    def update(self, new_bit: int, outgoing_bit: int) -> None:
+        """Advance by one branch.
+
+        ``new_bit`` is the outcome entering the history window and
+        ``outgoing_bit`` the outcome leaving it (the bit that was
+        ``original_length - 1`` steps old before this update).
+        """
+        comp = (self._comp << 1) | (new_bit & 1)
+        comp ^= (outgoing_bit & 1) << self._out_pos
+        comp ^= comp >> self.compressed_length
+        self._comp = comp & self._mask
+
+    def reset(self) -> None:
+        self._comp = 0
+
+    @staticmethod
+    def fold_window(window: int, original_length: int, compressed_length: int) -> int:
+        """Reference (non-incremental) folding of a history ``window``.
+
+        ``window`` holds ``original_length`` outcomes with the most recent
+        outcome in bit 0 — i.e. bit *k* of ``window`` is the outcome of the
+        branch *k* steps ago.  Because reduction modulo
+        ``x**compressed_length + 1`` maps ``x**a`` to ``x**(a % c)``, a bit
+        of age *a* lands at position ``a % compressed_length``.  This is the
+        test oracle for :meth:`update`.
+        """
+        acc = 0
+        for age in range(original_length):
+            if (window >> age) & 1:
+                acc ^= 1 << (age % compressed_length)
+        return acc
+
+    def __repr__(self) -> str:
+        return (
+            f"FoldedHistory(original_length={self.original_length}, "
+            f"compressed_length={self.compressed_length}, value={self._comp:#x})"
+        )

@@ -1,0 +1,145 @@
+"""Deterministic pseudo-random sources.
+
+The paper's modified 3-bit counter automaton takes the transition into the
+saturated state "only randomly with a small probability" (1/128 in the
+illustrated experiments).  In hardware this is a free-running LFSR; here we
+provide a Galois LFSR (:class:`Lfsr32`) plus two conventional software
+generators used by workload construction (:class:`SplitMix64`) and by the
+predictor's allocation tie-breaking (:class:`XorShift32`).
+
+All generators are seedable and fully deterministic so every experiment in
+the repository is reproducible bit-for-bit.
+"""
+
+from __future__ import annotations
+
+__all__ = ["Lfsr32", "XorShift32", "SplitMix64"]
+
+_MASK32 = 0xFFFFFFFF
+_MASK64 = 0xFFFFFFFFFFFFFFFF
+
+
+class Lfsr32:
+    """32-bit Galois LFSR with the maximal-length taps 0xA3000000.
+
+    ``one_in_pow2(k)`` models the hardware trick of AND-ing ``k`` LFSR bits
+    to obtain a ``1/2**k`` probability signal.
+
+    >>> lfsr = Lfsr32(seed=1)
+    >>> bits = [lfsr.next_bit() for _ in range(8)]
+    >>> all(b in (0, 1) for b in bits)
+    True
+    """
+
+    __slots__ = ("_state",)
+
+    _TAPS = 0xA3000000
+
+    def __init__(self, seed: int = 0xDEADBEEF) -> None:
+        seed &= _MASK32
+        if seed == 0:
+            seed = 0xDEADBEEF  # the all-zero state is absorbing for an LFSR
+        self._state = seed
+
+    @property
+    def state(self) -> int:
+        return self._state
+
+    def next_bit(self) -> int:
+        """Advance one step and return the output bit."""
+        lsb = self._state & 1
+        self._state >>= 1
+        if lsb:
+            self._state ^= self._TAPS
+        return lsb
+
+    def next_bits(self, n: int) -> int:
+        """Advance ``n`` steps and return them packed LSB-first."""
+        if n < 0:
+            raise ValueError(f"bit count must be non-negative, got {n}")
+        value = 0
+        for i in range(n):
+            value |= self.next_bit() << i
+        return value
+
+    def one_in_pow2(self, log2_denominator: int) -> bool:
+        """Return True with probability ``1 / 2**log2_denominator``.
+
+        ``log2_denominator == 0`` always returns True (probability 1),
+        matching the upper end of the paper's adaptive range.
+        """
+        if log2_denominator < 0:
+            raise ValueError(f"log2 denominator must be non-negative, got {log2_denominator}")
+        if log2_denominator == 0:
+            return True
+        return self.next_bits(log2_denominator) == 0
+
+
+class XorShift32:
+    """Marsaglia xorshift32: fast uniform 32-bit generator.
+
+    >>> rng = XorShift32(seed=42)
+    >>> 0 <= rng.next_below(10) < 10
+    True
+    """
+
+    __slots__ = ("_state",)
+
+    def __init__(self, seed: int = 0x12345678) -> None:
+        seed &= _MASK32
+        if seed == 0:
+            seed = 0x12345678
+        self._state = seed
+
+    def next_u32(self) -> int:
+        x = self._state
+        x ^= (x << 13) & _MASK32
+        x ^= x >> 17
+        x ^= (x << 5) & _MASK32
+        self._state = x
+        return x
+
+    def next_below(self, bound: int) -> int:
+        """Uniform-ish integer in ``[0, bound)`` (modulo bias is acceptable
+        for allocation tie-breaking)."""
+        if bound <= 0:
+            raise ValueError(f"bound must be positive, got {bound}")
+        return self.next_u32() % bound
+
+    def next_float(self) -> float:
+        """Uniform float in ``[0, 1)``."""
+        return self.next_u32() / 4294967296.0
+
+
+class SplitMix64:
+    """SplitMix64: high-quality 64-bit generator used by trace synthesis.
+
+    >>> rng = SplitMix64(seed=7)
+    >>> rng.next_u64() != rng.next_u64()
+    True
+    """
+
+    __slots__ = ("_state",)
+
+    def __init__(self, seed: int = 0) -> None:
+        self._state = seed & _MASK64
+
+    def next_u64(self) -> int:
+        self._state = (self._state + 0x9E3779B97F4A7C15) & _MASK64
+        z = self._state
+        z = ((z ^ (z >> 30)) * 0xBF58476D1CE4E5B9) & _MASK64
+        z = ((z ^ (z >> 27)) * 0x94D049BB133111EB) & _MASK64
+        return z ^ (z >> 31)
+
+    def next_below(self, bound: int) -> int:
+        if bound <= 0:
+            raise ValueError(f"bound must be positive, got {bound}")
+        return self.next_u64() % bound
+
+    def next_float(self) -> float:
+        """Uniform float in ``[0, 1)`` with 53 bits of precision."""
+        return (self.next_u64() >> 11) / 9007199254740992.0
+
+    def fork(self) -> "SplitMix64":
+        """Derive an independent child generator (for per-branch streams)."""
+        return SplitMix64(self.next_u64())

@@ -1,0 +1,111 @@
+"""Run-time adaptation of the saturation probability (§6.2).
+
+The paper: "This probability can also be adapted at run-time in order to
+meet some desired characteristics.  For instance, we implemented an
+adaptive probability algorithm (varying from 1/1024 to 1 by
+multiplication/division factor of 2).  The algorithm monitors the
+misprediction rate of the high-confidence predictions and tries to
+maximize the coverage of the high-confidence class but dynamically
+maintains the misprediction rate on the class under 10 MKP."
+
+:class:`AdaptiveSaturationController` implements that loop: it watches a
+sliding window of high-confidence predictions and
+
+* when the windowed high-confidence misprediction rate exceeds the
+  target, *halves* the saturation probability (``sat_prob_log2 + 1``,
+  down to 1/1024): saturation becomes rarer, the ``Stag`` class purer and
+  smaller;
+* when the rate sits comfortably under the target (below
+  ``relax_fraction`` of it), *doubles* the probability
+  (``sat_prob_log2 - 1``, up to 1): coverage of the high-confidence
+  class grows.
+
+The controller only touches
+:attr:`repro.predictors.tage.predictor.TagePredictor.saturation_probability_log2`,
+so it composes with any experiment that already uses the probabilistic
+automaton.
+"""
+
+from __future__ import annotations
+
+from repro.confidence.classes import ConfidenceLevel
+from repro.predictors.tage.predictor import TagePredictor
+
+__all__ = ["AdaptiveSaturationController"]
+
+
+class AdaptiveSaturationController:
+    """§6.2 adaptive probability algorithm.
+
+    Args:
+        predictor: a :class:`TagePredictor` built with the probabilistic
+            automaton.
+        target_mkp: high-confidence misprediction rate ceiling (10 MKP in
+            the paper).
+        window: high-confidence predictions per adaptation decision.
+        min_log2 / max_log2: probability range as powers of two
+            (0..10 → 1 .. 1/1024, the paper's range).
+        relax_fraction: fraction of the target below which the controller
+            doubles the probability to regain coverage.
+    """
+
+    def __init__(
+        self,
+        predictor: TagePredictor,
+        target_mkp: float = 10.0,
+        window: int = 4096,
+        min_log2: int = 0,
+        max_log2: int = 10,
+        relax_fraction: float = 0.5,
+    ) -> None:
+        if target_mkp <= 0:
+            raise ValueError(f"target_mkp must be positive, got {target_mkp}")
+        if window <= 0:
+            raise ValueError(f"window must be positive, got {window}")
+        if not 0 <= min_log2 <= max_log2:
+            raise ValueError(f"need 0 <= min_log2 <= max_log2, got {min_log2}, {max_log2}")
+        if not 0.0 < relax_fraction < 1.0:
+            raise ValueError(f"relax_fraction must be in (0, 1), got {relax_fraction}")
+        self.predictor = predictor
+        self.target_mkp = target_mkp
+        self.window = window
+        self.min_log2 = min_log2
+        self.max_log2 = max_log2
+        self.relax_fraction = relax_fraction
+        # Validates that the predictor uses the probabilistic automaton.
+        initial = predictor.saturation_probability_log2
+        if not min_log2 <= initial <= max_log2:
+            predictor.saturation_probability_log2 = max(min_log2, min(initial, max_log2))
+        self._high_predictions = 0
+        self._high_mispredictions = 0
+        self.adjustments: list[tuple[int, float]] = []
+
+    @property
+    def sat_prob_log2(self) -> int:
+        return self.predictor.saturation_probability_log2
+
+    def observe(self, level: ConfidenceLevel, mispredicted: bool) -> None:
+        """Feed one resolved prediction; adapt at window boundaries."""
+        if level is not ConfidenceLevel.HIGH:
+            return
+        self._high_predictions += 1
+        if mispredicted:
+            self._high_mispredictions += 1
+        if self._high_predictions >= self.window:
+            self._adapt()
+
+    def _adapt(self) -> None:
+        rate_mkp = 1000.0 * self._high_mispredictions / self._high_predictions
+        current = self.predictor.saturation_probability_log2
+        if rate_mkp > self.target_mkp and current < self.max_log2:
+            self.predictor.saturation_probability_log2 = current + 1
+        elif rate_mkp < self.target_mkp * self.relax_fraction and current > self.min_log2:
+            self.predictor.saturation_probability_log2 = current - 1
+        self.adjustments.append((self.predictor.saturation_probability_log2, rate_mkp))
+        self._high_predictions = 0
+        self._high_mispredictions = 0
+
+    def reset(self) -> None:
+        self._high_predictions = 0
+        self._high_mispredictions = 0
+        self.adjustments.clear()

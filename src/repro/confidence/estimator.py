@@ -1,0 +1,99 @@
+"""The storage-free TAGE confidence estimator (§5).
+
+Classification is pure observation of the :class:`TagePrediction` record:
+
+* **bimodal provider** (no tag hit):
+
+  - weak 2-bit counter → ``low-conf-bim`` (Smith's signal; ≈ 30 %+
+    misprediction rate);
+  - strong counter but within ``bim_miss_window`` (= 8) *BIM-provided
+    predictions* of the last BIM-provided misprediction →
+    ``medium-conf-bim`` (warm-up / capacity bursts);
+  - otherwise → ``high-conf-bim``.
+
+* **tagged provider**: classified by the counter strength
+  ``|2*ctr + 1|`` — weak (1) → ``Wtag``, nearly weak (3) → ``NWtag``,
+  nearly saturated (max−2) → ``NStag``, saturated (max) → ``Stag``.
+
+The only estimator state is the BIM-prediction distance counter — a
+single small counter, no storage tables, which is the paper's whole
+point.
+
+The window mechanism needs the resolved outcome, so the estimator must
+see every (prediction, outcome) pair via :meth:`observe`; the simulation
+engine wires this automatically.
+"""
+
+from __future__ import annotations
+
+from repro.confidence.classes import ConfidenceLevel, PredictionClass, confidence_level_of
+from repro.common.counters import ctr_strength
+from repro.predictors.tage.components import BimodalTable
+from repro.predictors.tage.predictor import TagePrediction, TagePredictor
+
+__all__ = ["TageConfidenceEstimator"]
+
+
+class TageConfidenceEstimator:
+    """Classify TAGE predictions by observing the predictor table outputs.
+
+    Args:
+        predictor: the observed TAGE predictor (used only to read the
+            tagged counter width; no predictor state is touched).
+        bim_miss_window: number of subsequent BIM-provided predictions
+            after a BIM misprediction that are demoted to
+            ``medium-conf-bim`` (the paper illustrates "up to 8").
+    """
+
+    def __init__(self, predictor: TagePredictor, bim_miss_window: int = 8) -> None:
+        if bim_miss_window < 0:
+            raise ValueError(f"bim_miss_window must be >= 0, got {bim_miss_window}")
+        self.predictor = predictor
+        self.bim_miss_window = bim_miss_window
+        ctr_bits = predictor.config.ctr_bits
+        self._max_strength = (1 << ctr_bits) - 1
+        # Start "far from a BIM miss" so warm traces are not artificially
+        # demoted at the very beginning of the observation.
+        self._bim_since_miss = bim_miss_window
+
+    # -- classification ---------------------------------------------------
+
+    def classify(self, prediction: TagePrediction) -> PredictionClass:
+        """The §5 observation class of a prediction."""
+        if prediction.provider == 0:
+            if BimodalTable.is_weak(prediction.provider_ctr):
+                return PredictionClass.LOW_CONF_BIM
+            if self._bim_since_miss < self.bim_miss_window:
+                return PredictionClass.MEDIUM_CONF_BIM
+            return PredictionClass.HIGH_CONF_BIM
+        strength = ctr_strength(prediction.provider_ctr)
+        if strength == 1:
+            return PredictionClass.WTAG
+        if strength == self._max_strength:
+            return PredictionClass.STAG
+        if strength == self._max_strength - 2:
+            return PredictionClass.NSTAG
+        return PredictionClass.NWTAG
+
+    def level(self, prediction: TagePrediction) -> ConfidenceLevel:
+        """The §6.1 confidence level of a prediction."""
+        return confidence_level_of(self.classify(prediction))
+
+    # -- feedback ----------------------------------------------------------
+
+    def observe(self, prediction: TagePrediction, taken: bool) -> None:
+        """Record the resolved outcome (drives the BIM-miss window)."""
+        if prediction.provider == 0:
+            if prediction.prediction != taken:
+                self._bim_since_miss = 0
+            elif self._bim_since_miss < self.bim_miss_window:
+                self._bim_since_miss += 1
+
+    @property
+    def bim_predictions_since_miss(self) -> int:
+        """BIM-provided predictions since the last BIM-provided miss,
+        clamped at ``bim_miss_window``."""
+        return self._bim_since_miss
+
+    def reset(self) -> None:
+        self._bim_since_miss = self.bim_miss_window

@@ -1,0 +1,109 @@
+"""Storage-based confidence estimation baselines.
+
+:class:`JrsEstimator` implements Jacobsen, Rotenberg and Smith's
+confidence predictor [4]: a gshare-indexed table of resetting counters.
+On a correct prediction the counter increments (saturating); on a
+misprediction it resets to zero.  A prediction is high confidence when
+the counter is at or above a threshold — with 4-bit counters and
+threshold 15 ("a rather interesting trade-off" per the paper), high
+confidence means 15 consecutive correct predictions for this
+(branch, history) context.
+
+:class:`EnhancedJrsEstimator` adds Grunwald et al.'s refinement [3]: the
+predicted direction participates in the table index, so taken and
+not-taken predictions of the same (branch, history) context track
+separate confidence counters.
+
+These are the "worthwhile silicon investment" estimators the paper's
+storage-free approach replaces; the baseline bench compares their
+SENS/PVP/PVN/SPEC and storage cost against TAGE observation.
+"""
+
+from __future__ import annotations
+
+from repro.common.bitops import fold_bits, mask
+from repro.common.history import GlobalHistory
+
+__all__ = ["JrsEstimator", "EnhancedJrsEstimator"]
+
+
+class JrsEstimator:
+    """JRS resetting-counter confidence table [4].
+
+    Args:
+        log_entries: log2 table size.
+        counter_bits: confidence counter width (4 in the classic setup).
+        threshold: high-confidence threshold (15 in the classic setup).
+        history_length: global history bits mixed into the index.
+    """
+
+    #: Does the predicted direction participate in the index?
+    include_prediction = False
+
+    def __init__(
+        self,
+        log_entries: int = 12,
+        counter_bits: int = 4,
+        threshold: int = 15,
+        history_length: int = 12,
+    ) -> None:
+        if log_entries <= 0:
+            raise ValueError(f"log_entries must be positive, got {log_entries}")
+        if counter_bits <= 0:
+            raise ValueError(f"counter_bits must be positive, got {counter_bits}")
+        max_value = (1 << counter_bits) - 1
+        if not 0 < threshold <= max_value:
+            raise ValueError(
+                f"threshold must be in [1, {max_value}] for {counter_bits}-bit "
+                f"counters, got {threshold}"
+            )
+        if history_length <= 0:
+            raise ValueError(f"history_length must be positive, got {history_length}")
+        self.log_entries = log_entries
+        self.counter_bits = counter_bits
+        self.threshold = threshold
+        self.history_length = history_length
+        self._max = max_value
+        self._table = [0] * (1 << log_entries)
+        self._history = GlobalHistory(capacity=history_length)
+
+    def _index(self, pc: int, prediction: bool) -> int:
+        folded = fold_bits(self._history.window(self.history_length), self.log_entries)
+        value = (pc >> 2) ^ folded
+        if self.include_prediction:
+            value = (value << 1) | int(prediction)
+        return value & mask(self.log_entries)
+
+    # -- binary estimator protocol ------------------------------------------
+
+    def assess(self, pc: int, prediction: bool) -> bool:
+        """True when the prediction is high confidence."""
+        return self._table[self._index(pc, prediction)] >= self.threshold
+
+    def observe(self, pc: int, prediction: bool, taken: bool) -> None:
+        """Resetting-counter update plus history advance."""
+        index = self._index(pc, prediction)
+        if prediction == taken:
+            if self._table[index] < self._max:
+                self._table[index] += 1
+        else:
+            self._table[index] = 0
+        self._history.push(taken)
+
+    def counter(self, pc: int, prediction: bool) -> int:
+        """Current confidence counter for a (pc, prediction) context."""
+        return self._table[self._index(pc, prediction)]
+
+    def storage_bits(self) -> int:
+        """The extra silicon this estimator costs (the paper's argument)."""
+        return (1 << self.log_entries) * self.counter_bits
+
+    def reset(self) -> None:
+        self._table = [0] * (1 << self.log_entries)
+        self._history.reset()
+
+
+class EnhancedJrsEstimator(JrsEstimator):
+    """JRS with the prediction direction folded into the index [3]."""
+
+    include_prediction = True

@@ -1,0 +1,248 @@
+"""Confidence estimation quality metrics.
+
+Two families, following §4 of the paper:
+
+* :class:`BinaryConfidenceMetrics` — Grunwald et al.'s SENS / PVP / PVN /
+  SPEC for estimators that only discriminate high vs low confidence;
+* :class:`ClassBreakdown` — the multi-class metrics the paper uses
+  instead: per-class prediction coverage ``Pcov``, misprediction coverage
+  ``MPcov`` and misprediction rate ``MPrate`` measured in Mispredictions
+  per Kilo-Prediction (MKP).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Generic, Hashable, Iterable, Mapping, TypeVar
+
+__all__ = ["mkp", "wilson_interval", "BinaryConfidenceMetrics", "ClassBreakdown"]
+
+K = TypeVar("K", bound=Hashable)
+
+
+def mkp(mispredictions: int, predictions: int) -> float:
+    """Misprediction rate in Mispredictions per Kilo-Prediction.
+
+    >>> mkp(3, 1000)
+    3.0
+    """
+    if predictions < 0 or mispredictions < 0:
+        raise ValueError("counts must be non-negative")
+    if predictions == 0:
+        return 0.0
+    return 1000.0 * mispredictions / predictions
+
+
+def wilson_interval(
+    successes: int, trials: int, z: float = 1.96
+) -> tuple[float, float]:
+    """Wilson score interval for a binomial proportion.
+
+    Used to put error bars on per-class misprediction rates at reduced
+    simulation scale: a class with 50 observations has a wide interval,
+    and shape assertions should not hinge on its point estimate.
+
+    Returns (lower, upper) bounds on the proportion in [0, 1].
+
+    >>> lo, hi = wilson_interval(5, 100)
+    >>> 0.0 < lo < 0.05 < hi < 0.12
+    True
+    """
+    if trials < 0 or successes < 0 or successes > trials:
+        raise ValueError(f"need 0 <= successes <= trials, got {successes}/{trials}")
+    if z <= 0:
+        raise ValueError(f"z must be positive, got {z}")
+    if trials == 0:
+        return (0.0, 1.0)
+    p = successes / trials
+    z2 = z * z
+    denominator = 1.0 + z2 / trials
+    center = (p + z2 / (2 * trials)) / denominator
+    half_width = (
+        z * ((p * (1 - p) / trials + z2 / (4 * trials * trials)) ** 0.5) / denominator
+    )
+    return (max(0.0, center - half_width), min(1.0, center + half_width))
+
+
+@dataclass(frozen=True)
+class BinaryConfidenceMetrics:
+    """Grunwald et al.'s four binary-confidence metrics [3].
+
+    Built from the 2×2 confusion between {high, low} confidence and
+    {correct, incorrect} prediction:
+
+    * ``sens`` — fraction of correct predictions classified high;
+    * ``pvp``  — probability a high-confidence prediction is correct;
+    * ``spec`` — fraction of incorrect predictions classified low;
+    * ``pvn``  — fraction of low-confidence predictions that mispredict.
+    """
+
+    high_correct: int
+    high_incorrect: int
+    low_correct: int
+    low_incorrect: int
+
+    def __post_init__(self) -> None:
+        for label, value in (
+            ("high_correct", self.high_correct),
+            ("high_incorrect", self.high_incorrect),
+            ("low_correct", self.low_correct),
+            ("low_incorrect", self.low_incorrect),
+        ):
+            if value < 0:
+                raise ValueError(f"{label} must be non-negative, got {value}")
+
+    @property
+    def total(self) -> int:
+        return self.high_correct + self.high_incorrect + self.low_correct + self.low_incorrect
+
+    @property
+    def sens(self) -> float:
+        correct = self.high_correct + self.low_correct
+        return self.high_correct / correct if correct else 0.0
+
+    @property
+    def pvp(self) -> float:
+        high = self.high_correct + self.high_incorrect
+        return self.high_correct / high if high else 0.0
+
+    @property
+    def spec(self) -> float:
+        incorrect = self.high_incorrect + self.low_incorrect
+        return self.low_incorrect / incorrect if incorrect else 0.0
+
+    @property
+    def pvn(self) -> float:
+        low = self.low_correct + self.low_incorrect
+        return self.low_incorrect / low if low else 0.0
+
+    @property
+    def high_coverage(self) -> float:
+        """Fraction of all predictions classified high confidence."""
+        return (self.high_correct + self.high_incorrect) / self.total if self.total else 0.0
+
+    def merged(self, other: "BinaryConfidenceMetrics") -> "BinaryConfidenceMetrics":
+        """Pool the confusion counts of two measurements."""
+        return BinaryConfidenceMetrics(
+            self.high_correct + other.high_correct,
+            self.high_incorrect + other.high_incorrect,
+            self.low_correct + other.low_correct,
+            self.low_incorrect + other.low_incorrect,
+        )
+
+    def summary(self) -> str:
+        return (
+            f"SENS={self.sens:.3f} PVP={self.pvp:.3f} "
+            f"SPEC={self.spec:.3f} PVN={self.pvn:.3f}"
+        )
+
+
+class ClassBreakdown(Generic[K]):
+    """Per-class prediction/misprediction accounting.
+
+    Keys are any hashable class labels — the paper's 7
+    :class:`~repro.confidence.classes.PredictionClass` values, the 3
+    :class:`~repro.confidence.classes.ConfidenceLevel` values, or
+    anything an experiment needs.
+
+    >>> b = ClassBreakdown()
+    >>> b.record("a", mispredicted=False); b.record("a", mispredicted=True)
+    >>> b.mprate("a")
+    500.0
+    """
+
+    def __init__(self) -> None:
+        self._predictions: dict[K, int] = {}
+        self._mispredictions: dict[K, int] = {}
+
+    # -- recording ---------------------------------------------------------
+
+    def record(self, key: K, mispredicted: bool, count: int = 1) -> None:
+        """Account ``count`` predictions of class ``key``."""
+        if count < 0:
+            raise ValueError(f"count must be non-negative, got {count}")
+        self._predictions[key] = self._predictions.get(key, 0) + count
+        if mispredicted:
+            self._mispredictions[key] = self._mispredictions.get(key, 0) + count
+
+    def merge(self, other: "ClassBreakdown[K]") -> None:
+        """Accumulate another breakdown into this one."""
+        for key, count in other._predictions.items():
+            self._predictions[key] = self._predictions.get(key, 0) + count
+        for key, count in other._mispredictions.items():
+            self._mispredictions[key] = self._mispredictions.get(key, 0) + count
+
+    # -- totals ------------------------------------------------------------
+
+    @property
+    def total_predictions(self) -> int:
+        return sum(self._predictions.values())
+
+    @property
+    def total_mispredictions(self) -> int:
+        return sum(self._mispredictions.values())
+
+    def keys(self) -> set[K]:
+        return set(self._predictions)
+
+    def predictions(self, key: K) -> int:
+        return self._predictions.get(key, 0)
+
+    def mispredictions(self, key: K) -> int:
+        return self._mispredictions.get(key, 0)
+
+    # -- the paper's three per-class metrics (§4) ---------------------------
+
+    def pcov(self, key: K) -> float:
+        """Prediction coverage: fraction of predictions in this class."""
+        total = self.total_predictions
+        return self.predictions(key) / total if total else 0.0
+
+    def mpcov(self, key: K) -> float:
+        """Misprediction coverage: fraction of all mispredictions here."""
+        total = self.total_mispredictions
+        return self.mispredictions(key) / total if total else 0.0
+
+    def mprate(self, key: K) -> float:
+        """Class misprediction rate in MKP."""
+        return mkp(self.mispredictions(key), self.predictions(key))
+
+    def mprate_interval(self, key: K, z: float = 1.96) -> tuple[float, float]:
+        """Wilson confidence interval on the class MPrate, in MKP."""
+        lower, upper = wilson_interval(self.mispredictions(key), self.predictions(key), z)
+        return (1000.0 * lower, 1000.0 * upper)
+
+    # -- projections ---------------------------------------------------------
+
+    def grouped(self, key_of: "callable[[K], Hashable]") -> "ClassBreakdown":
+        """A new breakdown with keys mapped through ``key_of`` (e.g. the
+        7-class → 3-level projection)."""
+        grouped: ClassBreakdown = ClassBreakdown()
+        for key, count in self._predictions.items():
+            misses = self._mispredictions.get(key, 0)
+            new_key = key_of(key)
+            grouped.record(new_key, mispredicted=False, count=count - misses)
+            if misses:
+                grouped.record(new_key, mispredicted=True, count=misses)
+        return grouped
+
+    def rows(self, order: Iterable[K] | None = None) -> list[tuple[K, float, float, float]]:
+        """(key, Pcov, MPcov, MPrate) rows, in ``order`` or sorted by Pcov."""
+        keys = list(order) if order is not None else sorted(
+            self._predictions, key=self.pcov, reverse=True  # type: ignore[arg-type]
+        )
+        return [(key, self.pcov(key), self.mpcov(key), self.mprate(key)) for key in keys]
+
+    def as_dict(self) -> Mapping[K, tuple[int, int]]:
+        """{key: (predictions, mispredictions)} snapshot."""
+        return {
+            key: (count, self._mispredictions.get(key, 0))
+            for key, count in self._predictions.items()
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"ClassBreakdown(classes={len(self._predictions)}, "
+            f"predictions={self.total_predictions}, "
+            f"mispredictions={self.total_mispredictions})"
+        )

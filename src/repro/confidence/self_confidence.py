@@ -1,0 +1,65 @@
+"""Self-confidence estimation for sum-based predictors (§2.2).
+
+For the perceptron [5] and O-GEHL [11] predictors, the natural
+storage-free confidence signal is the magnitude of the prediction sum: a
+prediction is high confidence when ``|sum|`` clears the (update)
+threshold.  The paper quotes the O-GEHL behaviour as the state of the
+storage-free art before its own proposal: PVN ≈ 1/3 but SPEC ≈ 1/2 —
+half of all mispredictions still masquerade as high confidence.
+
+:class:`SelfConfidenceEstimator` adapts any predictor exposing
+``last_prediction_is_high_confidence()`` (both
+:class:`repro.predictors.perceptron.PerceptronPredictor` and
+:class:`repro.predictors.ogehl.OgehlPredictor` do) to the binary
+estimator protocol used by the evaluation engine.
+"""
+
+from __future__ import annotations
+
+from typing import Protocol, runtime_checkable
+
+__all__ = ["SelfConfidenceEstimator", "SupportsSelfConfidence"]
+
+
+@runtime_checkable
+class SupportsSelfConfidence(Protocol):
+    """Predictors whose output magnitude doubles as a confidence signal."""
+
+    def last_prediction_is_high_confidence(self) -> bool: ...
+
+
+class SelfConfidenceEstimator:
+    """Binary confidence by observing a sum-based predictor's output.
+
+    The estimator holds no state of its own — "storage free" in exactly
+    the sense of the prior art the paper builds on.
+
+    Args:
+        predictor: the observed predictor; ``assess`` must be called
+            between that predictor's ``predict`` and ``train`` so the
+            cached sum corresponds to the assessed prediction.
+    """
+
+    def __init__(self, predictor: SupportsSelfConfidence) -> None:
+        if not isinstance(predictor, SupportsSelfConfidence):
+            raise TypeError(
+                f"{type(predictor).__name__} does not expose "
+                "last_prediction_is_high_confidence()"
+            )
+        self.predictor = predictor
+
+    # -- binary estimator protocol -----------------------------------------
+
+    def assess(self, pc: int, prediction: bool) -> bool:
+        """True when the current prediction is high confidence."""
+        return self.predictor.last_prediction_is_high_confidence()
+
+    def observe(self, pc: int, prediction: bool, taken: bool) -> None:
+        """No state: outcomes train the predictor, not the estimator."""
+
+    def storage_bits(self) -> int:
+        """Zero — the whole point."""
+        return 0
+
+    def reset(self) -> None:
+        """Nothing to reset."""

@@ -1,0 +1,42 @@
+"""Branch predictors.
+
+* :class:`repro.predictors.base.BranchPredictor` — the common
+  predict/train interface used by the simulation engine.
+* :class:`repro.predictors.bimodal.BimodalPredictor` — Smith's 2-bit
+  counter predictor [14], both a baseline and the TAGE base component.
+* :class:`repro.predictors.gshare.GsharePredictor` — McFarling's gshare
+  [10], the index scheme behind the JRS confidence table.
+* :class:`repro.predictors.perceptron.PerceptronPredictor` — Jiménez/Lin
+  global perceptron, carrier of the perceptron self-confidence baseline.
+* :class:`repro.predictors.ogehl.OgehlPredictor` — Seznec's O-GEHL [11],
+  carrier of the O-GEHL self-confidence baseline cited in §2.2.
+* :mod:`repro.predictors.tage` — the TAGE predictor family (the paper's
+  subject), with the paper's three storage presets and both the standard
+  and the probabilistic-saturation counter automata.
+"""
+
+from repro.predictors.base import BranchPredictor, PredictorError
+from repro.predictors.bimodal import BimodalPredictor
+from repro.predictors.gshare import GsharePredictor
+from repro.predictors.local import LocalHistoryPredictor
+from repro.predictors.ogehl import OgehlPredictor
+from repro.predictors.perceptron import PerceptronPredictor
+from repro.predictors.tage import TageConfig, TagePrediction, TagePredictor
+from repro.predictors.tage.loop import LoopPredictor, LtagePredictor
+from repro.predictors.tournament import TournamentPredictor
+
+__all__ = [
+    "BranchPredictor",
+    "BimodalPredictor",
+    "GsharePredictor",
+    "LocalHistoryPredictor",
+    "LoopPredictor",
+    "LtagePredictor",
+    "TournamentPredictor",
+    "OgehlPredictor",
+    "PerceptronPredictor",
+    "PredictorError",
+    "TageConfig",
+    "TagePrediction",
+    "TagePredictor",
+]

@@ -1,0 +1,85 @@
+"""Common branch predictor interface.
+
+Every predictor follows the trace-driven protocol the paper's simulator
+uses:
+
+1. ``predict(pc)`` returns the predicted direction *and caches the
+   internal lookup context* (indices, matching components, counter
+   values);
+2. ``train(pc, taken)`` consumes the cached context to update tables and
+   speculative history.
+
+``train`` must be called exactly once after each ``predict`` and with the
+same PC; the base class enforces this so a missed update is a loud error
+rather than a silently corrupted experiment.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+__all__ = ["BranchPredictor", "PredictorError"]
+
+
+class PredictorError(RuntimeError):
+    """Raised when the predict/train protocol is violated."""
+
+
+class BranchPredictor(ABC):
+    """Abstract trace-driven branch predictor."""
+
+    #: Human-readable predictor name (override in subclasses).
+    name: str = "predictor"
+
+    def __init__(self) -> None:
+        self._pending_pc: int | None = None
+
+    # -- protocol ------------------------------------------------------
+
+    def predict(self, pc: int) -> bool:
+        """Predict the direction of the branch at ``pc``."""
+        if self._pending_pc is not None:
+            raise PredictorError(
+                f"predict({pc:#x}) called but train() for pc "
+                f"{self._pending_pc:#x} is still pending"
+            )
+        prediction = self._predict(pc)
+        self._pending_pc = pc
+        return prediction
+
+    def train(self, pc: int, taken: bool) -> None:
+        """Update the predictor with the resolved direction of ``pc``."""
+        if self._pending_pc is None:
+            raise PredictorError(f"train({pc:#x}) called without a pending predict()")
+        if self._pending_pc != pc:
+            raise PredictorError(
+                f"train({pc:#x}) does not match pending predict({self._pending_pc:#x})"
+            )
+        self._pending_pc = None
+        self._train(pc, taken)
+
+    def predict_and_train(self, pc: int, taken: bool) -> bool:
+        """Convenience: one full predict/train step; returns the prediction."""
+        prediction = self.predict(pc)
+        self.train(pc, taken)
+        return prediction
+
+    # -- subclass hooks --------------------------------------------------
+
+    @abstractmethod
+    def _predict(self, pc: int) -> bool:
+        """Compute the prediction and cache any context ``_train`` needs."""
+
+    @abstractmethod
+    def _train(self, pc: int, taken: bool) -> None:
+        """Update state using the context cached by ``_predict``."""
+
+    # -- introspection ---------------------------------------------------
+
+    @abstractmethod
+    def storage_bits(self) -> int:
+        """Total predictor storage in bits (the paper's budget metric)."""
+
+    def reset(self) -> None:
+        """Restore the power-on state.  Subclasses should extend this."""
+        self._pending_pc = None

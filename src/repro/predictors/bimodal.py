@@ -1,0 +1,88 @@
+"""Smith's bimodal predictor [14].
+
+A PC-indexed table of 2-bit saturating counters: values 0-1 predict not
+taken, 2-3 predict taken.  Smith's original observation — that a weak
+counter (1 or 2) signals an unreliable prediction — is the earliest
+storage-free confidence estimator and is exactly the signal the paper
+reuses for the ``low-conf-bim`` class.
+
+This class doubles as a standalone baseline and as the template for the
+TAGE base component (:class:`repro.predictors.tage.components.BimodalTable`).
+"""
+
+from __future__ import annotations
+
+from repro.common.bitops import mask
+from repro.predictors.base import BranchPredictor
+
+__all__ = ["BimodalPredictor"]
+
+
+class BimodalPredictor(BranchPredictor):
+    """PC-indexed table of 2-bit counters.
+
+    Args:
+        log_entries: log2 of the table size.
+        counter_bits: counter width (2 in every published configuration).
+
+    >>> p = BimodalPredictor(log_entries=10)
+    >>> for _ in range(4):
+    ...     _ = p.predict_and_train(0x400, True)
+    >>> p.predict(0x400)
+    True
+    """
+
+    name = "bimodal"
+
+    def __init__(self, log_entries: int = 12, counter_bits: int = 2) -> None:
+        super().__init__()
+        if log_entries <= 0:
+            raise ValueError(f"log_entries must be positive, got {log_entries}")
+        if counter_bits <= 0:
+            raise ValueError(f"counter_bits must be positive, got {counter_bits}")
+        self.log_entries = log_entries
+        self.counter_bits = counter_bits
+        self._mask = mask(log_entries)
+        self._max = (1 << counter_bits) - 1
+        self._weak_not_taken = (1 << (counter_bits - 1)) - 1
+        self._table = [self._weak_not_taken + 1] * (1 << log_entries)
+        self._last_index = 0
+        self._last_counter = 0
+
+    def _index(self, pc: int) -> int:
+        return (pc >> 2) & self._mask
+
+    def _predict(self, pc: int) -> bool:
+        index = self._index(pc)
+        counter = self._table[index]
+        self._last_index = index
+        self._last_counter = counter
+        return counter > self._weak_not_taken
+
+    def _train(self, pc: int, taken: bool) -> None:
+        index = self._last_index
+        counter = self._table[index]
+        if taken:
+            if counter < self._max:
+                self._table[index] = counter + 1
+        elif counter > 0:
+            self._table[index] = counter - 1
+
+    @property
+    def last_counter(self) -> int:
+        """Counter value read by the most recent ``predict`` call."""
+        return self._last_counter
+
+    def counter_is_weak(self, counter: int | None = None) -> bool:
+        """Smith's confidence signal: is the counter in a weak state?"""
+        value = self._last_counter if counter is None else counter
+        return value in (self._weak_not_taken, self._weak_not_taken + 1)
+
+    def storage_bits(self) -> int:
+        return (1 << self.log_entries) * self.counter_bits
+
+    def reset(self) -> None:
+        super().reset()
+        self._table = [self._weak_not_taken + 1] * (1 << self.log_entries)
+        self._last_index = 0
+        self._last_counter = 0

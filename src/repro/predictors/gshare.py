@@ -1,0 +1,88 @@
+"""McFarling's gshare predictor [10].
+
+A table of 2-bit counters indexed by the xor of the branch PC and the
+global history.  Included because the JRS confidence estimator [4] is "a
+gshare-like indexed table of saturating counters": the index pipeline here
+is shared with :class:`repro.confidence.jrs.JrsEstimator`, and gshare
+serves as a 1990s-generation baseline predictor for the comparison
+benches.
+"""
+
+from __future__ import annotations
+
+from repro.common.bitops import fold_bits, mask
+from repro.common.history import GlobalHistory
+from repro.predictors.base import BranchPredictor
+
+__all__ = ["GsharePredictor", "gshare_index"]
+
+
+def gshare_index(pc: int, history_window: int, history_length: int, log_entries: int) -> int:
+    """The gshare hash: PC xor folded global history, masked to the table.
+
+    Exposed as a free function because the JRS confidence estimator reuses
+    exactly this index computation.
+    """
+    folded = fold_bits(history_window & mask(history_length), log_entries)
+    return ((pc >> 2) ^ folded) & mask(log_entries)
+
+
+class GsharePredictor(BranchPredictor):
+    """Global-history xor-indexed 2-bit counter table.
+
+    Args:
+        log_entries: log2 table size.
+        history_length: global history bits mixed into the index.
+    """
+
+    name = "gshare"
+
+    def __init__(self, log_entries: int = 14, history_length: int = 14) -> None:
+        super().__init__()
+        if log_entries <= 0:
+            raise ValueError(f"log_entries must be positive, got {log_entries}")
+        if history_length <= 0:
+            raise ValueError(f"history_length must be positive, got {history_length}")
+        self.log_entries = log_entries
+        self.history_length = history_length
+        self._history = GlobalHistory(capacity=history_length)
+        self._table = [2] * (1 << log_entries)
+        self._last_index = 0
+        self._last_counter = 0
+
+    def _predict(self, pc: int) -> bool:
+        index = gshare_index(
+            pc, self._history.window(self.history_length), self.history_length, self.log_entries
+        )
+        counter = self._table[index]
+        self._last_index = index
+        self._last_counter = counter
+        return counter >= 2
+
+    def _train(self, pc: int, taken: bool) -> None:
+        index = self._last_index
+        counter = self._table[index]
+        if taken:
+            if counter < 3:
+                self._table[index] = counter + 1
+        elif counter > 0:
+            self._table[index] = counter - 1
+        self._history.push(taken)
+
+    @property
+    def last_counter(self) -> int:
+        return self._last_counter
+
+    @property
+    def history(self) -> GlobalHistory:
+        return self._history
+
+    def storage_bits(self) -> int:
+        return (1 << self.log_entries) * 2
+
+    def reset(self) -> None:
+        super().reset()
+        self._history.reset()
+        self._table = [2] * (1 << self.log_entries)
+        self._last_index = 0
+        self._last_counter = 0

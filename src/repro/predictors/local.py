@@ -1,0 +1,109 @@
+"""Two-level local-history predictor (Yeh & Patt PAg/PAp style).
+
+One of the "predictors that were defined before 2000" whose confidence
+estimation the prior literature studied (§2 of the paper).  A first
+level records each branch's own recent outcomes; the second level is a
+pattern history table (PHT) of 2-bit counters indexed by that local
+history.
+
+Included as a baseline for the comparison benches: local history
+captures the per-branch patterns our synthetic workloads contain, but
+without TAGE's global-history correlation or capacity management.
+"""
+
+from __future__ import annotations
+
+from repro.common.bitops import mask
+from repro.predictors.base import BranchPredictor
+
+__all__ = ["LocalHistoryPredictor"]
+
+
+class LocalHistoryPredictor(BranchPredictor):
+    """Two-level predictor with per-branch history.
+
+    Args:
+        log_histories: log2 of the level-1 history table size (indexed
+            by PC).
+        history_length: bits of local history per entry.
+        log_pht: log2 of the level-2 pattern history table size.
+        shared_pht: PAg (True: one shared PHT indexed by history only)
+            or PAp-like (False: PC bits mixed into the PHT index).
+    """
+
+    name = "local-2level"
+
+    def __init__(
+        self,
+        log_histories: int = 10,
+        history_length: int = 10,
+        log_pht: int = 12,
+        shared_pht: bool = True,
+    ) -> None:
+        super().__init__()
+        if log_histories <= 0:
+            raise ValueError(f"log_histories must be positive, got {log_histories}")
+        if history_length <= 0:
+            raise ValueError(f"history_length must be positive, got {history_length}")
+        if log_pht <= 0:
+            raise ValueError(f"log_pht must be positive, got {log_pht}")
+        if history_length > log_pht and shared_pht:
+            raise ValueError(
+                f"history_length ({history_length}) must fit the shared PHT index "
+                f"({log_pht} bits)"
+            )
+        self.log_histories = log_histories
+        self.history_length = history_length
+        self.log_pht = log_pht
+        self.shared_pht = shared_pht
+        self._history_mask = mask(history_length)
+        self._histories = [0] * (1 << log_histories)
+        self._pht = [2] * (1 << log_pht)
+        self._pht_mask = mask(log_pht)
+        self._last_history_index = 0
+        self._last_pht_index = 0
+        self._last_counter = 0
+
+    def _indices(self, pc: int) -> tuple[int, int]:
+        history_index = (pc >> 2) & mask(self.log_histories)
+        local_history = self._histories[history_index]
+        if self.shared_pht:
+            pht_index = local_history & self._pht_mask
+        else:
+            pht_index = (local_history ^ ((pc >> 2) << 2)) & self._pht_mask
+        return history_index, pht_index
+
+    def _predict(self, pc: int) -> bool:
+        history_index, pht_index = self._indices(pc)
+        counter = self._pht[pht_index]
+        self._last_history_index = history_index
+        self._last_pht_index = pht_index
+        self._last_counter = counter
+        return counter >= 2
+
+    def _train(self, pc: int, taken: bool) -> None:
+        counter = self._pht[self._last_pht_index]
+        if taken:
+            if counter < 3:
+                self._pht[self._last_pht_index] = counter + 1
+        elif counter > 0:
+            self._pht[self._last_pht_index] = counter - 1
+        history = self._histories[self._last_history_index]
+        self._histories[self._last_history_index] = (
+            (history << 1) | int(taken)
+        ) & self._history_mask
+
+    @property
+    def last_counter(self) -> int:
+        return self._last_counter
+
+    def storage_bits(self) -> int:
+        return (1 << self.log_histories) * self.history_length + (1 << self.log_pht) * 2
+
+    def reset(self) -> None:
+        super().reset()
+        self._histories = [0] * (1 << self.log_histories)
+        self._pht = [2] * (1 << self.log_pht)
+        self._last_history_index = 0
+        self._last_pht_index = 0
+        self._last_counter = 0

@@ -1,0 +1,184 @@
+"""Seznec's O-GEHL predictor [11].
+
+The Optimized GEometric History Length predictor sums small signed
+counters read from M tables indexed with geometrically increasing history
+lengths, predicts on the sign of the sum and trains when mispredicted or
+when the sum magnitude is under a dynamically adapted threshold.
+
+It matters to this reproduction for two reasons:
+
+* the geometric history length series ``L(i) = round(alpha**(i-1) * L(1))``
+  that TAGE inherits was introduced here;
+* §2.2 of the paper quotes the O-GEHL *self-confidence* estimator
+  (``|sum| < threshold`` = low confidence) as the prior storage-free
+  technique: "about one third of the low confidence predictions are in
+  practice mispredicted ... only half of the mispredicted branches are
+  effectively classified as low confidence".  The baseline bench
+  reproduces those two numbers.
+
+This is a faithful but compact O-GEHL: geometric histories, per-table
+folded indices, adaptive threshold via the TC counter, and the update-on-
+low-magnitude rule.  (The dynamic history-length fitting of the full CBP
+version is omitted; it does not participate in the confidence story.)
+"""
+
+from __future__ import annotations
+
+from repro.common.bitops import mask
+from repro.common.history import FoldedHistory, GlobalHistory
+from repro.predictors.base import BranchPredictor
+
+__all__ = ["OgehlPredictor", "geometric_history_lengths"]
+
+
+def geometric_history_lengths(minimum: int, maximum: int, count: int) -> list[int]:
+    """The geometric series ``L(i)`` used by O-GEHL and TAGE.
+
+    ``L(1) = minimum``, ``L(count) = maximum`` and intermediate lengths
+    follow ``L(i) = round(minimum * alpha**(i-1))`` with
+    ``alpha = (maximum / minimum) ** (1 / (count - 1))``.  Lengths are
+    strictly increasing (enforced by bumping duplicates, which only occurs
+    for very short series).
+
+    >>> geometric_history_lengths(5, 130, 7)
+    [5, 9, 15, 26, 44, 76, 130]
+    """
+    if count <= 0:
+        raise ValueError(f"count must be positive, got {count}")
+    if minimum <= 0 or maximum < minimum:
+        raise ValueError(f"need 0 < minimum <= maximum, got {minimum}, {maximum}")
+    if count == 1:
+        return [minimum]
+    alpha = (maximum / minimum) ** (1.0 / (count - 1))
+    lengths: list[int] = []
+    for i in range(count):
+        length = int(minimum * alpha**i + 0.5)
+        if lengths and length <= lengths[-1]:
+            length = lengths[-1] + 1
+        lengths.append(length)
+    lengths[-1] = max(lengths[-1], maximum)
+    return lengths
+
+
+class OgehlPredictor(BranchPredictor):
+    """Sum-of-counters geometric-history predictor.
+
+    Args:
+        n_tables: number of counter tables (first is PC-indexed only).
+        log_entries: log2 entries per table.
+        counter_bits: signed counter width (4 or 5 in the paper).
+        min_history / max_history: geometric series endpoints for the
+            history-indexed tables.
+    """
+
+    name = "ogehl"
+
+    def __init__(
+        self,
+        n_tables: int = 8,
+        log_entries: int = 10,
+        counter_bits: int = 4,
+        min_history: int = 3,
+        max_history: int = 120,
+    ) -> None:
+        super().__init__()
+        if n_tables < 2:
+            raise ValueError(f"need at least 2 tables, got {n_tables}")
+        if log_entries <= 0:
+            raise ValueError(f"log_entries must be positive, got {log_entries}")
+        self.n_tables = n_tables
+        self.log_entries = log_entries
+        self.counter_bits = counter_bits
+        self.history_lengths = geometric_history_lengths(
+            min_history, max_history, n_tables - 1
+        )
+        self._ctr_max = (1 << (counter_bits - 1)) - 1
+        self._ctr_min = -(1 << (counter_bits - 1))
+        self._mask = mask(log_entries)
+        self._tables = [[0] * (1 << log_entries) for _ in range(n_tables)]
+        self._history = GlobalHistory(capacity=max_history)
+        self._folded = [
+            FoldedHistory(length, log_entries) for length in self.history_lengths
+        ]
+        # Adaptive threshold state (paper's theta/TC mechanism).
+        self.threshold = n_tables
+        self._threshold_counter = 0
+        self._last_indices = [0] * n_tables
+        self._last_sum = 0
+
+    # -- index computation ---------------------------------------------
+
+    def _indices(self, pc: int) -> list[int]:
+        base = (pc >> 2) & self._mask
+        indices = [base]
+        for table, folded in enumerate(self._folded, start=1):
+            value = (pc >> 2) ^ ((pc >> 2) >> (table + 1)) ^ folded.value
+            indices.append(value & self._mask)
+        return indices
+
+    def _predict(self, pc: int) -> bool:
+        indices = self._indices(pc)
+        total = 0
+        for table, index in enumerate(indices):
+            total += self._tables[table][index]
+        # The constant bias term makes sum == 0 lean taken, like the paper.
+        total = 2 * total + self.n_tables
+        self._last_indices = indices
+        self._last_sum = total
+        return total >= 0
+
+    def _train(self, pc: int, taken: bool) -> None:
+        total = self._last_sum
+        prediction = total >= 0
+        mispredicted = prediction != taken
+        if mispredicted or abs(total) < self.threshold:
+            for table, index in enumerate(self._last_indices):
+                counter = self._tables[table][index]
+                if taken:
+                    if counter < self._ctr_max:
+                        self._tables[table][index] = counter + 1
+                elif counter > self._ctr_min:
+                    self._tables[table][index] = counter - 1
+        # Adaptive threshold: mispredictions push theta up, low-magnitude
+        # correct predictions push it down (the O-GEHL TC mechanism).
+        if mispredicted:
+            self._threshold_counter += 1
+            if self._threshold_counter >= 4:
+                self._threshold_counter = 0
+                self.threshold += 1
+        elif abs(total) < self.threshold:
+            self._threshold_counter -= 1
+            if self._threshold_counter <= -4:
+                self._threshold_counter = 0
+                if self.threshold > 1:
+                    self.threshold -= 1
+        # History updates.
+        longest = self.history_lengths[-1]
+        for folded, length in zip(self._folded, self.history_lengths):
+            outgoing = self._history.bit(length - 1) if length <= longest else 0
+            folded.update(int(taken), outgoing)
+        self._history.push(taken)
+
+    @property
+    def last_sum(self) -> int:
+        """Prediction sum of the most recent prediction (the O-GEHL
+        self-confidence signal)."""
+        return self._last_sum
+
+    def last_prediction_is_high_confidence(self) -> bool:
+        """Self-confidence rule: high confidence iff ``|sum| >= theta``."""
+        return abs(self._last_sum) >= self.threshold
+
+    def storage_bits(self) -> int:
+        return self.n_tables * (1 << self.log_entries) * self.counter_bits
+
+    def reset(self) -> None:
+        super().reset()
+        self._tables = [[0] * (1 << self.log_entries) for _ in range(self.n_tables)]
+        self._history.reset()
+        for folded in self._folded:
+            folded.reset()
+        self.threshold = self.n_tables
+        self._threshold_counter = 0
+        self._last_indices = [0] * self.n_tables
+        self._last_sum = 0

@@ -1,0 +1,120 @@
+"""Jiménez & Lin's global perceptron predictor.
+
+Included as the substrate for *perceptron self-confidence* [5]: a
+prediction is high confidence when the absolute value of the perceptron
+output exceeds the training threshold, low confidence otherwise.  The
+paper's §2.2 contrasts this storage-free baseline with its own TAGE
+observation classes; the comparison bench
+(``benchmarks/test_bench_baseline_estimators.py``) reproduces it.
+
+Implementation follows the classic formulation: a PC-indexed table of
+signed weight vectors, prediction ``y = w0 + sum(w_i * x_i)`` with
+``x_i = +1/-1`` for taken/not-taken history bits, training on a
+misprediction or when ``|y| <= theta`` with ``theta = 1.93 * h + 14``.
+"""
+
+from __future__ import annotations
+
+from repro.common.bitops import mask
+from repro.common.history import GlobalHistory
+from repro.predictors.base import BranchPredictor
+
+__all__ = ["PerceptronPredictor"]
+
+
+class PerceptronPredictor(BranchPredictor):
+    """Global perceptron with the canonical threshold ``1.93 * h + 14``.
+
+    Args:
+        log_entries: log2 of the number of perceptrons.
+        history_length: global history bits per perceptron.
+        weight_bits: signed weight width (8 in the original proposal).
+    """
+
+    name = "perceptron"
+
+    def __init__(
+        self,
+        log_entries: int = 9,
+        history_length: int = 28,
+        weight_bits: int = 8,
+    ) -> None:
+        super().__init__()
+        if log_entries <= 0:
+            raise ValueError(f"log_entries must be positive, got {log_entries}")
+        if history_length <= 0:
+            raise ValueError(f"history_length must be positive, got {history_length}")
+        if weight_bits <= 1:
+            raise ValueError(f"weight_bits must be > 1, got {weight_bits}")
+        self.log_entries = log_entries
+        self.history_length = history_length
+        self.weight_bits = weight_bits
+        self.threshold = int(1.93 * history_length + 14)
+        self._weight_max = (1 << (weight_bits - 1)) - 1
+        self._weight_min = -(1 << (weight_bits - 1))
+        self._mask = mask(log_entries)
+        # weights[i] is the vector [bias, w1 .. wh] of perceptron i.
+        self._weights = [[0] * (history_length + 1) for _ in range(1 << log_entries)]
+        self._history = GlobalHistory(capacity=history_length)
+        self._last_index = 0
+        self._last_sum = 0
+
+    def _index(self, pc: int) -> int:
+        return (pc >> 2) & self._mask
+
+    def _predict(self, pc: int) -> bool:
+        index = self._index(pc)
+        weights = self._weights[index]
+        window = self._history.window(self.history_length)
+        total = weights[0]
+        for position in range(self.history_length):
+            if (window >> position) & 1:
+                total += weights[position + 1]
+            else:
+                total -= weights[position + 1]
+        self._last_index = index
+        self._last_sum = total
+        return total >= 0
+
+    def _train(self, pc: int, taken: bool) -> None:
+        total = self._last_sum
+        prediction = total >= 0
+        if prediction != taken or abs(total) <= self.threshold:
+            weights = self._weights[self._last_index]
+            window = self._history.window(self.history_length)
+            direction = 1 if taken else -1
+            weights[0] = self._clip(weights[0] + direction)
+            for position in range(self.history_length):
+                bit_agrees = bool((window >> position) & 1) == taken
+                delta = 1 if bit_agrees else -1
+                weights[position + 1] = self._clip(weights[position + 1] + delta)
+        self._history.push(taken)
+
+    def _clip(self, weight: int) -> int:
+        if weight > self._weight_max:
+            return self._weight_max
+        if weight < self._weight_min:
+            return self._weight_min
+        return weight
+
+    @property
+    def last_sum(self) -> int:
+        """Perceptron output of the most recent prediction (the
+        self-confidence signal)."""
+        return self._last_sum
+
+    def last_prediction_is_high_confidence(self) -> bool:
+        """Self-confidence rule from [5]: ``|y| > theta``."""
+        return abs(self._last_sum) > self.threshold
+
+    def storage_bits(self) -> int:
+        return (1 << self.log_entries) * (self.history_length + 1) * self.weight_bits
+
+    def reset(self) -> None:
+        super().reset()
+        self._weights = [
+            [0] * (self.history_length + 1) for _ in range(1 << self.log_entries)
+        ]
+        self._history.reset()
+        self._last_index = 0
+        self._last_sum = 0

@@ -1,0 +1,40 @@
+"""The TAGE predictor family (Seznec & Michaud [13], Seznec [12]).
+
+Modules:
+
+* :mod:`repro.predictors.tage.config` — :class:`TageConfig` with the
+  paper's three storage presets (Table 1: 16K / 64K / 256K bits).
+* :mod:`repro.predictors.tage.automaton` — the 3-bit prediction counter
+  update rules: the standard saturating automaton and the paper's §6
+  probabilistic-saturation modification.
+* :mod:`repro.predictors.tage.components` — the base bimodal table and
+  the partially tagged components with their folded-history index/tag
+  pipelines.
+* :mod:`repro.predictors.tage.predictor` — :class:`TagePredictor`, the
+  full prediction/update/allocation state machine, and
+  :class:`TagePrediction`, the per-prediction observation record that the
+  storage-free confidence estimator reads.
+"""
+
+from repro.predictors.tage.automaton import (
+    CounterAutomaton,
+    ProbabilisticSaturationAutomaton,
+    StandardAutomaton,
+)
+from repro.predictors.tage.components import BimodalTable, TaggedComponent
+from repro.predictors.tage.config import TageConfig
+from repro.predictors.tage.loop import LoopPredictor, LtagePredictor
+from repro.predictors.tage.predictor import TagePrediction, TagePredictor
+
+__all__ = [
+    "BimodalTable",
+    "CounterAutomaton",
+    "LoopPredictor",
+    "LtagePredictor",
+    "ProbabilisticSaturationAutomaton",
+    "StandardAutomaton",
+    "TageConfig",
+    "TagePrediction",
+    "TagePredictor",
+    "TaggedComponent",
+]

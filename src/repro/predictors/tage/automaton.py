@@ -1,0 +1,109 @@
+"""Prediction counter update automata.
+
+The tagged TAGE components use an n-bit (3-bit by default) *signed*
+saturating counter whose sign provides the prediction.  This module
+isolates the two update rules the paper studies:
+
+* :class:`StandardAutomaton` — plain signed saturating increment toward
+  taken / decrement toward not taken.
+* :class:`ProbabilisticSaturationAutomaton` — the paper's §6
+  modification: *on a correct prediction, when the counter is one step
+  away from saturation (2 or −3 for 3 bits), the transition into the
+  saturated state is taken only with probability 1/2^k* (k = 7, i.e.
+  1/128, in the illustrated experiments).  A saturated counter therefore
+  implies that no recent misprediction came from this entry, which is
+  what purifies the ``Stag`` confidence class (misprediction rate drops
+  from ~the application average to 1–5 MKP) at a negligible accuracy
+  cost (< 0.02 misp/KI in the paper).
+
+The probability is a mutable attribute (``sat_prob_log2``) because §6.2's
+adaptive scheme moves it between 1/1024 and 1 at run time.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+from repro.common.rng import Lfsr32
+
+__all__ = [
+    "CounterAutomaton",
+    "StandardAutomaton",
+    "ProbabilisticSaturationAutomaton",
+]
+
+
+class CounterAutomaton(ABC):
+    """Update rule for a signed saturating prediction counter."""
+
+    def __init__(self, ctr_bits: int) -> None:
+        if ctr_bits < 2:
+            raise ValueError(f"ctr_bits must be >= 2, got {ctr_bits}")
+        self.ctr_bits = ctr_bits
+        self.ctr_max = (1 << (ctr_bits - 1)) - 1
+        self.ctr_min = -(1 << (ctr_bits - 1))
+
+    @abstractmethod
+    def update(self, ctr: int, taken: bool) -> int:
+        """Return the counter value after observing outcome ``taken``."""
+
+    def reset(self) -> None:
+        """Restore any internal state (default: stateless)."""
+
+
+class StandardAutomaton(CounterAutomaton):
+    """Plain signed saturating counter.
+
+    >>> a = StandardAutomaton(ctr_bits=3)
+    >>> a.update(2, True), a.update(3, True), a.update(-4, False)
+    (3, 3, -4)
+    """
+
+    def update(self, ctr: int, taken: bool) -> int:
+        if taken:
+            return ctr + 1 if ctr < self.ctr_max else ctr
+        return ctr - 1 if ctr > self.ctr_min else ctr
+
+
+class ProbabilisticSaturationAutomaton(CounterAutomaton):
+    """§6 modified automaton: randomly gated entry into saturation.
+
+    The transition ``ctr_max - 1 -> ctr_max`` (on taken) and
+    ``ctr_min + 1 -> ctr_min`` (on not taken) is performed only when the
+    LFSR grants a ``1/2**sat_prob_log2`` event.  Both gated transitions
+    occur on a *correct* prediction (the counter already agrees with the
+    outcome), matching the paper's wording.
+
+    Args:
+        ctr_bits: counter width.
+        sat_prob_log2: k in probability 1/2^k (7 → 1/128).
+        seed: LFSR seed; experiments are deterministic given the seed.
+    """
+
+    def __init__(self, ctr_bits: int, sat_prob_log2: int = 7, seed: int = 0x0BADF00D) -> None:
+        super().__init__(ctr_bits)
+        if not 0 <= sat_prob_log2 <= 20:
+            raise ValueError(f"sat_prob_log2 must be in [0, 20], got {sat_prob_log2}")
+        self.sat_prob_log2 = sat_prob_log2
+        self._seed = seed
+        self._lfsr = Lfsr32(seed)
+
+    @property
+    def saturation_probability(self) -> float:
+        return 1.0 / (1 << self.sat_prob_log2)
+
+    def update(self, ctr: int, taken: bool) -> int:
+        if taken:
+            if ctr >= self.ctr_max:
+                return ctr
+            if ctr == self.ctr_max - 1 and not self._lfsr.one_in_pow2(self.sat_prob_log2):
+                return ctr
+            return ctr + 1
+        if ctr <= self.ctr_min:
+            return ctr
+        if ctr == self.ctr_min + 1 and not self._lfsr.one_in_pow2(self.sat_prob_log2):
+            return ctr
+        return ctr - 1
+
+    def reset(self) -> None:
+        self._lfsr = Lfsr32(self._seed)

@@ -1,0 +1,189 @@
+"""TAGE table components.
+
+:class:`BimodalTable`
+    The base predictor T0: a PC-indexed table of 2-bit counters with
+    unshared hysteresis (per the paper's "realistically implementable"
+    constraint list).
+:class:`TaggedComponent`
+    One tagged component Ti: per-entry signed prediction counter ``ctr``,
+    partial ``tag`` and useful counter ``u``, plus the three folded
+    histories (one for the index, two for the tag hash) that compress the
+    component's global-history window in O(1) per branch.
+
+Entries are stored as parallel ``list[int]`` columns rather than entry
+objects: the TAGE inner loop touches every component on every branch, and
+column storage keeps that loop allocation-free.
+"""
+
+from __future__ import annotations
+
+from repro.common.bitops import fold_bits, mask
+from repro.common.history import FoldedHistory
+
+__all__ = ["BimodalTable", "TaggedComponent"]
+
+
+class BimodalTable:
+    """Base bimodal component: 2-bit counters, taken when >= 2."""
+
+    __slots__ = ("log_entries", "_mask", "counters")
+
+    WEAK_NOT_TAKEN = 1
+    WEAK_TAKEN = 2
+
+    def __init__(self, log_entries: int) -> None:
+        if log_entries <= 0:
+            raise ValueError(f"log_entries must be positive, got {log_entries}")
+        self.log_entries = log_entries
+        self._mask = mask(log_entries)
+        self.counters = [self.WEAK_TAKEN] * (1 << log_entries)
+
+    def index(self, pc: int) -> int:
+        return (pc >> 2) & self._mask
+
+    def read(self, pc: int) -> int:
+        """Counter value for ``pc`` (0..3)."""
+        return self.counters[self.index(pc)]
+
+    @staticmethod
+    def taken(counter: int) -> bool:
+        return counter >= 2
+
+    @staticmethod
+    def is_weak(counter: int) -> bool:
+        """Smith's weak-counter confidence signal (states 1 and 2)."""
+        return counter in (BimodalTable.WEAK_NOT_TAKEN, BimodalTable.WEAK_TAKEN)
+
+    def update(self, pc: int, taken: bool) -> None:
+        index = self.index(pc)
+        counter = self.counters[index]
+        if taken:
+            if counter < 3:
+                self.counters[index] = counter + 1
+        elif counter > 0:
+            self.counters[index] = counter - 1
+
+    def storage_bits(self) -> int:
+        return (1 << self.log_entries) * 2
+
+    def reset(self) -> None:
+        self.counters = [self.WEAK_TAKEN] * (1 << self.log_entries)
+
+
+class TaggedComponent:
+    """One (partially) tagged TAGE component.
+
+    Args:
+        table_number: position i in T1..TM (used to decorrelate the PC
+            hash between components).
+        log_entries: log2 entries.
+        tag_bits: partial tag width.
+        ctr_bits: signed prediction counter width.
+        u_bits: useful counter width.
+        history_length: global history bits folded into index and tag.
+        path_bits: path history bits available for mixing.
+    """
+
+    __slots__ = (
+        "table_number",
+        "log_entries",
+        "tag_bits",
+        "ctr_bits",
+        "u_bits",
+        "history_length",
+        "path_bits",
+        "ctr",
+        "tag",
+        "u",
+        "_index_mask",
+        "_tag_mask",
+        "_folded_index",
+        "_folded_tag_a",
+        "_folded_tag_b",
+        "_path_mask",
+    )
+
+    def __init__(
+        self,
+        table_number: int,
+        log_entries: int,
+        tag_bits: int,
+        ctr_bits: int,
+        u_bits: int,
+        history_length: int,
+        path_bits: int = 16,
+    ) -> None:
+        if table_number < 1:
+            raise ValueError(f"table_number must be >= 1, got {table_number}")
+        if tag_bits < 2:
+            raise ValueError(f"tag_bits must be >= 2, got {tag_bits}")
+        self.table_number = table_number
+        self.log_entries = log_entries
+        self.tag_bits = tag_bits
+        self.ctr_bits = ctr_bits
+        self.u_bits = u_bits
+        self.history_length = history_length
+        self.path_bits = min(path_bits, history_length)
+        size = 1 << log_entries
+        self.ctr = [0] * size
+        self.tag = [0] * size
+        self.u = [0] * size
+        self._index_mask = mask(log_entries)
+        self._tag_mask = mask(tag_bits)
+        self._folded_index = FoldedHistory(history_length, log_entries)
+        # Two independent tag foldings (widths differing by one) so the tag
+        # is not a simple rotation of the index — the classic TAGE trick.
+        self._folded_tag_a = FoldedHistory(history_length, tag_bits)
+        self._folded_tag_b = FoldedHistory(history_length, max(tag_bits - 1, 1))
+        self._path_mask = mask(self.path_bits)
+
+    # -- hashing ---------------------------------------------------------
+
+    def compute_index(self, pc: int, path_history: int) -> int:
+        """Table index: PC, folded history and folded path, xor-mixed."""
+        pc_part = pc >> 2
+        path_part = fold_bits(path_history & self._path_mask, self.log_entries)
+        value = (
+            pc_part
+            ^ (pc_part >> (self.table_number + 1))
+            ^ self._folded_index.value
+            ^ path_part
+        )
+        return value & self._index_mask
+
+    def compute_tag(self, pc: int) -> int:
+        """Partial tag: PC xor two decorrelated history foldings."""
+        value = (pc >> 2) ^ self._folded_tag_a.value ^ (self._folded_tag_b.value << 1)
+        return value & self._tag_mask
+
+    def update_folded_histories(self, new_bit: int, outgoing_bit: int) -> None:
+        """Advance the three folded histories by one branch."""
+        self._folded_index.update(new_bit, outgoing_bit)
+        self._folded_tag_a.update(new_bit, outgoing_bit)
+        self._folded_tag_b.update(new_bit, outgoing_bit)
+
+    # -- entry management --------------------------------------------------
+
+    def allocate(self, index: int, tag: int, taken: bool) -> None:
+        """Initialize an entry: weak-correct counter, strong-not-useful u."""
+        self.ctr[index] = 0 if taken else -1
+        self.tag[index] = tag
+        self.u[index] = 0
+
+    def age_useful_counters(self) -> None:
+        """Graceful reset: one-bit right shift of every u counter (§3.2)."""
+        u = self.u
+        for index in range(len(u)):
+            u[index] >>= 1
+
+    def storage_bits(self) -> int:
+        return (1 << self.log_entries) * (self.ctr_bits + self.tag_bits + self.u_bits)
+
+    def reset(self) -> None:
+        size = 1 << self.log_entries
+        self.ctr = [0] * size
+        self.tag = [0] * size
+        self.u = [0] * size
+        self._folded_index.reset()
+        self._folded_tag_a.reset()
+        self._folded_tag_b.reset()

@@ -1,0 +1,253 @@
+"""Loop predictor and the L-TAGE combination (Seznec [12]).
+
+The paper's reference predictor for CBP-2 was L-TAGE: a TAGE predictor
+backed by a small side *loop predictor* that identifies branches with a
+constant iteration count and predicts their exit exactly — including
+loops far longer than the global history window.
+
+The loop predictor is a small associative table; an entry tracks:
+
+* a partial ``tag`` of the branch PC;
+* ``past_iter`` — the trip count observed on the last completed
+  execution of the loop;
+* ``current_iter`` — iterations seen in the ongoing execution;
+* ``confidence`` — consecutive times ``past_iter`` was confirmed;
+* ``age`` — replacement counter.
+
+The loop prediction *overrides* TAGE when the entry is confident
+(``confidence`` saturated).  For the confidence study the relevant
+property is that a confident loop prediction is near-certain — the
+:class:`repro.confidence.estimator.TageConfidenceEstimator` treats
+loop-provided predictions as an extra high-confidence source when used
+with :class:`LtagePredictor` (the observation record marks them).
+"""
+
+from __future__ import annotations
+
+from repro.common.bitops import mask
+from repro.predictors.base import BranchPredictor
+from repro.predictors.tage.config import TageConfig
+from repro.predictors.tage.predictor import TagePredictor
+
+__all__ = ["LoopPredictor", "LtagePredictor"]
+
+
+class _LoopEntry:
+    """One loop predictor entry."""
+
+    __slots__ = ("tag", "past_iter", "current_iter", "confidence", "age", "direction")
+
+    def __init__(self) -> None:
+        self.tag = 0
+        self.past_iter = 0
+        self.current_iter = 0
+        self.confidence = 0
+        self.age = 0
+        self.direction = True  # the direction taken *inside* the loop
+
+    def reset(self) -> None:
+        self.tag = 0
+        self.past_iter = 0
+        self.current_iter = 0
+        self.confidence = 0
+        self.age = 0
+        self.direction = True
+
+
+class LoopPredictor:
+    """Associative loop-termination predictor.
+
+    Args:
+        log_entries: log2 of the entry count.
+        tag_bits: partial tag width.
+        confidence_threshold: confirmations needed before the prediction
+            is trusted (L-TAGE uses a small saturating counter).
+        max_iter_bits: iteration counter width; loops longer than
+            ``2**max_iter_bits - 1`` cannot be captured.
+    """
+
+    def __init__(
+        self,
+        log_entries: int = 6,
+        tag_bits: int = 10,
+        confidence_threshold: int = 3,
+        max_iter_bits: int = 12,
+    ) -> None:
+        if log_entries <= 0:
+            raise ValueError(f"log_entries must be positive, got {log_entries}")
+        if tag_bits <= 0:
+            raise ValueError(f"tag_bits must be positive, got {tag_bits}")
+        if confidence_threshold <= 0:
+            raise ValueError(
+                f"confidence_threshold must be positive, got {confidence_threshold}"
+            )
+        if max_iter_bits <= 0:
+            raise ValueError(f"max_iter_bits must be positive, got {max_iter_bits}")
+        self.log_entries = log_entries
+        self.tag_bits = tag_bits
+        self.confidence_threshold = confidence_threshold
+        self.max_iter = (1 << max_iter_bits) - 1
+        self.max_iter_bits = max_iter_bits
+        self._entries = [_LoopEntry() for _ in range(1 << log_entries)]
+        self._index_mask = mask(log_entries)
+        self._tag_mask = mask(tag_bits)
+
+    # -- lookup ------------------------------------------------------------
+
+    def _index(self, pc: int) -> int:
+        return (pc >> 2) & self._index_mask
+
+    def _tag(self, pc: int) -> int:
+        return ((pc >> 2) >> self.log_entries) & self._tag_mask
+
+    def lookup(self, pc: int) -> tuple[bool, bool]:
+        """Return (valid, prediction).
+
+        ``valid`` is True only when the entry matches and is confident;
+        ``prediction`` then says whether the next execution continues the
+        loop (inside direction) or exits.
+        """
+        entry = self._entries[self._index(pc)]
+        if entry.tag != self._tag(pc) or entry.confidence < self.confidence_threshold:
+            return False, False
+        if entry.current_iter + 1 >= entry.past_iter:
+            return True, not entry.direction  # predict the exit
+        return True, entry.direction
+
+    def confident(self, pc: int) -> bool:
+        """True when the matching entry (if any) is fully confident."""
+        entry = self._entries[self._index(pc)]
+        return entry.tag == self._tag(pc) and entry.confidence >= self.confidence_threshold
+
+    # -- update ------------------------------------------------------------
+
+    def update(self, pc: int, taken: bool, tage_mispredicted: bool) -> None:
+        """Train on a resolved branch.
+
+        Allocation policy follows L-TAGE: only allocate when the main
+        predictor mispredicted (loops TAGE already gets right are not
+        worth an entry).
+        """
+        index = self._index(pc)
+        tag = self._tag(pc)
+        entry = self._entries[index]
+
+        if entry.tag == tag:
+            self._train_matching(entry, taken)
+            return
+        if not tage_mispredicted:
+            return
+        # Allocate on a main-predictor misprediction if the slot is old.
+        if entry.age > 0:
+            entry.age -= 1
+            return
+        entry.tag = tag
+        entry.past_iter = 0
+        entry.current_iter = 0
+        entry.confidence = 0
+        entry.age = 7
+        # TAGE typically mispredicts a loop at its *exit*, so the
+        # mispredicted outcome is the exit direction and the
+        # loop-continuing direction is its opposite (L-TAGE convention).
+        entry.direction = not taken
+
+    def _train_matching(self, entry: _LoopEntry, taken: bool) -> None:
+        if taken == entry.direction:
+            # Still inside the loop.
+            if entry.current_iter < self.max_iter:
+                entry.current_iter += 1
+            else:
+                # Iteration counter overflow: this is not a capturable loop.
+                entry.reset()
+            return
+        # Loop exit: compare against the recorded trip count.
+        completed = entry.current_iter + 1
+        if completed == entry.past_iter:
+            if entry.confidence < self.confidence_threshold:
+                entry.confidence += 1
+            if entry.age < 7:
+                entry.age += 1
+        else:
+            if entry.confidence >= self.confidence_threshold:
+                # A previously confident entry broke: drop it quickly.
+                entry.confidence = 0
+            entry.past_iter = completed
+            entry.confidence = max(entry.confidence - 1, 0) if entry.past_iter else 0
+        entry.current_iter = 0
+
+    def storage_bits(self) -> int:
+        per_entry = (
+            self.tag_bits
+            + 2 * self.max_iter_bits  # past_iter + current_iter
+            + 2  # confidence
+            + 3  # age
+            + 1  # direction
+        )
+        return (1 << self.log_entries) * per_entry
+
+    def reset(self) -> None:
+        for entry in self._entries:
+            entry.reset()
+
+
+class LtagePredictor(BranchPredictor):
+    """L-TAGE: TAGE + loop predictor with confidence-gated override.
+
+    The observation record of the underlying TAGE predictor remains
+    available through :attr:`last_prediction`; when the loop predictor
+    overrides, :attr:`last_loop_override` is True and the prediction is
+    near-certain (an additional high-confidence class on top of §5's
+    seven — the paper's framework extends naturally).
+    """
+
+    name = "ltage"
+
+    def __init__(
+        self,
+        config: TageConfig | None = None,
+        loop_predictor: LoopPredictor | None = None,
+    ) -> None:
+        super().__init__()
+        self.tage = TagePredictor(config or TageConfig.medium())
+        self.loop = loop_predictor or LoopPredictor()
+        self._last_loop_override = False
+        self._last_tage_prediction = False
+
+    @property
+    def config(self) -> TageConfig:
+        return self.tage.config
+
+    @property
+    def last_prediction(self):
+        """The TAGE observation record for the confidence estimator."""
+        return self.tage.last_prediction
+
+    @property
+    def last_loop_override(self) -> bool:
+        """Did the loop predictor provide the final prediction?"""
+        return self._last_loop_override
+
+    def _predict(self, pc: int) -> bool:
+        tage_prediction = self.tage.predict(pc)
+        self._last_tage_prediction = tage_prediction
+        valid, loop_prediction = self.loop.lookup(pc)
+        if valid:
+            self._last_loop_override = True
+            return loop_prediction
+        self._last_loop_override = False
+        return tage_prediction
+
+    def _train(self, pc: int, taken: bool) -> None:
+        tage_mispredicted = self._last_tage_prediction != taken
+        self.loop.update(pc, taken, tage_mispredicted)
+        self.tage.train(pc, taken)
+
+    def storage_bits(self) -> int:
+        return self.tage.storage_bits() + self.loop.storage_bits()
+
+    def reset(self) -> None:
+        super().reset()
+        self.tage.reset()
+        self.loop.reset()
+        self._last_loop_override = False
+        self._last_tage_prediction = False

@@ -1,0 +1,407 @@
+"""The TAGE predictor (Seznec & Michaud [13]).
+
+Prediction (§3.1 of the confidence paper):
+
+1. all components are read in parallel; the *provider* is the hitting
+   tagged component with the longest history (or the bimodal base when no
+   tag matches);
+2. the *alternate prediction* ``altpred`` is what the predictor would have
+   produced on a provider miss (next hitting component, else bimodal);
+3. if the provider's counter is weak and the ``USE_ALT_ON_NA`` monitor is
+   non-negative, ``altpred`` is used, otherwise the provider counter sign.
+
+Update (§3.2/§3.3):
+
+* the provider's prediction counter is updated (through the configured
+  automaton — standard, or §6 probabilistic-saturation);
+* the provider's useful counter ``u`` is updated when ``altpred`` differs
+  from the provider's prediction, and all ``u`` counters age by a one-bit
+  shift every ``u_reset_period`` branches;
+* on a misprediction (unless the provider was a just-allocated weak entry
+  that was individually correct), at most one entry is allocated on a
+  component with a longer history, chosen among entries with ``u == 0``;
+  when none is free the candidates' ``u`` are decremented instead.
+
+Every ``predict`` produces a :class:`TagePrediction` observation record —
+the *outputs of the predictor tables* whose simple observation is the
+paper's whole confidence mechanism.
+"""
+
+from __future__ import annotations
+
+from repro.common.bitops import mask
+from repro.common.counters import saturating_update
+from repro.common.history import GlobalHistory, PathHistory
+from repro.common.rng import XorShift32
+from repro.predictors.base import BranchPredictor, PredictorError
+from repro.predictors.tage.automaton import (
+    CounterAutomaton,
+    ProbabilisticSaturationAutomaton,
+    StandardAutomaton,
+)
+from repro.predictors.tage.components import BimodalTable, TaggedComponent
+from repro.predictors.tage.config import AUTOMATON_PROBABILISTIC, TageConfig
+
+__all__ = ["TagePrediction", "TagePredictor"]
+
+
+class TagePrediction:
+    """Observation record of one TAGE prediction.
+
+    This is what the paper means by "the outputs of the predictor
+    tables": everything the storage-free confidence estimator reads.
+
+    Attributes:
+        pc: branch address.
+        prediction: final predicted direction.
+        provider: providing component (0 = bimodal base, 1..M = tagged).
+        provider_ctr: provider's prediction counter (signed for tagged
+            components, 0..3 unsigned for the bimodal base).
+        provider_pred: the provider counter's own direction (before the
+            USE_ALT_ON_NA substitution).
+        provider_index: provider table index (for update).
+        weak_provider: tagged provider in a weak counter state.
+        altpred: the alternate prediction.
+        alt_provider: component that produced ``altpred``.
+        alt_index: its table index (for the optional alternate update).
+        used_alt: final prediction came from ``altpred``.
+        bimodal_ctr: base predictor counter read this cycle (0..3).
+        indices: per-tagged-table indices computed this cycle (1-based;
+            ``indices[0]`` is unused).
+        tags: per-tagged-table tags computed this cycle (same layout).
+    """
+
+    __slots__ = (
+        "pc",
+        "prediction",
+        "provider",
+        "provider_ctr",
+        "provider_pred",
+        "provider_index",
+        "weak_provider",
+        "altpred",
+        "alt_provider",
+        "alt_index",
+        "used_alt",
+        "bimodal_ctr",
+        "indices",
+        "tags",
+    )
+
+    def __init__(self) -> None:
+        self.pc = 0
+        self.prediction = False
+        self.provider = 0
+        self.provider_ctr = 0
+        self.provider_pred = False
+        self.provider_index = 0
+        self.weak_provider = False
+        self.altpred = False
+        self.alt_provider = 0
+        self.alt_index = 0
+        self.used_alt = False
+        self.bimodal_ctr = 0
+        self.indices: list[int] = []
+        self.tags: list[int] = []
+
+    @property
+    def provider_is_bimodal(self) -> bool:
+        """True when the bimodal base component provided the prediction."""
+        return self.provider == 0
+
+    def __repr__(self) -> str:
+        return (
+            f"TagePrediction(pc={self.pc:#x}, pred={self.prediction}, "
+            f"provider=T{self.provider}, ctr={self.provider_ctr}, "
+            f"alt=T{self.alt_provider}, used_alt={self.used_alt})"
+        )
+
+
+class TagePredictor(BranchPredictor):
+    """TAGE: a bimodal base backed by M partially tagged components.
+
+    >>> predictor = TagePredictor(TageConfig.small())
+    >>> predictor.storage_bits()
+    16384
+    """
+
+    name = "tage"
+
+    def __init__(self, config: TageConfig) -> None:
+        super().__init__()
+        self.config = config
+        self.bimodal = BimodalTable(config.log_bimodal)
+        self.components: list[TaggedComponent] = [
+            TaggedComponent(
+                table_number=i + 1,
+                log_entries=config.log_tagged,
+                tag_bits=config.tag_bits,
+                ctr_bits=config.ctr_bits,
+                u_bits=config.u_bits,
+                history_length=length,
+                path_bits=config.path_history_bits,
+            )
+            for i, length in enumerate(config.history_lengths)
+        ]
+        self.automaton = self._build_automaton(config)
+        self._ctr_max = self.automaton.ctr_max
+        self._ctr_min = self.automaton.ctr_min
+        self._u_max = (1 << config.u_bits) - 1
+        self._use_alt_on_na = 0  # 4-bit signed counter, range [-8, 7]
+        self._use_alt_max = (1 << (config.use_alt_on_na_bits - 1)) - 1
+        self._use_alt_min = -(1 << (config.use_alt_on_na_bits - 1))
+        self._history = GlobalHistory(capacity=config.max_history)
+        self._path = PathHistory(length=config.path_history_bits)
+        self._alloc_rng = XorShift32(config.alloc_seed)
+        self._branch_count = 0
+        self._last = TagePrediction()
+
+    @staticmethod
+    def _build_automaton(config: TageConfig) -> CounterAutomaton:
+        if config.automaton == AUTOMATON_PROBABILISTIC:
+            return ProbabilisticSaturationAutomaton(
+                ctr_bits=config.ctr_bits,
+                sat_prob_log2=config.sat_prob_log2,
+                seed=config.lfsr_seed,
+            )
+        return StandardAutomaton(ctr_bits=config.ctr_bits)
+
+    # ------------------------------------------------------------------
+    # prediction
+    # ------------------------------------------------------------------
+
+    def _predict(self, pc: int) -> bool:
+        components = self.components
+        n_tagged = len(components)
+        path_value = self._path.value
+
+        indices = [0] * (n_tagged + 1)
+        tags = [0] * (n_tagged + 1)
+        hit_mask = 0
+        for i in range(1, n_tagged + 1):
+            component = components[i - 1]
+            index = component.compute_index(pc, path_value)
+            tag = component.compute_tag(pc)
+            indices[i] = index
+            tags[i] = tag
+            if component.tag[index] == tag:
+                hit_mask |= 1 << i
+
+        provider = 0
+        alt_provider = 0
+        if hit_mask:
+            provider = hit_mask.bit_length() - 1
+            lower = hit_mask & mask(provider)
+            if lower:
+                alt_provider = lower.bit_length() - 1
+
+        bimodal_ctr = self.bimodal.read(pc)
+        bimodal_pred = bimodal_ctr >= 2
+
+        last = self._last
+        last.pc = pc
+        last.indices = indices
+        last.tags = tags
+        last.bimodal_ctr = bimodal_ctr
+        last.alt_provider = alt_provider
+        last.alt_index = indices[alt_provider] if alt_provider else 0
+
+        if provider == 0:
+            last.provider = 0
+            last.provider_index = self.bimodal.index(pc)
+            last.provider_ctr = bimodal_ctr
+            last.provider_pred = bimodal_pred
+            last.weak_provider = False
+            last.altpred = bimodal_pred
+            last.used_alt = False
+            last.prediction = bimodal_pred
+            return bimodal_pred
+
+        component = components[provider - 1]
+        index = indices[provider]
+        ctr = component.ctr[index]
+        provider_pred = ctr >= 0
+        weak = ctr in (0, -1)
+        if alt_provider:
+            alt_ctr = components[alt_provider - 1].ctr[last.alt_index]
+            altpred = alt_ctr >= 0
+        else:
+            altpred = bimodal_pred
+
+        if weak and self.config.use_alt_on_na_enabled and self._use_alt_on_na >= 0:
+            prediction = altpred
+            used_alt = True
+        else:
+            prediction = provider_pred
+            used_alt = False
+
+        last.provider = provider
+        last.provider_index = index
+        last.provider_ctr = ctr
+        last.provider_pred = provider_pred
+        last.weak_provider = weak
+        last.altpred = altpred
+        last.used_alt = used_alt
+        last.prediction = prediction
+        return prediction
+
+    # ------------------------------------------------------------------
+    # update
+    # ------------------------------------------------------------------
+
+    def _train(self, pc: int, taken: bool) -> None:
+        last = self._last
+        if last.pc != pc:
+            raise PredictorError(
+                f"train({pc:#x}) does not match cached prediction for {last.pc:#x}"
+            )
+        config = self.config
+        components = self.components
+        n_tagged = len(components)
+        mispredicted = last.prediction != taken
+        provider = last.provider
+
+        # -- allocation decision (§3.3, with the reference-simulator
+        #    refinement: a weak just-allocated provider that was
+        #    individually correct only needs training, not a new entry).
+        allocate = mispredicted and provider < n_tagged
+        if provider > 0 and last.weak_provider:
+            if last.provider_pred == taken:
+                allocate = False
+            # USE_ALT_ON_NA monitors whether the alternate prediction beats
+            # weak ("newly allocated") provider entries.
+            if last.provider_pred != last.altpred:
+                self._update_use_alt(last.altpred == taken)
+
+        if allocate:
+            self._allocate(provider, last, taken)
+
+        # -- provider prediction counter update (§3.2).
+        if provider > 0:
+            component = components[provider - 1]
+            index = last.provider_index
+            component.ctr[index] = self.automaton.update(component.ctr[index], taken)
+            if config.update_alt_when_u_zero and component.u[index] == 0:
+                self._train_alternate(last, taken)
+            # -- useful counter update: only when altpred differs from the
+            #    provider prediction (§3.2).
+            if last.provider_pred != last.altpred:
+                component.u[index] = saturating_update(
+                    component.u[index], last.provider_pred == taken, config.u_bits
+                )
+        else:
+            self.bimodal.update(pc, taken)
+
+        # -- graceful periodic aging of the u counters.
+        self._branch_count += 1
+        if self._branch_count % config.u_reset_period == 0:
+            for component in components:
+                component.age_useful_counters()
+
+        # -- speculative history update.
+        new_bit = int(taken)
+        history = self._history
+        for component in components:
+            outgoing = history.bit(component.history_length - 1)
+            component.update_folded_histories(new_bit, outgoing)
+        history.push(taken)
+        self._path.push(pc)
+
+    def _update_use_alt(self, alt_was_correct: bool) -> None:
+        value = self._use_alt_on_na
+        if alt_was_correct:
+            if value < self._use_alt_max:
+                self._use_alt_on_na = value + 1
+        elif value > self._use_alt_min:
+            self._use_alt_on_na = value - 1
+
+    def _train_alternate(self, last: TagePrediction, taken: bool) -> None:
+        """Optional L-TAGE refinement: also train the alternate entry."""
+        if last.alt_provider > 0:
+            component = self.components[last.alt_provider - 1]
+            component.ctr[last.alt_index] = self.automaton.update(
+                component.ctr[last.alt_index], taken
+            )
+        else:
+            self.bimodal.update(last.pc, taken)
+
+    def _allocate(self, provider: int, last: TagePrediction, taken: bool) -> None:
+        """Allocate at most one entry on a longer-history component."""
+        n_tagged = len(self.components)
+        start = provider + 1
+        if self.config.allocation_policy == "randomized":
+            # Geometric randomized start (reference-simulator style): skip
+            # forward with probability 1/2 per step so allocations spread
+            # over the longer-history tables instead of hammering Ti+1.
+            while start < n_tagged and (self._alloc_rng.next_u32() & 1):
+                start += 1
+        for table in range(start, n_tagged + 1):
+            index = last.indices[table]
+            component = self.components[table - 1]
+            if component.u[index] == 0:
+                component.allocate(index, last.tags[table], taken)
+                return
+        # No free entry: decay the candidates so a later miss can allocate.
+        for table in range(start, n_tagged + 1):
+            index = last.indices[table]
+            component = self.components[table - 1]
+            if component.u[index] > 0:
+                component.u[index] -= 1
+
+    # ------------------------------------------------------------------
+    # introspection & control
+    # ------------------------------------------------------------------
+
+    @property
+    def last_prediction(self) -> TagePrediction:
+        """Observation record of the most recent ``predict`` call."""
+        return self._last
+
+    @property
+    def use_alt_on_na(self) -> int:
+        """Current value of the USE_ALT_ON_NA monitor counter."""
+        return self._use_alt_on_na
+
+    @property
+    def n_tagged(self) -> int:
+        return len(self.components)
+
+    @property
+    def saturation_probability_log2(self) -> int:
+        """k such that the saturation probability is 1/2^k (§6/§6.2)."""
+        automaton = self.automaton
+        if not isinstance(automaton, ProbabilisticSaturationAutomaton):
+            raise PredictorError(
+                "saturation probability is only defined for the probabilistic automaton"
+            )
+        return automaton.sat_prob_log2
+
+    @saturation_probability_log2.setter
+    def saturation_probability_log2(self, value: int) -> None:
+        automaton = self.automaton
+        if not isinstance(automaton, ProbabilisticSaturationAutomaton):
+            raise PredictorError(
+                "saturation probability is only defined for the probabilistic automaton"
+            )
+        if not 0 <= value <= 20:
+            raise ValueError(f"sat_prob_log2 must be in [0, 20], got {value}")
+        automaton.sat_prob_log2 = value
+
+    def storage_bits(self) -> int:
+        total = self.bimodal.storage_bits()
+        for component in self.components:
+            total += component.storage_bits()
+        return total
+
+    def reset(self) -> None:
+        super().reset()
+        self.bimodal.reset()
+        for component in self.components:
+            component.reset()
+        self.automaton.reset()
+        self._use_alt_on_na = 0
+        self._history.reset()
+        self._path.reset()
+        self._alloc_rng = XorShift32(self.config.alloc_seed)
+        self._branch_count = 0
+        self._last = TagePrediction()

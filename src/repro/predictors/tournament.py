@@ -1,0 +1,95 @@
+"""Alpha 21264-style tournament predictor.
+
+Combines a local two-level predictor and a global (gshare-style)
+predictor through a PC-indexed chooser table of 2-bit counters.  This is
+the strongest widely deployed pre-TAGE design and rounds out the
+baseline set the paper's related work discusses (§2).
+
+The chooser counter also yields a classic weak self-confidence signal
+(agreement of the two components), exposed as
+:meth:`components_agree` for the comparison benches.
+"""
+
+from __future__ import annotations
+
+from repro.common.bitops import mask
+from repro.predictors.base import BranchPredictor
+from repro.predictors.gshare import GsharePredictor
+from repro.predictors.local import LocalHistoryPredictor
+
+__all__ = ["TournamentPredictor"]
+
+
+class TournamentPredictor(BranchPredictor):
+    """local + global with a 2-bit chooser.
+
+    Chooser semantics: counter >= 2 selects the global component.  The
+    chooser trains only when the two components disagree, toward
+    whichever was correct.
+    """
+
+    name = "tournament"
+
+    def __init__(
+        self,
+        local: LocalHistoryPredictor | None = None,
+        global_: GsharePredictor | None = None,
+        log_chooser: int = 12,
+    ) -> None:
+        super().__init__()
+        if log_chooser <= 0:
+            raise ValueError(f"log_chooser must be positive, got {log_chooser}")
+        self.local = local or LocalHistoryPredictor()
+        self.global_ = global_ or GsharePredictor(log_entries=12, history_length=12)
+        self.log_chooser = log_chooser
+        self._chooser = [2] * (1 << log_chooser)
+        self._chooser_mask = mask(log_chooser)
+        self._last_local = False
+        self._last_global = False
+        self._last_chooser_index = 0
+
+    def _predict(self, pc: int) -> bool:
+        local_prediction = self.local.predict(pc)
+        global_prediction = self.global_.predict(pc)
+        chooser_index = (pc >> 2) & self._chooser_mask
+        self._last_local = local_prediction
+        self._last_global = global_prediction
+        self._last_chooser_index = chooser_index
+        if self._chooser[chooser_index] >= 2:
+            return global_prediction
+        return local_prediction
+
+    def _train(self, pc: int, taken: bool) -> None:
+        local_prediction = self._last_local
+        global_prediction = self._last_global
+        if local_prediction != global_prediction:
+            index = self._last_chooser_index
+            counter = self._chooser[index]
+            if global_prediction == taken:
+                if counter < 3:
+                    self._chooser[index] = counter + 1
+            elif counter > 0:
+                self._chooser[index] = counter - 1
+        self.local.train(pc, taken)
+        self.global_.train(pc, taken)
+
+    def components_agree(self) -> bool:
+        """Both components predicted the same direction this cycle — the
+        classic (weak) agreement confidence signal."""
+        return self._last_local == self._last_global
+
+    def storage_bits(self) -> int:
+        return (
+            self.local.storage_bits()
+            + self.global_.storage_bits()
+            + (1 << self.log_chooser) * 2
+        )
+
+    def reset(self) -> None:
+        super().reset()
+        self.local.reset()
+        self.global_.reset()
+        self._chooser = [2] * (1 << self.log_chooser)
+        self._last_local = False
+        self._last_global = False
+        self._last_chooser_index = 0

@@ -1,0 +1,34 @@
+"""Trace-driven simulation and experiment harness.
+
+* :mod:`repro.sim.engine` — the per-branch simulation loops:
+  :func:`simulate` (TAGE + multi-class confidence observation) and
+  :func:`simulate_binary` (any predictor + a binary high/low estimator).
+* :mod:`repro.sim.stats` — suite-level aggregation.
+* :mod:`repro.sim.runner` — suite × configuration sweeps used by the
+  benches (one call per paper table/figure).
+* :mod:`repro.sim.report` — ASCII rendering of the paper's tables and
+  figure series.
+"""
+
+from repro.sim.engine import SimulationResult, simulate, simulate_binary
+from repro.sim.runner import (
+    build_predictor,
+    run_suite,
+    run_trace,
+    suite_traces,
+)
+from repro.sim.stats import SuiteSummary, summarize
+from repro.sim.report import render_table
+
+__all__ = [
+    "SimulationResult",
+    "SuiteSummary",
+    "build_predictor",
+    "render_table",
+    "run_suite",
+    "run_trace",
+    "simulate",
+    "simulate_binary",
+    "suite_traces",
+    "summarize",
+]

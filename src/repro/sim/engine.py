@@ -1,0 +1,246 @@
+"""Per-branch simulation loops.
+
+:func:`simulate` drives a TAGE predictor over a trace while a
+:class:`~repro.confidence.estimator.TageConfidenceEstimator` observes
+every prediction; the result carries both overall accuracy (misp/KI, the
+paper's Table 1 metric) and the per-class / per-level breakdowns behind
+every other table and figure.
+
+:func:`simulate_binary` is the equivalent loop for binary high/low
+estimators (JRS, enhanced JRS, perceptron/O-GEHL self-confidence) over
+any :class:`~repro.predictors.base.BranchPredictor`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.confidence.classes import (
+    CLASS_ORDER,
+    ConfidenceLevel,
+    LEVEL_ORDER,
+    PredictionClass,
+    confidence_level_of,
+)
+from repro.confidence.metrics import BinaryConfidenceMetrics, ClassBreakdown, mkp
+
+__all__ = ["SimulationResult", "simulate", "simulate_binary"]
+
+
+@dataclass
+class SimulationResult:
+    """Outcome of one trace × predictor simulation.
+
+    Attributes:
+        trace_name / predictor_name: identification.
+        n_branches: simulated dynamic branches (after warm-up exclusion
+            the counts in ``classes`` may be smaller).
+        n_instructions: instructions covered by the trace.
+        mispredictions: total mispredicted branches.
+        classes: per-:class:`PredictionClass` breakdown (None when no
+            estimator was attached).
+        storage_bits: predictor storage budget.
+    """
+
+    trace_name: str
+    predictor_name: str
+    n_branches: int
+    n_instructions: int
+    mispredictions: int
+    storage_bits: int
+    classes: ClassBreakdown[PredictionClass] | None = None
+    final_sat_prob_log2: int | None = None
+    _levels: ClassBreakdown[ConfidenceLevel] | None = field(
+        default=None, repr=False, compare=False
+    )
+
+    @property
+    def mpki(self) -> float:
+        """Mispredictions per kilo-instruction (the paper's accuracy metric)."""
+        if self.n_instructions == 0:
+            return 0.0
+        return 1000.0 * self.mispredictions / self.n_instructions
+
+    @property
+    def mkp(self) -> float:
+        """Mispredictions per kilo-prediction over the whole trace."""
+        return mkp(self.mispredictions, self.n_branches)
+
+    @property
+    def accuracy(self) -> float:
+        """Fraction of correctly predicted branches."""
+        if self.n_branches == 0:
+            return 0.0
+        return 1.0 - self.mispredictions / self.n_branches
+
+    @property
+    def levels(self) -> ClassBreakdown[ConfidenceLevel] | None:
+        """The 7-class breakdown projected onto the 3 confidence levels."""
+        if self.classes is None:
+            return None
+        if self._levels is None:
+            self._levels = self.classes.grouped(confidence_level_of)
+        return self._levels
+
+    def class_mpki_contribution(self, prediction_class: PredictionClass) -> float:
+        """This class's share of MPKI (the paper's right-hand figure bars)."""
+        if self.classes is None or self.n_instructions == 0:
+            return 0.0
+        return 1000.0 * self.classes.mispredictions(prediction_class) / self.n_instructions
+
+    def class_table(self) -> str:
+        """Human-readable per-class summary."""
+        if self.classes is None:
+            return f"{self.trace_name}: no confidence estimator attached"
+        lines = [
+            f"{self.trace_name} ({self.predictor_name}): "
+            f"{self.mpki:.2f} misp/KI, {self.mkp:.1f} MKP"
+        ]
+        for prediction_class in CLASS_ORDER:
+            lines.append(
+                f"  {prediction_class.value:<16} "
+                f"Pcov={self.classes.pcov(prediction_class):6.1%} "
+                f"MPcov={self.classes.mpcov(prediction_class):6.1%} "
+                f"MPrate={self.classes.mprate(prediction_class):7.1f} MKP"
+            )
+        levels = self.levels
+        assert levels is not None
+        for level in LEVEL_ORDER:
+            lines.append(
+                f"  [{level.value:<6}]         "
+                f"Pcov={levels.pcov(level):6.1%} "
+                f"MPcov={levels.mpcov(level):6.1%} "
+                f"MPrate={levels.mprate(level):7.1f} MKP"
+            )
+        return "\n".join(lines)
+
+
+def simulate(
+    trace,
+    predictor,
+    estimator=None,
+    controller=None,
+    warmup_branches: int = 0,
+) -> SimulationResult:
+    """Run ``predictor`` over ``trace`` with optional confidence observation.
+
+    Args:
+        trace: a :class:`repro.traces.types.Trace`.
+        predictor: a :class:`repro.predictors.tage.TagePredictor` when an
+            estimator is attached (the estimator reads
+            ``predictor.last_prediction``); any
+            :class:`~repro.predictors.base.BranchPredictor` otherwise.
+        estimator: optional
+            :class:`~repro.confidence.estimator.TageConfidenceEstimator`.
+        controller: optional
+            :class:`~repro.confidence.adaptive.AdaptiveSaturationController`;
+            receives every (level, mispredicted) pair.
+        warmup_branches: leading branches excluded from the *class*
+            accounting (the predictor still trains; overall accuracy
+            still covers the whole trace, like the paper's runs).
+    """
+    if warmup_branches < 0:
+        raise ValueError(f"warmup_branches must be non-negative, got {warmup_branches}")
+    classes: ClassBreakdown[PredictionClass] | None = (
+        ClassBreakdown() if estimator is not None else None
+    )
+    mispredictions = 0
+    predict = predictor.predict
+    train = predictor.train
+
+    if estimator is None:
+        for pc, taken_byte in zip(trace.pcs, trace.takens):
+            taken = taken_byte == 1
+            if predict(pc) != taken:
+                mispredictions += 1
+            train(pc, taken)
+    else:
+        classify = estimator.classify
+        observe = estimator.observe
+        record = classes.record
+        index = 0
+        for pc, taken_byte in zip(trace.pcs, trace.takens):
+            taken = taken_byte == 1
+            prediction = predict(pc)
+            mispredicted = prediction != taken
+            if mispredicted:
+                mispredictions += 1
+            observation = predictor.last_prediction
+            prediction_class = classify(observation)
+            if index >= warmup_branches:
+                record(prediction_class, mispredicted)
+            observe(observation, taken)
+            if controller is not None:
+                controller.observe(confidence_level_of(prediction_class), mispredicted)
+            train(pc, taken)
+            index += 1
+
+    final_k = None
+    if controller is not None:
+        final_k = controller.sat_prob_log2
+    return SimulationResult(
+        trace_name=trace.name,
+        predictor_name=getattr(predictor, "name", type(predictor).__name__),
+        n_branches=len(trace),
+        n_instructions=trace.total_instructions,
+        mispredictions=mispredictions,
+        storage_bits=predictor.storage_bits(),
+        classes=classes,
+        final_sat_prob_log2=final_k,
+    )
+
+
+def simulate_binary(
+    trace,
+    predictor,
+    estimator,
+    warmup_branches: int = 0,
+) -> tuple[BinaryConfidenceMetrics, SimulationResult]:
+    """Run a binary high/low confidence estimator over a trace.
+
+    The estimator must implement ``assess(pc, prediction) -> bool`` (True
+    = high confidence) and ``observe(pc, prediction, taken)``; JRS,
+    enhanced JRS and the self-confidence wrappers all do.
+
+    Returns the pooled 2×2 confusion and the accuracy result.
+    """
+    if warmup_branches < 0:
+        raise ValueError(f"warmup_branches must be non-negative, got {warmup_branches}")
+    high_correct = high_incorrect = low_correct = low_incorrect = 0
+    mispredictions = 0
+    predict = predictor.predict
+    train = predictor.train
+    assess = estimator.assess
+    observe = estimator.observe
+
+    index = 0
+    for pc, taken_byte in zip(trace.pcs, trace.takens):
+        taken = taken_byte == 1
+        prediction = predict(pc)
+        high = assess(pc, prediction)
+        correct = prediction == taken
+        if not correct:
+            mispredictions += 1
+        if index >= warmup_branches:
+            if high and correct:
+                high_correct += 1
+            elif high:
+                high_incorrect += 1
+            elif correct:
+                low_correct += 1
+            else:
+                low_incorrect += 1
+        observe(pc, prediction, taken)
+        train(pc, taken)
+        index += 1
+
+    metrics = BinaryConfidenceMetrics(high_correct, high_incorrect, low_correct, low_incorrect)
+    result = SimulationResult(
+        trace_name=trace.name,
+        predictor_name=getattr(predictor, "name", type(predictor).__name__),
+        n_branches=len(trace),
+        n_instructions=trace.total_instructions,
+        mispredictions=mispredictions,
+        storage_bits=predictor.storage_bits(),
+    )
+    return metrics, result

@@ -1,0 +1,125 @@
+"""ASCII rendering of the paper's tables and figure series.
+
+Figures are rendered as numeric series tables (one row per trace) —
+exactly the data behind the paper's stacked bar charts — so "regenerating
+a figure" means printing the same series the paper plots.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from repro.confidence.classes import CLASS_ORDER, LEVEL_ORDER
+from repro.sim.engine import SimulationResult
+from repro.sim.stats import SuiteSummary
+
+__all__ = [
+    "render_table",
+    "format_table1",
+    "format_distribution_figure",
+    "format_mprate_figure",
+    "format_confidence_table",
+]
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    title: str | None = None,
+) -> str:
+    """Render a fixed-width ASCII table."""
+    materialized = [[str(cell) for cell in row] for row in rows]
+    widths = [len(header) for header in headers]
+    for row in materialized:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row has {len(row)} cells but table has {len(headers)} headers"
+            )
+        for column, cell in enumerate(row):
+            widths[column] = max(widths[column], len(cell))
+    lines: list[str] = []
+    if title:
+        lines.append(title)
+    header_line = "  ".join(header.ljust(widths[i]) for i, header in enumerate(headers))
+    lines.append(header_line)
+    lines.append("-" * len(header_line))
+    for row in materialized:
+        lines.append("  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+def format_table1(
+    summaries: dict[tuple[str, str], SuiteSummary],
+    storage_bits: dict[str, int],
+    history_lengths: dict[str, tuple[int, ...]],
+) -> str:
+    """Paper Table 1: configuration parameters and per-suite misp/KI.
+
+    Args:
+        summaries: {(size, suite): summary} for the 3 × 2 sweep.
+        storage_bits: {size: bits} of each preset.
+        history_lengths: {size: geometric series} of each preset.
+    """
+    sizes = sorted({size for size, _ in summaries}, key=lambda s: storage_bits[s])
+    rows = []
+    for size in sizes:
+        lengths = history_lengths[size]
+        row = [
+            size,
+            f"{storage_bits[size]} bits",
+            f"1 + {len(lengths)}",
+            str(lengths[0]),
+            str(lengths[-1]),
+        ]
+        for suite in ("CBP1", "CBP2"):
+            summary = summaries.get((size, suite))
+            row.append(f"{summary.mean_mpki:.2f}" if summary else "-")
+        rows.append(row)
+    return render_table(
+        ["config", "storage", "tables", "min hist", "max hist", "CBP-1 misp/KI", "CBP-2 misp/KI"],
+        rows,
+        title="Table 1: simulated configurations",
+    )
+
+
+def format_distribution_figure(results: list[SimulationResult], title: str) -> str:
+    """Figures 2/3/5 data: per-trace prediction coverage (left plot, in %)
+    and misprediction contribution (right plot, in misp/KI) per class."""
+    headers = ["trace"] + [f"{cls.value}%" for cls in CLASS_ORDER] + ["|"] + [
+        f"{cls.value} mpki" for cls in CLASS_ORDER
+    ] + ["total mpki"]
+    rows = []
+    for result in results:
+        assert result.classes is not None, "distribution figures need class breakdowns"
+        coverage = [f"{100 * result.classes.pcov(cls):.1f}" for cls in CLASS_ORDER]
+        contribution = [f"{result.class_mpki_contribution(cls):.2f}" for cls in CLASS_ORDER]
+        rows.append([result.trace_name] + coverage + ["|"] + contribution + [f"{result.mpki:.2f}"])
+    return render_table(headers, rows, title=title)
+
+
+def format_mprate_figure(results: list[SimulationResult], title: str) -> str:
+    """Figures 4/6 data: per-class misprediction rates (MKP) per trace."""
+    headers = ["trace"] + [cls.value for cls in CLASS_ORDER] + ["average"]
+    rows = []
+    for result in results:
+        assert result.classes is not None, "MPrate figures need class breakdowns"
+        rates = [f"{result.classes.mprate(cls):.0f}" for cls in CLASS_ORDER]
+        rows.append([result.trace_name] + rates + [f"{result.mkp:.0f}"])
+    return render_table(headers, rows, title=title)
+
+
+def format_confidence_table(
+    summaries: dict[tuple[str, str], SuiteSummary],
+    title: str,
+) -> str:
+    """Paper Tables 2/3: ``Pcov-MPcov (MPrate)`` per confidence level for
+    every (size, suite) pair, in the paper's row order."""
+    headers = ["config"] + [f"{level.value} conf" for level in LEVEL_ORDER]
+    rows = []
+    for (size, suite), summary in summaries.items():
+        cells = []
+        for level in LEVEL_ORDER:
+            pcov, mpcov, mprate = summary.level_row(level)
+            cells.append(f"{pcov:.3f}-{mpcov:.3f} ({mprate:.0f})")
+        rows.append([f"{size} {suite}"] + cells)
+    return render_table(headers, rows, title=title)

@@ -1,0 +1,124 @@
+"""Suite × configuration sweeps.
+
+Thin composition layer between the trace registry, the predictor presets
+and the simulation engine; each paper table/figure bench is one or a few
+calls into this module.
+"""
+
+from __future__ import annotations
+
+from repro.confidence.adaptive import AdaptiveSaturationController
+from repro.confidence.estimator import TageConfidenceEstimator
+from repro.predictors.tage.config import (
+    AUTOMATON_PROBABILISTIC,
+    AUTOMATON_STANDARD,
+    TageConfig,
+)
+from repro.predictors.tage.predictor import TagePredictor
+from repro.sim.engine import SimulationResult, simulate
+from repro.traces.suites import (
+    CBP1_TRACE_NAMES,
+    CBP2_TRACE_NAMES,
+    cbp1_trace,
+    cbp2_trace,
+)
+from repro.traces.types import Trace
+
+__all__ = ["build_predictor", "run_trace", "run_suite", "suite_traces", "SUITES", "SIZES"]
+
+SUITES = ("CBP1", "CBP2")
+SIZES = ("16K", "64K", "256K")
+
+
+def build_predictor(
+    size: str = "64K",
+    automaton: str = AUTOMATON_STANDARD,
+    sat_prob_log2: int = 7,
+    **overrides,
+) -> TagePredictor:
+    """Instantiate a preset TAGE predictor.
+
+    Args:
+        size: ``"16K"``, ``"64K"`` or ``"256K"`` (paper Table 1).
+        automaton: ``"standard"`` or ``"probabilistic"`` (§6).
+        sat_prob_log2: saturation probability (probabilistic automaton
+            only); 7 → 1/128.
+        overrides: any :class:`TageConfig` field override.
+    """
+    config = TageConfig.preset(
+        size,
+        automaton=automaton,
+        sat_prob_log2=sat_prob_log2,
+        **overrides,
+    )
+    return TagePredictor(config)
+
+
+def suite_traces(
+    suite: str,
+    n_branches: int | None = None,
+    names: tuple[str, ...] | None = None,
+) -> list[Trace]:
+    """Traces of a named suite (optionally a subset, in the given order)."""
+    if suite == "CBP1":
+        selected = names or CBP1_TRACE_NAMES
+        return [cbp1_trace(name, n_branches) for name in selected]
+    if suite == "CBP2":
+        selected = names or CBP2_TRACE_NAMES
+        return [cbp2_trace(name, n_branches) for name in selected]
+    raise KeyError(f"unknown suite {suite!r}; choose from {SUITES}")
+
+
+def run_trace(
+    trace: Trace,
+    size: str = "64K",
+    automaton: str = AUTOMATON_STANDARD,
+    sat_prob_log2: int = 7,
+    bim_miss_window: int = 8,
+    adaptive: bool = False,
+    target_mkp: float = 10.0,
+    warmup_branches: int = 0,
+    **config_overrides,
+) -> SimulationResult:
+    """Simulate one trace on a fresh preset predictor with confidence
+    observation attached.
+
+    ``adaptive=True`` additionally attaches the §6.2 controller (and
+    forces the probabilistic automaton, which the controller requires).
+    """
+    if adaptive:
+        automaton = AUTOMATON_PROBABILISTIC
+    predictor = build_predictor(
+        size, automaton=automaton, sat_prob_log2=sat_prob_log2, **config_overrides
+    )
+    estimator = TageConfidenceEstimator(predictor, bim_miss_window=bim_miss_window)
+    controller = (
+        AdaptiveSaturationController(predictor, target_mkp=target_mkp) if adaptive else None
+    )
+    return simulate(
+        trace,
+        predictor,
+        estimator=estimator,
+        controller=controller,
+        warmup_branches=warmup_branches,
+    )
+
+
+def run_suite(
+    suite: str,
+    size: str = "64K",
+    automaton: str = AUTOMATON_STANDARD,
+    n_branches: int | None = None,
+    names: tuple[str, ...] | None = None,
+    **run_kwargs,
+) -> list[SimulationResult]:
+    """Simulate every trace of a suite on a given preset.
+
+    Each trace gets a fresh predictor (the paper simulates traces
+    independently).  Extra keyword arguments are forwarded to
+    :func:`run_trace`.
+    """
+    return [
+        run_trace(trace, size=size, automaton=automaton, **run_kwargs)
+        for trace in suite_traces(suite, n_branches=n_branches, names=names)
+    ]

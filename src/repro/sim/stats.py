@@ -1,0 +1,94 @@
+"""Suite-level aggregation of simulation results.
+
+The paper reports two kinds of aggregates:
+
+* per-suite *average misp/KI* (Table 1) — the arithmetic mean of the
+  per-trace MPKI values;
+* per-suite *pooled class statistics* (Tables 2/3 and the running text)
+  — prediction/misprediction coverages and MKP rates computed over the
+  union of all predictions in the suite.
+
+:func:`summarize` produces both from a list of
+:class:`~repro.sim.engine.SimulationResult`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.confidence.classes import (
+    ConfidenceLevel,
+    LEVEL_ORDER,
+    PredictionClass,
+    confidence_level_of,
+)
+from repro.confidence.metrics import ClassBreakdown
+from repro.sim.engine import SimulationResult
+
+__all__ = ["SuiteSummary", "summarize"]
+
+
+@dataclass
+class SuiteSummary:
+    """Aggregate view of one suite × configuration sweep."""
+
+    results: list[SimulationResult]
+    classes: ClassBreakdown[PredictionClass]
+    levels: ClassBreakdown[ConfidenceLevel]
+
+    @property
+    def mean_mpki(self) -> float:
+        """Arithmetic mean of per-trace MPKI (the paper's suite metric)."""
+        if not self.results:
+            return 0.0
+        return sum(result.mpki for result in self.results) / len(self.results)
+
+    @property
+    def mean_mkp(self) -> float:
+        """Arithmetic mean of per-trace MKP."""
+        if not self.results:
+            return 0.0
+        return sum(result.mkp for result in self.results) / len(self.results)
+
+    @property
+    def total_predictions(self) -> int:
+        return sum(result.n_branches for result in self.results)
+
+    @property
+    def total_mispredictions(self) -> int:
+        return sum(result.mispredictions for result in self.results)
+
+    def level_row(self, level: ConfidenceLevel) -> tuple[float, float, float]:
+        """(Pcov, MPcov, MPrate-MKP) for one confidence level — one cell
+        of the paper's Table 2/3."""
+        return (
+            self.levels.pcov(level),
+            self.levels.mpcov(level),
+            self.levels.mprate(level),
+        )
+
+    def table_row(self) -> str:
+        """The paper's Table 2/3 row format:
+        ``Pcov-MPcov (MPrate)`` for high / medium / low."""
+        cells = []
+        for level in LEVEL_ORDER:
+            pcov, mpcov, mprate = self.level_row(level)
+            cells.append(f"{pcov:.3f}-{mpcov:.3f} ({mprate:.0f})")
+        return "  ".join(cells)
+
+
+def summarize(results: list[SimulationResult]) -> SuiteSummary:
+    """Pool per-trace results into a :class:`SuiteSummary`.
+
+    Results without class breakdowns contribute to accuracy aggregates
+    only.
+    """
+    pooled: ClassBreakdown[PredictionClass] = ClassBreakdown()
+    for result in results:
+        if result.classes is not None:
+            pooled.merge(result.classes)
+    return SuiteSummary(
+        results=list(results),
+        classes=pooled,
+        levels=pooled.grouped(confidence_level_of),
+    )

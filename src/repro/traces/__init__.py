@@ -1,0 +1,70 @@
+"""Branch trace substrate.
+
+The paper evaluates on the CBP-1 and CBP-2 championship trace sets, which
+are no longer distributed.  This package provides a faithful *synthetic*
+substitute (see DESIGN.md §2): deterministic workload generators that
+produce traces with the same names and the same qualitative mix of branch
+behaviours (strongly biased, loop, pattern, history-correlated,
+intrinsically noisy, large-working-set), plus a compact binary trace file
+format so traces can be produced once and replayed.
+
+Public entry points:
+
+* :func:`cbp1_trace` / :func:`cbp2_trace` — generate one named trace;
+* :func:`cbp1_suite` / :func:`cbp2_suite` — generate a whole suite;
+* :data:`CBP1_TRACE_NAMES` / :data:`CBP2_TRACE_NAMES` — the paper's names;
+* :class:`repro.traces.types.Trace` — the in-memory trace model;
+* :mod:`repro.traces.io` — trace file read/write.
+"""
+
+from repro.traces.io import read_trace, write_trace
+from repro.traces.kernels import (
+    BiasedKernel,
+    BranchKernel,
+    HistoryFunctionKernel,
+    HistoryParityKernel,
+    LocalPatternKernel,
+    LoopKernel,
+    NestedLoopKernel,
+    PatternKernel,
+)
+from repro.traces.stats import TraceStatistics, analyze_trace
+from repro.traces.suites import (
+    CBP1_TRACE_NAMES,
+    CBP2_TRACE_NAMES,
+    cbp1_suite,
+    cbp1_trace,
+    cbp2_suite,
+    cbp2_trace,
+    trace_spec,
+)
+from repro.traces.types import BranchRecord, Trace
+from repro.traces.workload import KernelMix, StaticBranch, SyntheticWorkload, WorkloadSpec
+
+__all__ = [
+    "BiasedKernel",
+    "BranchKernel",
+    "BranchRecord",
+    "CBP1_TRACE_NAMES",
+    "CBP2_TRACE_NAMES",
+    "HistoryFunctionKernel",
+    "HistoryParityKernel",
+    "KernelMix",
+    "LocalPatternKernel",
+    "LoopKernel",
+    "NestedLoopKernel",
+    "PatternKernel",
+    "StaticBranch",
+    "SyntheticWorkload",
+    "Trace",
+    "TraceStatistics",
+    "WorkloadSpec",
+    "analyze_trace",
+    "cbp1_suite",
+    "cbp1_trace",
+    "cbp2_suite",
+    "cbp2_trace",
+    "read_trace",
+    "trace_spec",
+    "write_trace",
+]

@@ -1,0 +1,99 @@
+"""Binary trace file format.
+
+Layout (little-endian):
+
+====== ======= =====================================
+offset size    field
+====== ======= =====================================
+0      4       magic ``b"RTRC"``
+4      2       format version (currently 1)
+6      2       name length ``n`` (UTF-8 bytes)
+8      n       trace name
+8+n    8       record count ``m``
+...    m*10    records: u64 pc, u8 taken, u8 insts
+====== ======= =====================================
+
+Files whose path ends in ``.gz`` are transparently gzip-compressed.  The
+format round-trips every :class:`repro.traces.types.Trace` whose PCs fit
+in 64 bits and whose per-record instruction counts fit in 8 bits (both are
+asserted at write time).
+"""
+
+from __future__ import annotations
+
+import gzip
+import struct
+from pathlib import Path
+from typing import BinaryIO
+
+from repro.traces.types import Trace
+
+__all__ = ["write_trace", "read_trace", "TraceFormatError", "FORMAT_VERSION", "MAGIC"]
+
+MAGIC = b"RTRC"
+FORMAT_VERSION = 1
+_HEADER = struct.Struct("<4sHH")
+_COUNT = struct.Struct("<Q")
+_RECORD = struct.Struct("<QBB")
+
+
+class TraceFormatError(ValueError):
+    """Raised when a trace file is malformed or unsupported."""
+
+
+def _open(path: Path, mode: str) -> BinaryIO:
+    if path.suffix == ".gz":
+        return gzip.open(path, mode)  # type: ignore[return-value]
+    return open(path, mode)
+
+
+def write_trace(trace: Trace, path: str | Path) -> None:
+    """Serialize ``trace`` to ``path`` (gzip if the suffix is ``.gz``)."""
+    path = Path(path)
+    name_bytes = trace.name.encode("utf-8")
+    if len(name_bytes) > 0xFFFF:
+        raise TraceFormatError(f"trace name too long ({len(name_bytes)} bytes)")
+    with _open(path, "wb") as stream:
+        stream.write(_HEADER.pack(MAGIC, FORMAT_VERSION, len(name_bytes)))
+        stream.write(name_bytes)
+        stream.write(_COUNT.pack(len(trace)))
+        pack = _RECORD.pack
+        write = stream.write
+        for pc, taken, inst in zip(trace.pcs, trace.takens, trace.insts):
+            if not 0 <= pc < (1 << 64):
+                raise TraceFormatError(f"pc {pc:#x} does not fit in 64 bits")
+            if not 1 <= inst <= 0xFF:
+                raise TraceFormatError(f"inst count {inst} does not fit in 8 bits")
+            write(pack(pc, taken, inst))
+
+
+def read_trace(path: str | Path) -> Trace:
+    """Deserialize a trace previously written by :func:`write_trace`."""
+    path = Path(path)
+    with _open(path, "rb") as stream:
+        header = stream.read(_HEADER.size)
+        if len(header) != _HEADER.size:
+            raise TraceFormatError(f"{path}: truncated header")
+        magic, version, name_len = _HEADER.unpack(header)
+        if magic != MAGIC:
+            raise TraceFormatError(f"{path}: bad magic {magic!r}")
+        if version != FORMAT_VERSION:
+            raise TraceFormatError(f"{path}: unsupported version {version}")
+        name = stream.read(name_len).decode("utf-8")
+        count_bytes = stream.read(_COUNT.size)
+        if len(count_bytes) != _COUNT.size:
+            raise TraceFormatError(f"{path}: truncated record count")
+        (count,) = _COUNT.unpack(count_bytes)
+        payload = stream.read(count * _RECORD.size)
+        if len(payload) != count * _RECORD.size:
+            raise TraceFormatError(
+                f"{path}: expected {count} records, payload truncated"
+            )
+    pcs: list[int] = []
+    takens: list[int] = []
+    insts: list[int] = []
+    for pc, taken, inst in _RECORD.iter_unpack(payload):
+        pcs.append(pc)
+        takens.append(taken)
+        insts.append(inst)
+    return Trace(name, pcs, takens, insts)

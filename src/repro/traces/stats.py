@@ -1,0 +1,101 @@
+"""Trace diagnostics.
+
+:func:`analyze_trace` summarizes a trace's static/dynamic character —
+working-set size, taken rate, per-branch bias, transition rate — which is
+how we validate that each synthetic suite family lands in the band its
+real counterpart occupied (e.g. SERV must have a working set in the
+thousands, FP must be strongly biased).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["TraceStatistics", "analyze_trace"]
+
+
+@dataclass(frozen=True)
+class TraceStatistics:
+    """Summary statistics of one trace.
+
+    Attributes:
+        name: trace name.
+        n_branches: dynamic branch count.
+        n_static: distinct branch PCs (static working set).
+        total_instructions: instructions covered by the trace.
+        taken_rate: fraction of dynamic branches taken.
+        transition_rate: fraction of dynamic branches whose direction
+            differs from the same static branch's previous execution —
+            a storage-free proxy for "how hard is this for a bimodal
+            predictor".
+        mean_dynamic_bias: dynamic-execution-weighted mean of
+            ``max(p_taken, 1 - p_taken)`` per static branch — close to 1.0
+            for strongly biased workloads.
+        branches_per_kilo_instruction: dynamic branch density.
+    """
+
+    name: str
+    n_branches: int
+    n_static: int
+    total_instructions: int
+    taken_rate: float
+    transition_rate: float
+    mean_dynamic_bias: float
+    branches_per_kilo_instruction: float
+
+    def summary(self) -> str:
+        """One-line human-readable summary."""
+        return (
+            f"{self.name}: {self.n_branches} branches, {self.n_static} static, "
+            f"{self.total_instructions} insts, taken={self.taken_rate:.3f}, "
+            f"transition={self.transition_rate:.3f}, bias={self.mean_dynamic_bias:.3f}, "
+            f"br/KI={self.branches_per_kilo_instruction:.1f}"
+        )
+
+
+def analyze_trace(trace) -> TraceStatistics:
+    """Compute :class:`TraceStatistics` for a trace in one pass."""
+    taken_by_pc: dict[int, int] = {}
+    count_by_pc: dict[int, int] = {}
+    last_dir: dict[int, int] = {}
+    transitions = 0
+    taken_total = 0
+
+    for pc, taken in zip(trace.pcs, trace.takens):
+        taken_total += taken
+        count_by_pc[pc] = count_by_pc.get(pc, 0) + 1
+        taken_by_pc[pc] = taken_by_pc.get(pc, 0) + taken
+        previous = last_dir.get(pc)
+        if previous is not None and previous != taken:
+            transitions += 1
+        last_dir[pc] = taken
+
+    n_branches = len(trace)
+    total_instructions = trace.total_instructions
+    if n_branches == 0:
+        return TraceStatistics(
+            name=trace.name,
+            n_branches=0,
+            n_static=0,
+            total_instructions=0,
+            taken_rate=0.0,
+            transition_rate=0.0,
+            mean_dynamic_bias=0.0,
+            branches_per_kilo_instruction=0.0,
+        )
+
+    bias_weighted = 0.0
+    for pc, count in count_by_pc.items():
+        p_taken = taken_by_pc[pc] / count
+        bias_weighted += count * max(p_taken, 1.0 - p_taken)
+
+    return TraceStatistics(
+        name=trace.name,
+        n_branches=n_branches,
+        n_static=len(count_by_pc),
+        total_instructions=total_instructions,
+        taken_rate=taken_total / n_branches,
+        transition_rate=transitions / n_branches,
+        mean_dynamic_bias=bias_weighted / n_branches,
+        branches_per_kilo_instruction=1000.0 * n_branches / max(total_instructions, 1),
+    )

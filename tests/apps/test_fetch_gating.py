@@ -1,0 +1,80 @@
+"""Tests for the fetch gating model."""
+
+import pytest
+
+from repro.apps.fetch_gating import FetchGatingModel, GatingPolicy, GatingStats
+from repro.confidence.classes import ConfidenceLevel
+from repro.confidence.estimator import TageConfidenceEstimator
+from repro.predictors.tage.config import TageConfig
+from repro.predictors.tage.predictor import TagePredictor
+
+
+def make_model(policy=None, **kwargs):
+    predictor = TagePredictor(TageConfig.small())
+    estimator = TageConfidenceEstimator(predictor)
+    return FetchGatingModel(predictor, estimator, policy=policy, **kwargs)
+
+
+class TestGatingPolicy:
+    def test_weights(self):
+        policy = GatingPolicy(low_weight=1.0, medium_weight=0.5, high_weight=0.0)
+        assert policy.weight(ConfidenceLevel.LOW) == 1.0
+        assert policy.weight(ConfidenceLevel.MEDIUM) == 0.5
+        assert policy.weight(ConfidenceLevel.HIGH) == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            GatingPolicy(gate_threshold=0)
+        with pytest.raises(ValueError):
+            GatingPolicy(low_weight=-1)
+
+
+class TestGatingStats:
+    def test_rates_on_empty(self):
+        stats = GatingStats()
+        assert stats.gating_rate == 0.0
+        assert stats.waste_reduction == 0.0
+        assert stats.useful_loss_rate == 0.0
+
+    def test_summary(self):
+        assert "gated" in GatingStats(total_branches=1).summary()
+
+
+class TestFetchGatingModel:
+    def test_validation(self):
+        predictor = TagePredictor(TageConfig.small())
+        estimator = TageConfidenceEstimator(predictor)
+        with pytest.raises(ValueError):
+            FetchGatingModel(predictor, estimator, fetch_width=0)
+        with pytest.raises(ValueError):
+            FetchGatingModel(predictor, estimator, resolution_latency=0)
+
+    def test_accounting_balances(self, tiny_trace):
+        model = make_model()
+        stats = model.run(tiny_trace)
+        assert stats.total_branches == len(tiny_trace)
+        total_insts = tiny_trace.total_instructions
+        accounted = (
+            stats.fetched_instructions + stats.wasted_fetch_avoided + stats.useful_fetch_lost
+        )
+        assert accounted == total_insts
+        assert stats.wasted_instructions <= stats.fetched_instructions
+
+    def test_never_gates_with_huge_threshold(self, tiny_trace):
+        model = make_model(policy=GatingPolicy(gate_threshold=1e9))
+        stats = model.run(tiny_trace)
+        assert stats.gated_branches == 0
+        assert stats.fetched_instructions == tiny_trace.total_instructions
+
+    def test_gating_rate_monotone_in_threshold(self, tiny_trace):
+        strict = make_model(policy=GatingPolicy(gate_threshold=0.5)).run(tiny_trace)
+        loose = make_model(policy=GatingPolicy(gate_threshold=4.0)).run(tiny_trace)
+        assert strict.gating_rate >= loose.gating_rate
+
+    def test_confidence_gating_beats_random_waste_tradeoff(self, twolf_trace):
+        """Gating on low confidence avoids disproportionally more wasted
+        fetch than useful fetch: waste_reduction > useful_loss_rate."""
+        model = make_model(policy=GatingPolicy(gate_threshold=1.0, medium_weight=0.0))
+        stats = model.run(twolf_trace.head(5000))
+        if stats.gated_branches:
+            assert stats.waste_reduction > stats.useful_loss_rate

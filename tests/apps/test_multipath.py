@@ -1,0 +1,85 @@
+"""Tests for the multipath execution model."""
+
+import pytest
+
+from repro.apps.multipath import MultipathModel, MultipathPolicy, MultipathStats
+from repro.confidence.estimator import TageConfidenceEstimator
+from repro.predictors.tage.config import TageConfig
+from repro.predictors.tage.predictor import TagePredictor
+
+
+def make_model(policy=None, **kwargs):
+    predictor = TagePredictor(TageConfig.small())
+    estimator = TageConfidenceEstimator(predictor)
+    return MultipathModel(predictor, estimator, policy=policy, **kwargs)
+
+
+class TestPolicy:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            MultipathPolicy(mispredict_penalty=0)
+        with pytest.raises(ValueError):
+            MultipathPolicy(fork_overhead_per_branch=-1)
+        with pytest.raises(ValueError):
+            MultipathPolicy(max_outstanding_forks=0)
+
+    def test_should_fork_levels(self):
+        from repro.confidence.classes import ConfidenceLevel
+
+        policy = MultipathPolicy(fork_on_low=True, fork_on_medium=False)
+        assert policy.should_fork(ConfidenceLevel.LOW)
+        assert not policy.should_fork(ConfidenceLevel.MEDIUM)
+        assert not policy.should_fork(ConfidenceLevel.HIGH)
+
+
+class TestStats:
+    def test_defaults(self):
+        stats = MultipathStats()
+        assert stats.fork_rate == 0.0
+        assert stats.useful_fork_rate == 0.0
+        assert stats.net_cycles_saved == 0
+
+    def test_summary(self):
+        assert "forks" in MultipathStats(total_branches=1).summary()
+
+
+class TestModel:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            make_model(resolution_latency=0)
+
+    def test_penalty_conservation(self, tiny_trace):
+        """Paid + avoided penalty equals the no-multipath baseline."""
+        model = make_model()
+        stats = model.run(tiny_trace)
+        assert stats.total_branches == len(tiny_trace)
+        assert (
+            stats.baseline_penalty_cycles
+            == stats.penalty_cycles + stats.penalty_cycles_avoided
+        )
+        policy = model.policy
+        assert stats.baseline_penalty_cycles == stats.mispredictions * policy.mispredict_penalty
+
+    def test_no_forking_policy_pays_everything(self, tiny_trace):
+        policy = MultipathPolicy(fork_on_low=False, fork_on_medium=False)
+        stats = make_model(policy).run(tiny_trace)
+        assert stats.forks == 0
+        assert stats.penalty_cycles_avoided == 0
+        assert stats.fork_overhead_cycles == 0
+
+    def test_fork_cap_respected(self, twolf_trace):
+        policy = MultipathPolicy(fork_on_low=True, fork_on_medium=True, max_outstanding_forks=1)
+        stats = make_model(policy, resolution_latency=16).run(twolf_trace.head(4000))
+        # With the cap at 1 and latency 16, fork rate can't exceed 1/16.
+        assert stats.fork_rate <= 1 / 16 + 0.01
+        assert stats.forks_denied > 0
+
+    def test_low_confidence_forking_is_selective(self, twolf_trace):
+        """Forking only on LOW covers mispredictions at a much better
+        cost ratio than the fork rate would suggest under random
+        selection: useful_fork_rate must far exceed the base
+        misprediction rate."""
+        stats = make_model().run(twolf_trace.head(6000))
+        if stats.forks > 50:
+            base_rate = stats.mispredictions / stats.total_branches
+            assert stats.useful_fork_rate > 2 * base_rate

@@ -1,0 +1,86 @@
+"""Tests for the SMT fetch policy model."""
+
+import pytest
+
+from repro.apps.smt_policy import SmtFetchModel, SmtPolicy, SmtStats
+from repro.confidence.estimator import TageConfidenceEstimator
+from repro.predictors.tage.config import TageConfig
+from repro.predictors.tage.predictor import TagePredictor
+from repro.traces.suites import cbp1_trace, cbp2_trace
+
+
+def make_thread(trace):
+    predictor = TagePredictor(TageConfig.small())
+    estimator = TageConfidenceEstimator(predictor)
+    return (trace, predictor, estimator)
+
+
+def two_thread_model(policy, n=2500, max_cycles=None):
+    threads = [
+        make_thread(cbp1_trace("FP-1", n)),
+        make_thread(cbp2_trace("300.twolf", n)),
+    ]
+    return SmtFetchModel(threads, policy=policy, max_cycles=max_cycles)
+
+
+class TestValidation:
+    def test_needs_two_threads(self, tiny_trace):
+        with pytest.raises(ValueError):
+            SmtFetchModel([make_thread(tiny_trace)])
+
+    def test_resolution_latency(self, tiny_trace):
+        with pytest.raises(ValueError):
+            SmtFetchModel(
+                [make_thread(tiny_trace), make_thread(tiny_trace)], resolution_latency=0
+            )
+
+
+class TestSmtStats:
+    def test_defaults(self):
+        stats = SmtStats()
+        assert stats.wrong_path_fraction == 0.0
+        assert stats.fairness == 1.0
+
+    def test_summary(self):
+        assert "cycles" in SmtStats(cycles=3).summary()
+
+
+class TestRun:
+    def test_round_robin_completes_both(self, tiny_trace):
+        model = SmtFetchModel(
+            [make_thread(tiny_trace), make_thread(tiny_trace)],
+            policy=SmtPolicy.ROUND_ROBIN,
+        )
+        stats = model.run()
+        assert stats.cycles == 2 * len(tiny_trace)
+        assert stats.per_thread_fetched[0] > 0
+        assert stats.per_thread_fetched[1] > 0
+
+    def test_confidence_policy_completes_both(self, tiny_trace):
+        model = SmtFetchModel(
+            [make_thread(tiny_trace), make_thread(tiny_trace)],
+            policy=SmtPolicy.CONFIDENCE,
+        )
+        stats = model.run()
+        assert stats.cycles == 2 * len(tiny_trace)
+
+    def test_confidence_policy_reduces_wrong_path_fetch(self):
+        """Under a fixed cycle budget, confidence arbitration fills the
+        window with less wrong-path work than round robin."""
+        budget = 3000
+        rr = two_thread_model(SmtPolicy.ROUND_ROBIN, max_cycles=budget).run()
+        conf = two_thread_model(SmtPolicy.CONFIDENCE, max_cycles=budget).run()
+        assert rr.cycles == conf.cycles == budget
+        assert conf.wrong_path_fraction <= rr.wrong_path_fraction * 1.02
+
+    def test_max_cycles_validation(self, tiny_trace):
+        import pytest as _pytest
+
+        with _pytest.raises(ValueError):
+            SmtFetchModel(
+                [make_thread(tiny_trace), make_thread(tiny_trace)], max_cycles=0
+            )
+
+    def test_no_starvation(self):
+        stats = two_thread_model(SmtPolicy.CONFIDENCE, max_cycles=3000).run()
+        assert stats.fairness > 0.1

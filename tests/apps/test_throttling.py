@@ -1,0 +1,51 @@
+"""Tests for the Aragón-style selective throttling mode of the gating
+model."""
+
+import pytest
+
+from repro.apps.fetch_gating import FetchGatingModel, GatingPolicy
+from repro.confidence.estimator import TageConfidenceEstimator
+from repro.predictors.tage.config import TageConfig
+from repro.predictors.tage.predictor import TagePredictor
+
+
+def run_policy(trace, policy):
+    predictor = TagePredictor(TageConfig.small())
+    estimator = TageConfidenceEstimator(predictor)
+    model = FetchGatingModel(predictor, estimator, policy=policy, resolution_latency=12)
+    return model.run(trace)
+
+
+class TestThrottlePolicy:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            GatingPolicy(throttle_factor=1.0)
+        with pytest.raises(ValueError):
+            GatingPolicy(throttle_factor=-0.1)
+        GatingPolicy(throttle_factor=0.5)  # valid
+
+    def test_accounting_balances_with_throttle(self, twolf_trace):
+        trace = twolf_trace.head(4000)
+        stats = run_policy(trace, GatingPolicy(gate_threshold=1.0, throttle_factor=0.5))
+        accounted = (
+            stats.fetched_instructions
+            + stats.wasted_fetch_avoided
+            + stats.useful_fetch_lost
+        )
+        assert accounted == trace.total_instructions
+
+    def test_throttle_between_gate_and_free(self, twolf_trace):
+        """Throttling loses less useful fetch than full gating but avoids
+        less waste: it sits between full gating and no gating."""
+        trace = twolf_trace.head(6000)
+        gate = run_policy(trace, GatingPolicy(gate_threshold=1.0, throttle_factor=0.0))
+        throttle = run_policy(trace, GatingPolicy(gate_threshold=1.0, throttle_factor=0.5))
+        assert throttle.useful_fetch_lost < gate.useful_fetch_lost
+        assert throttle.wasted_fetch_avoided < gate.wasted_fetch_avoided
+        assert throttle.gated_branches == gate.gated_branches  # same decisions
+
+    def test_full_throttle_factor_zero_matches_old_gating(self, tiny_trace):
+        stats = run_policy(tiny_trace, GatingPolicy(gate_threshold=2.0))
+        if stats.gated_branches:
+            # With factor 0, gated slots contribute nothing to fetch.
+            assert stats.fetched_instructions < tiny_trace.total_instructions

@@ -1,0 +1,108 @@
+"""Unit and property tests for repro.common.bitops."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.common.bitops import fold_bits, mask, mix_pc, parity, reverse_bits
+
+
+class TestMask:
+    def test_zero_width(self):
+        assert mask(0) == 0
+
+    def test_small_widths(self):
+        assert mask(1) == 1
+        assert mask(4) == 0xF
+        assert mask(16) == 0xFFFF
+
+    def test_negative_width_rejected(self):
+        with pytest.raises(ValueError):
+            mask(-1)
+
+    @given(st.integers(min_value=0, max_value=256))
+    def test_popcount(self, width):
+        assert bin(mask(width)).count("1") == width
+
+
+class TestFoldBits:
+    def test_single_chunk_identity(self):
+        assert fold_bits(0b1010, 4) == 0b1010
+
+    def test_two_chunks_xor(self):
+        assert fold_bits(0b1011_0110, 4) == 0b1011 ^ 0b0110
+
+    def test_zero_value(self):
+        assert fold_bits(0, 8) == 0
+
+    def test_invalid_width(self):
+        with pytest.raises(ValueError):
+            fold_bits(5, 0)
+
+    def test_negative_value(self):
+        with pytest.raises(ValueError):
+            fold_bits(-1, 4)
+
+    @given(st.integers(min_value=0, max_value=2**128), st.integers(min_value=1, max_value=32))
+    def test_result_in_range(self, value, width):
+        assert 0 <= fold_bits(value, width) <= mask(width)
+
+    @given(st.integers(min_value=0, max_value=2**64), st.integers(min_value=1, max_value=16))
+    def test_linearity(self, value, width):
+        """fold(a ^ (b << k*width)) == fold(a) ^ fold(b << k*width)."""
+        other = (value & mask(width)) << width
+        assert fold_bits(value ^ other, width) == fold_bits(value, width) ^ fold_bits(
+            other, width
+        )
+
+
+class TestMixPc:
+    @given(st.integers(min_value=0, max_value=2**48), st.integers(min_value=1, max_value=24))
+    def test_in_range(self, pc, width):
+        assert 0 <= mix_pc(pc, width) <= mask(width)
+
+    def test_distinguishes_high_bits(self):
+        """PCs equal in the low index bits should usually hash apart."""
+        width = 8
+        base = 0x1234
+        collisions = sum(
+            mix_pc(base + (k << width), width) == mix_pc(base, width) for k in range(1, 64)
+        )
+        assert collisions < 16
+
+    def test_invalid_width(self):
+        with pytest.raises(ValueError):
+            mix_pc(0x1000, 0)
+
+
+class TestReverseBits:
+    def test_simple(self):
+        assert reverse_bits(0b0011, 4) == 0b1100
+
+    def test_zero_width(self):
+        assert reverse_bits(0b1010, 0) == 0
+
+    @given(st.integers(min_value=0, max_value=2**32 - 1), st.integers(min_value=0, max_value=32))
+    def test_involution(self, value, width):
+        masked = value & mask(width)
+        assert reverse_bits(reverse_bits(masked, width), width) == masked
+
+    def test_negative_width(self):
+        with pytest.raises(ValueError):
+            reverse_bits(1, -1)
+
+
+class TestParity:
+    def test_known_values(self):
+        assert parity(0) == 0
+        assert parity(1) == 1
+        assert parity(0b111) == 1
+        assert parity(0b1111) == 0
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            parity(-3)
+
+    @given(st.integers(min_value=0, max_value=2**64), st.integers(min_value=0, max_value=2**64))
+    def test_xor_homomorphism(self, a, b):
+        assert parity(a ^ b) == parity(a) ^ parity(b)

@@ -1,0 +1,147 @@
+"""Unit and property tests for repro.common.counters."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.common.counters import (
+    SaturatingCounter,
+    SignedSaturatingCounter,
+    ctr_strength,
+    is_saturated,
+    is_weak,
+    saturating_update,
+    signed_saturating_update,
+)
+
+
+class TestSaturatingUpdate:
+    def test_increment(self):
+        assert saturating_update(0, True, 2) == 1
+
+    def test_saturates_high(self):
+        assert saturating_update(3, True, 2) == 3
+
+    def test_saturates_low(self):
+        assert saturating_update(0, False, 2) == 0
+
+    @given(st.integers(min_value=1, max_value=8), st.booleans(), st.data())
+    def test_stays_in_range(self, bits, up, data):
+        value = data.draw(st.integers(min_value=0, max_value=(1 << bits) - 1))
+        result = saturating_update(value, up, bits)
+        assert 0 <= result <= (1 << bits) - 1
+        assert abs(result - value) <= 1
+
+
+class TestSignedSaturatingUpdate:
+    def test_increment_decrement(self):
+        assert signed_saturating_update(0, True, 3) == 1
+        assert signed_saturating_update(0, False, 3) == -1
+
+    def test_saturates(self):
+        assert signed_saturating_update(3, True, 3) == 3
+        assert signed_saturating_update(-4, False, 3) == -4
+
+    @given(st.integers(min_value=2, max_value=8), st.booleans(), st.data())
+    def test_stays_in_range(self, bits, up, data):
+        lo, hi = -(1 << (bits - 1)), (1 << (bits - 1)) - 1
+        value = data.draw(st.integers(min_value=lo, max_value=hi))
+        result = signed_saturating_update(value, up, bits)
+        assert lo <= result <= hi
+        assert abs(result - value) <= 1
+
+
+class TestCtrStrength:
+    def test_paper_values_3bit(self):
+        """|2*ctr+1| over the 3-bit range is the paper's 1/3/5/7 ladder."""
+        assert [ctr_strength(c) for c in range(-4, 4)] == [7, 5, 3, 1, 1, 3, 5, 7]
+
+    @given(st.integers(min_value=-(1 << 7), max_value=(1 << 7) - 1))
+    def test_symmetry(self, ctr):
+        """Strength is symmetric between a counter and its complement."""
+        assert ctr_strength(ctr) == ctr_strength(-ctr - 1)
+
+    @given(st.integers(min_value=-(1 << 7), max_value=(1 << 7) - 1))
+    def test_odd_and_positive(self, ctr):
+        strength = ctr_strength(ctr)
+        assert strength >= 1
+        assert strength % 2 == 1
+
+
+class TestWeakSaturated:
+    def test_weak(self):
+        assert is_weak(0) and is_weak(-1)
+        assert not is_weak(1) and not is_weak(-2)
+
+    def test_saturated_3bit(self):
+        assert is_saturated(3, 3) and is_saturated(-4, 3)
+        assert not is_saturated(2, 3) and not is_saturated(-3, 3)
+
+    def test_weak_iff_strength_one(self):
+        for ctr in range(-8, 8):
+            assert is_weak(ctr) == (ctr_strength(ctr) == 1)
+
+
+class TestSaturatingCounter:
+    def test_basic_cycle(self):
+        counter = SaturatingCounter(bits=2)
+        counter.increment()
+        counter.increment()
+        counter.increment()
+        counter.increment()
+        assert counter.value == 3
+        assert counter.is_max()
+        counter.decrement()
+        assert counter.value == 2
+
+    def test_reset(self):
+        counter = SaturatingCounter(bits=4, initial=7)
+        counter.reset()
+        assert counter.value == 0
+
+    def test_invalid_width(self):
+        with pytest.raises(ValueError):
+            SaturatingCounter(bits=0)
+
+    def test_invalid_initial(self):
+        with pytest.raises(ValueError):
+            SaturatingCounter(bits=2, initial=4)
+
+    def test_value_setter_validates(self):
+        counter = SaturatingCounter(bits=2)
+        with pytest.raises(ValueError):
+            counter.value = -1
+
+    def test_decrement_floor(self):
+        counter = SaturatingCounter(bits=2)
+        counter.decrement()
+        assert counter.value == 0
+
+
+class TestSignedSaturatingCounter:
+    def test_range_and_prediction(self):
+        counter = SignedSaturatingCounter(bits=4)
+        assert counter.min_value == -8
+        assert counter.max_value == 7
+        assert counter.positive_or_zero
+        counter.update(up=False)
+        assert not counter.positive_or_zero
+
+    def test_saturation(self):
+        counter = SignedSaturatingCounter(bits=3, initial=3)
+        counter.update(up=True)
+        assert counter.value == 3
+        counter.reset(-4)
+        counter.update(up=False)
+        assert counter.value == -4
+
+    def test_invalid_initial(self):
+        with pytest.raises(ValueError):
+            SignedSaturatingCounter(bits=3, initial=4)
+
+    @given(st.lists(st.booleans(), max_size=64))
+    def test_never_leaves_range(self, updates):
+        counter = SignedSaturatingCounter(bits=3)
+        for up in updates:
+            counter.update(up)
+            assert -4 <= counter.value <= 3

@@ -1,0 +1,148 @@
+"""Unit and property tests for repro.common.history.
+
+The central property: the O(1) incremental folded history equals the
+closed-form oracle on the current window, for arbitrary outcome streams
+and arbitrary (original, compressed) length pairs.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.common.history import FoldedHistory, GlobalHistory, PathHistory
+
+
+class TestGlobalHistory:
+    def test_push_and_bit(self):
+        history = GlobalHistory(capacity=8)
+        history.push(True)
+        history.push(False)
+        assert history.bit(0) == 0  # newest
+        assert history.bit(1) == 1
+
+    def test_window(self):
+        history = GlobalHistory(capacity=8)
+        for taken in (1, 1, 0, 1):
+            history.push(bool(taken))
+        # Newest outcome in bit 0: pushes 1,1,0,1 -> 0b1101.
+        assert history.window(4) == 0b1101
+
+    def test_window_bounds(self):
+        history = GlobalHistory(capacity=4)
+        with pytest.raises(ValueError):
+            history.window(5)
+
+    def test_bit_out_of_range(self):
+        history = GlobalHistory(capacity=4)
+        with pytest.raises(IndexError):
+            history.bit(4)
+
+    def test_capacity_truncates(self):
+        history = GlobalHistory(capacity=3)
+        for _ in range(5):
+            history.push(True)
+        assert history.window(3) == 0b111
+
+    def test_reset(self):
+        history = GlobalHistory(capacity=4)
+        history.push(True)
+        history.reset()
+        assert history.window(4) == 0
+
+    def test_invalid_capacity(self):
+        with pytest.raises(ValueError):
+            GlobalHistory(capacity=0)
+
+
+class TestPathHistory:
+    def test_push_lsb(self):
+        path = PathHistory(length=8)
+        path.push(0x401)  # odd address -> bit 1
+        path.push(0x400)  # even -> bit 0
+        assert path.value == 0b10
+
+    def test_length_truncates(self):
+        path = PathHistory(length=2)
+        for pc in (1, 1, 1):
+            path.push(pc)
+        assert path.value == 0b11
+
+    def test_reset(self):
+        path = PathHistory(length=4)
+        path.push(1)
+        path.reset()
+        assert path.value == 0
+
+    def test_invalid_length(self):
+        with pytest.raises(ValueError):
+            PathHistory(length=0)
+
+
+class TestFoldedHistory:
+    def test_invalid_lengths(self):
+        with pytest.raises(ValueError):
+            FoldedHistory(0, 4)
+        with pytest.raises(ValueError):
+            FoldedHistory(4, 0)
+
+    def test_value_fits_compressed_width(self):
+        folded = FoldedHistory(original_length=20, compressed_length=5)
+        for i in range(200):
+            folded.update(i & 1, (i >> 1) & 1)
+            assert 0 <= folded.value < (1 << 5)
+
+    def test_reset(self):
+        folded = FoldedHistory(8, 3)
+        folded.update(1, 0)
+        folded.reset()
+        assert folded.value == 0
+
+    @pytest.mark.parametrize(
+        "original,compressed",
+        [(8, 3), (13, 5), (80, 11), (7, 7), (5, 9), (300, 12), (1, 1), (3, 10)],
+    )
+    def test_matches_oracle_parametrized(self, original, compressed):
+        folded = FoldedHistory(original, compressed)
+        history = GlobalHistory(capacity=original)
+        rng_state = 0x9E3779B9
+        for _ in range(600):
+            rng_state = (rng_state * 1103515245 + 12345) & 0xFFFFFFFF
+            taken = (rng_state >> 16) & 1
+            folded.update(taken, history.bit(original - 1))
+            history.push(bool(taken))
+            oracle = FoldedHistory.fold_window(history.window(original), original, compressed)
+            assert folded.value == oracle
+
+    @given(
+        st.integers(min_value=1, max_value=64),
+        st.integers(min_value=1, max_value=16),
+        st.lists(st.booleans(), min_size=1, max_size=300),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_matches_oracle_property(self, original, compressed, stream):
+        folded = FoldedHistory(original, compressed)
+        history = GlobalHistory(capacity=original)
+        for taken in stream:
+            folded.update(int(taken), history.bit(original - 1))
+            history.push(taken)
+        oracle = FoldedHistory.fold_window(history.window(original), original, compressed)
+        assert folded.value == oracle
+
+    @given(
+        st.lists(st.booleans(), min_size=0, max_size=50),
+        st.lists(st.booleans(), min_size=16, max_size=16),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_prefix_independence(self, prefix, window):
+        """The folded value only depends on the last `original` outcomes."""
+        original, compressed = 16, 5
+
+        def run(stream):
+            folded = FoldedHistory(original, compressed)
+            history = GlobalHistory(capacity=original)
+            for taken in stream:
+                folded.update(int(taken), history.bit(original - 1))
+                history.push(taken)
+            return folded.value
+
+        assert run(prefix + window) == run(window)

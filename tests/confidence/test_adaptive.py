@@ -1,0 +1,99 @@
+"""Tests for the §6.2 adaptive saturation-probability controller."""
+
+import pytest
+
+from repro.confidence.adaptive import AdaptiveSaturationController
+from repro.confidence.classes import ConfidenceLevel
+from repro.predictors.base import PredictorError
+from repro.predictors.tage.config import TageConfig
+from repro.predictors.tage.predictor import TagePredictor
+
+
+def probabilistic_predictor(sat_prob_log2=7):
+    return TagePredictor(
+        TageConfig.medium().with_probabilistic_automaton(sat_prob_log2=sat_prob_log2)
+    )
+
+
+class TestConstruction:
+    def test_requires_probabilistic_automaton(self):
+        predictor = TagePredictor(TageConfig.medium())  # standard automaton
+        with pytest.raises(PredictorError):
+            AdaptiveSaturationController(predictor)
+
+    def test_clamps_initial_probability(self):
+        predictor = probabilistic_predictor(sat_prob_log2=15)
+        AdaptiveSaturationController(predictor, min_log2=0, max_log2=10)
+        assert predictor.saturation_probability_log2 == 10
+
+    def test_validation(self):
+        predictor = probabilistic_predictor()
+        with pytest.raises(ValueError):
+            AdaptiveSaturationController(predictor, target_mkp=0)
+        with pytest.raises(ValueError):
+            AdaptiveSaturationController(predictor, window=0)
+        with pytest.raises(ValueError):
+            AdaptiveSaturationController(predictor, min_log2=5, max_log2=3)
+        with pytest.raises(ValueError):
+            AdaptiveSaturationController(predictor, relax_fraction=1.5)
+
+
+class TestAdaptation:
+    def test_high_miss_rate_reduces_probability(self):
+        """Too many high-confidence misses -> rarer saturation (k up)."""
+        predictor = probabilistic_predictor(sat_prob_log2=5)
+        controller = AdaptiveSaturationController(predictor, target_mkp=10, window=100)
+        for i in range(100):
+            controller.observe(ConfidenceLevel.HIGH, mispredicted=(i % 10 == 0))  # 100 MKP
+        assert predictor.saturation_probability_log2 == 6
+        assert controller.adjustments[-1][1] == pytest.approx(100.0)
+
+    def test_low_miss_rate_increases_probability(self):
+        predictor = probabilistic_predictor(sat_prob_log2=5)
+        controller = AdaptiveSaturationController(predictor, target_mkp=10, window=100)
+        for _ in range(100):
+            controller.observe(ConfidenceLevel.HIGH, mispredicted=False)  # 0 MKP
+        assert predictor.saturation_probability_log2 == 4
+
+    def test_in_band_rate_holds(self):
+        predictor = probabilistic_predictor(sat_prob_log2=5)
+        controller = AdaptiveSaturationController(
+            predictor, target_mkp=10, window=1000, relax_fraction=0.5
+        )
+        for i in range(1000):
+            controller.observe(ConfidenceLevel.HIGH, mispredicted=(i % 125 == 0))  # 8 MKP
+        assert predictor.saturation_probability_log2 == 5
+
+    def test_respects_bounds(self):
+        predictor = probabilistic_predictor(sat_prob_log2=10)
+        controller = AdaptiveSaturationController(
+            predictor, target_mkp=10, window=50, max_log2=10
+        )
+        for _ in range(4):
+            for i in range(50):
+                controller.observe(ConfidenceLevel.HIGH, mispredicted=(i % 5 == 0))
+        assert predictor.saturation_probability_log2 == 10
+
+        predictor2 = probabilistic_predictor(sat_prob_log2=0)
+        controller2 = AdaptiveSaturationController(predictor2, target_mkp=10, window=50)
+        for _ in range(4):
+            for _ in range(50):
+                controller2.observe(ConfidenceLevel.HIGH, mispredicted=False)
+        assert predictor2.saturation_probability_log2 == 0
+
+    def test_ignores_non_high_levels(self):
+        predictor = probabilistic_predictor(sat_prob_log2=5)
+        controller = AdaptiveSaturationController(predictor, window=10)
+        for _ in range(100):
+            controller.observe(ConfidenceLevel.LOW, mispredicted=True)
+            controller.observe(ConfidenceLevel.MEDIUM, mispredicted=True)
+        assert predictor.saturation_probability_log2 == 5
+        assert controller.adjustments == []
+
+    def test_reset(self):
+        predictor = probabilistic_predictor()
+        controller = AdaptiveSaturationController(predictor, window=10)
+        for _ in range(10):
+            controller.observe(ConfidenceLevel.HIGH, False)
+        controller.reset()
+        assert controller.adjustments == []

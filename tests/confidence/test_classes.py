@@ -1,0 +1,61 @@
+"""Tests for prediction classes and the 3-level grouping."""
+
+from repro.confidence.classes import (
+    CLASS_ORDER,
+    LEVEL_ORDER,
+    ConfidenceLevel,
+    PredictionClass,
+    classes_of_level,
+    confidence_level_of,
+)
+
+
+class TestPredictionClass:
+    def test_seven_classes(self):
+        assert len(PredictionClass) == 7
+        assert len(CLASS_ORDER) == 7
+        assert set(CLASS_ORDER) == set(PredictionClass)
+
+    def test_paper_labels(self):
+        assert str(PredictionClass.HIGH_CONF_BIM) == "high-conf-bim"
+        assert str(PredictionClass.STAG) == "Stag"
+        assert str(PredictionClass.WTAG) == "Wtag"
+
+    def test_bimodal_flag(self):
+        bimodal = {cls for cls in PredictionClass if cls.is_bimodal}
+        assert bimodal == {
+            PredictionClass.HIGH_CONF_BIM,
+            PredictionClass.MEDIUM_CONF_BIM,
+            PredictionClass.LOW_CONF_BIM,
+        }
+
+
+class TestLevelMapping:
+    def test_paper_grouping(self):
+        """§6.1: the exact 7-class -> 3-level mapping."""
+        assert confidence_level_of(PredictionClass.HIGH_CONF_BIM) is ConfidenceLevel.HIGH
+        assert confidence_level_of(PredictionClass.STAG) is ConfidenceLevel.HIGH
+        assert confidence_level_of(PredictionClass.MEDIUM_CONF_BIM) is ConfidenceLevel.MEDIUM
+        assert confidence_level_of(PredictionClass.NSTAG) is ConfidenceLevel.MEDIUM
+        assert confidence_level_of(PredictionClass.LOW_CONF_BIM) is ConfidenceLevel.LOW
+        assert confidence_level_of(PredictionClass.NWTAG) is ConfidenceLevel.LOW
+        assert confidence_level_of(PredictionClass.WTAG) is ConfidenceLevel.LOW
+
+    def test_partition(self):
+        """Every class belongs to exactly one level."""
+        collected = []
+        for level in LEVEL_ORDER:
+            collected.extend(classes_of_level(level))
+        assert sorted(collected, key=lambda c: c.value) == sorted(
+            PredictionClass, key=lambda c: c.value
+        )
+
+    def test_level_order(self):
+        assert LEVEL_ORDER == (
+            ConfidenceLevel.HIGH,
+            ConfidenceLevel.MEDIUM,
+            ConfidenceLevel.LOW,
+        )
+
+    def test_str(self):
+        assert str(ConfidenceLevel.HIGH) == "high"

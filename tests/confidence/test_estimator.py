@@ -1,0 +1,122 @@
+"""Tests for the storage-free TAGE confidence estimator."""
+
+import pytest
+
+from repro.confidence.classes import ConfidenceLevel, PredictionClass
+from repro.confidence.estimator import TageConfidenceEstimator
+from repro.predictors.tage.config import TageConfig
+from repro.predictors.tage.predictor import TagePrediction, TagePredictor
+
+
+def make_observation(provider=0, provider_ctr=2, prediction=True, pc=0x400):
+    observation = TagePrediction()
+    observation.pc = pc
+    observation.provider = provider
+    observation.provider_ctr = provider_ctr
+    observation.prediction = prediction
+    return observation
+
+
+@pytest.fixture
+def estimator(medium_tage):
+    return TageConfidenceEstimator(medium_tage, bim_miss_window=8)
+
+
+class TestBimodalClasses:
+    def test_weak_counter_is_low_conf(self, estimator):
+        for weak_ctr in (1, 2):
+            observation = make_observation(provider=0, provider_ctr=weak_ctr)
+            assert estimator.classify(observation) is PredictionClass.LOW_CONF_BIM
+
+    def test_strong_counter_far_from_miss_is_high_conf(self, estimator):
+        observation = make_observation(provider=0, provider_ctr=3)
+        assert estimator.classify(observation) is PredictionClass.HIGH_CONF_BIM
+
+    def test_window_after_bim_miss_is_medium(self, estimator):
+        miss = make_observation(provider=0, provider_ctr=3, prediction=True)
+        estimator.observe(miss, taken=False)  # BIM misprediction
+        observation = make_observation(provider=0, provider_ctr=0)
+        assert estimator.classify(observation) is PredictionClass.MEDIUM_CONF_BIM
+
+    def test_window_expires_after_eight_bim_predictions(self, estimator):
+        miss = make_observation(provider=0, provider_ctr=3, prediction=True)
+        estimator.observe(miss, taken=False)
+        correct = make_observation(provider=0, provider_ctr=3, prediction=True)
+        for _ in range(8):
+            assert estimator.classify(correct) is PredictionClass.MEDIUM_CONF_BIM
+            estimator.observe(correct, taken=True)
+        assert estimator.classify(correct) is PredictionClass.HIGH_CONF_BIM
+
+    def test_weak_takes_precedence_over_window(self, estimator):
+        miss = make_observation(provider=0, provider_ctr=3, prediction=True)
+        estimator.observe(miss, taken=False)
+        weak = make_observation(provider=0, provider_ctr=1)
+        assert estimator.classify(weak) is PredictionClass.LOW_CONF_BIM
+
+    def test_tagged_predictions_do_not_advance_window(self, estimator):
+        miss = make_observation(provider=0, provider_ctr=3, prediction=True)
+        estimator.observe(miss, taken=False)
+        tagged = make_observation(provider=3, provider_ctr=3, prediction=True)
+        for _ in range(20):
+            estimator.observe(tagged, taken=True)
+        observation = make_observation(provider=0, provider_ctr=3)
+        assert estimator.classify(observation) is PredictionClass.MEDIUM_CONF_BIM
+
+    def test_initial_state_not_medium(self, estimator):
+        observation = make_observation(provider=0, provider_ctr=3)
+        assert estimator.classify(observation) is PredictionClass.HIGH_CONF_BIM
+
+
+class TestTaggedClasses:
+    @pytest.mark.parametrize(
+        "ctr,expected",
+        [
+            (0, PredictionClass.WTAG),
+            (-1, PredictionClass.WTAG),
+            (1, PredictionClass.NWTAG),
+            (-2, PredictionClass.NWTAG),
+            (2, PredictionClass.NSTAG),
+            (-3, PredictionClass.NSTAG),
+            (3, PredictionClass.STAG),
+            (-4, PredictionClass.STAG),
+        ],
+    )
+    def test_3bit_ladder(self, estimator, ctr, expected):
+        observation = make_observation(provider=2, provider_ctr=ctr)
+        assert estimator.classify(observation) is expected
+
+    def test_4bit_counters(self):
+        predictor = TagePredictor(TageConfig.medium(ctr_bits=4))
+        estimator = TageConfidenceEstimator(predictor)
+        assert estimator.classify(make_observation(2, 7)) is PredictionClass.STAG
+        assert estimator.classify(make_observation(2, 6)) is PredictionClass.NSTAG
+        assert estimator.classify(make_observation(2, 0)) is PredictionClass.WTAG
+        # Intermediate strengths widen NWtag.
+        assert estimator.classify(make_observation(2, 3)) is PredictionClass.NWTAG
+
+
+class TestLevels:
+    def test_level_shortcut(self, estimator):
+        assert estimator.level(make_observation(2, 3)) is ConfidenceLevel.HIGH
+        assert estimator.level(make_observation(2, 0)) is ConfidenceLevel.LOW
+        assert estimator.level(make_observation(2, 2)) is ConfidenceLevel.MEDIUM
+
+
+class TestState:
+    def test_reset(self, estimator):
+        miss = make_observation(provider=0, provider_ctr=3, prediction=True)
+        estimator.observe(miss, taken=False)
+        assert estimator.bim_predictions_since_miss == 0
+        estimator.reset()
+        assert estimator.bim_predictions_since_miss == estimator.bim_miss_window
+
+    def test_invalid_window(self, medium_tage):
+        with pytest.raises(ValueError):
+            TageConfidenceEstimator(medium_tage, bim_miss_window=-1)
+
+    def test_zero_window_disables_medium(self, medium_tage):
+        estimator = TageConfidenceEstimator(medium_tage, bim_miss_window=0)
+        miss = make_observation(provider=0, provider_ctr=3, prediction=True)
+        estimator.observe(miss, taken=False)
+        observation = make_observation(provider=0, provider_ctr=3)
+        assert estimator.classify(observation) is PredictionClass.HIGH_CONF_BIM

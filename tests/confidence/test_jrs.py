@@ -1,0 +1,103 @@
+"""Tests for the JRS and enhanced-JRS confidence estimators."""
+
+import pytest
+
+from repro.confidence.jrs import EnhancedJrsEstimator, JrsEstimator
+
+
+class TestJrs:
+    def test_threshold_after_consecutive_correct(self):
+        """High confidence exactly after 15 consecutive correct
+        predictions for the same context (the JRS design point)."""
+        estimator = JrsEstimator(log_entries=10, counter_bits=4, threshold=15, history_length=4)
+        pc = 0x400
+        # Constant history (outcome False keeps pushing 0s); 15 corrects.
+        for i in range(15):
+            assert not estimator.assess(pc, False)
+            estimator.observe(pc, prediction=False, taken=False)
+        assert estimator.assess(pc, False)
+
+    def test_misprediction_resets(self):
+        estimator = JrsEstimator(log_entries=10, history_length=4)
+        pc = 0x400
+        for _ in range(15):
+            estimator.observe(pc, prediction=False, taken=False)
+        assert estimator.assess(pc, False)
+        estimator.observe(pc, prediction=False, taken=True)  # wrong
+        # History changed too; check the counter at the *new* context.
+        assert estimator.counter(pc, False) <= 15
+        # Re-establish the all-zero history context and verify reset there.
+        for _ in range(4):
+            estimator.observe(0x800, prediction=False, taken=False)
+        assert not estimator.assess(pc, False)
+
+    def test_counter_saturates(self):
+        estimator = JrsEstimator(log_entries=8, counter_bits=4, threshold=15, history_length=2)
+        pc = 0x40
+        for _ in range(40):
+            estimator.observe(pc, prediction=True, taken=True)
+        # Counter is capped at 15 whatever the context.
+        assert estimator.counter(pc, True) <= 15
+
+    def test_history_distinguishes_contexts(self):
+        estimator = JrsEstimator(log_entries=12, history_length=8)
+        pc = 0x400
+        for _ in range(15):
+            estimator.observe(pc, prediction=True, taken=True)
+        # Push a divergent history; the context changes, confidence resets.
+        for _ in range(8):
+            estimator.observe(0x800, prediction=False, taken=False)
+        # Not guaranteed low (index collision possible) but the counter
+        # for the original context is reachable only via the original
+        # history; this checks the index actually uses history.
+        index_now = estimator._index(pc, True)
+        for _ in range(8):
+            estimator.observe(0x800, prediction=True, taken=True)
+        assert estimator._index(pc, True) != index_now
+
+    def test_storage_bits(self):
+        assert JrsEstimator(log_entries=12, counter_bits=4).storage_bits() == 4096 * 4
+
+    def test_reset(self):
+        estimator = JrsEstimator(log_entries=8, history_length=4)
+        for _ in range(20):
+            estimator.observe(0x40, True, True)
+        estimator.reset()
+        assert not estimator.assess(0x40, True)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            JrsEstimator(log_entries=0)
+        with pytest.raises(ValueError):
+            JrsEstimator(counter_bits=0)
+        with pytest.raises(ValueError):
+            JrsEstimator(counter_bits=4, threshold=16)
+        with pytest.raises(ValueError):
+            JrsEstimator(threshold=0)
+        with pytest.raises(ValueError):
+            JrsEstimator(history_length=0)
+
+
+class TestEnhancedJrs:
+    def test_prediction_direction_separates_contexts(self):
+        """Grunwald refinement: taken and not-taken predictions of the
+        same (pc, history) track separate counters."""
+        estimator = EnhancedJrsEstimator(log_entries=10, history_length=4)
+        pc = 0x400
+        assert estimator._index(pc, True) != estimator._index(pc, False)
+
+    def test_confidence_per_direction(self):
+        estimator = EnhancedJrsEstimator(
+            log_entries=10, counter_bits=4, threshold=15, history_length=2
+        )
+        pc = 0x400
+        # Build confidence only for the not-taken prediction, with a
+        # stable all-zeros history context.
+        for _ in range(30):
+            estimator.observe(pc, prediction=False, taken=False)
+        assert estimator.assess(pc, False)
+        assert not estimator.assess(pc, True)
+
+    def test_flag(self):
+        assert EnhancedJrsEstimator.include_prediction is True
+        assert JrsEstimator.include_prediction is False

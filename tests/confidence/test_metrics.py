@@ -1,0 +1,148 @@
+"""Tests for confidence metrics."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.confidence.metrics import BinaryConfidenceMetrics, ClassBreakdown, mkp
+
+
+class TestMkp:
+    def test_basic(self):
+        assert mkp(3, 1000) == 3.0
+        assert mkp(0, 100) == 0.0
+        assert mkp(0, 0) == 0.0
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            mkp(-1, 10)
+
+    @given(st.integers(min_value=0, max_value=10**6), st.integers(min_value=1, max_value=10**6))
+    def test_bounds(self, misses, predictions):
+        misses = min(misses, predictions)
+        assert 0.0 <= mkp(misses, predictions) <= 1000.0
+
+
+class TestBinaryMetrics:
+    def test_grunwald_definitions(self):
+        """Hand-computed 2x2 confusion."""
+        metrics = BinaryConfidenceMetrics(
+            high_correct=80, high_incorrect=5, low_correct=10, low_incorrect=5
+        )
+        assert metrics.sens == 80 / 90
+        assert metrics.pvp == 80 / 85
+        assert metrics.spec == 5 / 10
+        assert metrics.pvn == 5 / 15
+        assert metrics.total == 100
+        assert metrics.high_coverage == 0.85
+
+    def test_empty_is_zero(self):
+        metrics = BinaryConfidenceMetrics(0, 0, 0, 0)
+        assert metrics.sens == metrics.pvp == metrics.spec == metrics.pvn == 0.0
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            BinaryConfidenceMetrics(-1, 0, 0, 0)
+
+    def test_merged(self):
+        a = BinaryConfidenceMetrics(1, 2, 3, 4)
+        b = BinaryConfidenceMetrics(10, 20, 30, 40)
+        merged = a.merged(b)
+        assert merged.high_correct == 11
+        assert merged.low_incorrect == 44
+
+    def test_summary_format(self):
+        metrics = BinaryConfidenceMetrics(1, 1, 1, 1)
+        assert "SENS=" in metrics.summary()
+
+    @given(
+        st.integers(min_value=0, max_value=10**5),
+        st.integers(min_value=0, max_value=10**5),
+        st.integers(min_value=0, max_value=10**5),
+        st.integers(min_value=0, max_value=10**5),
+    )
+    def test_all_rates_are_probabilities(self, hc, hi, lc, li):
+        metrics = BinaryConfidenceMetrics(hc, hi, lc, li)
+        for value in (metrics.sens, metrics.pvp, metrics.spec, metrics.pvn):
+            assert 0.0 <= value <= 1.0
+
+
+class TestClassBreakdown:
+    def test_record_and_rates(self):
+        breakdown = ClassBreakdown()
+        breakdown.record("a", mispredicted=False)
+        breakdown.record("a", mispredicted=True)
+        breakdown.record("b", mispredicted=False, count=2)
+        assert breakdown.total_predictions == 4
+        assert breakdown.total_mispredictions == 1
+        assert breakdown.pcov("a") == 0.5
+        assert breakdown.mpcov("a") == 1.0
+        assert breakdown.mprate("a") == 500.0
+        assert breakdown.mprate("b") == 0.0
+
+    def test_missing_key_is_zero(self):
+        breakdown = ClassBreakdown()
+        assert breakdown.pcov("nope") == 0.0
+        assert breakdown.predictions("nope") == 0
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ValueError):
+            ClassBreakdown().record("a", False, count=-1)
+
+    def test_merge(self):
+        a = ClassBreakdown()
+        a.record("x", True)
+        b = ClassBreakdown()
+        b.record("x", False)
+        b.record("y", True)
+        a.merge(b)
+        assert a.predictions("x") == 2
+        assert a.mispredictions("x") == 1
+        assert a.predictions("y") == 1
+
+    def test_grouped_projection(self):
+        breakdown = ClassBreakdown()
+        breakdown.record("a1", True, count=3)
+        breakdown.record("a1", False, count=7)
+        breakdown.record("a2", False, count=10)
+        breakdown.record("b1", True, count=2)
+        grouped = breakdown.grouped(lambda key: key[0])
+        assert grouped.predictions("a") == 20
+        assert grouped.mispredictions("a") == 3
+        assert grouped.predictions("b") == 2
+        assert grouped.total_predictions == breakdown.total_predictions
+        assert grouped.total_mispredictions == breakdown.total_mispredictions
+
+    def test_rows_ordering(self):
+        breakdown = ClassBreakdown()
+        breakdown.record("big", False, count=10)
+        breakdown.record("small", False, count=1)
+        rows = breakdown.rows()
+        assert rows[0][0] == "big"
+        rows_explicit = breakdown.rows(order=["small", "big"])
+        assert rows_explicit[0][0] == "small"
+
+    def test_as_dict(self):
+        breakdown = ClassBreakdown()
+        breakdown.record("k", True)
+        assert breakdown.as_dict() == {"k": (1, 1)}
+
+    @given(
+        st.lists(
+            st.tuples(st.sampled_from("abcd"), st.booleans()),
+            min_size=1,
+            max_size=200,
+        )
+    )
+    def test_coverage_invariants(self, events):
+        """Pcov sums to 1, MPcov sums to 1 (when mispredictions exist),
+        and every MPrate is within [0, 1000]."""
+        breakdown = ClassBreakdown()
+        for key, mispredicted in events:
+            breakdown.record(key, mispredicted)
+        keys = breakdown.keys()
+        assert abs(sum(breakdown.pcov(k) for k in keys) - 1.0) < 1e-9
+        if breakdown.total_mispredictions:
+            assert abs(sum(breakdown.mpcov(k) for k in keys) - 1.0) < 1e-9
+        for key in keys:
+            assert 0.0 <= breakdown.mprate(key) <= 1000.0

@@ -1,0 +1,49 @@
+"""Tests for the perceptron/O-GEHL self-confidence wrapper."""
+
+import pytest
+
+from repro.confidence.self_confidence import SelfConfidenceEstimator
+from repro.predictors.ogehl import OgehlPredictor
+from repro.predictors.perceptron import PerceptronPredictor
+
+
+class TestSelfConfidence:
+    def test_rejects_incompatible_predictor(self):
+        class NotConfident:
+            pass
+
+        with pytest.raises(TypeError):
+            SelfConfidenceEstimator(NotConfident())
+
+    def test_wraps_perceptron(self):
+        predictor = PerceptronPredictor(log_entries=6, history_length=10)
+        estimator = SelfConfidenceEstimator(predictor)
+        for _ in range(300):
+            predictor.predict_and_train(0x40, True)
+        predictor.predict(0x40)
+        assert estimator.assess(0x40, True)
+        predictor.train(0x40, True)
+
+    def test_wraps_ogehl(self):
+        predictor = OgehlPredictor(n_tables=4, log_entries=8, max_history=40)
+        estimator = SelfConfidenceEstimator(predictor)
+        predictor.predict(0x40)
+        assert estimator.assess(0x40, True) in (True, False)
+        predictor.train(0x40, True)
+
+    def test_low_confidence_when_untrained(self):
+        predictor = PerceptronPredictor(log_entries=6, history_length=10)
+        estimator = SelfConfidenceEstimator(predictor)
+        predictor.predict(0x123)
+        assert not estimator.assess(0x123, True)
+        predictor.train(0x123, True)
+
+    def test_storage_free(self):
+        predictor = PerceptronPredictor(log_entries=4, history_length=4)
+        assert SelfConfidenceEstimator(predictor).storage_bits() == 0
+
+    def test_observe_and_reset_are_noops(self):
+        predictor = PerceptronPredictor(log_entries=4, history_length=4)
+        estimator = SelfConfidenceEstimator(predictor)
+        estimator.observe(0x4, True, False)
+        estimator.reset()

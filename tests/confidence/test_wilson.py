@@ -1,0 +1,58 @@
+"""Tests for the Wilson interval utility and its ClassBreakdown hook."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.confidence.metrics import ClassBreakdown, wilson_interval
+
+
+class TestWilsonInterval:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            wilson_interval(-1, 10)
+        with pytest.raises(ValueError):
+            wilson_interval(11, 10)
+        with pytest.raises(ValueError):
+            wilson_interval(1, 10, z=0)
+
+    def test_zero_trials_is_vacuous(self):
+        assert wilson_interval(0, 0) == (0.0, 1.0)
+
+    def test_contains_point_estimate(self):
+        lo, hi = wilson_interval(20, 100)
+        assert lo < 0.2 < hi
+
+    def test_narrows_with_more_trials(self):
+        lo_small, hi_small = wilson_interval(5, 50)
+        lo_big, hi_big = wilson_interval(500, 5000)
+        assert (hi_big - lo_big) < (hi_small - lo_small)
+
+    def test_extremes_stay_in_unit_interval(self):
+        lo, hi = wilson_interval(0, 10)
+        assert lo == 0.0 and hi < 0.35
+        lo, hi = wilson_interval(10, 10)
+        assert hi == 1.0 and lo > 0.65
+
+    @given(st.integers(min_value=0, max_value=10**5), st.integers(min_value=1, max_value=10**5))
+    def test_ordered_and_bounded(self, successes, trials):
+        successes = min(successes, trials)
+        lo, hi = wilson_interval(successes, trials)
+        assert 0.0 <= lo <= hi <= 1.0
+        # Point estimate lies inside (Wilson always contains p for z>0).
+        p = successes / trials
+        assert lo <= p + 1e-12 and p - 1e-12 <= hi
+
+
+class TestBreakdownInterval:
+    def test_interval_brackets_rate(self):
+        breakdown = ClassBreakdown()
+        breakdown.record("k", mispredicted=True, count=30)
+        breakdown.record("k", mispredicted=False, count=970)
+        lo, hi = breakdown.mprate_interval("k")
+        assert lo < breakdown.mprate("k") < hi
+        assert 0 <= lo and hi <= 1000
+
+    def test_unseen_key(self):
+        breakdown = ClassBreakdown()
+        assert breakdown.mprate_interval("nope") == (0.0, 1000.0)

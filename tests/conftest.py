@@ -1,0 +1,56 @@
+"""Shared fixtures.
+
+Traces are generated once per session (generation is cheap but the same
+small traces are reused by many predictor and confidence tests).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.predictors.tage.config import TageConfig
+from repro.predictors.tage.predictor import TagePredictor
+from repro.traces.suites import cbp1_trace, cbp2_trace
+from repro.traces.types import Trace
+from repro.traces.workload import SyntheticWorkload, WorkloadSpec
+
+
+@pytest.fixture(scope="session")
+def int1_trace() -> Trace:
+    """A small INT-1 trace (mixed behaviour, the workhorse fixture)."""
+    return cbp1_trace("INT-1", n_branches=8_000)
+
+
+@pytest.fixture(scope="session")
+def fp1_trace() -> Trace:
+    """A small FP-1 trace (highly predictable)."""
+    return cbp1_trace("FP-1", n_branches=8_000)
+
+
+@pytest.fixture(scope="session")
+def serv1_trace() -> Trace:
+    """A small SERV-1 trace (large working set)."""
+    return cbp1_trace("SERV-1", n_branches=8_000)
+
+
+@pytest.fixture(scope="session")
+def twolf_trace() -> Trace:
+    """A small 300.twolf trace (intrinsically noisy)."""
+    return cbp2_trace("300.twolf", n_branches=8_000)
+
+
+@pytest.fixture
+def tiny_trace() -> Trace:
+    """A fast ad-hoc trace for engine-level tests."""
+    spec = WorkloadSpec(name="tiny", seed=11, n_static=60, n_routines=10)
+    return SyntheticWorkload(spec).generate(1_500)
+
+
+@pytest.fixture
+def small_tage() -> TagePredictor:
+    return TagePredictor(TageConfig.small())
+
+
+@pytest.fixture
+def medium_tage() -> TagePredictor:
+    return TagePredictor(TageConfig.medium())

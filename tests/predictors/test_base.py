@@ -1,0 +1,65 @@
+"""Tests for the predict/train protocol enforcement."""
+
+import pytest
+
+from repro.predictors.base import BranchPredictor, PredictorError
+
+
+class _Stub(BranchPredictor):
+    name = "stub"
+
+    def __init__(self):
+        super().__init__()
+        self.trained = []
+
+    def _predict(self, pc):
+        return True
+
+    def _train(self, pc, taken):
+        self.trained.append((pc, taken))
+
+    def storage_bits(self):
+        return 0
+
+
+class TestProtocol:
+    def test_normal_flow(self):
+        predictor = _Stub()
+        assert predictor.predict(0x40) is True
+        predictor.train(0x40, False)
+        assert predictor.trained == [(0x40, False)]
+
+    def test_predict_twice_rejected(self):
+        predictor = _Stub()
+        predictor.predict(0x40)
+        with pytest.raises(PredictorError, match="still pending"):
+            predictor.predict(0x44)
+
+    def test_train_without_predict_rejected(self):
+        predictor = _Stub()
+        with pytest.raises(PredictorError, match="without a pending"):
+            predictor.train(0x40, True)
+
+    def test_train_wrong_pc_rejected(self):
+        predictor = _Stub()
+        predictor.predict(0x40)
+        with pytest.raises(PredictorError, match="does not match"):
+            predictor.train(0x44, True)
+
+    def test_train_twice_rejected(self):
+        predictor = _Stub()
+        predictor.predict_and_train(0x40, True)
+        with pytest.raises(PredictorError):
+            predictor.train(0x40, True)
+
+    def test_predict_and_train(self):
+        predictor = _Stub()
+        assert predictor.predict_and_train(0x10, True) is True
+        assert predictor.trained == [(0x10, True)]
+
+    def test_reset_clears_pending(self):
+        predictor = _Stub()
+        predictor.predict(0x40)
+        predictor.reset()
+        predictor.predict(0x44)  # no error
+        predictor.train(0x44, True)

@@ -1,0 +1,87 @@
+"""Tests for the bimodal predictor."""
+
+import pytest
+
+from repro.predictors.bimodal import BimodalPredictor
+
+
+class TestBimodal:
+    def test_learns_constant_branch(self):
+        predictor = BimodalPredictor(log_entries=8)
+        for _ in range(4):
+            predictor.predict_and_train(0x400, True)
+        assert predictor.predict(0x400) is True
+
+    def test_learns_not_taken(self):
+        predictor = BimodalPredictor(log_entries=8)
+        for _ in range(4):
+            predictor.predict_and_train(0x400, False)
+        assert predictor.predict(0x400) is False
+
+    def test_hysteresis(self):
+        """Two consecutive flips are needed to change a saturated counter."""
+        predictor = BimodalPredictor(log_entries=8)
+        for _ in range(4):
+            predictor.predict_and_train(0x400, True)
+        predictor.predict_and_train(0x400, False)  # 3 -> 2, still taken
+        assert predictor.predict(0x400) is True
+        predictor.train(0x400, False)  # 2 -> 1
+        assert predictor.predict(0x400) is False
+
+    def test_aliasing(self):
+        """PCs equal modulo the table size share an entry."""
+        predictor = BimodalPredictor(log_entries=4)
+        stride = 1 << (4 + 2)
+        for _ in range(4):
+            predictor.predict_and_train(0x0, True)
+        assert predictor.predict(stride) is True
+
+    def test_last_counter_and_weakness(self):
+        predictor = BimodalPredictor(log_entries=8)
+        predictor.predict(0x100)
+        assert predictor.last_counter == 2  # init = weak taken
+        assert predictor.counter_is_weak()
+        predictor.train(0x100, True)
+        predictor.predict(0x100)
+        assert predictor.last_counter == 3
+        assert not predictor.counter_is_weak()
+
+    def test_counter_bounds(self):
+        predictor = BimodalPredictor(log_entries=4)
+        for _ in range(10):
+            predictor.predict_and_train(0x8, False)
+        predictor.predict_and_train(0x8, False)
+        assert predictor.last_counter == 0
+        for _ in range(10):
+            predictor.predict_and_train(0x8, True)
+        predictor.predict_and_train(0x8, True)
+        assert predictor.last_counter == 3
+
+    def test_storage_bits(self):
+        assert BimodalPredictor(log_entries=12).storage_bits() == 4096 * 2
+
+    def test_reset(self):
+        predictor = BimodalPredictor(log_entries=6)
+        for _ in range(4):
+            predictor.predict_and_train(0x4, False)
+        predictor.reset()
+        predictor.predict(0x4)
+        assert predictor.last_counter == 2
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            BimodalPredictor(log_entries=0)
+        with pytest.raises(ValueError):
+            BimodalPredictor(counter_bits=0)
+
+    def test_accuracy_on_biased_stream(self):
+        predictor = BimodalPredictor(log_entries=10)
+        import random
+
+        rng = random.Random(5)
+        misses = 0
+        for _ in range(4000):
+            taken = rng.random() < 0.95
+            if predictor.predict_and_train(0x40, taken) != taken:
+                misses += 1
+        assert misses / 4000 < 0.12

@@ -1,0 +1,66 @@
+"""Tests for gshare."""
+
+import pytest
+
+from repro.common.bitops import mask
+from repro.predictors.gshare import GsharePredictor, gshare_index
+
+
+class TestGshareIndex:
+    def test_in_range(self):
+        for pc in (0x0, 0x400, 0xFFFF_FFFC):
+            for window in (0, 0b1011, mask(14)):
+                index = gshare_index(pc, window, 14, 12)
+                assert 0 <= index < (1 << 12)
+
+    def test_history_changes_index(self):
+        a = gshare_index(0x400, 0b0000, 8, 10)
+        b = gshare_index(0x400, 0b1111, 8, 10)
+        assert a != b
+
+
+class TestGshare:
+    def test_learns_history_pattern(self):
+        """gshare distinguishes contexts a bimodal predictor cannot."""
+        predictor = GsharePredictor(log_entries=12, history_length=8)
+        # Alternating T/N on one PC: the history disambiguates perfectly.
+        misses = 0
+        for i in range(2000):
+            taken = bool(i % 2)
+            if predictor.predict_and_train(0x40, taken) != taken:
+                misses += 1
+        assert misses / 2000 < 0.05
+
+    def test_learns_constant(self):
+        predictor = GsharePredictor(log_entries=10, history_length=6)
+        for _ in range(200):
+            predictor.predict_and_train(0x80, True)
+        assert predictor.predict(0x80) is True
+
+    def test_last_counter_exposed(self):
+        predictor = GsharePredictor(log_entries=8, history_length=4)
+        predictor.predict(0x40)
+        assert predictor.last_counter == 2
+
+    def test_history_advances_on_train(self):
+        predictor = GsharePredictor(log_entries=8, history_length=4)
+        predictor.predict_and_train(0x40, True)
+        assert predictor.history.window(1) == 1
+
+    def test_storage_bits(self):
+        assert GsharePredictor(log_entries=14).storage_bits() == (1 << 14) * 2
+
+    def test_reset(self):
+        predictor = GsharePredictor(log_entries=8, history_length=4)
+        for _ in range(16):
+            predictor.predict_and_train(0x40, False)
+        predictor.reset()
+        predictor.predict(0x40)
+        assert predictor.last_counter == 2
+        assert predictor.history.window(4) == 0
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            GsharePredictor(log_entries=0)
+        with pytest.raises(ValueError):
+            GsharePredictor(history_length=0)

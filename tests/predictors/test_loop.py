@@ -1,0 +1,158 @@
+"""Tests for the loop predictor and L-TAGE."""
+
+import pytest
+
+from repro.common.bitops import mask
+from repro.predictors.tage.config import TageConfig
+from repro.predictors.tage.loop import LoopPredictor, LtagePredictor
+from repro.traces.kernels import BiasedKernel, LoopKernel
+
+
+def drive_loop(predictor: LoopPredictor, pc: int, trip: int, laps: int,
+               tage_misses_exits: bool = True):
+    """Feed `laps` complete loop executions (trip-1 takens + one exit).
+
+    Mimics reality: the main predictor mispredicts at loop *exits*
+    (when at all), so allocation opportunities carry taken=False and the
+    loop-continuing direction is inferred as True.
+    """
+    for _ in range(laps):
+        for iteration in range(trip):
+            taken = iteration < trip - 1
+            predictor.update(
+                pc, taken, tage_mispredicted=tage_misses_exits and not taken
+            )
+
+
+class TestLoopPredictor:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            LoopPredictor(log_entries=0)
+        with pytest.raises(ValueError):
+            LoopPredictor(tag_bits=0)
+        with pytest.raises(ValueError):
+            LoopPredictor(confidence_threshold=0)
+        with pytest.raises(ValueError):
+            LoopPredictor(max_iter_bits=0)
+
+    def test_learns_constant_trip_count(self):
+        predictor = LoopPredictor(confidence_threshold=3)
+        pc = 0x4000
+        drive_loop(predictor, pc, trip=7, laps=5)
+        assert predictor.confident(pc)
+        # Walk one more lap checking every prediction.
+        for iteration in range(7):
+            valid, prediction = predictor.lookup(pc)
+            assert valid
+            expected = iteration < 6  # exit on the 7th
+            assert prediction == expected, iteration
+            predictor.update(pc, expected, tage_mispredicted=False)
+
+    def test_not_confident_before_threshold(self):
+        predictor = LoopPredictor(confidence_threshold=3)
+        pc = 0x4000
+        drive_loop(predictor, pc, trip=5, laps=2)  # 1 confirmation only
+        valid, _ = predictor.lookup(pc)
+        assert not valid
+
+    def test_varying_trip_count_never_confident(self):
+        predictor = LoopPredictor(confidence_threshold=3)
+        pc = 0x4000
+        for trip in (4, 6, 4, 6, 4, 6, 4, 6):
+            drive_loop(predictor, pc, trip=trip, laps=1)
+        assert not predictor.confident(pc)
+
+    def test_no_allocation_without_tage_miss(self):
+        predictor = LoopPredictor()
+        pc = 0x4000
+        drive_loop(predictor, pc, trip=5, laps=6, tage_misses_exits=False)
+        assert not predictor.confident(pc)
+
+    def test_allocation_infers_loop_direction(self):
+        """Allocation at an exit records the opposite (loop-continuing)
+        direction."""
+        predictor = LoopPredictor()
+        pc = 0x4000
+        predictor.update(pc, False, tage_mispredicted=True)  # exit miss
+        entry = predictor._entries[predictor._index(pc)]
+        assert entry.direction is True
+
+    def test_overflow_resets_entry(self):
+        predictor = LoopPredictor(max_iter_bits=3, confidence_threshold=1)  # max 7 iters
+        pc = 0x4000
+        predictor.update(pc, False, tage_mispredicted=True)  # allocate, direction=True
+        for _ in range(20):  # loops forever -> iteration counter overflow
+            predictor.update(pc, True, tage_mispredicted=False)
+        assert not predictor.confident(pc)
+
+    def test_broken_loop_drops_confidence(self):
+        predictor = LoopPredictor(confidence_threshold=2)
+        pc = 0x4000
+        drive_loop(predictor, pc, trip=6, laps=4)
+        assert predictor.confident(pc)
+        drive_loop(predictor, pc, trip=9, laps=1)  # trip changed
+        assert not predictor.confident(pc)
+
+    def test_storage_bits_positive(self):
+        assert LoopPredictor().storage_bits() > 0
+
+    def test_reset(self):
+        predictor = LoopPredictor(confidence_threshold=1)
+        drive_loop(predictor, 0x4000, trip=4, laps=4)
+        predictor.reset()
+        assert not predictor.confident(0x4000)
+
+
+class TestLtagePredictor:
+    def run_kernel(self, predictor, kernel, n=6000, warmup=2000, pc=0x400100):
+        ghist = 0
+        misses = 0
+        for i in range(n):
+            taken = kernel.next_outcome(ghist)
+            ghist = ((ghist << 1) | int(taken)) & mask(32)
+            prediction = predictor.predict(pc)
+            if i >= warmup and prediction != taken:
+                misses += 1
+            predictor.train(pc, taken)
+        return misses / (n - warmup)
+
+    def test_predicts_long_loop_beyond_tage_history(self):
+        """The loop predictor captures a trip count beyond max_history,
+        which TAGE alone cannot."""
+        trip = 200  # far beyond the small preset's 80-bit history
+        tage_only = self.run_kernel(
+            LtagePredictor(TageConfig.small(), LoopPredictor(log_entries=1)), LoopKernel(trip)
+        )
+        # Disable the loop component by making it unconfident forever.
+        ltage = LtagePredictor(TageConfig.small())
+        ltage_rate = self.run_kernel(ltage, LoopKernel(trip))
+        assert ltage_rate < 0.01
+        assert ltage.loop.confident(0x400100)
+
+    def test_storage_includes_loop_predictor(self):
+        predictor = LtagePredictor(TageConfig.small())
+        assert predictor.storage_bits() == 16 * 1024 + predictor.loop.storage_bits()
+
+    def test_observation_record_available(self):
+        predictor = LtagePredictor(TageConfig.small())
+        predictor.predict(0x40)
+        assert predictor.last_prediction.pc == 0x40
+        predictor.train(0x40, True)
+
+    def test_loop_override_flag(self):
+        predictor = LtagePredictor(TageConfig.small())
+        self.run_kernel(predictor, LoopKernel(50), n=3000, warmup=0)
+        predictor.predict(0x400100)
+        assert predictor.last_loop_override
+        predictor.train(0x400100, True)
+
+    def test_no_regression_on_biased_branch(self):
+        predictor = LtagePredictor(TageConfig.small())
+        rate = self.run_kernel(predictor, BiasedKernel(p_taken=0.99, seed=2))
+        assert rate < 0.03
+
+    def test_reset(self):
+        predictor = LtagePredictor(TageConfig.small())
+        self.run_kernel(predictor, LoopKernel(10), n=1000, warmup=0)
+        predictor.reset()
+        assert not predictor.last_loop_override

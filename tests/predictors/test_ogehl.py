@@ -1,0 +1,96 @@
+"""Tests for O-GEHL and the geometric history length series."""
+
+import pytest
+
+from repro.predictors.ogehl import OgehlPredictor, geometric_history_lengths
+
+
+class TestGeometricSeries:
+    def test_endpoints(self):
+        lengths = geometric_history_lengths(5, 130, 7)
+        assert lengths[0] == 5
+        assert lengths[-1] == 130
+
+    def test_strictly_increasing(self):
+        for minimum, maximum, count in ((3, 80, 4), (5, 130, 7), (5, 300, 8), (2, 9, 8)):
+            lengths = geometric_history_lengths(minimum, maximum, count)
+            assert len(lengths) == count
+            assert all(b > a for a, b in zip(lengths, lengths[1:]))
+
+    def test_single_table(self):
+        assert geometric_history_lengths(7, 100, 1) == [7]
+
+    def test_geometric_growth(self):
+        lengths = geometric_history_lengths(5, 320, 7)
+        ratios = [b / a for a, b in zip(lengths, lengths[1:])]
+        assert all(1.5 < r < 2.8 for r in ratios)
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            geometric_history_lengths(0, 10, 3)
+        with pytest.raises(ValueError):
+            geometric_history_lengths(10, 5, 3)
+        with pytest.raises(ValueError):
+            geometric_history_lengths(1, 10, 0)
+
+
+class TestOgehl:
+    def test_learns_constant(self):
+        predictor = OgehlPredictor(n_tables=4, log_entries=8, max_history=40)
+        for _ in range(300):
+            predictor.predict_and_train(0x40, True)
+        assert predictor.predict(0x40) is True
+
+    def test_learns_alternation(self):
+        predictor = OgehlPredictor(n_tables=6, log_entries=8, max_history=60)
+        misses = 0
+        for i in range(3000):
+            taken = bool(i % 2)
+            if predictor.predict_and_train(0x40, taken) != taken:
+                misses += 1
+        assert misses / 3000 < 0.05
+
+    def test_learns_loop_exit(self):
+        predictor = OgehlPredictor(n_tables=6, log_entries=8, min_history=2, max_history=60)
+        misses = 0
+        n = 4000
+        for i in range(n):
+            taken = (i % 7) != 6  # trip-7 loop
+            if predictor.predict_and_train(0x40, taken) != taken:
+                misses += 1
+        assert misses / n < 0.05
+
+    def test_adaptive_threshold_moves(self):
+        predictor = OgehlPredictor(n_tables=4, log_entries=6, max_history=30)
+        initial = predictor.threshold
+        import random
+
+        rng = random.Random(1)
+        for _ in range(3000):
+            predictor.predict_and_train(0x40, rng.random() < 0.5)
+        assert predictor.threshold != initial
+
+    def test_self_confidence_signal(self):
+        predictor = OgehlPredictor(n_tables=4, log_entries=8, max_history=40)
+        for _ in range(500):
+            predictor.predict_and_train(0x40, True)
+        predictor.predict(0x40)
+        assert predictor.last_prediction_is_high_confidence()
+
+    def test_storage_bits(self):
+        predictor = OgehlPredictor(n_tables=8, log_entries=10, counter_bits=4)
+        assert predictor.storage_bits() == 8 * 1024 * 4
+
+    def test_reset(self):
+        predictor = OgehlPredictor(n_tables=4, log_entries=6, max_history=30)
+        for _ in range(200):
+            predictor.predict_and_train(0x40, False)
+        predictor.reset()
+        predictor.predict(0x40)
+        assert abs(predictor.last_sum) <= predictor.n_tables
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            OgehlPredictor(n_tables=1)
+        with pytest.raises(ValueError):
+            OgehlPredictor(log_entries=0)

@@ -1,0 +1,106 @@
+"""Tests for the 3-bit counter automata (standard and §6 probabilistic)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.predictors.tage.automaton import (
+    ProbabilisticSaturationAutomaton,
+    StandardAutomaton,
+)
+
+
+class TestStandardAutomaton:
+    def test_full_ladder(self):
+        automaton = StandardAutomaton(ctr_bits=3)
+        ctr = 0
+        for expected in (1, 2, 3, 3):
+            ctr = automaton.update(ctr, True)
+            assert ctr == expected
+        for expected in (2, 1, 0, -1, -2, -3, -4, -4):
+            ctr = automaton.update(ctr, False)
+            assert ctr == expected
+
+    def test_bounds(self):
+        automaton = StandardAutomaton(ctr_bits=3)
+        assert automaton.ctr_max == 3
+        assert automaton.ctr_min == -4
+
+    def test_invalid_width(self):
+        with pytest.raises(ValueError):
+            StandardAutomaton(ctr_bits=1)
+
+    @given(st.integers(min_value=-4, max_value=3), st.booleans())
+    def test_one_step_in_range(self, ctr, taken):
+        automaton = StandardAutomaton(ctr_bits=3)
+        new = automaton.update(ctr, taken)
+        assert -4 <= new <= 3
+        assert abs(new - ctr) <= 1
+
+
+class TestProbabilisticAutomaton:
+    def test_gates_only_saturating_transitions(self):
+        """Non-saturating transitions behave exactly like the standard
+        automaton."""
+        automaton = ProbabilisticSaturationAutomaton(ctr_bits=3, sat_prob_log2=7, seed=1)
+        for ctr in (-4, -3, -2, -1, 0, 1):
+            assert automaton.update(ctr, True) == ctr + 1
+        for ctr in (3, 2, 1, 0, -1, -2):
+            assert automaton.update(ctr, False) == ctr - 1
+
+    def test_saturation_is_rare(self):
+        """From ctr=2, a taken outcome saturates ~1/128 of the time."""
+        automaton = ProbabilisticSaturationAutomaton(ctr_bits=3, sat_prob_log2=7, seed=3)
+        saturations = sum(automaton.update(2, True) == 3 for _ in range(20_000))
+        assert 40 < saturations < 320  # expected ~156
+
+    def test_negative_side_symmetric(self):
+        automaton = ProbabilisticSaturationAutomaton(ctr_bits=3, sat_prob_log2=7, seed=3)
+        saturations = sum(automaton.update(-3, False) == -4 for _ in range(20_000))
+        assert 40 < saturations < 320
+
+    def test_probability_one(self):
+        automaton = ProbabilisticSaturationAutomaton(ctr_bits=3, sat_prob_log2=0, seed=3)
+        assert automaton.update(2, True) == 3
+        assert automaton.update(-3, False) == -4
+
+    def test_already_saturated_stays(self):
+        automaton = ProbabilisticSaturationAutomaton(ctr_bits=3, sat_prob_log2=2, seed=3)
+        assert automaton.update(3, True) == 3
+        assert automaton.update(-4, False) == -4
+
+    def test_probability_property(self):
+        assert ProbabilisticSaturationAutomaton(3, 7).saturation_probability == 1 / 128
+        assert ProbabilisticSaturationAutomaton(3, 4).saturation_probability == 1 / 16
+
+    def test_mutable_probability(self):
+        automaton = ProbabilisticSaturationAutomaton(ctr_bits=3, sat_prob_log2=10, seed=3)
+        automaton.sat_prob_log2 = 0
+        assert automaton.update(2, True) == 3
+
+    def test_deterministic_given_seed(self):
+        a = ProbabilisticSaturationAutomaton(3, 5, seed=42)
+        b = ProbabilisticSaturationAutomaton(3, 5, seed=42)
+        sequence_a = [a.update(2, True) for _ in range(512)]
+        sequence_b = [b.update(2, True) for _ in range(512)]
+        assert sequence_a == sequence_b
+
+    def test_reset_replays(self):
+        automaton = ProbabilisticSaturationAutomaton(3, 5, seed=42)
+        first = [automaton.update(2, True) for _ in range(256)]
+        automaton.reset()
+        assert [automaton.update(2, True) for _ in range(256)] == first
+
+    def test_invalid_probability(self):
+        with pytest.raises(ValueError):
+            ProbabilisticSaturationAutomaton(3, sat_prob_log2=-1)
+        with pytest.raises(ValueError):
+            ProbabilisticSaturationAutomaton(3, sat_prob_log2=21)
+
+    @given(st.integers(min_value=-8, max_value=7), st.booleans())
+    @settings(max_examples=60)
+    def test_4bit_one_step_in_range(self, ctr, taken):
+        automaton = ProbabilisticSaturationAutomaton(ctr_bits=4, sat_prob_log2=3, seed=9)
+        new = automaton.update(ctr, taken)
+        assert -8 <= new <= 7
+        assert abs(new - ctr) <= 1

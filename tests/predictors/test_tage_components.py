@@ -1,0 +1,124 @@
+"""Tests for TAGE table components."""
+
+import pytest
+
+from repro.predictors.tage.components import BimodalTable, TaggedComponent
+
+
+class TestBimodalTable:
+    def test_initial_state_weak_taken(self):
+        table = BimodalTable(log_entries=6)
+        assert table.read(0x40) == BimodalTable.WEAK_TAKEN
+        assert BimodalTable.taken(table.read(0x40))
+        assert BimodalTable.is_weak(table.read(0x40))
+
+    def test_update_saturates(self):
+        table = BimodalTable(log_entries=6)
+        for _ in range(5):
+            table.update(0x40, True)
+        assert table.read(0x40) == 3
+        for _ in range(6):
+            table.update(0x40, False)
+        assert table.read(0x40) == 0
+
+    def test_weakness_classification(self):
+        assert not BimodalTable.is_weak(0)
+        assert BimodalTable.is_weak(1)
+        assert BimodalTable.is_weak(2)
+        assert not BimodalTable.is_weak(3)
+
+    def test_storage(self):
+        assert BimodalTable(log_entries=12).storage_bits() == 8192
+
+    def test_reset(self):
+        table = BimodalTable(log_entries=4)
+        table.update(0x0, True)
+        table.reset()
+        assert table.read(0x0) == BimodalTable.WEAK_TAKEN
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            BimodalTable(log_entries=0)
+
+
+def make_component(**overrides):
+    params = dict(
+        table_number=1, log_entries=8, tag_bits=9, ctr_bits=3,
+        u_bits=2, history_length=20,
+    )
+    params.update(overrides)
+    return TaggedComponent(**params)
+
+
+class TestTaggedComponent:
+    def test_sizes(self):
+        component = make_component()
+        assert len(component.ctr) == 256
+        assert len(component.tag) == 256
+        assert len(component.u) == 256
+
+    def test_storage(self):
+        component = make_component()
+        assert component.storage_bits() == 256 * (3 + 9 + 2)
+
+    def test_index_and_tag_in_range(self):
+        component = make_component()
+        for i in range(300):
+            component.update_folded_histories(i & 1, (i >> 2) & 1)
+            index = component.compute_index(0x40_0000 + 4 * i, path_history=i)
+            tag = component.compute_tag(0x40_0000 + 4 * i)
+            assert 0 <= index < 256
+            assert 0 <= tag < 512
+
+    def test_index_depends_on_history(self):
+        component = make_component()
+        before = component.compute_index(0x400, 0)
+        for _ in range(10):
+            component.update_folded_histories(1, 0)
+        after = component.compute_index(0x400, 0)
+        assert before != after or component.compute_tag(0x400) != 0
+
+    def test_tag_differs_from_index_hash(self):
+        """The two hashes must decorrelate: equal indices should not force
+        equal tags across a PC sweep."""
+        component = make_component()
+        for _ in range(37):
+            component.update_folded_histories(1, 0)
+        pairs = {(component.compute_index(pc, 0), component.compute_tag(pc))
+                 for pc in range(0x400, 0x800, 4)}
+        indices = {index for index, _ in pairs}
+        tags = {tag for _, tag in pairs}
+        assert len(tags) > 4
+        assert len(indices) > 4
+
+    def test_allocate(self):
+        component = make_component()
+        component.allocate(index=5, tag=0x33, taken=True)
+        assert component.ctr[5] == 0  # weak taken
+        assert component.tag[5] == 0x33
+        assert component.u[5] == 0
+        component.allocate(index=6, tag=0x34, taken=False)
+        assert component.ctr[6] == -1  # weak not taken
+
+    def test_age_useful_counters(self):
+        component = make_component()
+        component.u[3] = 3
+        component.u[4] = 1
+        component.age_useful_counters()
+        assert component.u[3] == 1
+        assert component.u[4] == 0
+
+    def test_reset(self):
+        component = make_component()
+        component.allocate(0, 0x1, True)
+        component.update_folded_histories(1, 0)
+        component.reset()
+        assert component.ctr[0] == 0
+        assert component.tag[0] == 0
+        assert component.compute_index(0x400, 0) == component.compute_index(0x400, 0)
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            make_component(table_number=0)
+        with pytest.raises(ValueError):
+            make_component(tag_bits=1)

@@ -1,0 +1,112 @@
+"""Tests for TAGE configuration and the paper's Table 1 presets."""
+
+import pytest
+
+from repro.predictors.tage.config import (
+    AUTOMATON_PROBABILISTIC,
+    AUTOMATON_STANDARD,
+    TageConfig,
+)
+
+
+class TestPresets:
+    """Paper Table 1: budgets, table counts, history spans."""
+
+    def test_small_matches_table1(self):
+        config = TageConfig.small()
+        assert config.n_tagged == 4
+        assert config.min_history == 3
+        assert config.max_history == 80
+        assert config.storage_bits() <= 16 * 1024
+        assert config.storage_bits() >= int(0.85 * 16 * 1024)
+
+    def test_medium_matches_table1(self):
+        config = TageConfig.medium()
+        assert config.n_tagged == 7
+        assert config.min_history == 5
+        assert config.max_history == 130
+        assert config.storage_bits() <= 64 * 1024
+        assert config.storage_bits() >= int(0.85 * 64 * 1024)
+
+    def test_large_matches_table1(self):
+        config = TageConfig.large()
+        assert config.n_tagged == 8
+        assert config.min_history == 5
+        assert config.max_history == 300
+        assert config.storage_bits() <= 256 * 1024
+        assert config.storage_bits() >= int(0.85 * 256 * 1024)
+
+    def test_exact_budgets(self):
+        """Our presets hit the budgets exactly."""
+        assert TageConfig.small().storage_bits() == 16 * 1024
+        assert TageConfig.medium().storage_bits() == 64 * 1024
+        assert TageConfig.large().storage_bits() == 256 * 1024
+
+    def test_preset_lookup(self):
+        assert TageConfig.preset("16K").name == "TAGE-16K"
+        assert TageConfig.preset("64K").n_tagged == 7
+        with pytest.raises(KeyError):
+            TageConfig.preset("1M")
+
+    def test_preset_overrides(self):
+        config = TageConfig.medium(ctr_bits=4)
+        assert config.ctr_bits == 4
+        assert config.n_tagged == 7
+
+
+class TestHistoryLengths:
+    def test_geometric_series_endpoints(self):
+        for config in (TageConfig.small(), TageConfig.medium(), TageConfig.large()):
+            assert config.history_lengths[0] == config.min_history
+            assert config.history_lengths[-1] == config.max_history
+            assert len(config.history_lengths) == config.n_tagged
+
+    def test_strictly_increasing(self):
+        for config in (TageConfig.small(), TageConfig.medium(), TageConfig.large()):
+            lengths = config.history_lengths
+            assert all(b > a for a, b in zip(lengths, lengths[1:]))
+
+
+class TestValidation:
+    def test_bad_automaton(self):
+        with pytest.raises(ValueError):
+            TageConfig.medium(automaton="magic")
+
+    def test_bad_history_span(self):
+        with pytest.raises(ValueError):
+            TageConfig(
+                name="x", n_tagged=4, log_bimodal=10, log_tagged=8,
+                tag_bits=8, min_history=10, max_history=5,
+            )
+
+    def test_bad_counts(self):
+        with pytest.raises(ValueError):
+            TageConfig.medium(n_tagged=0)
+        with pytest.raises(ValueError):
+            TageConfig.medium(ctr_bits=1)
+        with pytest.raises(ValueError):
+            TageConfig.medium(u_bits=0)
+        with pytest.raises(ValueError):
+            TageConfig.medium(u_reset_period=0)
+        with pytest.raises(ValueError):
+            TageConfig.medium(sat_prob_log2=-1)
+        with pytest.raises(ValueError):
+            TageConfig.medium(allocation_policy="lifo")
+
+    def test_automaton_constants(self):
+        assert AUTOMATON_STANDARD == "standard"
+        assert AUTOMATON_PROBABILISTIC == "probabilistic"
+
+
+class TestDerived:
+    def test_tagged_entry_bits(self):
+        config = TageConfig.medium()
+        assert config.tagged_entry_bits() == 3 + 11 + 2
+
+    def test_with_probabilistic_automaton(self):
+        config = TageConfig.medium().with_probabilistic_automaton(sat_prob_log2=4)
+        assert config.automaton == AUTOMATON_PROBABILISTIC
+        assert config.sat_prob_log2 == 4
+        assert "prob16" in config.name
+        # The source preset is unchanged (frozen dataclass semantics).
+        assert TageConfig.medium().automaton == AUTOMATON_STANDARD

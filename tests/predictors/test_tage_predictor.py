@@ -1,0 +1,194 @@
+"""Behavioural tests for the full TAGE predictor."""
+
+import pytest
+
+from repro.common.bitops import mask
+from repro.predictors.base import PredictorError
+from repro.predictors.tage.config import TageConfig
+from repro.predictors.tage.predictor import TagePredictor
+from repro.traces.kernels import HistoryParityKernel, LoopKernel, PatternKernel
+
+
+def run_kernel(predictor, kernel, n=8000, warmup=2000, pc=0x400100):
+    """Drive a single branch by a kernel; return post-warmup miss rate."""
+    ghist = 0
+    misses = 0
+    for i in range(n):
+        taken = kernel.next_outcome(ghist)
+        ghist = ((ghist << 1) | int(taken)) & mask(32)
+        prediction = predictor.predict(pc)
+        if i >= warmup and prediction != taken:
+            misses += 1
+        predictor.train(pc, taken)
+    return misses / (n - warmup)
+
+
+class TestLearning:
+    """TAGE must learn the canonical pattern families near-perfectly."""
+
+    @pytest.mark.parametrize("depth", [4, 8, 12])
+    def test_learns_history_parity(self, depth, medium_tage):
+        assert run_kernel(medium_tage, HistoryParityKernel(depth=depth)) < 0.02
+
+    @pytest.mark.parametrize("trip", [3, 10, 40])
+    def test_learns_loop_exits(self, trip, medium_tage):
+        assert run_kernel(medium_tage, LoopKernel(trip_count=trip)) < 0.02
+
+    def test_learns_pattern(self, medium_tage):
+        assert run_kernel(medium_tage, PatternKernel((1, 1, 0, 1, 0, 0))) < 0.02
+
+    def test_small_predictor_learns_short_loop(self, small_tage):
+        assert run_kernel(small_tage, LoopKernel(trip_count=6)) < 0.03
+
+    def test_loop_beyond_history_is_hard_for_small(self):
+        """A trip count beyond max_history cannot be fully learned."""
+        predictor = TagePredictor(TageConfig.small())  # max history 80
+        rate = run_kernel(predictor, LoopKernel(trip_count=120), n=12000, warmup=4000)
+        assert rate > 0.004
+
+    def test_biased_branch_near_ideal(self, medium_tage):
+        from repro.traces.kernels import BiasedKernel
+
+        rate = run_kernel(medium_tage, BiasedKernel(p_taken=0.99, seed=3))
+        assert rate < 0.02
+
+
+class TestMechanics:
+    def test_storage_matches_config(self):
+        for config in (TageConfig.small(), TageConfig.medium(), TageConfig.large()):
+            assert TagePredictor(config).storage_bits() == config.storage_bits()
+
+    def test_first_prediction_from_bimodal(self, medium_tage):
+        medium_tage.predict(0x400)
+        details = medium_tage.last_prediction
+        assert details.provider == 0
+        assert details.provider_is_bimodal
+        assert details.prediction == (details.bimodal_ctr >= 2)
+
+    def test_train_pc_mismatch_raises(self, medium_tage):
+        medium_tage.predict(0x400)
+        with pytest.raises(PredictorError):
+            medium_tage.train(0x404, True)
+
+    def test_allocation_after_bimodal_miss(self, medium_tage):
+        """A bimodal misprediction allocates exactly one tagged entry."""
+        # Saturate bimodal toward taken, then force a miss.
+        for _ in range(4):
+            medium_tage.predict_and_train(0x400, True)
+        occupancy_before = sum(
+            sum(1 for u_entry, tag in zip(c.u, c.tag) if tag != 0 or u_entry != 0)
+            for c in medium_tage.components
+        )
+        total_ctr_before = sum(sum(1 for x in c.ctr if x != 0) for c in medium_tage.components)
+        medium_tage.predict_and_train(0x400, False)  # mispredict
+        total_ctr_after = sum(sum(1 for x in c.ctr if x != 0) for c in medium_tage.components)
+        # Exactly one new entry initialized to weak not-taken (ctr = -1).
+        assert total_ctr_after == total_ctr_before + 1
+
+    def test_newly_allocated_entry_is_weak(self, medium_tage):
+        for _ in range(4):
+            medium_tage.predict_and_train(0x400, True)
+        medium_tage.predict_and_train(0x400, False)
+        medium_tage.predict(0x400)
+        details = medium_tage.last_prediction
+        if details.provider > 0:  # the allocated entry now provides
+            assert details.weak_provider
+
+    def test_use_alt_on_na_moves(self):
+        """USE_ALT_ON_NA reacts to whether alternates beat weak entries."""
+        predictor = TagePredictor(TageConfig.medium())
+        initial = predictor.use_alt_on_na
+        kernel = HistoryParityKernel(depth=6)
+        run_kernel(predictor, kernel, n=3000, warmup=0)
+        # The counter is bounded by its 4-bit range whatever happened.
+        assert -8 <= predictor.use_alt_on_na <= 7
+        assert initial == 0
+
+    def test_u_reset_ages_counters(self):
+        config = TageConfig.small(u_reset_period=64)
+        predictor = TagePredictor(config)
+        kernel = HistoryParityKernel(depth=5)
+        run_kernel(predictor, kernel, n=63, warmup=0)
+        # Plant a useful counter, cross the period boundary, observe decay.
+        predictor.components[0].u[7] = 3
+        run_kernel(predictor, kernel, n=1, warmup=0)
+        assert predictor.components[0].u[7] == 1
+
+    def test_saturation_probability_control(self):
+        predictor = TagePredictor(TageConfig.medium().with_probabilistic_automaton())
+        assert predictor.saturation_probability_log2 == 7
+        predictor.saturation_probability_log2 = 4
+        assert predictor.saturation_probability_log2 == 4
+        with pytest.raises(ValueError):
+            predictor.saturation_probability_log2 = 99
+
+    def test_saturation_probability_requires_probabilistic(self, medium_tage):
+        with pytest.raises(PredictorError):
+            _ = medium_tage.saturation_probability_log2
+        with pytest.raises(PredictorError):
+            medium_tage.saturation_probability_log2 = 3
+
+    def test_reset_restores_initial_behaviour(self):
+        predictor = TagePredictor(TageConfig.small())
+        kernel = HistoryParityKernel(depth=5, seed=1)
+        first = run_kernel(predictor, kernel, n=2000, warmup=0)
+        predictor.reset()
+        kernel.reset()
+        second = run_kernel(predictor, kernel, n=2000, warmup=0)
+        assert first == second
+
+    def test_deterministic_across_instances(self, int1_trace):
+        a = TagePredictor(TageConfig.small())
+        b = TagePredictor(TageConfig.small())
+        outcomes_a = [a.predict_and_train(pc, t == 1) for pc, t in
+                      zip(int1_trace.pcs[:3000], int1_trace.takens[:3000])]
+        outcomes_b = [b.predict_and_train(pc, t == 1) for pc, t in
+                      zip(int1_trace.pcs[:3000], int1_trace.takens[:3000])]
+        assert outcomes_a == outcomes_b
+
+    def test_first_free_allocation_policy(self):
+        config = TageConfig.small(allocation_policy="first-free")
+        predictor = TagePredictor(config)
+        rate = run_kernel(predictor, HistoryParityKernel(depth=6), n=4000, warmup=1500)
+        assert rate < 0.05
+
+    def test_update_alt_when_u_zero_variant(self):
+        config = TageConfig.small(update_alt_when_u_zero=True)
+        predictor = TagePredictor(config)
+        rate = run_kernel(predictor, LoopKernel(trip_count=8), n=4000, warmup=1500)
+        assert rate < 0.05
+
+    def test_wider_counters(self):
+        config = TageConfig.medium(ctr_bits=4)
+        predictor = TagePredictor(config)
+        rate = run_kernel(predictor, HistoryParityKernel(depth=6), n=4000, warmup=1500)
+        assert rate < 0.05
+        for component in predictor.components:
+            assert all(-8 <= c <= 7 for c in component.ctr)
+
+
+class TestInvariants:
+    def test_counters_stay_in_range_on_real_trace(self, int1_trace, small_tage):
+        for pc, taken_byte in zip(int1_trace.pcs[:4000], int1_trace.takens[:4000]):
+            small_tage.predict_and_train(pc, taken_byte == 1)
+        for component in small_tage.components:
+            assert all(-4 <= ctr <= 3 for ctr in component.ctr)
+            assert all(0 <= u <= 3 for u in component.u)
+            assert all(0 <= tag < (1 << small_tage.config.tag_bits) for tag in component.tag)
+        assert all(0 <= ctr <= 3 for ctr in small_tage.bimodal.counters)
+
+    def test_provider_fields_consistent(self, int1_trace, medium_tage):
+        for pc, taken_byte in zip(int1_trace.pcs[:2000], int1_trace.takens[:2000]):
+            medium_tage.predict(pc)
+            details = medium_tage.last_prediction
+            assert 0 <= details.provider <= medium_tage.n_tagged
+            assert 0 <= details.alt_provider <= medium_tage.n_tagged
+            if details.provider > 0:
+                assert details.alt_provider < details.provider
+                assert details.provider_pred == (details.provider_ctr >= 0)
+            else:
+                assert not details.used_alt
+            if details.used_alt:
+                assert details.prediction == details.altpred
+                assert details.weak_provider
+            medium_tage.train(pc, taken_byte == 1)

@@ -1,0 +1,60 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_run_trace_defaults(self):
+        args = build_parser().parse_args(["run-trace", "FP-1"])
+        assert args.size == "64K"
+        assert args.automaton == "standard"
+
+    def test_bad_size_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run-trace", "FP-1", "--size", "2M"])
+
+
+class TestCommands:
+    def test_list_traces(self, capsys):
+        assert main(["list-traces"]) == 0
+        out = capsys.readouterr().out
+        assert "FP-1" in out and "300.twolf" in out
+
+    def test_run_trace(self, capsys):
+        assert main(["run-trace", "FP-1", "--branches", "1500", "--size", "16K"]) == 0
+        out = capsys.readouterr().out
+        assert "high-conf-bim" in out
+
+    def test_run_trace_probabilistic(self, capsys):
+        code = main([
+            "run-trace", "FP-1", "--branches", "1500", "--size", "16K",
+            "--automaton", "probabilistic", "--sat-prob-log2", "4",
+        ])
+        assert code == 0
+
+    def test_run_trace_unknown_name(self):
+        with pytest.raises(SystemExit):
+            main(["run-trace", "NOPE-1", "--branches", "100"])
+
+    def test_gen_and_inspect_roundtrip(self, tmp_path, capsys):
+        path = tmp_path / "fp1.rtrc.gz"
+        assert main(["gen-trace", "FP-1", str(path), "--branches", "1200"]) == 0
+        assert path.exists()
+        assert main(["inspect", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "FP-1" in out
+        assert "1200 branches" in out
+
+    def test_run_suite_subset_not_supported_runs_full(self, capsys):
+        # run-suite over CBP1 at a tiny branch count: exercises the whole
+        # path (20 traces) quickly.
+        assert main(["run-suite", "CBP1", "--branches", "400", "--size", "16K"]) == 0
+        out = capsys.readouterr().out
+        assert "SERV-5" in out
+        assert "three-level summary" in out

@@ -1,0 +1,128 @@
+"""Tests for the simulation engine."""
+
+import pytest
+
+from repro.confidence.classes import ConfidenceLevel, PredictionClass
+from repro.confidence.estimator import TageConfidenceEstimator
+from repro.confidence.jrs import JrsEstimator
+from repro.predictors.bimodal import BimodalPredictor
+from repro.predictors.tage.config import TageConfig
+from repro.predictors.tage.predictor import TagePredictor
+from repro.sim.engine import simulate, simulate_binary
+from repro.traces.types import Trace
+
+
+def constant_trace(n=100, taken=True):
+    return Trace("const", [0x400] * n, [int(taken)] * n, [5] * n)
+
+
+class TestSimulate:
+    def test_accuracy_counting(self, tiny_trace, small_tage):
+        result = simulate(tiny_trace, small_tage)
+        assert result.n_branches == len(tiny_trace)
+        assert result.n_instructions == tiny_trace.total_instructions
+        assert 0 <= result.mispredictions <= result.n_branches
+        assert result.classes is None
+        assert result.levels is None
+
+    def test_mpki_and_mkp(self):
+        trace = constant_trace(100)
+        predictor = BimodalPredictor(log_entries=4)
+        result = simulate(trace, predictor)
+        assert result.mpki == pytest.approx(1000 * result.mispredictions / 500)
+        assert result.mkp == pytest.approx(1000 * result.mispredictions / 100)
+        assert result.accuracy == pytest.approx(1 - result.mispredictions / 100)
+
+    def test_constant_branch_nearly_perfect(self):
+        predictor = BimodalPredictor(log_entries=4)
+        result = simulate(constant_trace(500), predictor)
+        assert result.mispredictions <= 1
+
+    def test_with_estimator_classes_populated(self, tiny_trace, small_tage):
+        estimator = TageConfidenceEstimator(small_tage)
+        result = simulate(tiny_trace, small_tage, estimator)
+        assert result.classes is not None
+        assert result.classes.total_predictions == len(tiny_trace)
+        assert result.classes.total_mispredictions == result.mispredictions
+        assert result.levels.total_predictions == len(tiny_trace)
+
+    def test_warmup_excluded_from_classes(self, tiny_trace, small_tage):
+        estimator = TageConfidenceEstimator(small_tage)
+        result = simulate(tiny_trace, small_tage, estimator, warmup_branches=500)
+        assert result.classes.total_predictions == len(tiny_trace) - 500
+        # Overall accuracy still covers the whole trace.
+        assert result.n_branches == len(tiny_trace)
+
+    def test_negative_warmup_rejected(self, tiny_trace, small_tage):
+        with pytest.raises(ValueError):
+            simulate(tiny_trace, small_tage, warmup_branches=-1)
+
+    def test_class_mpki_contributions_sum(self, tiny_trace, medium_tage):
+        estimator = TageConfidenceEstimator(medium_tage)
+        result = simulate(tiny_trace, medium_tage, estimator)
+        total = sum(result.class_mpki_contribution(cls) for cls in PredictionClass)
+        assert total == pytest.approx(result.mpki, rel=1e-9)
+
+    def test_levels_consistent_with_classes(self, tiny_trace, medium_tage):
+        estimator = TageConfidenceEstimator(medium_tage)
+        result = simulate(tiny_trace, medium_tage, estimator)
+        high = result.levels.predictions(ConfidenceLevel.HIGH)
+        assert high == (
+            result.classes.predictions(PredictionClass.HIGH_CONF_BIM)
+            + result.classes.predictions(PredictionClass.STAG)
+        )
+
+    def test_class_table_renders(self, tiny_trace, medium_tage):
+        estimator = TageConfidenceEstimator(medium_tage)
+        result = simulate(tiny_trace, medium_tage, estimator)
+        text = result.class_table()
+        assert "high-conf-bim" in text
+        assert "Wtag" in text
+
+    def test_class_table_without_estimator(self, tiny_trace, small_tage):
+        result = simulate(tiny_trace, small_tage)
+        assert "no confidence estimator" in result.class_table()
+
+    def test_controller_receives_observations(self, tiny_trace):
+        from repro.confidence.adaptive import AdaptiveSaturationController
+
+        predictor = TagePredictor(TageConfig.small().with_probabilistic_automaton())
+        estimator = TageConfidenceEstimator(predictor)
+        controller = AdaptiveSaturationController(predictor, window=200)
+        result = simulate(tiny_trace, predictor, estimator, controller)
+        assert result.final_sat_prob_log2 == predictor.saturation_probability_log2
+        assert len(controller.adjustments) >= 1
+
+    def test_storage_bits_recorded(self, tiny_trace, small_tage):
+        result = simulate(tiny_trace, small_tage)
+        assert result.storage_bits == 16 * 1024
+
+
+class TestSimulateBinary:
+    def test_confusion_totals(self, tiny_trace):
+        predictor = BimodalPredictor(log_entries=10)
+        estimator = JrsEstimator(log_entries=10)
+        metrics, result = simulate_binary(tiny_trace, predictor, estimator)
+        assert metrics.total == len(tiny_trace)
+        assert metrics.high_incorrect + metrics.low_incorrect == result.mispredictions
+
+    def test_warmup(self, tiny_trace):
+        predictor = BimodalPredictor(log_entries=10)
+        estimator = JrsEstimator(log_entries=10)
+        metrics, result = simulate_binary(
+            tiny_trace, predictor, estimator, warmup_branches=300
+        )
+        assert metrics.total == len(tiny_trace) - 300
+        assert result.n_branches == len(tiny_trace)
+
+    def test_negative_warmup(self, tiny_trace):
+        with pytest.raises(ValueError):
+            simulate_binary(tiny_trace, BimodalPredictor(), JrsEstimator(), warmup_branches=-2)
+
+    def test_jrs_confidence_tracks_predictability(self):
+        """On a constant branch JRS quickly reaches high confidence."""
+        predictor = BimodalPredictor(log_entries=8)
+        estimator = JrsEstimator(log_entries=10, history_length=4)
+        metrics, _ = simulate_binary(constant_trace(400), predictor, estimator)
+        assert metrics.high_coverage > 0.8
+        assert metrics.pvp > 0.95

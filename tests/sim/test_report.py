@@ -1,0 +1,68 @@
+"""Tests for ASCII report rendering."""
+
+import pytest
+
+from repro.sim.report import (
+    format_confidence_table,
+    format_distribution_figure,
+    format_mprate_figure,
+    format_table1,
+    render_table,
+)
+from repro.sim.runner import run_trace
+from repro.sim.stats import summarize
+
+
+@pytest.fixture(scope="module")
+def small_results():
+    from repro.traces.suites import cbp1_trace
+
+    trace = cbp1_trace("FP-1", 2000)
+    return [run_trace(trace, size="16K")]
+
+
+class TestRenderTable:
+    def test_basic_layout(self):
+        text = render_table(["a", "bb"], [["1", "2"], ["333", "4"]], title="T")
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "a" in lines[1] and "bb" in lines[1]
+        assert set(lines[2]) == {"-"}
+
+    def test_row_width_mismatch(self):
+        with pytest.raises(ValueError):
+            render_table(["a"], [["1", "2"]])
+
+    def test_non_string_cells(self):
+        text = render_table(["x"], [[42]])
+        assert "42" in text
+
+
+class TestPaperFormats:
+    def test_table1(self, small_results):
+        summaries = {("16K", "CBP1"): summarize(small_results)}
+        text = format_table1(
+            summaries,
+            storage_bits={"16K": 16384},
+            history_lengths={"16K": (3, 8, 27, 80)},
+        )
+        assert "Table 1" in text
+        assert "16K" in text
+        assert "1 + 4" in text
+
+    def test_distribution_figure(self, small_results):
+        text = format_distribution_figure(small_results, title="Figure 2 (16K)")
+        assert "Figure 2" in text
+        assert "FP-1" in text
+        assert "high-conf-bim%" in text
+
+    def test_mprate_figure(self, small_results):
+        text = format_mprate_figure(small_results, title="Figure 4")
+        assert "FP-1" in text
+        assert "average" in text
+
+    def test_confidence_table(self, small_results):
+        summaries = {("16K", "CBP1"): summarize(small_results)}
+        text = format_confidence_table(summaries, title="Table 2")
+        assert "16K CBP1" in text
+        assert text.count("(") >= 3

@@ -1,0 +1,67 @@
+"""Tests for the suite/config sweep runner."""
+
+import pytest
+
+from repro.predictors.tage.config import AUTOMATON_PROBABILISTIC
+from repro.sim.runner import build_predictor, run_suite, run_trace, suite_traces
+
+
+class TestBuildPredictor:
+    def test_presets(self):
+        assert build_predictor("16K").storage_bits() == 16 * 1024
+        assert build_predictor("64K").storage_bits() == 64 * 1024
+        assert build_predictor("256K").storage_bits() == 256 * 1024
+
+    def test_automaton_selection(self):
+        predictor = build_predictor("16K", automaton=AUTOMATON_PROBABILISTIC, sat_prob_log2=4)
+        assert predictor.saturation_probability_log2 == 4
+
+    def test_overrides(self):
+        predictor = build_predictor("16K", ctr_bits=4)
+        assert predictor.config.ctr_bits == 4
+
+    def test_unknown_size(self):
+        with pytest.raises(KeyError):
+            build_predictor("2M")
+
+
+class TestSuiteTraces:
+    def test_subset_and_order(self):
+        traces = suite_traces("CBP1", n_branches=400, names=("MM-1", "FP-1"))
+        assert [trace.name for trace in traces] == ["MM-1", "FP-1"]
+
+    def test_cbp2(self):
+        traces = suite_traces("CBP2", n_branches=400, names=("252.eon",))
+        assert traces[0].name == "252.eon"
+
+    def test_unknown_suite(self):
+        with pytest.raises(KeyError):
+            suite_traces("CBP3")
+
+
+class TestRunTrace:
+    def test_produces_class_breakdown(self, tiny_trace):
+        result = run_trace(tiny_trace, size="16K")
+        assert result.classes is not None
+        assert result.classes.total_predictions == len(tiny_trace)
+
+    def test_adaptive_forces_probabilistic(self, tiny_trace):
+        result = run_trace(tiny_trace, size="16K", adaptive=True)
+        assert result.final_sat_prob_log2 is not None
+
+    def test_config_overrides_forwarded(self, tiny_trace):
+        result = run_trace(tiny_trace, size="16K", ctr_bits=4)
+        assert result.storage_bits > 16 * 1024  # wider counters cost bits
+
+
+class TestRunSuite:
+    def test_runs_named_subset(self):
+        results = run_suite("CBP1", size="16K", n_branches=600, names=("FP-1", "INT-1"))
+        assert [result.trace_name for result in results] == ["FP-1", "INT-1"]
+        assert all(result.classes is not None for result in results)
+
+    def test_fresh_predictor_per_trace(self):
+        """Each trace is simulated independently: same trace twice in the
+        suite gives identical results."""
+        results = run_suite("CBP1", size="16K", n_branches=600, names=("FP-1", "FP-1"))
+        assert results[0].mispredictions == results[1].mispredictions

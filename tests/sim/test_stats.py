@@ -1,0 +1,89 @@
+"""Tests for suite-level aggregation."""
+
+import pytest
+
+from repro.confidence.classes import ConfidenceLevel, PredictionClass
+from repro.confidence.metrics import ClassBreakdown
+from repro.sim.engine import SimulationResult
+from repro.sim.stats import summarize
+
+
+def result_with(name, predictions, mispredictions, insts, classes=None):
+    return SimulationResult(
+        trace_name=name,
+        predictor_name="tage",
+        n_branches=predictions,
+        n_instructions=insts,
+        mispredictions=mispredictions,
+        storage_bits=16384,
+        classes=classes,
+    )
+
+
+def breakdown(rows):
+    """rows: {class: (predictions, mispredictions)}"""
+    b: ClassBreakdown = ClassBreakdown()
+    for cls, (predictions, mispredictions) in rows.items():
+        b.record(cls, mispredicted=False, count=predictions - mispredictions)
+        if mispredictions:
+            b.record(cls, mispredicted=True, count=mispredictions)
+    return b
+
+
+class TestSummarize:
+    def test_mean_mpki_is_arithmetic_mean(self):
+        results = [
+            result_with("a", 1000, 10, 5000),   # 2.0 MPKI
+            result_with("b", 1000, 40, 10000),  # 4.0 MPKI
+        ]
+        summary = summarize(results)
+        assert summary.mean_mpki == pytest.approx(3.0)
+
+    def test_mean_mkp(self):
+        results = [
+            result_with("a", 1000, 10, 5000),  # 10 MKP
+            result_with("b", 1000, 30, 5000),  # 30 MKP
+        ]
+        assert summarize(results).mean_mkp == pytest.approx(20.0)
+
+    def test_empty(self):
+        summary = summarize([])
+        assert summary.mean_mpki == 0.0
+        assert summary.total_predictions == 0
+
+    def test_pooled_classes(self):
+        classes_a = breakdown({PredictionClass.STAG: (100, 5)})
+        classes_b = breakdown({PredictionClass.STAG: (300, 5), PredictionClass.WTAG: (10, 4)})
+        results = [
+            result_with("a", 100, 5, 500, classes_a),
+            result_with("b", 310, 9, 1500, classes_b),
+        ]
+        summary = summarize(results)
+        assert summary.classes.predictions(PredictionClass.STAG) == 400
+        assert summary.classes.mispredictions(PredictionClass.STAG) == 10
+        assert summary.classes.mprate(PredictionClass.STAG) == pytest.approx(25.0)
+
+    def test_levels_projection(self):
+        classes = breakdown(
+            {
+                PredictionClass.STAG: (50, 1),
+                PredictionClass.HIGH_CONF_BIM: (50, 1),
+                PredictionClass.WTAG: (10, 3),
+            }
+        )
+        summary = summarize([result_with("a", 110, 5, 500, classes)])
+        pcov, mpcov, mprate = summary.level_row(ConfidenceLevel.HIGH)
+        assert pcov == pytest.approx(100 / 110)
+        assert mpcov == pytest.approx(2 / 5)
+        assert mprate == pytest.approx(20.0)
+
+    def test_table_row_format(self):
+        classes = breakdown({PredictionClass.STAG: (100, 1)})
+        summary = summarize([result_with("a", 100, 1, 500, classes)])
+        row = summary.table_row()
+        assert row.count("(") == 3  # one cell per confidence level
+
+    def test_results_without_classes_skip_pooling(self):
+        summary = summarize([result_with("a", 100, 5, 500)])
+        assert summary.classes.total_predictions == 0
+        assert summary.mean_mpki > 0

@@ -1,0 +1,120 @@
+"""Tests for trace file IO."""
+
+import gzip
+import struct
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.traces.io import MAGIC, TraceFormatError, read_trace, write_trace
+from repro.traces.types import BranchRecord, Trace
+
+
+def make_trace(n=20):
+    return Trace(
+        "io-test",
+        [0x400000 + 4 * i for i in range(n)],
+        [i % 3 == 0 for i in range(n)],
+        [1 + (i % 7) for i in range(n)],
+    )
+
+
+class TestRoundTrip:
+    def test_plain_file(self, tmp_path):
+        trace = make_trace()
+        path = tmp_path / "t.rtrc"
+        write_trace(trace, path)
+        loaded = read_trace(path)
+        assert loaded.name == trace.name
+        assert loaded.pcs == trace.pcs
+        assert bytes(loaded.takens) == bytes(trace.takens)
+        assert loaded.insts == trace.insts
+
+    def test_gzip_file(self, tmp_path):
+        trace = make_trace(50)
+        path = tmp_path / "t.rtrc.gz"
+        write_trace(trace, path)
+        with open(path, "rb") as stream:
+            assert stream.read(2) == b"\x1f\x8b"  # gzip magic
+        loaded = read_trace(path)
+        assert loaded.pcs == trace.pcs
+
+    def test_empty_trace(self, tmp_path):
+        trace = Trace("empty", [], [], [])
+        path = tmp_path / "empty.rtrc"
+        write_trace(trace, path)
+        assert len(read_trace(path)) == 0
+
+    def test_unicode_name(self, tmp_path):
+        trace = Trace("tracé-λ", [4], [1], [3])
+        path = tmp_path / "u.rtrc"
+        write_trace(trace, path)
+        assert read_trace(path).name == "tracé-λ"
+
+    @given(
+        st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=2**64 - 1),
+                st.booleans(),
+                st.integers(min_value=1, max_value=255),
+            ),
+            max_size=40,
+        )
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_roundtrip_property(self, rows):
+        import tempfile
+        from pathlib import Path
+
+        trace = Trace.from_records("p", [BranchRecord(*row) for row in rows])
+        with tempfile.TemporaryDirectory() as tmp:
+            path = Path(tmp) / "p.rtrc"
+            write_trace(trace, path)
+            loaded = read_trace(path)
+        assert list(loaded.records()) == list(trace.records())
+
+
+class TestValidation:
+    def test_pc_too_wide(self, tmp_path):
+        trace = Trace("bad", [2**64], [1], [1])
+        with pytest.raises(TraceFormatError):
+            write_trace(trace, tmp_path / "bad.rtrc")
+
+    def test_inst_too_wide(self, tmp_path):
+        trace = Trace("bad", [0], [1], [256])
+        with pytest.raises(TraceFormatError):
+            write_trace(trace, tmp_path / "bad.rtrc")
+
+    def test_bad_magic(self, tmp_path):
+        path = tmp_path / "junk.rtrc"
+        path.write_bytes(b"NOPE" + b"\x00" * 16)
+        with pytest.raises(TraceFormatError, match="bad magic"):
+            read_trace(path)
+
+    def test_truncated_header(self, tmp_path):
+        path = tmp_path / "short.rtrc"
+        path.write_bytes(MAGIC[:2])
+        with pytest.raises(TraceFormatError, match="truncated header"):
+            read_trace(path)
+
+    def test_bad_version(self, tmp_path):
+        path = tmp_path / "v9.rtrc"
+        path.write_bytes(struct.pack("<4sHH", MAGIC, 9, 0) + struct.pack("<Q", 0))
+        with pytest.raises(TraceFormatError, match="unsupported version"):
+            read_trace(path)
+
+    def test_truncated_payload(self, tmp_path):
+        trace = make_trace(10)
+        path = tmp_path / "trunc.rtrc"
+        write_trace(trace, path)
+        data = path.read_bytes()
+        path.write_bytes(data[:-5])
+        with pytest.raises(TraceFormatError, match="truncated"):
+            read_trace(path)
+
+    def test_truncated_count(self, tmp_path):
+        path = tmp_path / "count.rtrc"
+        path.write_bytes(struct.pack("<4sHH", MAGIC, 1, 1) + b"x" + b"\x01\x02")
+        with pytest.raises(TraceFormatError, match="truncated record count"):
+            read_trace(path)

@@ -1,0 +1,50 @@
+"""Tests for trace diagnostics."""
+
+from repro.traces.stats import analyze_trace
+from repro.traces.types import Trace
+
+
+def trace_of(pcs, takens, insts=None):
+    return Trace("s", pcs, takens, insts or [1] * len(pcs))
+
+
+class TestAnalyzeTrace:
+    def test_empty(self):
+        stats = analyze_trace(trace_of([], []))
+        assert stats.n_branches == 0
+        assert stats.n_static == 0
+        assert stats.taken_rate == 0.0
+
+    def test_counts(self):
+        stats = analyze_trace(trace_of([0, 4, 0, 4], [1, 0, 1, 0], [2, 3, 2, 3]))
+        assert stats.n_branches == 4
+        assert stats.n_static == 2
+        assert stats.total_instructions == 10
+        assert stats.taken_rate == 0.5
+
+    def test_transition_rate(self):
+        # PC 0: 1 -> 0 -> 1 (two transitions over its three executions).
+        stats = analyze_trace(trace_of([0, 0, 0], [1, 0, 1]))
+        assert stats.transition_rate == 2 / 3
+
+    def test_no_transitions_for_constant(self):
+        stats = analyze_trace(trace_of([0, 0, 0, 0], [1, 1, 1, 1]))
+        assert stats.transition_rate == 0.0
+        assert stats.mean_dynamic_bias == 1.0
+
+    def test_bias_weighting(self):
+        # PC 0 executes 3x at p=1.0, PC 4 once at p=1.0 of not-taken.
+        stats = analyze_trace(trace_of([0, 0, 0, 4], [1, 1, 1, 0]))
+        assert stats.mean_dynamic_bias == 1.0
+
+    def test_mixed_bias(self):
+        stats = analyze_trace(trace_of([0, 0], [1, 0]))
+        assert stats.mean_dynamic_bias == 0.5
+
+    def test_branches_per_kilo_instruction(self):
+        stats = analyze_trace(trace_of([0, 4], [1, 0], [5, 5]))
+        assert stats.branches_per_kilo_instruction == 200.0
+
+    def test_summary_contains_name(self):
+        stats = analyze_trace(trace_of([0], [1]))
+        assert "s:" in stats.summary()

@@ -1,0 +1,105 @@
+"""Tests for the CBP-1/CBP-2 suite registries."""
+
+import pytest
+
+from repro.traces.stats import analyze_trace
+from repro.traces.suites import (
+    CBP1_TRACE_NAMES,
+    CBP2_TRACE_NAMES,
+    FIGURE4_TRACE_NAMES,
+    cbp1_suite,
+    cbp1_trace,
+    cbp2_trace,
+    default_trace_length,
+    trace_spec,
+)
+
+
+class TestRegistry:
+    def test_suite_sizes(self):
+        assert len(CBP1_TRACE_NAMES) == 20
+        assert len(CBP2_TRACE_NAMES) == 20
+
+    def test_cbp1_families(self):
+        for family in ("FP", "INT", "MM", "SERV"):
+            members = [name for name in CBP1_TRACE_NAMES if name.startswith(family)]
+            assert len(members) == 5
+
+    def test_figure4_subset_of_cbp2(self):
+        assert set(FIGURE4_TRACE_NAMES) <= set(CBP2_TRACE_NAMES)
+
+    def test_every_name_has_spec(self):
+        for name in CBP1_TRACE_NAMES + CBP2_TRACE_NAMES:
+            spec = trace_spec(name)
+            assert spec.name == name
+
+    def test_unknown_name(self):
+        with pytest.raises(KeyError):
+            trace_spec("FP-9")
+        with pytest.raises(KeyError):
+            cbp1_trace("164.gzip")
+        with pytest.raises(KeyError):
+            cbp2_trace("FP-1")
+
+    def test_specs_are_distinct(self):
+        seeds = {trace_spec(name).seed for name in CBP1_TRACE_NAMES + CBP2_TRACE_NAMES}
+        assert len(seeds) == 40
+
+
+class TestGeneration:
+    def test_requested_length(self):
+        trace = cbp1_trace("FP-2", n_branches=3000)
+        assert len(trace) == 3000
+        assert trace.name == "FP-2"
+
+    def test_caching_returns_same_object(self):
+        assert cbp1_trace("FP-2", 3000) is cbp1_trace("FP-2", 3000)
+
+    def test_determinism_across_generators(self):
+        from repro.traces.workload import SyntheticWorkload
+
+        direct = SyntheticWorkload(trace_spec("MM-2")).generate(2000)
+        cached = cbp1_trace("MM-2", 2000)
+        assert direct.pcs == cached.pcs
+        assert bytes(direct.takens) == bytes(cached.takens)
+
+    def test_suite_order(self):
+        traces = cbp1_suite(n_branches=500, names=("FP-1", "INT-1"))
+        assert [trace.name for trace in traces] == ["FP-1", "INT-1"]
+
+    def test_default_trace_length_scaling(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "2")
+        assert default_trace_length() == 100_000
+        monkeypatch.setenv("REPRO_SCALE", "0")
+        with pytest.raises(ValueError):
+            default_trace_length()
+
+
+class TestFamilyCharacter:
+    """The synthetic families must land in their paper-band character."""
+
+    def test_serv_working_set_larger_than_fp(self):
+        serv = analyze_trace(cbp1_trace("SERV-1", 6000))
+        fp = analyze_trace(cbp1_trace("FP-1", 6000))
+        assert serv.n_static > 3 * fp.n_static
+
+    def test_fp_strongly_biased(self):
+        stats = analyze_trace(cbp1_trace("FP-1", 6000))
+        assert stats.mean_dynamic_bias > 0.93
+
+    def test_fp_fewer_branches_per_instruction(self):
+        fp = analyze_trace(cbp1_trace("FP-1", 6000))
+        int_ = analyze_trace(cbp1_trace("INT-1", 6000))
+        assert fp.branches_per_kilo_instruction < int_.branches_per_kilo_instruction
+
+    def test_twolf_noisier_than_mpegaudio(self):
+        twolf = analyze_trace(cbp2_trace("300.twolf", 6000))
+        mpeg = analyze_trace(cbp2_trace("222.mpegaudio", 6000))
+        assert twolf.transition_rate > mpeg.transition_rate
+
+    def test_gcc_large_working_set(self):
+        """gcc touches several times more static branches than a
+        predictable benchmark in the same observation window."""
+        gcc = analyze_trace(cbp2_trace("176.gcc", 8000))
+        eon = analyze_trace(cbp2_trace("252.eon", 8000))
+        assert gcc.n_static > 3 * eon.n_static

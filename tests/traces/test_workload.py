@@ -1,0 +1,130 @@
+"""Tests for synthetic workload construction."""
+
+import pytest
+
+from repro.traces.kernels import LoopKernel, NestedLoopKernel
+from repro.traces.workload import KernelMix, StaticBranch, SyntheticWorkload, WorkloadSpec
+
+
+def small_spec(**overrides):
+    base = dict(name="wl", seed=5, n_static=80, n_routines=14)
+    base.update(overrides)
+    return WorkloadSpec(**base)
+
+
+class TestKernelMix:
+    def test_default_items_positive(self):
+        items = KernelMix().as_items()
+        assert len(items) == 8
+        assert all(weight >= 0 for _, weight in items)
+
+    def test_negative_weight_rejected(self):
+        with pytest.raises(ValueError):
+            KernelMix(loop=-0.1).as_items()
+
+    def test_all_zero_rejected(self):
+        mix = KernelMix(
+            biased_strong=0, biased_noisy=0, loop=0, pattern=0,
+            parity=0, history_fn=0, local_pattern=0, nested_loop=0,
+        )
+        with pytest.raises(ValueError):
+            mix.as_items()
+
+
+class TestWorkloadSpec:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            WorkloadSpec(name="x", seed=1, n_static=0)
+        with pytest.raises(ValueError):
+            WorkloadSpec(name="x", seed=1, routine_len=(5, 2))
+        with pytest.raises(ValueError):
+            WorkloadSpec(name="x", seed=1, correlated_noise=1.5)
+        with pytest.raises(ValueError):
+            WorkloadSpec(name="x", seed=1, transition_locality=-0.1)
+
+
+class TestSyntheticWorkload:
+    def test_static_branch_count(self):
+        workload = SyntheticWorkload(small_spec())
+        assert len(workload.branches) == 80
+        assert all(isinstance(branch, StaticBranch) for branch in workload.branches)
+
+    def test_pcs_unique_and_aligned(self):
+        workload = SyntheticWorkload(small_spec())
+        pcs = [branch.pc for branch in workload.branches]
+        assert len(set(pcs)) == len(pcs)
+        assert all(pc % 4 == 0 for pc in pcs)
+
+    def test_every_branch_reachable(self):
+        workload = SyntheticWorkload(small_spec())
+        reachable = {index for routine in workload.routines for index in routine}
+        assert reachable == set(range(80))
+
+    def test_loop_branches_in_dedicated_routines(self):
+        """A loop-kernel branch never sits inside a straight-line body."""
+        workload = SyntheticWorkload(small_spec(n_static=200))
+        loopish = {
+            i for i, branch in enumerate(workload.branches)
+            if isinstance(branch.kernel, (LoopKernel, NestedLoopKernel))
+        }
+        for routine in workload.routines:
+            loop_members = [i for i in routine if i in loopish]
+            if loop_members:
+                # loop routines contain exactly one loop branch, last.
+                assert len(loop_members) == 1
+                assert routine[-1] in loopish
+                assert len(routine) <= 2
+
+    def test_generate_length_and_determinism(self):
+        trace_a = SyntheticWorkload(small_spec()).generate(2000)
+        trace_b = SyntheticWorkload(small_spec()).generate(2000)
+        assert len(trace_a) == 2000
+        assert trace_a.pcs == trace_b.pcs
+        assert bytes(trace_a.takens) == bytes(trace_b.takens)
+        assert trace_a.insts == trace_b.insts
+
+    def test_generate_zero(self):
+        assert len(SyntheticWorkload(small_spec()).generate(0)) == 0
+
+    def test_generate_negative(self):
+        with pytest.raises(ValueError):
+            SyntheticWorkload(small_spec()).generate(-1)
+
+    def test_different_seeds_differ(self):
+        a = SyntheticWorkload(small_spec(seed=1)).generate(1500)
+        b = SyntheticWorkload(small_spec(seed=2)).generate(1500)
+        assert bytes(a.takens) != bytes(b.takens) or a.pcs != b.pcs
+
+    def test_insts_within_spec_range(self):
+        spec = small_spec(insts_per_branch=(4, 9))
+        trace = SyntheticWorkload(spec).generate(1000)
+        assert all(4 <= inst <= 9 for inst in trace.insts)
+
+    def test_loop_bursts_present(self):
+        """Generated traces contain consecutive same-PC loop bursts."""
+        spec = small_spec(
+            n_static=40,
+            mix=KernelMix(
+                biased_strong=0.5, biased_noisy=0, loop=0.5, pattern=0,
+                parity=0, history_fn=0, local_pattern=0, nested_loop=0,
+            ),
+            loop_trips=(4, 8),
+        )
+        trace = SyntheticWorkload(spec).generate(3000)
+        longest_run = run = 1
+        for i in range(1, len(trace)):
+            run = run + 1 if trace.pcs[i] == trace.pcs[i - 1] else 1
+            longest_run = max(longest_run, run)
+        assert longest_run >= 4
+
+    def test_reset_replays_kernels(self):
+        workload = SyntheticWorkload(small_spec())
+        first = workload.generate(1000)
+        workload.reset()
+        second = workload.generate(1000)
+        assert bytes(first.takens) == bytes(second.takens)
+
+    def test_category_histogram_totals(self):
+        workload = SyntheticWorkload(small_spec())
+        histogram = workload.category_histogram()
+        assert sum(histogram.values()) == 80
