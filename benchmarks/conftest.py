@@ -1,11 +1,20 @@
 """Shared infrastructure for the paper-reproduction benches.
 
 Every bench regenerates one table or figure of the paper
-(DESIGN.md §4 maps experiment -> bench).  Sweeps are memoized at session
-scope so benches that share a sweep (e.g. Table 1 and Figure 2 both need
-the standard-automaton CBP-1 runs) only simulate it once; the first
-bench to request a sweep pays its wall-clock cost, which is what its
-pytest-benchmark timing reports.
+(docs/REPRODUCTION.md maps bench -> figure/table).  Since the sweep PR,
+all suite runs go through :mod:`repro.sweep`: each bench request becomes
+an :class:`~repro.sweep.spec.ExperimentSpec` (one TAGE preset × the
+storage-free observation estimator × the suite's traces) executed by
+:func:`~repro.sweep.executor.run_sweep`.  Two memoization layers apply:
+
+* in-session: ``cached_suite`` is ``lru_cache``-d, so benches sharing a
+  sweep (Table 1 and Figure 2 both need the standard-automaton CBP-1
+  runs) only simulate it once — the first bench to request it pays the
+  wall-clock cost, which is what its pytest-benchmark timing reports;
+* on-disk (opt-in): set ``REPRO_BENCH_CACHE=<dir>`` to serve repeated
+  bench sessions from the sweep result cache, and
+  ``REPRO_BENCH_WORKERS=<n>`` to fan the simulations out over a worker
+  pool.  Both default off so timings stay comparable run to run.
 
 Scale: ``REPRO_BENCH_BRANCHES`` (default 16 000) dynamic branches per
 trace.  The paper simulates ~30 M instructions per trace; the reduced
@@ -30,14 +39,67 @@ from pathlib import Path
 
 import pytest
 
-from repro.sim.runner import run_suite
 from repro.sim.stats import summarize
+from repro.sweep import (
+    EstimatorSpec,
+    ExperimentSpec,
+    PredictorSpec,
+    ResultCache,
+    run_sweep,
+)
+from repro.traces.suites import CBP1_TRACE_NAMES, CBP2_TRACE_NAMES
 
 RESULTS_DIR = Path(__file__).parent / "results"
 
 
 def bench_branches() -> int:
     return int(os.environ.get("REPRO_BENCH_BRANCHES", "16000"))
+
+
+def bench_workers() -> int:
+    """Sweep pool size; 1 (the default) keeps benches in-process."""
+    return int(os.environ.get("REPRO_BENCH_WORKERS", "1"))
+
+
+def bench_cache() -> ResultCache | None:
+    """Opt-in on-disk sweep cache (``REPRO_BENCH_CACHE=<dir>``)."""
+    root = os.environ.get("REPRO_BENCH_CACHE")
+    return ResultCache(root) if root else None
+
+
+def suite_spec(
+    suite: str,
+    size: str,
+    automaton: str = "standard",
+    sat_prob_log2: int = 7,
+    adaptive: bool = False,
+    names: tuple[str, ...] | None = None,
+    **config_overrides,
+) -> ExperimentSpec:
+    """The sweep spec behind one bench request (bench scale, quarter
+    warm-up; see module docstring)."""
+    traces = names or (CBP1_TRACE_NAMES if suite == "CBP1" else CBP2_TRACE_NAMES)
+    n_branches = bench_branches()
+    estimator_params = {}
+    if "bim_miss_window" in config_overrides:
+        estimator_params["bim_miss_window"] = config_overrides.pop("bim_miss_window")
+    return ExperimentSpec(
+        name=f"bench-{suite}-{size}-{automaton}",
+        predictors=(
+            PredictorSpec.of(
+                "tage",
+                size=size,
+                automaton=automaton,
+                sat_prob_log2=sat_prob_log2,
+                **config_overrides,
+            ),
+        ),
+        estimators=(EstimatorSpec.of("tage", **estimator_params),),
+        traces=tuple(traces),
+        n_branches=n_branches,
+        warmup_branches=n_branches // 4,
+        adaptive=adaptive,
+    )
 
 
 @functools.lru_cache(maxsize=64)
@@ -50,20 +112,23 @@ def cached_suite(
     names: tuple[str, ...] | None = None,
     **frozen_overrides,
 ):
-    """Memoized run_suite over the bench scale (first quarter of each
-    trace excluded from class accounting; see module docstring)."""
-    n_branches = bench_branches()
-    return run_suite(
+    """Memoized suite sweep; returns per-trace results in suite order.
+
+    Identical results to the pre-sweep ``run_suite`` path: the spec
+    carries no base seed, so every component keeps its fixed built-in
+    seeds regardless of worker count.
+    """
+    spec = suite_spec(
         suite,
-        size=size,
+        size,
         automaton=automaton,
         sat_prob_log2=sat_prob_log2,
         adaptive=adaptive,
-        n_branches=n_branches,
         names=names,
-        warmup_branches=n_branches // 4,
         **dict(frozen_overrides),
     )
+    run = run_sweep(spec, workers=bench_workers(), cache=bench_cache())
+    return run.table.simulation_results()
 
 
 def cached_summary(suite, size, **kwargs):

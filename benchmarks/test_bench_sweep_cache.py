@@ -1,0 +1,82 @@
+"""Sweep orchestrator: parallel grid execution + result-cache wall-clock.
+
+Not a paper figure — this bench guards the experiment infrastructure
+itself.  It runs the CLI's default-shaped grid (two TAGE presets + a
+gshare baseline × the storage-free observation + JRS × four traces =
+20 jobs) twice against a fresh on-disk cache and asserts that
+
+* the cold pass executes every job and the warm pass executes none, and
+* the warm pass is at least 5× faster than the cold pass (in practice
+  it is orders of magnitude faster — pure pickle loads), and
+* both passes produce identical tidy rows.
+
+The cold pass is the pytest-benchmark timing; the warm/cold ratio is
+printed to ``benchmarks/results/sweep_cache.txt``.
+"""
+
+import time
+
+from conftest import bench_branches, emit, run_once  # noqa: F401
+
+from repro.sweep import (
+    EstimatorSpec,
+    ExperimentSpec,
+    PredictorSpec,
+    ResultCache,
+    run_sweep,
+)
+
+TRACES = ("INT-1", "MM-1", "SERV-1", "300.twolf")
+
+
+def _grid_spec() -> ExperimentSpec:
+    return ExperimentSpec(
+        name="bench-sweep-cache",
+        predictors=(
+            PredictorSpec.of("tage", size="16K"),
+            PredictorSpec.of("tage", size="64K"),
+            PredictorSpec.of("gshare"),
+        ),
+        estimators=(EstimatorSpec.of("tage"), EstimatorSpec.of("jrs")),
+        traces=TRACES,
+        n_branches=max(1000, bench_branches() // 4),
+        seed=2011,
+    )
+
+
+def test_sweep_cache_wallclock(run_once, tmp_path):
+    spec = _grid_spec()
+    cache = ResultCache(tmp_path / "sweeps")
+
+    def cold_pass():
+        return run_sweep(spec, workers=2, cache=cache)
+
+    cold = run_once(cold_pass)
+    assert cold.n_executed == cold.n_jobs >= 12
+    assert cold.n_cached == 0
+
+    start = time.perf_counter()
+    warm = run_sweep(spec, workers=2, cache=cache)
+    warm_elapsed = time.perf_counter() - start
+
+    assert warm.n_cached == warm.n_jobs == cold.n_jobs
+    assert warm.n_executed == 0
+    assert warm.table.rows() == cold.table.rows()
+    assert warm_elapsed < cold.elapsed / 5, (
+        f"warm cache pass ({warm_elapsed:.3f}s) should be far cheaper "
+        f"than the cold pass ({cold.elapsed:.3f}s)"
+    )
+
+    emit(
+        "sweep_cache",
+        "\n".join([
+            f"grid: {cold.n_jobs} jobs "
+            f"({len(spec.predictors)} predictors x {len(spec.estimators)} "
+            f"estimators x {len(spec.traces)} traces, "
+            f"{spec.n_branches} branches/trace)",
+            f"cold pass: {cold.elapsed:.3f}s ({cold.n_executed} executed, "
+            f"{cold.workers} workers)",
+            f"warm pass: {warm_elapsed:.3f}s ({warm.n_cached} cache hits)",
+            f"speedup: {cold.elapsed / max(warm_elapsed, 1e-9):.0f}x",
+        ]),
+    )

@@ -1,8 +1,12 @@
 #!/usr/bin/env python3
-"""Storage-free TAGE observation vs the prior art (§2.2).
+"""Storage-free TAGE observation vs the prior art (§2.2), via the sweep API.
 
-Evaluates four confidence estimators on the same traces with Grunwald
-et al.'s binary metrics (SENS / PVP / SPEC / PVN):
+Each comparison row of the paper's §2.2/§4 discussion is one
+(predictor, estimator) pairing, declared as a small
+:class:`repro.sweep.ExperimentSpec` and executed by the sweep
+orchestrator; Grunwald et al.'s binary metrics (SENS / PVP / SPEC /
+PVN) are pooled over the traces with
+:meth:`repro.sweep.ResultTable.pooled_binary`:
 
 * JRS — gshare-indexed table of 4-bit resetting counters, threshold 15
   (storage-based, Jacobsen et al. [4]);
@@ -16,77 +20,48 @@ et al.'s binary metrics (SENS / PVP / SPEC / PVN):
 Run:  python examples/compare_confidence_estimators.py
 """
 
-from repro import (
-    EnhancedJrsEstimator,
-    JrsEstimator,
-    TageConfidenceEstimator,
-    TageConfig,
-    TagePredictor,
-    simulate,
-)
-from repro.confidence.classes import ConfidenceLevel
-from repro.confidence.metrics import BinaryConfidenceMetrics
-from repro.confidence.self_confidence import SelfConfidenceEstimator
-from repro.predictors.gshare import GsharePredictor
-from repro.predictors.ogehl import OgehlPredictor
-from repro.sim.engine import simulate_binary
-from repro.traces import cbp1_trace
+from repro.sweep import EstimatorSpec, ExperimentSpec, PredictorSpec, run_sweep
 
 TRACES = ("INT-1", "MM-1", "SERV-1")
 N_BRANCHES = 20_000
 
-
-def pooled_binary(make_predictor, make_estimator):
-    pooled = BinaryConfidenceMetrics(0, 0, 0, 0)
-    storage = 0
-    for name in TRACES:
-        predictor = make_predictor()
-        estimator = make_estimator(predictor)
-        metrics, _ = simulate_binary(cbp1_trace(name, N_BRANCHES), predictor, estimator)
-        pooled = pooled.merged(metrics)
-        storage = estimator.storage_bits()
-    return pooled, storage
-
-
-def pooled_tage():
-    high = [0, 0]
-    low = [0, 0]
-    for name in TRACES:
-        predictor = TagePredictor(TageConfig.medium())
-        estimator = TageConfidenceEstimator(predictor)
-        result = simulate(cbp1_trace(name, N_BRANCHES), predictor, estimator)
-        for level in ConfidenceLevel:
-            bucket = high if level is ConfidenceLevel.HIGH else low
-            bucket[0] += result.levels.predictions(level)
-            bucket[1] += result.levels.mispredictions(level)
-    return (
-        BinaryConfidenceMetrics(high[0] - high[1], high[1], low[0] - low[1], low[1]),
-        0,
-    )
+#: The paper's comparison rows: label -> (predictor, estimator).
+COMPARISONS = {
+    "JRS (4-bit, threshold 15)": (
+        PredictorSpec.of("gshare", log_entries=13, history_length=12),
+        EstimatorSpec.of("jrs", log_entries=12),
+    ),
+    "enhanced JRS": (
+        PredictorSpec.of("gshare", log_entries=13, history_length=12),
+        EstimatorSpec.of("ejrs", log_entries=12),
+    ),
+    "O-GEHL self-confidence": (
+        PredictorSpec.of("ogehl", n_tables=6, log_entries=10, max_history=120),
+        EstimatorSpec.of("self"),
+    ),
+    "TAGE observation (this paper)": (
+        PredictorSpec.of("tage", size="64K"),
+        EstimatorSpec.of("tage"),
+    ),
+}
 
 
 def main() -> None:
-    rows = {
-        "JRS (4-bit, threshold 15)": pooled_binary(
-            lambda: GsharePredictor(log_entries=13, history_length=12),
-            lambda predictor: JrsEstimator(log_entries=12),
-        ),
-        "enhanced JRS": pooled_binary(
-            lambda: GsharePredictor(log_entries=13, history_length=12),
-            lambda predictor: EnhancedJrsEstimator(log_entries=12),
-        ),
-        "O-GEHL self-confidence": pooled_binary(
-            lambda: OgehlPredictor(n_tables=6, log_entries=10, max_history=120),
-            SelfConfidenceEstimator,
-        ),
-        "TAGE observation (this paper)": pooled_tage(),
-    }
-
     print(f"pooled over {', '.join(TRACES)} ({N_BRANCHES} branches each)\n")
     header = f"{'estimator':<31} {'SENS':>6} {'PVP':>6} {'SPEC':>6} {'PVN':>6} {'storage':>9}"
     print(header)
     print("-" * len(header))
-    for label, (metrics, storage) in rows.items():
+    for label, (predictor, estimator) in COMPARISONS.items():
+        spec = ExperimentSpec(
+            name=f"compare/{estimator.kind}",
+            predictors=(predictor,),
+            estimators=(estimator,),
+            traces=TRACES,
+            n_branches=N_BRANCHES,
+        )
+        table = run_sweep(spec, workers=None).table
+        metrics = table.pooled_binary()
+        storage = max(result.estimator_bits for result in table)
         print(f"{label:<31} {metrics.sens:>6.3f} {metrics.pvp:>6.3f} "
               f"{metrics.spec:>6.3f} {metrics.pvn:>6.3f} {storage:>7}b")
 

@@ -19,6 +19,10 @@ The package is organized as:
 ``repro.sim``
     Trace-driven simulation engine, per-class statistics and experiment
     runners that regenerate the paper's tables and figures.
+``repro.sweep``
+    Experiment orchestration: declarative predictor × estimator × trace
+    grids, parallel execution with deterministic seeding, on-disk result
+    caching and tidy aggregation.
 ``repro.apps``
     Confidence-estimation consumers: fetch gating and SMT fetch policy
     models.
@@ -49,6 +53,7 @@ from repro.predictors.ogehl import OgehlPredictor
 from repro.predictors.perceptron import PerceptronPredictor
 from repro.predictors.tage import TageConfig, TagePredictor, TagePrediction
 from repro.sim.engine import SimulationResult, simulate
+from repro.sweep import EstimatorSpec, ExperimentSpec, PredictorSpec, run_sweep
 from repro.traces.types import BranchRecord, Trace
 
 __version__ = "1.0.0"

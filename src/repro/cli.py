@@ -6,6 +6,9 @@ Usage (``python -m repro <command>``):
   observation and print the per-class table.
 * ``run-suite SUITE`` — simulate a whole suite on one preset and print
   the Table-2-style three-level summary.
+* ``sweep`` — expand a predictor × estimator × trace grid, execute it
+  across a worker pool with on-disk result caching, and print the tidy
+  result table (see :mod:`repro.sweep`).
 * ``gen-trace NAME PATH`` — generate a named trace and write it to a
   trace file (gzip if the path ends in ``.gz``).
 * ``inspect PATH`` — print the statistics of a trace file.
@@ -26,9 +29,17 @@ from repro.predictors.tage.config import (
     AUTOMATON_STANDARD,
 )
 from repro.sim.engine import simulate
-from repro.sim.report import format_confidence_table
+from repro.sim.report import format_confidence_table, render_table
 from repro.sim.runner import SIZES, SUITES, build_predictor, run_suite
 from repro.sim.stats import summarize
+from repro.sweep import (
+    EstimatorSpec,
+    ExperimentSpec,
+    PredictorSpec,
+    ResultCache,
+    run_sweep,
+)
+from repro.sweep.cache import default_cache_dir
 from repro.traces.io import read_trace, write_trace
 from repro.traces.stats import analyze_trace
 from repro.traces.suites import (
@@ -76,6 +87,44 @@ def build_parser() -> argparse.ArgumentParser:
     run_suite_cmd.add_argument("suite", choices=SUITES)
     _add_predictor_args(run_suite_cmd)
 
+    sweep_cmd = commands.add_parser(
+        "sweep",
+        help="run a predictor x estimator x trace grid in parallel with caching",
+    )
+    sweep_cmd.add_argument(
+        "--predictors", nargs="+", metavar="P",
+        default=["tage-16K", "tage-64K", "gshare"],
+        help="predictor axis: tage-<SIZE>[-prob], gshare, bimodal, "
+             "perceptron, ogehl, local",
+    )
+    sweep_cmd.add_argument(
+        "--estimators", nargs="+", metavar="E",
+        default=["tage", "jrs"],
+        help="estimator axis: tage (storage-free observation), jrs, ejrs, self",
+    )
+    sweep_cmd.add_argument(
+        "--traces", nargs="+", metavar="T", default=None,
+        help="trace axis (any CBP-1/CBP-2 names); default: a 4-trace mix",
+    )
+    sweep_cmd.add_argument(
+        "--suite", choices=SUITES, default=None,
+        help="use a whole suite as the trace axis instead of --traces",
+    )
+    sweep_cmd.add_argument("--branches", type=int, default=8_000,
+                           help="dynamic branches per trace")
+    sweep_cmd.add_argument("--warmup", type=int, default=0,
+                           help="branches excluded from class accounting")
+    sweep_cmd.add_argument("--workers", type=int, default=None, metavar="N",
+                           help="worker processes (default: one per CPU, min 2)")
+    sweep_cmd.add_argument("--seed", type=int, default=None,
+                           help="base seed for per-job RNG derivation")
+    sweep_cmd.add_argument("--cache-dir", default=None,
+                           help=f"result cache location (default {default_cache_dir()})")
+    sweep_cmd.add_argument("--no-cache", action="store_true",
+                           help="disable the on-disk result cache")
+    sweep_cmd.add_argument("--tsv", action="store_true",
+                           help="print the raw tidy table instead of the ASCII table")
+
     gen_cmd = commands.add_parser("gen-trace", help="write a trace file")
     gen_cmd.add_argument("name")
     gen_cmd.add_argument("path")
@@ -118,6 +167,65 @@ def _cmd_run_suite(args) -> int:
     return 0
 
 
+#: Default trace axis for ``sweep``: one trace per behaviour family
+#: (mixed, multimedia, server working set, noisy CBP-2).
+_DEFAULT_SWEEP_TRACES = ("INT-1", "MM-1", "SERV-1", "300.twolf")
+
+
+def _cmd_sweep(args) -> int:
+    try:
+        predictors = tuple(PredictorSpec.parse(token) for token in args.predictors)
+        estimators = tuple(EstimatorSpec.of(token) for token in args.estimators)
+    except ValueError as error:
+        raise SystemExit(str(error)) from None
+    if args.suite is not None:
+        traces = CBP1_TRACE_NAMES if args.suite == "CBP1" else CBP2_TRACE_NAMES
+    else:
+        traces = tuple(args.traces) if args.traces else _DEFAULT_SWEEP_TRACES
+    for name in traces:
+        if name not in CBP1_TRACE_NAMES and name not in CBP2_TRACE_NAMES:
+            raise SystemExit(f"unknown trace {name!r}; try `list-traces`")
+
+    spec = ExperimentSpec(
+        name="cli-sweep",
+        predictors=predictors,
+        estimators=estimators,
+        traces=traces,
+        n_branches=args.branches,
+        warmup_branches=args.warmup,
+        seed=args.seed,
+    )
+    cache = None if args.no_cache else ResultCache(args.cache_dir)
+    try:
+        run = run_sweep(spec, workers=args.workers, cache=cache, progress=print)
+    except ValueError as error:
+        raise SystemExit(str(error)) from None
+
+    if args.tsv:
+        print(run.table.to_tsv())
+    else:
+        rows = []
+        for row in run.table.rows():
+            rows.append([
+                row["trace"], row["predictor"], row["estimator"],
+                f"{row['mpki']:.2f}", f"{row['mkp']:.1f}",
+                f"{row['accuracy']:.4f}",
+                f"{row['estimator_bits']}",
+                "-" if row["spec"] is None else f"{row['spec']:.3f}",
+                "-" if row["pvn"] is None else f"{row['pvn']:.3f}",
+            ])
+        print()
+        print(render_table(
+            ("trace", "predictor", "estimator", "misp/KI", "MKP",
+             "accuracy", "est.bits", "SPEC", "PVN"),
+            rows,
+            title=f"sweep {spec.spec_hash()} - {len(run.table)} jobs",
+        ))
+    if cache is not None:
+        print(f"cache: {cache.root} ({len(cache)} entries)")
+    return 0
+
+
 def _cmd_gen_trace(args) -> int:
     trace = _get_trace(args.name, args.branches)
     write_trace(trace, args.path)
@@ -140,6 +248,7 @@ def _cmd_list_traces(args) -> int:
 _HANDLERS = {
     "run-trace": _cmd_run_trace,
     "run-suite": _cmd_run_suite,
+    "sweep": _cmd_sweep,
     "gen-trace": _cmd_gen_trace,
     "inspect": _cmd_inspect,
     "list-traces": _cmd_list_traces,

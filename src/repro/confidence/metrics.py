@@ -172,6 +172,17 @@ class ClassBreakdown(Generic[K]):
         for key, count in other._mispredictions.items():
             self._mispredictions[key] = self._mispredictions.get(key, 0) + count
 
+    def __eq__(self, other: object) -> bool:
+        # Value equality (counts per class) so containers such as
+        # SimulationResult compare by content, e.g. when asserting that a
+        # sweep reproduces a direct run.
+        if not isinstance(other, ClassBreakdown):
+            return NotImplemented
+        return (
+            self._predictions == other._predictions
+            and self._mispredictions == other._mispredictions
+        )
+
     # -- totals ------------------------------------------------------------
 
     @property

@@ -1,8 +1,12 @@
-"""Prediction counter update automata.
+"""Prediction counter update automata (the paper's §6 mechanism).
 
 The tagged TAGE components use an n-bit (3-bit by default) *signed*
-saturating counter whose sign provides the prediction.  This module
-isolates the two update rules the paper studies:
+saturating counter whose sign provides the prediction.  The paper's key
+enabling trick is that making the *last* step toward saturation
+probabilistic turns a saturated counter into a statistical witness of
+many consecutive correct predictions — which is what lets the ``Stag``
+class reach sub-1% misprediction rates with no extra storage.  This
+module isolates the two update rules the paper studies:
 
 * :class:`StandardAutomaton` — plain signed saturating increment toward
   taken / decrement toward not taken.

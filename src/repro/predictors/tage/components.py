@@ -1,4 +1,10 @@
-"""TAGE table components.
+"""TAGE table components (paper §3: the base predictor and the
+partially tagged, geometric-history components).
+
+These are the hardware structures the confidence paper *observes*: the
+storage-free estimator classifies each prediction by which of these
+components provided it (bimodal vs tagged) and by the state of the
+provider's counters — no component stores any confidence information.
 
 :class:`BimodalTable`
     The base predictor T0: a PC-indexed table of 2-bit counters with

@@ -82,6 +82,39 @@ class SimulationResult:
             self._levels = self.classes.grouped(confidence_level_of)
         return self._levels
 
+    def binary_confusion(
+        self,
+        high_levels: tuple[ConfidenceLevel, ...] = (ConfidenceLevel.HIGH,),
+    ) -> BinaryConfidenceMetrics | None:
+        """Collapse the 3-level breakdown to the 2×2 high/low confusion.
+
+        The paper's §4 comparison against the binary prior art (JRS,
+        self-confidence) treats ``high`` as high confidence and
+        ``medium`` ∪ ``low`` as low confidence; pass a different
+        ``high_levels`` tuple to move the split.  Returns None when no
+        estimator was attached.
+        """
+        levels = self.levels
+        if levels is None:
+            return None
+        high_predictions = high_mispredictions = 0
+        low_predictions = low_mispredictions = 0
+        for level in LEVEL_ORDER:
+            predictions = levels.predictions(level)
+            mispredictions = levels.mispredictions(level)
+            if level in high_levels:
+                high_predictions += predictions
+                high_mispredictions += mispredictions
+            else:
+                low_predictions += predictions
+                low_mispredictions += mispredictions
+        return BinaryConfidenceMetrics(
+            high_correct=high_predictions - high_mispredictions,
+            high_incorrect=high_mispredictions,
+            low_correct=low_predictions - low_mispredictions,
+            low_incorrect=low_mispredictions,
+        )
+
     def class_mpki_contribution(self, prediction_class: PredictionClass) -> float:
         """This class's share of MPKI (the paper's right-hand figure bars)."""
         if self.classes is None or self.n_instructions == 0:

@@ -24,10 +24,33 @@ from repro.traces.suites import (
 )
 from repro.traces.types import Trace
 
-__all__ = ["build_predictor", "run_trace", "run_suite", "suite_traces", "SUITES", "SIZES"]
+__all__ = [
+    "build_predictor",
+    "get_trace",
+    "run_trace",
+    "run_suite",
+    "suite_traces",
+    "SUITES",
+    "SIZES",
+]
 
 SUITES = ("CBP1", "CBP2")
 SIZES = ("16K", "64K", "256K")
+
+
+def get_trace(name: str, n_branches: int | None = None) -> Trace:
+    """Resolve any registered trace name (either suite) to a trace.
+
+    This is the picklable-friendly lookup the sweep workers use: a job
+    ships only the *name*, and each worker process regenerates (and
+    memoizes) the deterministic trace locally instead of pickling branch
+    columns across the pipe.
+    """
+    if name in CBP1_TRACE_NAMES:
+        return cbp1_trace(name, n_branches)
+    if name in CBP2_TRACE_NAMES:
+        return cbp2_trace(name, n_branches)
+    raise KeyError(f"unknown trace name {name!r}")
 
 
 def build_predictor(

@@ -1,0 +1,65 @@
+"""Experiment sweep orchestration.
+
+The scaling backbone of the reproduction: a declarative
+:class:`ExperimentSpec` (predictor × confidence estimator × trace grid)
+expands into independent jobs, executes across a ``multiprocessing``
+worker pool with deterministic per-job seeding, memoizes completed runs
+in an on-disk :class:`ResultCache` keyed by spec hash, and aggregates
+into a tidy :class:`ResultTable` that the paper benches, the CLI
+``sweep`` command and the examples all consume.
+
+Typical use::
+
+    from repro.sweep import (
+        EstimatorSpec, ExperimentSpec, PredictorSpec, ResultCache, run_sweep,
+    )
+
+    spec = ExperimentSpec(
+        name="demo",
+        predictors=(PredictorSpec.of("tage", size="64K"),
+                    PredictorSpec.of("gshare")),
+        estimators=(EstimatorSpec.of("tage"), EstimatorSpec.of("jrs")),
+        traces=("INT-1", "MM-1", "SERV-1"),
+        n_branches=16_000,
+    )
+    run = run_sweep(spec, workers=4, cache=ResultCache())
+    print(run.table.to_tsv())
+
+Module map: :mod:`~repro.sweep.spec` (declarative specs + hashing),
+:mod:`~repro.sweep.grid` (expansion + compatibility filtering),
+:mod:`~repro.sweep.executor` (single-job entry point + pool),
+:mod:`~repro.sweep.cache` (on-disk memoization),
+:mod:`~repro.sweep.result` (tidy aggregation).
+"""
+
+from repro.sweep.cache import ResultCache, default_cache_dir
+from repro.sweep.executor import SweepRun, default_workers, execute_job, run_sweep
+from repro.sweep.grid import GridExpansion, expand
+from repro.sweep.result import JobResult, ResultTable
+from repro.sweep.spec import (
+    ESTIMATOR_KINDS,
+    PREDICTOR_KINDS,
+    EstimatorSpec,
+    ExperimentSpec,
+    JobSpec,
+    PredictorSpec,
+)
+
+__all__ = [
+    "PREDICTOR_KINDS",
+    "ESTIMATOR_KINDS",
+    "PredictorSpec",
+    "EstimatorSpec",
+    "ExperimentSpec",
+    "JobSpec",
+    "GridExpansion",
+    "expand",
+    "execute_job",
+    "run_sweep",
+    "SweepRun",
+    "default_workers",
+    "ResultCache",
+    "default_cache_dir",
+    "JobResult",
+    "ResultTable",
+]

@@ -1,0 +1,112 @@
+"""On-disk memoization of completed sweep jobs.
+
+Each executed :class:`~repro.sweep.result.JobResult` is pickled under
+``<root>/<spec_hash>.pkl`` where ``spec_hash`` is the canonical digest of
+the :class:`~repro.sweep.spec.JobSpec` (axes, scalar options and the
+derived per-job seed all participate, plus a cache format version so
+stale layouts never deserialize).  Because the key is per *job*, a new
+sweep that overlaps a previous grid — one more trace, one more predictor
+— only pays for the new cells.
+
+Writes are atomic (temp file + ``os.replace``) so a crashed or killed
+worker can never leave a truncated entry behind; unreadable entries are
+treated as misses and overwritten.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import tempfile
+from pathlib import Path
+
+from repro.sweep.result import JobResult
+from repro.sweep.spec import JobSpec, stable_digest
+
+__all__ = ["ResultCache", "default_cache_dir", "CACHE_VERSION"]
+
+#: Bump on any change that alters simulation *behaviour* or the pickled
+#: result layout.  The package version participates in the key as well,
+#: so released behaviour changes invalidate old entries automatically;
+#: this counter covers in-between development churn.
+CACHE_VERSION = 1
+
+#: Environment override for the cache location.
+CACHE_DIR_ENV = "REPRO_CACHE_DIR"
+
+
+def default_cache_dir() -> Path:
+    """``$REPRO_CACHE_DIR`` or ``.repro-cache/sweeps`` under the cwd."""
+    override = os.environ.get(CACHE_DIR_ENV)
+    if override:
+        return Path(override)
+    return Path(".repro-cache") / "sweeps"
+
+
+class ResultCache:
+    """Pickle-per-job result store keyed by job spec hash."""
+
+    def __init__(self, root: str | Path | None = None) -> None:
+        self.root = Path(root) if root is not None else default_cache_dir()
+
+    def key(self, job: JobSpec) -> str:
+        """Cache key: job digest salted with the cache format counter and
+        the package version, so simulator behaviour changes across
+        releases never serve stale numbers."""
+        from repro import __version__  # local import: repro imports sweep
+
+        return stable_digest(
+            {"v": CACHE_VERSION, "pkg": __version__, "job": job.as_dict()}
+        )
+
+    def path(self, job: JobSpec) -> Path:
+        return self.root / f"{self.key(job)}.pkl"
+
+    def load(self, job: JobSpec) -> JobResult | None:
+        """The memoized result, or None on miss/corruption."""
+        path = self.path(job)
+        try:
+            with path.open("rb") as fh:
+                cached = pickle.load(fh)
+        except (OSError, pickle.UnpicklingError, EOFError, AttributeError,
+                ImportError, IndexError):
+            return None
+        if not isinstance(cached, JobResult):
+            return None
+        return cached.cached()
+
+    def store(self, job: JobSpec, result: JobResult) -> None:
+        """Atomically persist a completed job."""
+        self.root.mkdir(parents=True, exist_ok=True)
+        path = self.path(job)
+        fd, tmp_name = tempfile.mkstemp(dir=self.root, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "wb") as fh:
+                pickle.dump(result, fh, protocol=pickle.HIGHEST_PROTOCOL)
+            os.replace(tmp_name, path)
+        except BaseException:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+            raise
+
+    def __contains__(self, job: JobSpec) -> bool:
+        return self.path(job).exists()
+
+    def __len__(self) -> int:
+        if not self.root.is_dir():
+            return 0
+        return sum(1 for _ in self.root.glob("*.pkl"))
+
+    def clear(self) -> int:
+        """Delete every entry; returns the number removed."""
+        removed = 0
+        if self.root.is_dir():
+            for path in self.root.glob("*.pkl"):
+                try:
+                    path.unlink()
+                    removed += 1
+                except OSError:
+                    pass
+        return removed

@@ -1,0 +1,226 @@
+"""Sweep execution: single-job entry point + multiprocessing fan-out.
+
+:func:`execute_job` is the picklable unit of work: it takes one
+:class:`~repro.sweep.spec.JobSpec` (pure data), regenerates the named
+trace inside the worker process (trace synthesis is deterministic and
+memoized per process, so nothing large crosses the pipe), instantiates
+the predictor/estimator pair and runs the matching engine loop.
+
+:func:`run_sweep` drives a whole :class:`ExperimentSpec`: expand the
+grid, serve cache hits, execute the misses — serially or across a
+``multiprocessing`` pool — and aggregate into a
+:class:`~repro.sweep.result.ResultTable` in stable grid order.  Because
+every job carries its own deterministic seed (or relies on the
+components' fixed built-in seeds), results are bit-for-bit identical for
+any worker count.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import time
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.confidence.adaptive import AdaptiveSaturationController
+from repro.confidence.estimator import TageConfidenceEstimator
+from repro.confidence.jrs import EnhancedJrsEstimator, JrsEstimator
+from repro.confidence.self_confidence import SelfConfidenceEstimator
+from repro.predictors.bimodal import BimodalPredictor
+from repro.predictors.gshare import GsharePredictor
+from repro.predictors.local import LocalHistoryPredictor
+from repro.predictors.ogehl import OgehlPredictor
+from repro.predictors.perceptron import PerceptronPredictor
+from repro.predictors.tage.config import AUTOMATON_PROBABILISTIC
+from repro.sim.engine import simulate, simulate_binary
+from repro.sim.runner import build_predictor, get_trace
+from repro.sweep.cache import ResultCache
+from repro.sweep.grid import GridExpansion, expand
+from repro.sweep.result import JobResult, ResultTable
+from repro.sweep.spec import ExperimentSpec, JobSpec, PredictorSpec
+
+__all__ = ["execute_job", "run_sweep", "SweepRun", "default_workers"]
+
+_BASELINE_PREDICTORS = {
+    "gshare": GsharePredictor,
+    "bimodal": BimodalPredictor,
+    "perceptron": PerceptronPredictor,
+    "ogehl": OgehlPredictor,
+    "local": LocalHistoryPredictor,
+}
+
+
+def default_workers() -> int:
+    """Pool size when the caller does not choose: one per CPU, min 2.
+
+    The floor of 2 keeps the default path genuinely parallel (pipelined
+    pickling/execution) even on single-core containers.
+    """
+    return max(2, os.cpu_count() or 1)
+
+
+def _build_predictor(spec: PredictorSpec, adaptive: bool, seed: int | None):
+    """Instantiate the predictor for one job.
+
+    A non-None per-job seed re-seeds the TAGE deterministic random
+    sources (LFSR + allocation xorshift); the baseline predictors hold
+    no random state.
+    """
+    params = dict(spec.params)
+    if spec.kind == "tage":
+        automaton = AUTOMATON_PROBABILISTIC if adaptive else spec.automaton
+        if seed is not None:
+            # Two independent 32-bit streams from one job seed; the
+            # constants are arbitrary odd masks keeping the seeds nonzero.
+            params.setdefault("lfsr_seed", (seed ^ 0xA5A5A5A5) or 1)
+            params.setdefault("alloc_seed", (seed ^ 0x3C6EF373) or 1)
+        return build_predictor(
+            spec.size,
+            automaton=automaton,
+            sat_prob_log2=spec.sat_prob_log2,
+            **params,
+        )
+    return _BASELINE_PREDICTORS[spec.kind](**params)
+
+
+def execute_job(job: JobSpec) -> JobResult:
+    """Run one grid cell; pure function of the job spec (picklable)."""
+    start = time.perf_counter()
+    trace = get_trace(job.trace, job.n_branches)
+    predictor = _build_predictor(job.predictor, job.adaptive, job.seed)
+    params = dict(job.estimator.params)
+
+    if job.estimator.kind == "tage":
+        estimator = TageConfidenceEstimator(predictor, **params)
+        controller = (
+            AdaptiveSaturationController(predictor, target_mkp=job.target_mkp)
+            if job.adaptive
+            else None
+        )
+        result = simulate(
+            trace,
+            predictor,
+            estimator=estimator,
+            controller=controller,
+            warmup_branches=job.warmup_branches,
+        )
+        binary = result.binary_confusion()
+        estimator_bits = 0
+    else:
+        if job.estimator.kind == "jrs":
+            estimator = JrsEstimator(**params)
+        elif job.estimator.kind == "ejrs":
+            estimator = EnhancedJrsEstimator(**params)
+        else:  # "self"
+            estimator = SelfConfidenceEstimator(predictor, **params)
+        binary, result = simulate_binary(
+            trace, predictor, estimator, warmup_branches=job.warmup_branches
+        )
+        estimator_bits = estimator.storage_bits()
+
+    return JobResult(
+        job=job,
+        result=result,
+        binary=binary,
+        estimator_bits=estimator_bits,
+        elapsed=time.perf_counter() - start,
+    )
+
+
+@dataclass(frozen=True)
+class SweepRun:
+    """A completed sweep: the aggregate table plus execution accounting."""
+
+    spec: ExperimentSpec
+    expansion: GridExpansion
+    table: ResultTable
+    workers: int
+    elapsed: float
+
+    @property
+    def n_jobs(self) -> int:
+        return len(self.table)
+
+    @property
+    def n_cached(self) -> int:
+        return self.table.n_cached
+
+    @property
+    def n_executed(self) -> int:
+        return self.table.n_executed
+
+    def describe(self) -> str:
+        return (
+            f"{self.spec.name} [{self.spec.spec_hash()}]: "
+            f"{self.n_jobs} jobs ({self.n_cached} cached, "
+            f"{self.n_executed} executed) with {self.workers} workers "
+            f"in {self.elapsed:.2f}s"
+        )
+
+
+def run_sweep(
+    spec: ExperimentSpec,
+    workers: int | None = 1,
+    cache: ResultCache | None = None,
+    progress: Callable[[str], None] | None = None,
+) -> SweepRun:
+    """Execute every cell of a spec and aggregate the results.
+
+    Args:
+        spec: the declarative grid.
+        workers: pool size; 1 (the default) runs in-process, ``None``
+            picks :func:`default_workers`.  Results are identical for
+            every value.
+        cache: optional :class:`ResultCache`; hits skip execution,
+            misses are stored after execution.
+        progress: optional sink for human-readable status lines.
+
+    Returns:
+        A :class:`SweepRun` whose table preserves grid order.
+    """
+    if workers is None:
+        workers = default_workers()
+    if workers < 1:
+        raise ValueError(f"workers must be >= 1, got {workers}")
+
+    start = time.perf_counter()
+    expansion = expand(spec)
+    if progress:
+        progress(expansion.describe())
+
+    slots: list[JobResult | None] = []
+    pending: list[tuple[int, JobSpec]] = []
+    for index, job in enumerate(expansion.jobs):
+        hit = cache.load(job) if cache is not None else None
+        slots.append(hit)
+        if hit is None:
+            pending.append((index, job))
+
+    if progress and cache is not None:
+        progress(f"cache: {len(slots) - len(pending)} hits, {len(pending)} misses")
+
+    if pending:
+        jobs_to_run = [job for _, job in pending]
+        if workers > 1 and len(jobs_to_run) > 1:
+            pool_size = min(workers, len(jobs_to_run))
+            with multiprocessing.get_context().Pool(processes=pool_size) as pool:
+                outcomes = pool.map(execute_job, jobs_to_run, chunksize=1)
+        else:
+            outcomes = [execute_job(job) for job in jobs_to_run]
+        for (index, job), outcome in zip(pending, outcomes):
+            slots[index] = outcome
+            if cache is not None:
+                cache.store(job, outcome)
+
+    table = ResultTable([slot for slot in slots if slot is not None])
+    run = SweepRun(
+        spec=spec,
+        expansion=expansion,
+        table=table,
+        workers=workers,
+        elapsed=time.perf_counter() - start,
+    )
+    if progress:
+        progress(run.describe())
+    return run

@@ -1,0 +1,98 @@
+"""Grid expansion: :class:`ExperimentSpec` → concrete job list.
+
+The cross product predictors × estimators × traces is filtered through
+:meth:`EstimatorSpec.compatible_with` — e.g. the storage-free TAGE
+observation cannot attach to a gshare baseline, and perceptron/O-GEHL
+self-confidence needs a sum-based predictor.  Incompatible pairs are
+skipped (the default) or rejected loudly, and :func:`expand` reports
+both so no sweep silently shrinks.
+
+Expansion order is deterministic (trace-major, then predictor, then
+estimator) so job indices, cache keys and aggregate row order are stable
+across runs and worker counts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.sweep.spec import EstimatorSpec, ExperimentSpec, JobSpec, PredictorSpec
+
+__all__ = ["GridExpansion", "expand", "compatible_pairs"]
+
+
+def compatible_pairs(
+    spec: ExperimentSpec,
+) -> tuple[list[tuple[PredictorSpec, EstimatorSpec]], list[tuple[PredictorSpec, EstimatorSpec]]]:
+    """Split the predictor × estimator product into (valid, invalid)."""
+    valid: list[tuple[PredictorSpec, EstimatorSpec]] = []
+    invalid: list[tuple[PredictorSpec, EstimatorSpec]] = []
+    for predictor in spec.predictors:
+        for estimator in spec.estimators:
+            if estimator.compatible_with(predictor):
+                valid.append((predictor, estimator))
+            else:
+                invalid.append((predictor, estimator))
+    return valid, invalid
+
+
+@dataclass(frozen=True)
+class GridExpansion:
+    """The expanded grid plus the accounting of what was dropped."""
+
+    spec: ExperimentSpec
+    jobs: tuple[JobSpec, ...]
+    skipped: tuple[tuple[PredictorSpec, EstimatorSpec], ...]
+
+    @property
+    def n_jobs(self) -> int:
+        return len(self.jobs)
+
+    def describe(self) -> str:
+        """One-line summary for logs and the CLI."""
+        text = (
+            f"{self.spec.name}: {len(self.jobs)} jobs = "
+            f"{len(self.spec.traces)} traces x "
+            f"{len(self.jobs) // max(1, len(self.spec.traces))} pairs"
+        )
+        if self.skipped:
+            dropped = ", ".join(
+                f"{p.label}x{e.label}" for p, e in self.skipped
+            )
+            text += f" (skipped incompatible: {dropped})"
+        return text
+
+
+def expand(spec: ExperimentSpec) -> GridExpansion:
+    """Expand a spec into runnable :class:`JobSpec` cells.
+
+    Raises:
+        ValueError: when no compatible pair exists, or when
+            ``spec.skip_incompatible`` is False and any pair is invalid.
+    """
+    valid, invalid = compatible_pairs(spec)
+    if invalid and not spec.skip_incompatible:
+        pairs = ", ".join(f"{p.label}x{e.label}" for p, e in invalid)
+        raise ValueError(f"incompatible predictor/estimator pairs: {pairs}")
+    if not valid:
+        raise ValueError(
+            f"spec {spec.name!r} has no compatible predictor/estimator pair"
+        )
+    if spec.adaptive and any(estimator.kind != "tage" for _, estimator in valid):
+        raise ValueError("adaptive sweeps require the TAGE observation estimator")
+
+    jobs = [
+        JobSpec(
+            predictor=predictor,
+            estimator=estimator,
+            trace=trace,
+            n_branches=spec.n_branches,
+            warmup_branches=spec.warmup_branches,
+            adaptive=spec.adaptive,
+            target_mkp=spec.target_mkp,
+            seed=spec.derive_job_seed(predictor, estimator, trace),
+        )
+        for trace in spec.traces
+        for predictor, estimator in valid
+    ]
+    return GridExpansion(spec=spec, jobs=tuple(jobs), skipped=tuple(invalid))

@@ -1,0 +1,193 @@
+"""Sweep results: one record per job, tidy-table aggregation on top.
+
+:class:`JobResult` pairs the executed :class:`JobSpec` with the engine's
+:class:`~repro.sim.engine.SimulationResult` and — whenever the estimator
+provides or implies a high/low split — the pooled
+:class:`~repro.confidence.metrics.BinaryConfidenceMetrics`.  Everything
+is plain picklable data so results cross process boundaries and land in
+the on-disk cache unchanged.
+
+:class:`ResultTable` is the aggregation surface the benches, CLI and
+examples consume: tidy rows (one dict per job), grouping by any column,
+per-group :class:`~repro.sim.stats.SuiteSummary` pooling, and pooled
+binary confusion — the two aggregate families of the paper's §4.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Callable, Iterable, Iterator
+
+from repro.confidence.metrics import BinaryConfidenceMetrics
+from repro.sim.engine import SimulationResult
+from repro.sim.stats import SuiteSummary, summarize
+from repro.sweep.spec import JobSpec
+
+__all__ = ["JobResult", "ResultTable"]
+
+#: Columns of :meth:`JobResult.row`, in render order.
+ROW_COLUMNS = (
+    "trace",
+    "predictor",
+    "estimator",
+    "n_branches",
+    "mpki",
+    "mkp",
+    "accuracy",
+    "storage_bits",
+    "estimator_bits",
+    "sens",
+    "pvp",
+    "spec",
+    "pvn",
+)
+
+
+@dataclass(frozen=True)
+class JobResult:
+    """Outcome of one executed grid cell.
+
+    Attributes:
+        job: the cell that produced this result.
+        result: full engine result (per-class breakdown included for the
+            TAGE observation estimator).
+        binary: 2×2 high/low confusion — native for the binary
+            estimators, derived from the three confidence levels (high
+            vs medium|low) for TAGE observation.
+        estimator_bits: estimator storage cost (the paper's argument:
+            0 for the storage-free estimators).
+        elapsed: simulation wall-clock seconds (execution process).
+        from_cache: True when served by the on-disk result cache.
+    """
+
+    job: JobSpec
+    result: SimulationResult
+    binary: BinaryConfidenceMetrics | None = None
+    estimator_bits: int = 0
+    elapsed: float = 0.0
+    from_cache: bool = field(default=False, compare=False)
+
+    def cached(self) -> "JobResult":
+        """This result marked as a cache hit."""
+        return replace(self, from_cache=True)
+
+    def row(self) -> dict:
+        """Tidy-table row: axes first, then metrics (None when N/A)."""
+        binary = self.binary
+        return {
+            "trace": self.job.trace,
+            "predictor": self.job.predictor.label,
+            "estimator": self.job.estimator.label,
+            "n_branches": self.job.n_branches,
+            "mpki": self.result.mpki,
+            "mkp": self.result.mkp,
+            "accuracy": self.result.accuracy,
+            "storage_bits": self.result.storage_bits,
+            "estimator_bits": self.estimator_bits,
+            "sens": binary.sens if binary else None,
+            "pvp": binary.pvp if binary else None,
+            "spec": binary.spec if binary else None,
+            "pvn": binary.pvn if binary else None,
+        }
+
+
+class ResultTable:
+    """An ordered collection of :class:`JobResult` with tidy aggregation."""
+
+    def __init__(self, results: Iterable[JobResult]) -> None:
+        self._results: list[JobResult] = list(results)
+
+    def __len__(self) -> int:
+        return len(self._results)
+
+    def __iter__(self) -> Iterator[JobResult]:
+        return iter(self._results)
+
+    def __getitem__(self, index: int) -> JobResult:
+        return self._results[index]
+
+    # -- tidy access ---------------------------------------------------
+
+    @property
+    def columns(self) -> tuple[str, ...]:
+        return ROW_COLUMNS
+
+    def rows(self) -> list[dict]:
+        """One tidy dict per job, in grid order."""
+        return [result.row() for result in self._results]
+
+    def to_tsv(self) -> str:
+        """Tab-separated tidy table (spreadsheet / pandas-friendly)."""
+        lines = ["\t".join(ROW_COLUMNS)]
+        for row in self.rows():
+            cells = []
+            for column in ROW_COLUMNS:
+                value = row[column]
+                if value is None:
+                    cells.append("")
+                elif isinstance(value, float):
+                    cells.append(f"{value:.6g}")
+                else:
+                    cells.append(str(value))
+            lines.append("\t".join(cells))
+        return "\n".join(lines)
+
+    # -- selection and grouping ----------------------------------------
+
+    def filter(self, predicate: Callable[[JobResult], bool] | None = None,
+               **equals) -> "ResultTable":
+        """Subset by a predicate and/or row-column equality keywords.
+
+        >>> table.filter(predictor="tage-64K", estimator="tage")
+        """
+        selected = []
+        for result in self._results:
+            if predicate is not None and not predicate(result):
+                continue
+            row = result.row()
+            if all(row.get(key) == value for key, value in equals.items()):
+                selected.append(result)
+        return ResultTable(selected)
+
+    def group(self, *columns: str) -> dict[tuple, "ResultTable"]:
+        """Partition by the given row columns, preserving order."""
+        groups: dict[tuple, list[JobResult]] = {}
+        for result in self._results:
+            row = result.row()
+            key = tuple(row[column] for column in columns)
+            groups.setdefault(key, []).append(result)
+        return {key: ResultTable(results) for key, results in groups.items()}
+
+    # -- engine-level aggregates ---------------------------------------
+
+    def simulation_results(self) -> list[SimulationResult]:
+        """The raw engine results, in grid order."""
+        return [result.result for result in self._results]
+
+    def summary(self) -> SuiteSummary:
+        """Pool every job into one :class:`SuiteSummary` (paper Tables 2/3)."""
+        return summarize(self.simulation_results())
+
+    def summaries(self, *columns: str) -> dict[tuple, SuiteSummary]:
+        """Per-group pooled summaries, grouped by row columns."""
+        return {
+            key: table.summary() for key, table in self.group(*columns).items()
+        }
+
+    def pooled_binary(self) -> BinaryConfidenceMetrics:
+        """Merged 2×2 confusion over every job that has one (paper §4)."""
+        pooled = BinaryConfidenceMetrics(0, 0, 0, 0)
+        for result in self._results:
+            if result.binary is not None:
+                pooled = pooled.merged(result.binary)
+        return pooled
+
+    # -- cache accounting ----------------------------------------------
+
+    @property
+    def n_cached(self) -> int:
+        return sum(1 for result in self._results if result.from_cache)
+
+    @property
+    def n_executed(self) -> int:
+        return len(self._results) - self.n_cached

@@ -1,0 +1,72 @@
+"""Tests for the on-disk sweep result cache."""
+
+from repro.sweep.cache import ResultCache
+from repro.sweep.executor import execute_job
+from repro.sweep.spec import EstimatorSpec, JobSpec, PredictorSpec
+
+
+def make_job(**overrides) -> JobSpec:
+    options = dict(
+        predictor=PredictorSpec.of("tage", size="16K"),
+        estimator=EstimatorSpec.of("tage"),
+        trace="FP-1",
+        n_branches=600,
+    )
+    options.update(overrides)
+    return JobSpec(**options)
+
+
+class TestResultCache:
+    def test_miss_on_empty_cache(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        assert cache.load(make_job()) is None
+        assert make_job() not in cache
+        assert len(cache) == 0
+
+    def test_store_then_load_round_trip(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        job = make_job()
+        executed = execute_job(job)
+        cache.store(job, executed)
+
+        assert job in cache
+        assert len(cache) == 1
+        loaded = cache.load(job)
+        assert loaded is not None
+        assert loaded.from_cache and not executed.from_cache
+        assert loaded.row() == executed.row()
+        assert loaded.result.class_table() == executed.result.class_table()
+
+    def test_identical_spec_hash_hits_fresh_cache_instance(self, tmp_path):
+        # A *new* ResultCache over the same directory and an equal-by-value
+        # JobSpec must hit: the key is the canonical spec hash, not object
+        # identity.
+        job = make_job()
+        ResultCache(tmp_path).store(job, execute_job(job))
+        twin = make_job()
+        assert twin.spec_hash() == job.spec_hash()
+        assert ResultCache(tmp_path).load(twin) is not None
+
+    def test_different_job_misses(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        job = make_job()
+        cache.store(job, execute_job(job))
+        assert cache.load(make_job(n_branches=601)) is None
+        assert cache.load(make_job(trace="INT-1")) is None
+        assert cache.load(make_job(seed=9)) is None
+
+    def test_corrupt_entry_is_a_miss(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        job = make_job()
+        cache.store(job, execute_job(job))
+        cache.path(job).write_bytes(b"not a pickle")
+        assert cache.load(job) is None
+
+    def test_clear(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        for trace in ("FP-1", "INT-1"):
+            job = make_job(trace=trace)
+            cache.store(job, execute_job(job))
+        assert len(cache) == 2
+        assert cache.clear() == 2
+        assert len(cache) == 0

@@ -1,0 +1,92 @@
+"""Tests for grid expansion and compatibility filtering."""
+
+import pytest
+
+from repro.sweep.grid import compatible_pairs, expand
+from repro.sweep.spec import EstimatorSpec, ExperimentSpec, PredictorSpec
+
+
+def make_spec(**overrides) -> ExperimentSpec:
+    options = dict(
+        name="grid",
+        predictors=(
+            PredictorSpec.of("tage", size="16K"),
+            PredictorSpec.of("tage", size="64K"),
+            PredictorSpec.of("gshare"),
+        ),
+        estimators=(EstimatorSpec.of("tage"), EstimatorSpec.of("jrs")),
+        traces=("FP-1", "INT-1", "MM-1", "SERV-1"),
+        n_branches=800,
+    )
+    options.update(overrides)
+    return ExperimentSpec(**options)
+
+
+class TestExpansion:
+    def test_job_count_with_incompatible_pair_skipped(self):
+        # 3 predictors x 2 estimators = 6 pairs, minus gshare x tage -> 5
+        # pairs x 4 traces = 20 jobs.
+        expansion = expand(make_spec())
+        assert expansion.n_jobs == 20
+        assert len(expansion.skipped) == 1
+        skipped_predictor, skipped_estimator = expansion.skipped[0]
+        assert skipped_predictor.kind == "gshare"
+        assert skipped_estimator.kind == "tage"
+
+    def test_full_grid_when_all_compatible(self):
+        expansion = expand(make_spec(estimators=(EstimatorSpec.of("jrs"),
+                                                 EstimatorSpec.of("ejrs"))))
+        assert expansion.n_jobs == 3 * 2 * 4
+        assert expansion.skipped == ()
+
+    def test_trace_major_deterministic_order(self):
+        jobs_a = expand(make_spec()).jobs
+        jobs_b = expand(make_spec()).jobs
+        assert jobs_a == jobs_b
+        assert [job.trace for job in jobs_a[:5]] == ["FP-1"] * 5
+        assert jobs_a[5].trace == "INT-1"
+
+    def test_jobs_inherit_scalar_options(self):
+        expansion = expand(make_spec(warmup_branches=200))
+        assert all(job.n_branches == 800 for job in expansion.jobs)
+        assert all(job.warmup_branches == 200 for job in expansion.jobs)
+
+    def test_describe_mentions_skips(self):
+        assert "gshare" in expand(make_spec()).describe()
+
+
+class TestExpansionErrors:
+    def test_strict_mode_raises_on_incompatible(self):
+        with pytest.raises(ValueError, match="incompatible"):
+            expand(make_spec(skip_incompatible=False))
+
+    def test_no_compatible_pair_raises(self):
+        spec = make_spec(
+            predictors=(PredictorSpec.of("gshare"),),
+            estimators=(EstimatorSpec.of("tage"),),
+        )
+        with pytest.raises(ValueError, match="no compatible"):
+            expand(spec)
+
+    def test_adaptive_requires_tage_observation(self):
+        with pytest.raises(ValueError, match="adaptive"):
+            expand(make_spec(adaptive=True))
+
+
+class TestSeededExpansion:
+    def test_unseeded_jobs_carry_no_seed(self):
+        assert all(job.seed is None for job in expand(make_spec()).jobs)
+
+    def test_seeded_jobs_are_distinct_and_reproducible(self):
+        jobs_a = expand(make_spec(seed=7)).jobs
+        jobs_b = expand(make_spec(seed=7)).jobs
+        assert [job.seed for job in jobs_a] == [job.seed for job in jobs_b]
+        assert all(job.seed is not None for job in jobs_a)
+        # Cells with distinct coordinates get distinct seed streams.
+        assert len({job.seed for job in jobs_a}) == len(jobs_a)
+
+
+def test_compatible_pairs_split():
+    valid, invalid = compatible_pairs(make_spec())
+    assert len(valid) == 5
+    assert len(invalid) == 1
