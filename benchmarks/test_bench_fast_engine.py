@@ -1,0 +1,105 @@
+"""Fast-backend wall-clock bench (not a paper experiment).
+
+Runs the vectorizable cells — gshare × JRS binary confidence and plain
+bimodal accuracy — over the Table-1 (CBP-1) trace suite on both
+backends, asserts the results are bit-identical and the fast backend
+clears the ≥3× speedup target, and emits a machine-readable perf record
+to ``benchmarks/results/BENCH_fast_engine.json`` (plus the usual
+rendered text table).
+"""
+
+from __future__ import annotations
+
+import json
+import time
+
+import pytest
+
+np = pytest.importorskip("numpy")
+
+from conftest import RESULTS_DIR, bench_branches, emit, run_once  # noqa: F401
+
+from repro.confidence.jrs import JrsEstimator
+from repro.predictors.bimodal import BimodalPredictor
+from repro.predictors.gshare import GsharePredictor
+from repro.sim.engine import simulate, simulate_binary
+from repro.traces.suites import CBP1_TRACE_NAMES, cbp1_trace
+
+SPEEDUP_TARGET = 3.0
+
+
+def _run_suite(backend: str) -> tuple[list, float, list[dict]]:
+    """Both cell families over the whole suite on one backend."""
+    results = []
+    per_trace = []
+    total = 0.0
+    for name in CBP1_TRACE_NAMES:
+        trace = cbp1_trace(name, bench_branches())
+        start = time.perf_counter()
+        metrics, result = simulate_binary(
+            trace, GsharePredictor(), JrsEstimator(),
+            warmup_branches=len(trace) // 4, backend=backend,
+        )
+        plain = simulate(trace, BimodalPredictor(), backend=backend)
+        elapsed = time.perf_counter() - start
+        total += elapsed
+        results.append((metrics, result, plain))
+        per_trace.append({"trace": name, "seconds": round(elapsed, 6)})
+    return results, total, per_trace
+
+
+def test_fast_engine_wallclock(run_once):
+    branches = bench_branches()
+    # Generate traces outside the timed region.
+    for name in CBP1_TRACE_NAMES:
+        cbp1_trace(name, branches)
+
+    reference_results, reference_seconds, reference_rows = run_once(
+        lambda: _run_suite("reference")
+    )
+    fast_results, fast_seconds, fast_rows = _run_suite("fast")
+
+    # Bit-for-bit equivalence across the whole suite.
+    assert fast_results == reference_results
+
+    speedup = reference_seconds / max(fast_seconds, 1e-9)
+    branches_total = branches * len(CBP1_TRACE_NAMES) * 2  # two cells per trace
+    record = {
+        "bench": "fast_engine",
+        "suite": "CBP1",
+        "n_traces": len(CBP1_TRACE_NAMES),
+        "branches_per_trace": branches,
+        "cells_per_trace": ["gshare+jrs", "bimodal"],
+        "reference_seconds": round(reference_seconds, 4),
+        "fast_seconds": round(fast_seconds, 4),
+        "speedup": round(speedup, 2),
+        "speedup_target": SPEEDUP_TARGET,
+        "reference_branches_per_second": int(branches_total / reference_seconds),
+        "fast_branches_per_second": int(branches_total / fast_seconds),
+        "per_trace": {
+            "reference": reference_rows,
+            "fast": fast_rows,
+        },
+    }
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / "BENCH_fast_engine.json").write_text(
+        json.dumps(record, indent=2) + "\n"
+    )
+
+    emit(
+        "fast_engine",
+        "\n".join([
+            f"fast-backend bench: {len(CBP1_TRACE_NAMES)} CBP-1 traces x "
+            f"{branches} branches, cells = gshare+jrs, bimodal",
+            f"reference: {reference_seconds:.3f}s "
+            f"({record['reference_branches_per_second']} branches/s)",
+            f"fast:      {fast_seconds:.3f}s "
+            f"({record['fast_branches_per_second']} branches/s)",
+            f"speedup:   {speedup:.1f}x (target >= {SPEEDUP_TARGET:.0f}x)",
+        ]),
+    )
+
+    assert speedup >= SPEEDUP_TARGET, (
+        f"fast backend speedup {speedup:.2f}x below the {SPEEDUP_TARGET:.0f}x "
+        f"target ({reference_seconds:.3f}s -> {fast_seconds:.3f}s)"
+    )

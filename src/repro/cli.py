@@ -28,9 +28,10 @@ from repro.predictors.tage.config import (
     AUTOMATON_PROBABILISTIC,
     AUTOMATON_STANDARD,
 )
+from repro.sim.backends import BACKENDS, DEFAULT_BACKEND
 from repro.sim.engine import simulate
 from repro.sim.report import format_confidence_table, render_table
-from repro.sim.runner import SIZES, SUITES, build_predictor, run_suite
+from repro.sim.runner import SIZES, SUITES, build_predictor, get_trace, run_suite
 from repro.sim.stats import summarize
 from repro.sweep import (
     EstimatorSpec,
@@ -42,22 +43,16 @@ from repro.sweep import (
 from repro.sweep.cache import default_cache_dir
 from repro.traces.io import read_trace, write_trace
 from repro.traces.stats import analyze_trace
-from repro.traces.suites import (
-    CBP1_TRACE_NAMES,
-    CBP2_TRACE_NAMES,
-    cbp1_trace,
-    cbp2_trace,
-)
+from repro.traces.suites import CBP1_TRACE_NAMES, CBP2_TRACE_NAMES
 
 __all__ = ["main", "build_parser"]
 
 
 def _get_trace(name: str, n_branches: int):
-    if name in CBP1_TRACE_NAMES:
-        return cbp1_trace(name, n_branches)
-    if name in CBP2_TRACE_NAMES:
-        return cbp2_trace(name, n_branches)
-    raise SystemExit(f"unknown trace {name!r}; try `list-traces`")
+    try:
+        return get_trace(name, n_branches)
+    except KeyError:
+        raise SystemExit(f"unknown trace {name!r}; try `list-traces`") from None
 
 
 def _add_predictor_args(parser: argparse.ArgumentParser) -> None:
@@ -70,6 +65,15 @@ def _add_predictor_args(parser: argparse.ArgumentParser) -> None:
                         help="saturation probability 1/2^K (probabilistic automaton)")
     parser.add_argument("--branches", type=int, default=50_000,
                         help="dynamic branches per trace")
+    _add_backend_arg(parser)
+
+
+def _add_backend_arg(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--backend", choices=BACKENDS, default=DEFAULT_BACKEND,
+                        help="simulation engine; 'fast' vectorizes the "
+                             "bimodal/gshare x JRS cells bit-exactly and "
+                             "falls back to 'reference' (with a warning) "
+                             "for everything else")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -122,6 +126,7 @@ def build_parser() -> argparse.ArgumentParser:
                            help=f"result cache location (default {default_cache_dir()})")
     sweep_cmd.add_argument("--no-cache", action="store_true",
                            help="disable the on-disk result cache")
+    _add_backend_arg(sweep_cmd)
     sweep_cmd.add_argument("--tsv", action="store_true",
                            help="print the raw tidy table instead of the ASCII table")
 
@@ -143,7 +148,7 @@ def _cmd_run_trace(args) -> int:
         args.size, automaton=args.automaton, sat_prob_log2=args.sat_prob_log2
     )
     estimator = TageConfidenceEstimator(predictor)
-    result = simulate(trace, predictor, estimator)
+    result = simulate(trace, predictor, estimator, backend=args.backend)
     print(result.class_table())
     return 0
 
@@ -155,6 +160,7 @@ def _cmd_run_suite(args) -> int:
         automaton=args.automaton,
         sat_prob_log2=args.sat_prob_log2,
         n_branches=args.branches,
+        backend=args.backend,
     )
     for result in results:
         print(f"{result.trace_name:<16} {result.mpki:6.2f} misp/KI  {result.mkp:6.1f} MKP")
@@ -179,6 +185,8 @@ def _cmd_sweep(args) -> int:
     except ValueError as error:
         raise SystemExit(str(error)) from None
     if args.suite is not None:
+        if args.traces:
+            raise SystemExit("--traces and --suite are mutually exclusive")
         traces = CBP1_TRACE_NAMES if args.suite == "CBP1" else CBP2_TRACE_NAMES
     else:
         traces = tuple(args.traces) if args.traces else _DEFAULT_SWEEP_TRACES
@@ -194,6 +202,7 @@ def _cmd_sweep(args) -> int:
         n_branches=args.branches,
         warmup_branches=args.warmup,
         seed=args.seed,
+        backend=args.backend,
     )
     cache = None if args.no_cache else ResultCache(args.cache_dir)
     try:

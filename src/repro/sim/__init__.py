@@ -3,6 +3,10 @@
 * :mod:`repro.sim.engine` — the per-branch simulation loops:
   :func:`simulate` (TAGE + multi-class confidence observation) and
   :func:`simulate_binary` (any predictor + a binary high/low estimator).
+* :mod:`repro.sim.backends` — the ``"reference"`` / ``"fast"`` backend
+  selector shared by the engine, the sweep layer and the CLI.
+* :mod:`repro.sim.fast` — the vectorized batch backend (NumPy),
+  bit-for-bit equivalent to the reference loops where supported.
 * :mod:`repro.sim.stats` — suite-level aggregation.
 * :mod:`repro.sim.runner` — suite × configuration sweeps used by the
   benches (one call per paper table/figure).
@@ -10,6 +14,13 @@
   figure series.
 """
 
+from repro.sim.backends import (
+    BACKENDS,
+    DEFAULT_BACKEND,
+    FastBackendFallbackWarning,
+    FastBackendUnsupported,
+    validate_backend,
+)
 from repro.sim.engine import SimulationResult, simulate, simulate_binary
 from repro.sim.runner import (
     build_predictor,
@@ -21,8 +32,13 @@ from repro.sim.stats import SuiteSummary, summarize
 from repro.sim.report import render_table
 
 __all__ = [
+    "BACKENDS",
+    "DEFAULT_BACKEND",
+    "FastBackendFallbackWarning",
+    "FastBackendUnsupported",
     "SimulationResult",
     "SuiteSummary",
+    "validate_backend",
     "build_predictor",
     "render_table",
     "run_suite",

@@ -1,0 +1,76 @@
+"""Simulation backend selection.
+
+Two engines can execute a (trace, predictor, estimator) cell:
+
+* ``"reference"`` — the pure-Python per-branch loops in
+  :mod:`repro.sim.engine`; supports every predictor and estimator and is
+  the semantic ground truth.
+* ``"fast"`` — the vectorized batch backend in :mod:`repro.sim.fast`;
+  runs the bimodal/gshare-family predictors and the JRS-style binary
+  confidence counters over NumPy arrays, bit-for-bit equivalent to the
+  reference engine (enforced by ``tests/equivalence/``).
+
+A configuration the fast backend cannot vectorize (the full TAGE tagged
+path, the multi-class observation estimator, perceptron/O-GEHL
+self-confidence) raises :class:`FastBackendUnsupported` internally; the
+dispatching entry points catch it, emit a
+:class:`FastBackendFallbackWarning` and run the reference engine, so
+``backend="fast"`` is always safe to request.
+
+This module is dependency-free on purpose: the sweep spec layer and the
+CLI import the backend names and validators from here without pulling in
+NumPy (which the fast backend itself requires and which is gated behind
+:func:`load_fast_engine`).
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "BACKENDS",
+    "DEFAULT_BACKEND",
+    "FastBackendUnsupported",
+    "FastBackendFallbackWarning",
+    "validate_backend",
+    "load_fast_engine",
+]
+
+#: The selectable simulation backends.
+BACKENDS = ("reference", "fast")
+
+#: Backend used when the caller does not choose.
+DEFAULT_BACKEND = "reference"
+
+
+class FastBackendUnsupported(RuntimeError):
+    """The fast backend cannot execute this configuration bit-exactly.
+
+    Raised by :mod:`repro.sim.fast` for predictors/estimators that resist
+    vectorization (or when NumPy itself is unavailable); callers catch it
+    and fall back to the reference engine.
+    """
+
+
+class FastBackendFallbackWarning(RuntimeWarning):
+    """``backend="fast"`` was requested but the reference engine ran."""
+
+
+def validate_backend(backend: str) -> str:
+    """Return ``backend`` unchanged, or raise for an unknown name."""
+    if backend not in BACKENDS:
+        raise ValueError(f"unknown backend {backend!r}; choose from {BACKENDS}")
+    return backend
+
+
+def load_fast_engine():
+    """Import and return :mod:`repro.sim.fast`.
+
+    Raises:
+        FastBackendUnsupported: when the fast backend's NumPy dependency
+            is not installed (the caller falls back to the reference
+            engine instead of crashing).
+    """
+    try:
+        from repro.sim import fast
+    except ImportError as error:  # pragma: no cover - numpy is present in CI
+        raise FastBackendUnsupported(f"NumPy is unavailable ({error})") from error
+    return fast

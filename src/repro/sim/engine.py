@@ -9,12 +9,27 @@ every other table and figure.
 :func:`simulate_binary` is the equivalent loop for binary high/low
 estimators (JRS, enhanced JRS, perceptron/O-GEHL self-confidence) over
 any :class:`~repro.predictors.base.BranchPredictor`.
+
+Both entry points accept ``backend="reference"`` (these loops, the
+semantic ground truth) or ``backend="fast"`` (the vectorized batch
+engine in :mod:`repro.sim.fast`, bit-for-bit equivalent where it
+applies).  A configuration the fast backend cannot vectorize falls back
+to the reference loop with a
+:class:`~repro.sim.backends.FastBackendFallbackWarning`.
 """
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
 
+from repro.sim.backends import (
+    DEFAULT_BACKEND,
+    FastBackendFallbackWarning,
+    FastBackendUnsupported,
+    load_fast_engine,
+    validate_backend,
+)
 from repro.confidence.classes import (
     CLASS_ORDER,
     ConfidenceLevel,
@@ -25,6 +40,26 @@ from repro.confidence.classes import (
 from repro.confidence.metrics import BinaryConfidenceMetrics, ClassBreakdown, mkp
 
 __all__ = ["SimulationResult", "simulate", "simulate_binary"]
+
+
+def _dispatch_fast(entry_point: str, kwargs: dict):
+    """Try the fast backend; return its result or None after warning.
+
+    The fallback warning is keyed to the unsupported-configuration
+    message so mixed sweeps surface each distinct fallback once under
+    the default warning filter.
+    """
+    try:
+        fast = load_fast_engine()
+        return getattr(fast, entry_point)(**kwargs)
+    except FastBackendUnsupported as unsupported:
+        warnings.warn(
+            f"fast backend cannot run this configuration ({unsupported}); "
+            "falling back to the reference engine",
+            FastBackendFallbackWarning,
+            stacklevel=3,
+        )
+    return None
 
 
 @dataclass
@@ -154,6 +189,7 @@ def simulate(
     estimator=None,
     controller=None,
     warmup_branches: int = 0,
+    backend: str = DEFAULT_BACKEND,
 ) -> SimulationResult:
     """Run ``predictor`` over ``trace`` with optional confidence observation.
 
@@ -171,9 +207,24 @@ def simulate(
         warmup_branches: leading branches excluded from the *class*
             accounting (the predictor still trains; overall accuracy
             still covers the whole trace, like the paper's runs).
+        backend: ``"reference"`` or ``"fast"``; the fast backend is
+            bit-for-bit equivalent where supported and falls back here
+            (with a :class:`FastBackendFallbackWarning`) where not.
+            Note the fast path leaves ``predictor`` untrained.
     """
+    validate_backend(backend)
     if warmup_branches < 0:
         raise ValueError(f"warmup_branches must be non-negative, got {warmup_branches}")
+    if backend == "fast":
+        outcome = _dispatch_fast("simulate_fast", dict(
+            trace=trace,
+            predictor=predictor,
+            estimator=estimator,
+            controller=controller,
+            warmup_branches=warmup_branches,
+        ))
+        if outcome is not None:
+            return outcome
     classes: ClassBreakdown[PredictionClass] | None = (
         ClassBreakdown() if estimator is not None else None
     )
@@ -228,6 +279,7 @@ def simulate_binary(
     predictor,
     estimator,
     warmup_branches: int = 0,
+    backend: str = DEFAULT_BACKEND,
 ) -> tuple[BinaryConfidenceMetrics, SimulationResult]:
     """Run a binary high/low confidence estimator over a trace.
 
@@ -235,10 +287,24 @@ def simulate_binary(
     = high confidence) and ``observe(pc, prediction, taken)``; JRS,
     enhanced JRS and the self-confidence wrappers all do.
 
+    ``backend="fast"`` vectorizes the bimodal/gshare × JRS-family cells
+    bit-exactly and falls back here (with a warning) for the rest; the
+    fast path leaves the predictor and estimator untrained.
+
     Returns the pooled 2×2 confusion and the accuracy result.
     """
+    validate_backend(backend)
     if warmup_branches < 0:
         raise ValueError(f"warmup_branches must be non-negative, got {warmup_branches}")
+    if backend == "fast":
+        outcome = _dispatch_fast("simulate_binary_fast", dict(
+            trace=trace,
+            predictor=predictor,
+            estimator=estimator,
+            warmup_branches=warmup_branches,
+        ))
+        if outcome is not None:
+            return outcome
     high_correct = high_incorrect = low_correct = low_incorrect = 0
     mispredictions = 0
     predict = predictor.predict

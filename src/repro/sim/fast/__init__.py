@@ -1,0 +1,54 @@
+"""Vectorized batch simulation backend (``backend="fast"``).
+
+Drop-in, bit-for-bit equivalents of the reference per-branch loops for
+the vectorizable subset of the model zoo — bimodal/gshare predictors
+(the bimodal table is also the TAGE base component's template) paired
+with the JRS-family binary confidence counters — built on three layers:
+
+* :mod:`repro.sim.fast.arrays` — trace pre-materialization plus
+  vectorized history windows and index folding;
+* :mod:`repro.sim.fast.scan` — exact clamp-add segmented prefix scans
+  over counter tables, processed in bounded chunks;
+* :mod:`repro.sim.fast.engine` — the ``simulate_fast`` /
+  ``simulate_binary_fast`` entry points assembling
+  :class:`~repro.sim.engine.SimulationResult` and the 2×2 confusion.
+
+Unsupported configurations raise
+:class:`~repro.sim.backends.FastBackendUnsupported`; the ``backend=``
+dispatch in :mod:`repro.sim.engine` turns that into a warning plus a
+reference-engine fallback.  Equivalence with the reference engine is
+enforced by ``tests/equivalence/`` and the golden fixtures under
+``tests/golden/``; the wall-clock win is tracked by
+``benchmarks/test_bench_fast_engine.py``.
+
+Requires NumPy; import this module through
+:func:`repro.sim.backends.load_fast_engine` to get a clean
+``FastBackendUnsupported`` instead of an ``ImportError`` when it is
+missing.
+"""
+
+from repro.sim.fast.arrays import TraceArrays, fold_windows, history_windows
+from repro.sim.fast.engine import (
+    simulate_binary_fast,
+    simulate_fast,
+    supports_estimator,
+    supports_predictor,
+    vectorized_assessments,
+    vectorized_predictions,
+)
+from repro.sim.fast.scan import DEFAULT_CHUNK_SIZE, CounterTable, scanned_counters
+
+__all__ = [
+    "TraceArrays",
+    "history_windows",
+    "fold_windows",
+    "simulate_fast",
+    "simulate_binary_fast",
+    "supports_predictor",
+    "supports_estimator",
+    "vectorized_predictions",
+    "vectorized_assessments",
+    "CounterTable",
+    "scanned_counters",
+    "DEFAULT_CHUNK_SIZE",
+]

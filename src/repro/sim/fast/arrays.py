@@ -1,0 +1,90 @@
+"""Pre-materialized NumPy views of a trace.
+
+The reference engine iterates a :class:`~repro.traces.types.Trace`'s
+Python columns branch by branch; the fast backend instead materializes
+the whole trace into packed NumPy arrays once and feeds every vectorized
+stage from them.  Materialization is deterministic given the trace
+(``tests/traces/test_determinism.py`` guards the pipeline end to end:
+same :class:`~repro.traces.workload.WorkloadSpec` + seed → identical
+arrays across processes).
+
+The history-window and fold helpers live here too: both the gshare index
+and the JRS confidence index depend only on the *resolved* outcomes of
+earlier branches — never on predictions — so they are plain functions of
+the outcome array and can be computed for the whole trace up front.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.common.bitops import mask
+
+__all__ = ["TraceArrays", "history_windows", "fold_windows"]
+
+
+@dataclass(frozen=True)
+class TraceArrays:
+    """Packed columns of one trace: int64 PCs, uint8 outcomes."""
+
+    name: str
+    pcs: np.ndarray
+    takens: np.ndarray
+
+    @classmethod
+    def from_trace(cls, trace) -> "TraceArrays":
+        """Materialize a :class:`~repro.traces.types.Trace` (copies, so
+        later trace mutation cannot alias into a running simulation)."""
+        return cls(
+            name=trace.name,
+            pcs=np.asarray(trace.pcs, dtype=np.int64),
+            takens=np.frombuffer(bytes(trace.takens), dtype=np.uint8),
+        )
+
+    def __len__(self) -> int:
+        return len(self.pcs)
+
+    @property
+    def taken_bool(self) -> np.ndarray:
+        """Outcomes as a boolean array."""
+        return self.takens != 0
+
+
+def history_windows(takens: np.ndarray, length: int) -> np.ndarray:
+    """Global-history window seen *before* each branch, vectorized.
+
+    ``windows[t]`` packs the ``length`` most recent outcomes prior to
+    branch ``t`` with the newest outcome in bit 0 — exactly
+    ``GlobalHistory(capacity=length).window(length)`` at that point of
+    the reference loop (the register starts empty and is pushed after
+    every branch).
+    """
+    if length <= 0:
+        raise ValueError(f"history length must be positive, got {length}")
+    n = len(takens)
+    windows = np.zeros(n, dtype=np.int64)
+    outcomes = takens.astype(np.int64)
+    for age in range(1, min(length, n) + 1):
+        windows[age:] |= outcomes[:-age] << (age - 1)
+    return windows
+
+
+def fold_windows(windows: np.ndarray, total_bits: int, width: int) -> np.ndarray:
+    """Vectorized :func:`repro.common.bitops.fold_bits` over window arrays.
+
+    Xors successive ``width``-bit chunks of each ``total_bits``-wide
+    window together.
+    """
+    if width <= 0:
+        raise ValueError(f"fold width must be positive, got {width}")
+    if total_bits <= 0:
+        raise ValueError(f"total_bits must be positive, got {total_bits}")
+    chunk_mask = mask(width)
+    folded = np.zeros_like(windows)
+    remaining = windows.copy()
+    for _ in range((total_bits + width - 1) // width):
+        folded ^= remaining & chunk_mask
+        remaining >>= width
+    return folded

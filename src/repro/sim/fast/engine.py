@@ -1,0 +1,240 @@
+"""Vectorized batch simulation over pre-materialized trace arrays.
+
+:func:`simulate_fast` and :func:`simulate_binary_fast` are drop-in,
+bit-for-bit equivalents of :func:`repro.sim.engine.simulate` and
+:func:`repro.sim.engine.simulate_binary` for the vectorizable subset of
+the model zoo:
+
+* predictors — :class:`~repro.predictors.bimodal.BimodalPredictor`
+  (also the template of the TAGE bimodal base) and
+  :class:`~repro.predictors.gshare.GsharePredictor`;
+* binary estimators — :class:`~repro.confidence.jrs.JrsEstimator` and
+  :class:`~repro.confidence.jrs.EnhancedJrsEstimator`.
+
+Why this subset vectorizes exactly: for these components the table
+*indices* depend only on the branch PC and the resolved outcome history
+— never on predictions — so every index is precomputable from the trace
+alone, and each table entry's counter sequence is a clamp-add scan
+(:mod:`repro.sim.fast.scan`).  The full TAGE tagged path (allocation
+decisions feed back into table contents), the multi-class observation
+estimator and the perceptron/O-GEHL self-confidence predictors have
+prediction-dependent state and raise :class:`FastBackendUnsupported`;
+the dispatching wrappers in :mod:`repro.sim.engine` then fall back to
+the reference loop with a :class:`FastBackendFallbackWarning`.
+
+The fast path never calls ``predict``/``train`` — the predictor and
+estimator instances are only read for their configuration and are left
+in their power-on state.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.common.bitops import mask
+from repro.confidence.jrs import EnhancedJrsEstimator, JrsEstimator
+from repro.confidence.metrics import BinaryConfidenceMetrics
+from repro.predictors.bimodal import BimodalPredictor
+from repro.predictors.gshare import GsharePredictor
+from repro.sim.backends import FastBackendUnsupported
+from repro.sim.engine import SimulationResult
+from repro.sim.fast.arrays import TraceArrays, fold_windows, history_windows
+from repro.sim.fast.scan import (
+    DEFAULT_CHUNK_SIZE,
+    resetting_transforms,
+    saturating_transforms,
+    scanned_counters,
+)
+
+__all__ = [
+    "simulate_fast",
+    "simulate_binary_fast",
+    "vectorized_predictions",
+    "vectorized_assessments",
+    "supports_predictor",
+    "supports_estimator",
+]
+
+
+def supports_predictor(predictor) -> bool:
+    """Can the fast backend reproduce this predictor bit-exactly?
+
+    Exact-type checks on purpose: a subclass may override behaviour the
+    vectorized path would silently ignore.
+    """
+    return type(predictor) in (BimodalPredictor, GsharePredictor)
+
+
+def supports_estimator(estimator) -> bool:
+    """Can the fast backend reproduce this binary estimator bit-exactly?"""
+    return type(estimator) in (JrsEstimator, EnhancedJrsEstimator)
+
+
+def _bimodal_predictions(
+    predictor: BimodalPredictor, arrays: TraceArrays, chunk_size: int
+) -> np.ndarray:
+    indices = (arrays.pcs >> 2) & mask(predictor.log_entries)
+    max_value = (1 << predictor.counter_bits) - 1
+    weak_not_taken = (1 << (predictor.counter_bits - 1)) - 1
+    b, lo, hi = saturating_transforms(arrays.taken_bool, max_value)
+    counters = scanned_counters(
+        1 << predictor.log_entries, weak_not_taken + 1,
+        indices, b, lo, hi, chunk_size,
+    )
+    return counters > weak_not_taken
+
+
+#: Longest history whose packed window fits an int64 lane (the reference
+#: engine uses Python bigints and has no such bound).
+_MAX_VECTOR_HISTORY = 62
+
+
+def _gshare_predictions(
+    predictor: GsharePredictor, arrays: TraceArrays, chunk_size: int
+) -> np.ndarray:
+    if predictor.history_length > _MAX_VECTOR_HISTORY:
+        raise FastBackendUnsupported(
+            f"gshare history_length {predictor.history_length} exceeds the "
+            f"vectorized window width ({_MAX_VECTOR_HISTORY} bits)"
+        )
+    windows = history_windows(arrays.takens, predictor.history_length)
+    folded = fold_windows(windows, predictor.history_length, predictor.log_entries)
+    indices = ((arrays.pcs >> 2) ^ folded) & mask(predictor.log_entries)
+    b, lo, hi = saturating_transforms(arrays.taken_bool, 3)
+    counters = scanned_counters(
+        1 << predictor.log_entries, 2, indices, b, lo, hi, chunk_size
+    )
+    return counters >= 2
+
+
+def vectorized_predictions(
+    predictor, arrays: TraceArrays, chunk_size: int = DEFAULT_CHUNK_SIZE
+) -> np.ndarray:
+    """Per-branch predictions of a supported predictor over a whole trace.
+
+    Raises:
+        FastBackendUnsupported: for any predictor outside the vectorized
+            family (the full TAGE tagged path, perceptron, O-GEHL, local).
+    """
+    if type(predictor) is BimodalPredictor:
+        return _bimodal_predictions(predictor, arrays, chunk_size)
+    if type(predictor) is GsharePredictor:
+        return _gshare_predictions(predictor, arrays, chunk_size)
+    raise FastBackendUnsupported(
+        f"predictor {getattr(predictor, 'name', type(predictor).__name__)!r} "
+        "is not vectorizable (supported: bimodal, gshare)"
+    )
+
+
+def vectorized_assessments(
+    estimator,
+    arrays: TraceArrays,
+    predictions: np.ndarray,
+    chunk_size: int = DEFAULT_CHUNK_SIZE,
+) -> np.ndarray:
+    """Per-branch high-confidence assessments of a JRS-family estimator.
+
+    Raises:
+        FastBackendUnsupported: for estimators outside the JRS family.
+    """
+    if not supports_estimator(estimator):
+        raise FastBackendUnsupported(
+            f"estimator {type(estimator).__name__} is not vectorizable "
+            "(supported: JrsEstimator, EnhancedJrsEstimator)"
+        )
+    if estimator.history_length > _MAX_VECTOR_HISTORY:
+        raise FastBackendUnsupported(
+            f"JRS history_length {estimator.history_length} exceeds the "
+            f"vectorized window width ({_MAX_VECTOR_HISTORY} bits)"
+        )
+    windows = history_windows(arrays.takens, estimator.history_length)
+    value = (arrays.pcs >> 2) ^ fold_windows(
+        windows, estimator.history_length, estimator.log_entries
+    )
+    if estimator.include_prediction:
+        value = (value << 1) | predictions.astype(np.int64)
+    indices = value & mask(estimator.log_entries)
+    correct = predictions == arrays.taken_bool
+    max_value = (1 << estimator.counter_bits) - 1
+    b, lo, hi = resetting_transforms(correct, max_value)
+    counters = scanned_counters(
+        1 << estimator.log_entries, 0, indices, b, lo, hi, chunk_size
+    )
+    return counters >= estimator.threshold
+
+
+def _result(trace, predictor, mispredictions: int) -> SimulationResult:
+    return SimulationResult(
+        trace_name=trace.name,
+        predictor_name=getattr(predictor, "name", type(predictor).__name__),
+        n_branches=len(trace),
+        n_instructions=trace.total_instructions,
+        mispredictions=mispredictions,
+        storage_bits=predictor.storage_bits(),
+    )
+
+
+def simulate_fast(
+    trace,
+    predictor,
+    estimator=None,
+    controller=None,
+    warmup_branches: int = 0,
+    chunk_size: int = DEFAULT_CHUNK_SIZE,
+) -> SimulationResult:
+    """Vectorized equivalent of :func:`repro.sim.engine.simulate`.
+
+    Only the estimator-free accuracy run is vectorizable here: the
+    multi-class observation estimator and the adaptive controller both
+    require the TAGE predictor, whose tagged path is not supported.
+
+    Raises:
+        FastBackendUnsupported: when an estimator/controller is attached
+            or the predictor is outside the vectorized family.
+    """
+    if warmup_branches < 0:
+        raise ValueError(f"warmup_branches must be non-negative, got {warmup_branches}")
+    if estimator is not None:
+        raise FastBackendUnsupported(
+            "the multi-class TAGE observation estimator is not vectorizable"
+        )
+    if controller is not None:
+        raise FastBackendUnsupported(
+            "the adaptive saturation controller is not vectorizable"
+        )
+    arrays = TraceArrays.from_trace(trace)
+    predictions = vectorized_predictions(predictor, arrays, chunk_size)
+    mispredictions = int(np.count_nonzero(predictions != arrays.taken_bool))
+    return _result(trace, predictor, mispredictions)
+
+
+def simulate_binary_fast(
+    trace,
+    predictor,
+    estimator,
+    warmup_branches: int = 0,
+    chunk_size: int = DEFAULT_CHUNK_SIZE,
+) -> tuple[BinaryConfidenceMetrics, SimulationResult]:
+    """Vectorized equivalent of :func:`repro.sim.engine.simulate_binary`.
+
+    Raises:
+        FastBackendUnsupported: when the predictor or the estimator is
+            outside the vectorized family.
+    """
+    if warmup_branches < 0:
+        raise ValueError(f"warmup_branches must be non-negative, got {warmup_branches}")
+    arrays = TraceArrays.from_trace(trace)
+    predictions = vectorized_predictions(predictor, arrays, chunk_size)
+    high = vectorized_assessments(estimator, arrays, predictions, chunk_size)
+    correct = predictions == arrays.taken_bool
+    mispredictions = int(np.count_nonzero(~correct))
+
+    warm_high = high[warmup_branches:]
+    warm_correct = correct[warmup_branches:]
+    metrics = BinaryConfidenceMetrics(
+        high_correct=int(np.count_nonzero(warm_high & warm_correct)),
+        high_incorrect=int(np.count_nonzero(warm_high & ~warm_correct)),
+        low_correct=int(np.count_nonzero(~warm_high & warm_correct)),
+        low_incorrect=int(np.count_nonzero(~warm_high & ~warm_correct)),
+    )
+    return metrics, _result(trace, predictor, mispredictions)

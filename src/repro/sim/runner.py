@@ -15,6 +15,7 @@ from repro.predictors.tage.config import (
     TageConfig,
 )
 from repro.predictors.tage.predictor import TagePredictor
+from repro.sim.backends import DEFAULT_BACKEND
 from repro.sim.engine import SimulationResult, simulate
 from repro.traces.suites import (
     CBP1_TRACE_NAMES,
@@ -101,6 +102,7 @@ def run_trace(
     adaptive: bool = False,
     target_mkp: float = 10.0,
     warmup_branches: int = 0,
+    backend: str = DEFAULT_BACKEND,
     **config_overrides,
 ) -> SimulationResult:
     """Simulate one trace on a fresh preset predictor with confidence
@@ -108,6 +110,11 @@ def run_trace(
 
     ``adaptive=True`` additionally attaches the §6.2 controller (and
     forces the probabilistic automaton, which the controller requires).
+
+    ``backend`` is threaded through to :func:`repro.sim.engine.simulate`;
+    since this runner always attaches the multi-class TAGE observation
+    estimator, ``backend="fast"`` currently falls back to the reference
+    engine with a :class:`~repro.sim.backends.FastBackendFallbackWarning`.
     """
     if adaptive:
         automaton = AUTOMATON_PROBABILISTIC
@@ -124,6 +131,7 @@ def run_trace(
         estimator=estimator,
         controller=controller,
         warmup_branches=warmup_branches,
+        backend=backend,
     )
 
 

@@ -4,7 +4,10 @@
 :class:`~repro.sweep.spec.JobSpec` (pure data), regenerates the named
 trace inside the worker process (trace synthesis is deterministic and
 memoized per process, so nothing large crosses the pipe), instantiates
-the predictor/estimator pair and runs the matching engine loop.
+the predictor/estimator pair and runs the matching engine loop on the
+job's backend — vectorized batch execution for ``backend="fast"`` cells
+the fast engine supports, the per-branch reference loop (after a
+:class:`~repro.sim.backends.FastBackendFallbackWarning`) for the rest.
 
 :func:`run_sweep` drives a whole :class:`ExperimentSpec`: expand the
 grid, serve cache hits, execute the misses — serially or across a
@@ -104,6 +107,7 @@ def execute_job(job: JobSpec) -> JobResult:
             estimator=estimator,
             controller=controller,
             warmup_branches=job.warmup_branches,
+            backend=job.backend,
         )
         binary = result.binary_confusion()
         estimator_bits = 0
@@ -115,7 +119,11 @@ def execute_job(job: JobSpec) -> JobResult:
         else:  # "self"
             estimator = SelfConfidenceEstimator(predictor, **params)
         binary, result = simulate_binary(
-            trace, predictor, estimator, warmup_branches=job.warmup_branches
+            trace,
+            predictor,
+            estimator,
+            warmup_branches=job.warmup_branches,
+            backend=job.backend,
         )
         estimator_bits = estimator.storage_bits()
 

@@ -91,6 +91,7 @@ def expand(spec: ExperimentSpec) -> GridExpansion:
             adaptive=spec.adaptive,
             target_mkp=spec.target_mkp,
             seed=spec.derive_job_seed(predictor, estimator, trace),
+            backend=spec.backend,
         )
         for trace in spec.traces
         for predictor, estimator in valid

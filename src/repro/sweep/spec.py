@@ -23,6 +23,8 @@ import json
 import zlib
 from dataclasses import dataclass, field, replace
 
+from repro.sim.backends import DEFAULT_BACKEND, validate_backend
+
 __all__ = [
     "PREDICTOR_KINDS",
     "ESTIMATOR_KINDS",
@@ -195,6 +197,13 @@ class JobSpec:
     ``seed`` is the per-job RNG seed already derived by grid expansion
     (``None`` keeps each component's built-in deterministic seeds, which
     reproduces the pre-sweep ``run_suite`` results bit-for-bit).
+
+    ``backend`` selects the simulation engine.  It is deliberately
+    **excluded** from :meth:`as_dict` and therefore from
+    :meth:`spec_hash`: the fast backend is bit-for-bit equivalent to the
+    reference engine (enforced by ``tests/equivalence/``), so both
+    backends share the same on-disk cache entries and a fast re-run of a
+    reference sweep is served entirely from cache.
     """
 
     predictor: PredictorSpec
@@ -205,6 +214,10 @@ class JobSpec:
     adaptive: bool = False
     target_mkp: float = 10.0
     seed: int | None = None
+    backend: str = DEFAULT_BACKEND
+
+    def __post_init__(self) -> None:
+        validate_backend(self.backend)
 
     def as_dict(self) -> dict:
         return {
@@ -245,6 +258,10 @@ class ExperimentSpec:
             own deterministic 32-bit seed from (seed, cell coordinates),
             so repeated cells are independent yet the whole sweep is
             reproducible and worker-count invariant.
+        backend: simulation engine for every cell (``"reference"`` or
+            ``"fast"``); excluded from :meth:`spec_hash` because results
+            are backend-invariant (see :class:`JobSpec`), so switching
+            backend reuses existing cache entries.
         skip_incompatible: drop (predictor, estimator) pairs that cannot
             be combined instead of raising during expansion.
     """
@@ -258,9 +275,11 @@ class ExperimentSpec:
     adaptive: bool = False
     target_mkp: float = 10.0
     seed: int | None = None
+    backend: str = DEFAULT_BACKEND
     skip_incompatible: bool = field(default=True, compare=False)
 
     def __post_init__(self) -> None:
+        validate_backend(self.backend)
         if not self.predictors:
             raise ValueError("spec needs at least one predictor")
         if not self.estimators:

@@ -1,0 +1,86 @@
+"""Property-based invariants for :mod:`repro.common.bitops`.
+
+The fast backend re-implements masking and folding in vectorized form,
+so the scalar primitives' algebra — idempotence, GF(2) linearity, the
+recursive fold identity — is what keeps the two worlds equal.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.common.bitops import fold_bits, mask, mix_pc, parity, reverse_bits
+
+values = st.integers(0, (1 << 64) - 1)
+widths = st.integers(1, 24)
+
+
+class TestMask:
+    @given(values, widths)
+    def test_masking_is_idempotent(self, value, width):
+        once = value & mask(width)
+        assert once & mask(width) == once
+
+    @given(widths)
+    def test_mask_has_exactly_width_bits(self, width):
+        assert mask(width).bit_count() == width
+        assert mask(width) < (1 << width)
+
+    @given(values, widths, widths)
+    def test_nested_masks_collapse_to_the_narrower(self, value, a, b):
+        assert value & mask(a) & mask(b) == value & mask(min(a, b))
+
+
+class TestFold:
+    @given(values, widths)
+    def test_fold_fits_width(self, value, width):
+        assert 0 <= fold_bits(value, width) <= mask(width)
+
+    @given(values, widths)
+    def test_fold_recursive_identity(self, value, width):
+        """fold(v) == low chunk ^ fold(v >> width): the defining recursion."""
+        assert fold_bits(value, width) == (
+            (value & mask(width)) ^ fold_bits(value >> width, width)
+        )
+
+    @given(values, values, widths)
+    def test_fold_is_gf2_linear(self, a, b, width):
+        assert fold_bits(a ^ b, width) == fold_bits(a, width) ^ fold_bits(b, width)
+
+    @given(values, widths)
+    def test_fold_of_masked_width_is_identity(self, value, width):
+        narrow = value & mask(width)
+        assert fold_bits(narrow, width) == narrow
+
+
+class TestReverseBits:
+    @given(values, st.integers(0, 24))
+    def test_reverse_is_an_involution(self, value, width):
+        truncated = value & mask(width)
+        assert reverse_bits(reverse_bits(truncated, width), width) == truncated
+
+    @given(values, widths)
+    def test_reverse_preserves_popcount(self, value, width):
+        truncated = value & mask(width)
+        assert reverse_bits(truncated, width).bit_count() == truncated.bit_count()
+
+
+class TestParity:
+    @given(values, values)
+    def test_parity_is_gf2_linear(self, a, b):
+        assert parity(a ^ b) == parity(a) ^ parity(b)
+
+    @given(values)
+    def test_parity_matches_popcount(self, value):
+        assert parity(value) == value.bit_count() & 1
+
+
+class TestMixPc:
+    @given(values, widths)
+    def test_mix_fits_width(self, pc, width):
+        assert 0 <= mix_pc(pc, width) <= mask(width)
+
+    @given(values, widths)
+    def test_mix_is_deterministic(self, pc, width):
+        assert mix_pc(pc, width) == mix_pc(pc, width)

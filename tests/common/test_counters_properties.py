@@ -1,0 +1,118 @@
+"""Property-based invariants for :mod:`repro.common.counters`.
+
+Saturating-counter bounds are the contract the fast backend's clamp-add
+transforms encode; these properties pin the scalar semantics the
+vectorized scan must match.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.common.counters import (
+    SaturatingCounter,
+    SignedSaturatingCounter,
+    ctr_strength,
+    is_saturated,
+    is_weak,
+    saturating_update,
+    signed_saturating_update,
+)
+
+bits = st.integers(1, 8)
+steps = st.lists(st.booleans(), min_size=0, max_size=200)
+
+
+@st.composite
+def unsigned_state(draw):
+    width = draw(bits)
+    value = draw(st.integers(0, (1 << width) - 1))
+    return width, value
+
+
+@st.composite
+def signed_state(draw):
+    width = draw(bits)
+    value = draw(st.integers(-(1 << (width - 1)), (1 << (width - 1)) - 1))
+    return width, value
+
+
+class TestUnsignedBounds:
+    @given(unsigned_state(), steps)
+    def test_any_walk_stays_in_range(self, state, walk):
+        width, value = state
+        for up in walk:
+            value = saturating_update(value, up, width)
+            assert 0 <= value <= (1 << width) - 1
+
+    @given(unsigned_state())
+    def test_rails_are_fixed_points(self, state):
+        width, _ = state
+        top = (1 << width) - 1
+        assert saturating_update(top, True, width) == top
+        assert saturating_update(0, False, width) == 0
+
+    @given(unsigned_state(), steps)
+    def test_class_matches_free_function(self, state, walk):
+        width, value = state
+        counter = SaturatingCounter(bits=width, initial=value)
+        for up in walk:
+            if up:
+                counter.increment()
+            else:
+                counter.decrement()
+            value = saturating_update(value, up, width)
+            assert counter.value == value
+
+    @given(unsigned_state())
+    def test_up_then_down_returns_when_unsaturated(self, state):
+        width, value = state
+        top = (1 << width) - 1
+        if 0 < value < top:
+            assert saturating_update(
+                saturating_update(value, True, width), False, width
+            ) == value
+
+
+class TestSignedBounds:
+    @given(signed_state(), steps)
+    def test_any_walk_stays_in_range(self, state, walk):
+        width, value = state
+        lo, hi = -(1 << (width - 1)), (1 << (width - 1)) - 1
+        for up in walk:
+            value = signed_saturating_update(value, up, width)
+            assert lo <= value <= hi
+
+    @given(signed_state(), steps)
+    def test_class_matches_free_function(self, state, walk):
+        width, value = state
+        counter = SignedSaturatingCounter(bits=width, initial=value)
+        for up in walk:
+            counter.update(up)
+            value = signed_saturating_update(value, up, width)
+            assert counter.value == value
+            assert counter.positive_or_zero == (value >= 0)
+
+    @given(signed_state())
+    def test_saturation_detection_at_rails_only(self, state):
+        width, value = state
+        lo, hi = -(1 << (width - 1)), (1 << (width - 1)) - 1
+        assert is_saturated(value, width) == (value in (lo, hi))
+
+
+class TestStrengthDiscriminator:
+    @given(st.integers(-128, 127))
+    def test_strength_is_odd_and_positive(self, ctr):
+        strength = ctr_strength(ctr)
+        assert strength > 0
+        assert strength % 2 == 1
+
+    @given(st.integers(-128, 127))
+    def test_strength_is_symmetric_around_minus_half(self, ctr):
+        """|2c+1| treats c and -c-1 (the mirrored prediction) alike."""
+        assert ctr_strength(ctr) == ctr_strength(-ctr - 1)
+
+    @given(st.integers(-128, 127))
+    def test_weak_iff_strength_one(self, ctr):
+        assert is_weak(ctr) == (ctr_strength(ctr) == 1)

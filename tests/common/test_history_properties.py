@@ -1,0 +1,115 @@
+"""Property-based invariants for :mod:`repro.common.history`.
+
+Window masking, shift-register round-trips and the incremental-fold /
+closed-form-fold agreement under roll (push) sequences — the identities
+the fast backend's vectorized ``history_windows`` / ``fold_windows``
+pipeline is built on.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.common.bitops import mask
+from repro.common.history import FoldedHistory, GlobalHistory, PathHistory
+
+outcome_streams = st.lists(st.booleans(), min_size=0, max_size=200)
+
+
+class TestGlobalHistoryRoundTrip:
+    @given(outcome_streams, st.integers(1, 32))
+    def test_window_reconstructs_recent_outcomes(self, outcomes, capacity):
+        register = GlobalHistory(capacity=capacity)
+        for taken in outcomes:
+            register.push(taken)
+        recent = outcomes[-capacity:][::-1]  # newest first
+        expected = sum(int(taken) << age for age, taken in enumerate(recent))
+        assert register.window(capacity) == expected
+
+    @given(outcome_streams, st.integers(1, 32), st.integers(0, 32))
+    def test_window_is_masked_full_window(self, outcomes, capacity, length):
+        length = min(length, capacity)
+        register = GlobalHistory(capacity=capacity)
+        for taken in outcomes:
+            register.push(taken)
+        assert register.window(length) == register.window(capacity) & mask(length)
+
+    @given(outcome_streams, st.integers(1, 32))
+    def test_bits_agree_with_window(self, outcomes, capacity):
+        register = GlobalHistory(capacity=capacity)
+        for taken in outcomes:
+            register.push(taken)
+        window = register.window(capacity)
+        for age in range(capacity):
+            assert register.bit(age) == (window >> age) & 1
+
+    @given(outcome_streams, st.integers(1, 16))
+    def test_reset_restores_power_on(self, outcomes, capacity):
+        register = GlobalHistory(capacity=capacity)
+        for taken in outcomes:
+            register.push(taken)
+        register.reset()
+        assert register.window(capacity) == 0
+
+
+class TestPathHistory:
+    @given(st.lists(st.integers(0, (1 << 32) - 1), max_size=100), st.integers(1, 24))
+    def test_value_stays_within_length(self, pcs, length):
+        path = PathHistory(length=length)
+        for pc in pcs:
+            path.push(pc)
+            assert 0 <= path.value <= mask(length)
+
+    @given(st.lists(st.integers(0, (1 << 32) - 1), min_size=1, max_size=100))
+    def test_newest_pc_bit_lands_in_bit_zero(self, pcs):
+        path = PathHistory(length=8)
+        for pc in pcs:
+            path.push(pc)
+        assert path.value & 1 == pcs[-1] & 1
+
+
+class TestFoldedHistoryRollRoundTrip:
+    @settings(max_examples=80, deadline=None)
+    @given(
+        outcomes=st.lists(st.booleans(), min_size=0, max_size=300),
+        original=st.integers(1, 48),
+        compressed=st.integers(1, 16),
+    )
+    def test_incremental_fold_tracks_closed_form_under_roll(
+        self, outcomes, original, compressed
+    ):
+        """Push/expire an arbitrary stream; the O(1) incremental register
+        must equal the closed-form fold of the live window at every step."""
+        folded = FoldedHistory(original, compressed)
+        register = GlobalHistory(capacity=original + 1)
+        for taken in outcomes:
+            outgoing = register.bit(original - 1)
+            folded.update(int(taken), outgoing)
+            register.push(taken)
+            window = register.window(original)
+            assert folded.value == FoldedHistory.fold_window(
+                window, original, compressed
+            )
+
+    @given(
+        st.integers(0, (1 << 48) - 1),
+        st.integers(1, 48),
+        st.integers(1, 16),
+    )
+    def test_fold_window_is_gf2_linear(self, window, original, compressed):
+        window &= mask(original)
+        single_bits = [
+            1 << age for age in range(original) if (window >> age) & 1
+        ]
+        acc = 0
+        for bit in single_bits:
+            acc ^= FoldedHistory.fold_window(bit, original, compressed)
+        assert FoldedHistory.fold_window(window, original, compressed) == acc
+
+    @given(st.integers(1, 48), st.integers(1, 16))
+    def test_reset_round_trip(self, original, compressed):
+        folded = FoldedHistory(original, compressed)
+        folded.update(1, 0)
+        folded.reset()
+        assert folded.value == 0

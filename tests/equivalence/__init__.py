@@ -1,0 +1,13 @@
+"""Differential-equivalence suite: reference engine vs fast backend.
+
+Every test here runs the *same* (trace, predictor, estimator) cell
+through both simulation backends and asserts bit-for-bit identical
+results — equal :class:`~repro.sim.engine.SimulationResult` dataclasses
+and equal 2×2 confusion matrices.  This is the guarantee that lets the
+sweep cache share entries between backends and lets any bench switch to
+``backend="fast"`` without changing a single reported number.
+
+CI runs this directory as its own step (separate from the unit suite)
+so an equivalence break is immediately distinguishable from a unit
+regression.
+"""

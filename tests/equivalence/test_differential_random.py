@@ -1,0 +1,94 @@
+"""Property-based backend differentials on adversarial random traces.
+
+Hypothesis drives both backends with arbitrary little traces (heavy PC
+aliasing, arbitrary outcome streams) and arbitrary in-range component
+geometries — the corners a curated grid misses: 1-bit counters,
+threshold-at-max JRS tables, history longer than the trace, tables
+smaller than the PC working set.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+np = pytest.importorskip("numpy")
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.confidence.jrs import EnhancedJrsEstimator, JrsEstimator
+from repro.predictors.bimodal import BimodalPredictor
+from repro.predictors.gshare import GsharePredictor
+from repro.sim.engine import simulate, simulate_binary
+from repro.sim.fast import simulate_binary_fast, simulate_fast
+from repro.traces.types import Trace
+
+
+def trace_strategy(max_len: int = 250):
+    """Small traces over a tiny PC pool (maximal table aliasing)."""
+    step = st.tuples(st.integers(0, 15), st.booleans())
+    return st.lists(step, min_size=1, max_size=max_len).map(
+        lambda steps: Trace(
+            "random",
+            [0x1000 + 4 * slot for slot, _ in steps],
+            [int(taken) for _, taken in steps],
+            [1] * len(steps),
+        )
+    )
+
+
+bimodal_params = st.tuples(st.integers(1, 6), st.integers(1, 3))
+gshare_params = st.tuples(st.integers(1, 6), st.integers(1, 12))
+
+
+@st.composite
+def jrs_params(draw):
+    log_entries = draw(st.integers(1, 6))
+    counter_bits = draw(st.integers(1, 4))
+    threshold = draw(st.integers(1, (1 << counter_bits) - 1 or 1))
+    history_length = draw(st.integers(1, 10))
+    return log_entries, counter_bits, threshold, history_length
+
+
+@settings(max_examples=40, deadline=None)
+@given(trace=trace_strategy(), params=bimodal_params)
+def test_random_bimodal(trace, params):
+    log_entries, counter_bits = params
+    make = lambda: BimodalPredictor(log_entries=log_entries, counter_bits=counter_bits)
+    assert simulate_fast(trace, make()) == simulate(trace, make())
+
+
+@settings(max_examples=40, deadline=None)
+@given(trace=trace_strategy(), params=gshare_params)
+def test_random_gshare(trace, params):
+    log_entries, history_length = params
+    make = lambda: GsharePredictor(log_entries=log_entries, history_length=history_length)
+    assert simulate_fast(trace, make()) == simulate(trace, make())
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    trace=trace_strategy(),
+    params=jrs_params(),
+    enhanced=st.booleans(),
+    warmup_fraction=st.floats(0.0, 1.0),
+)
+def test_random_binary_cells(trace, params, enhanced, warmup_fraction):
+    log_entries, counter_bits, threshold, history_length = params
+    estimator_cls = EnhancedJrsEstimator if enhanced else JrsEstimator
+    make_estimator = lambda: estimator_cls(
+        log_entries=log_entries,
+        counter_bits=counter_bits,
+        threshold=threshold,
+        history_length=history_length,
+    )
+    warmup = int(len(trace) * warmup_fraction)
+    reference = simulate_binary(
+        trace, GsharePredictor(log_entries=4, history_length=6),
+        make_estimator(), warmup_branches=warmup,
+    )
+    fast = simulate_binary_fast(
+        trace, GsharePredictor(log_entries=4, history_length=6),
+        make_estimator(), warmup_branches=warmup,
+    )
+    assert fast == reference

@@ -1,0 +1,155 @@
+"""Fallback semantics: unsupported configurations warn and stay correct.
+
+``backend="fast"`` is a request, not a contract: cells the vectorized
+engine cannot reproduce bit-exactly (the full TAGE tagged path, the
+multi-class observation estimator, self-confidence predictors, any
+subclass of a supported component) must fall back to the reference
+engine with a :class:`FastBackendFallbackWarning` — and produce exactly
+the reference results.
+"""
+
+from __future__ import annotations
+
+import warnings
+
+import pytest
+
+np = pytest.importorskip("numpy")
+
+from repro.confidence.estimator import TageConfidenceEstimator
+from repro.confidence.jrs import JrsEstimator
+from repro.confidence.self_confidence import SelfConfidenceEstimator
+from repro.predictors.bimodal import BimodalPredictor
+from repro.predictors.gshare import GsharePredictor
+from repro.predictors.perceptron import PerceptronPredictor
+from repro.sim.backends import FastBackendFallbackWarning, FastBackendUnsupported
+from repro.sim.engine import simulate, simulate_binary
+from repro.sim.fast import (
+    simulate_binary_fast,
+    simulate_fast,
+    supports_estimator,
+    supports_predictor,
+)
+from repro.sim.runner import build_predictor, run_trace
+from repro.sweep.executor import execute_job
+from repro.sweep.spec import EstimatorSpec, JobSpec, PredictorSpec
+
+
+class _SubclassedBimodal(BimodalPredictor):
+    """A subclass must NOT be treated as vectorizable (it may override
+    behaviour the fast path would silently ignore)."""
+
+
+def test_supports_predictor_truth_table():
+    assert supports_predictor(BimodalPredictor())
+    assert supports_predictor(GsharePredictor())
+    assert not supports_predictor(_SubclassedBimodal())
+    assert not supports_predictor(PerceptronPredictor())
+    assert not supports_predictor(build_predictor("16K"))
+
+
+def test_supports_estimator_truth_table():
+    assert supports_estimator(JrsEstimator())
+    perceptron = PerceptronPredictor()
+    assert not supports_estimator(SelfConfidenceEstimator(perceptron))
+
+
+def test_fast_engine_raises_for_tage(tiny_trace):
+    with pytest.raises(FastBackendUnsupported, match="not vectorizable"):
+        simulate_fast(tiny_trace, build_predictor("16K"))
+
+
+def test_fast_engine_raises_for_multiclass_estimator(tiny_trace):
+    predictor = build_predictor("16K")
+    with pytest.raises(FastBackendUnsupported, match="observation estimator"):
+        simulate_fast(tiny_trace, predictor, TageConfidenceEstimator(predictor))
+
+
+def test_fast_engine_raises_for_oversized_history(tiny_trace):
+    """Histories beyond the int64 window width fall back (the reference
+    engine's Python bigints have no such bound)."""
+    with pytest.raises(FastBackendUnsupported, match="window width"):
+        simulate_fast(tiny_trace, GsharePredictor(history_length=70))
+    with pytest.raises(FastBackendUnsupported, match="window width"):
+        simulate_binary_fast(
+            tiny_trace, GsharePredictor(), JrsEstimator(history_length=80)
+        )
+    reference = simulate(tiny_trace, GsharePredictor(history_length=70))
+    with pytest.warns(FastBackendFallbackWarning):
+        fallback = simulate(
+            tiny_trace, GsharePredictor(history_length=70), backend="fast"
+        )
+    assert fallback == reference
+
+
+def test_fast_engine_raises_for_self_confidence(tiny_trace):
+    perceptron = PerceptronPredictor()
+    with pytest.raises(FastBackendUnsupported, match="not vectorizable"):
+        simulate_binary_fast(
+            tiny_trace, perceptron, SelfConfidenceEstimator(perceptron)
+        )
+
+
+def test_simulate_tage_falls_back_with_warning(tiny_trace):
+    reference = simulate(tiny_trace, build_predictor("16K"))
+    with pytest.warns(FastBackendFallbackWarning, match="falling back"):
+        fallback = simulate(tiny_trace, build_predictor("16K"), backend="fast")
+    assert fallback == reference
+
+
+def test_simulate_binary_self_confidence_falls_back(tiny_trace):
+    def run(backend):
+        perceptron = PerceptronPredictor()
+        return simulate_binary(
+            tiny_trace, perceptron, SelfConfidenceEstimator(perceptron),
+            backend=backend,
+        )
+
+    reference = run("reference")
+    with pytest.warns(FastBackendFallbackWarning):
+        fallback = run("fast")
+    assert fallback == reference
+
+
+def test_run_trace_fast_backend_falls_back(tiny_trace):
+    reference = run_trace(tiny_trace, size="16K")
+    with pytest.warns(FastBackendFallbackWarning):
+        fallback = run_trace(tiny_trace, size="16K", backend="fast")
+    assert fallback == reference
+
+
+def test_supported_cells_do_not_warn(tiny_trace):
+    with warnings.catch_warnings():
+        warnings.simplefilter("error", FastBackendFallbackWarning)
+        simulate(tiny_trace, BimodalPredictor(), backend="fast")
+        simulate_binary(
+            tiny_trace, GsharePredictor(), JrsEstimator(), backend="fast"
+        )
+
+
+def test_executor_fast_job_with_tage_estimator_falls_back():
+    job = JobSpec(
+        predictor=PredictorSpec.of("tage", size="16K"),
+        estimator=EstimatorSpec.of("tage"),
+        trace="INT-1",
+        n_branches=1_500,
+        backend="fast",
+    )
+    reference_job = JobSpec(
+        predictor=job.predictor, estimator=job.estimator,
+        trace=job.trace, n_branches=job.n_branches,
+    )
+    reference = execute_job(reference_job)
+    with pytest.warns(FastBackendFallbackWarning):
+        fallback = execute_job(job)
+    assert fallback.result == reference.result
+    assert fallback.binary == reference.binary
+
+
+def test_unknown_backend_is_rejected(tiny_trace):
+    with pytest.raises(ValueError, match="unknown backend"):
+        simulate(tiny_trace, BimodalPredictor(), backend="vectorized")
+    with pytest.raises(ValueError, match="unknown backend"):
+        simulate_binary(
+            tiny_trace, GsharePredictor(), JrsEstimator(), backend="numpy"
+        )

@@ -1,0 +1,16 @@
+"""Golden-reference fixtures: frozen expected results for both backends.
+
+``fixtures/*.json`` pins the exact counts (mispredictions, confusion
+matrices, per-class breakdowns) the reference engine produced for a
+small set of representative cells at the time the fixture was
+generated.  ``test_golden.py`` replays every fixture through the
+reference engine *and* (where supported) the fast backend, so any
+behavioural drift in either backend — a changed hash, an off-by-one in
+a counter update, a history ordering regression — fails CI even if both
+backends drift in lockstep (which the differential suite alone would
+miss).
+
+Regenerate deliberately after an intended behaviour change::
+
+    PYTHONPATH=src python tests/golden/regenerate.py
+"""

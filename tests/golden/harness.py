@@ -1,0 +1,157 @@
+"""Shared fixture harness: config → components → serialized results.
+
+Used by ``test_golden.py`` (replay + compare) and ``regenerate.py``
+(reference run + write), so the two can never disagree about how a
+fixture config maps onto simulator calls.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.confidence.classes import CLASS_ORDER
+from repro.confidence.estimator import TageConfidenceEstimator
+from repro.confidence.jrs import EnhancedJrsEstimator, JrsEstimator
+from repro.predictors.bimodal import BimodalPredictor
+from repro.predictors.gshare import GsharePredictor
+from repro.sim.engine import simulate, simulate_binary
+from repro.sim.runner import build_predictor, get_trace
+
+FIXTURES_DIR = Path(__file__).parent / "fixtures"
+
+#: Fixture configurations: representative cells across behaviour
+#: families, table shapes and estimator kinds.  The TAGE observation
+#: cell is reference-only and guards the reference engine itself.
+FIXTURE_CONFIGS: list[dict] = [
+    {
+        "name": "int1_bimodal_plain",
+        "trace": "INT-1", "n_branches": 4000, "warmup_branches": 0,
+        "predictor": {"kind": "bimodal", "params": {}},
+        "estimator": None,
+    },
+    {
+        "name": "twolf_gshare_plain",
+        "trace": "300.twolf", "n_branches": 4000, "warmup_branches": 0,
+        "predictor": {"kind": "gshare", "params": {"log_entries": 12, "history_length": 10}},
+        "estimator": None,
+    },
+    {
+        "name": "int1_gshare_jrs",
+        "trace": "INT-1", "n_branches": 4000, "warmup_branches": 500,
+        "predictor": {"kind": "gshare", "params": {}},
+        "estimator": {"kind": "jrs", "params": {}},
+    },
+    {
+        "name": "mm1_gshare_ejrs",
+        "trace": "MM-1", "n_branches": 4000, "warmup_branches": 500,
+        "predictor": {"kind": "gshare", "params": {}},
+        "estimator": {"kind": "ejrs", "params": {}},
+    },
+    {
+        "name": "serv1_bimodal_jrs_small",
+        "trace": "SERV-1", "n_branches": 4000, "warmup_branches": 1000,
+        "predictor": {"kind": "bimodal", "params": {"log_entries": 10}},
+        "estimator": {
+            "kind": "jrs",
+            "params": {"log_entries": 8, "counter_bits": 3, "threshold": 5,
+                       "history_length": 6},
+        },
+    },
+    {
+        "name": "fp1_bimodal_ejrs",
+        "trace": "FP-1", "n_branches": 4000, "warmup_branches": 500,
+        "predictor": {"kind": "bimodal", "params": {}},
+        "estimator": {"kind": "ejrs", "params": {}},
+    },
+    {
+        "name": "int1_tage16k_observation",
+        "trace": "INT-1", "n_branches": 4000, "warmup_branches": 1000,
+        "predictor": {"kind": "tage", "params": {"size": "16K"}},
+        "estimator": {"kind": "tage", "params": {}},
+    },
+]
+
+_PREDICTORS = {"bimodal": BimodalPredictor, "gshare": GsharePredictor}
+_BINARY_ESTIMATORS = {"jrs": JrsEstimator, "ejrs": EnhancedJrsEstimator}
+
+
+def build_predictor_from(config: dict):
+    spec = config["predictor"]
+    if spec["kind"] == "tage":
+        params = dict(spec["params"])
+        return build_predictor(params.pop("size", "64K"), **params)
+    return _PREDICTORS[spec["kind"]](**spec["params"])
+
+
+def build_estimator_from(config: dict, predictor):
+    spec = config["estimator"]
+    if spec is None:
+        return None
+    if spec["kind"] == "tage":
+        return TageConfidenceEstimator(predictor, **spec["params"])
+    return _BINARY_ESTIMATORS[spec["kind"]](**spec["params"])
+
+
+def fast_supported(config: dict) -> bool:
+    """Is this cell inside the fast backend's vectorizable family?"""
+    estimator = config["estimator"]
+    if config["predictor"]["kind"] not in _PREDICTORS:
+        return False
+    return estimator is None or estimator["kind"] in _BINARY_ESTIMATORS
+
+
+def run_cell(config: dict, backend: str) -> dict:
+    """Execute one fixture cell and serialize its results to plain data."""
+    trace = get_trace(config["trace"], config["n_branches"])
+    predictor = build_predictor_from(config)
+    estimator = build_estimator_from(config, predictor)
+    warmup = config["warmup_branches"]
+
+    if estimator is None or config["estimator"]["kind"] == "tage":
+        result = simulate(
+            trace, predictor, estimator=estimator,
+            warmup_branches=warmup, backend=backend,
+        )
+        confusion = result.binary_confusion()
+        estimator_bits = 0 if estimator is not None else None
+    else:
+        confusion, result = simulate_binary(
+            trace, predictor, estimator,
+            warmup_branches=warmup, backend=backend,
+        )
+        estimator_bits = estimator.storage_bits()
+
+    expected: dict = {
+        "n_branches": result.n_branches,
+        "n_instructions": result.n_instructions,
+        "mispredictions": result.mispredictions,
+        "storage_bits": result.storage_bits,
+        "predictor_name": result.predictor_name,
+    }
+    if estimator_bits is not None:
+        expected["estimator_bits"] = estimator_bits
+    if confusion is not None:
+        expected["confusion"] = {
+            "high_correct": confusion.high_correct,
+            "high_incorrect": confusion.high_incorrect,
+            "low_correct": confusion.low_correct,
+            "low_incorrect": confusion.low_incorrect,
+        }
+    if result.classes is not None:
+        expected["classes"] = {
+            prediction_class.value: [
+                result.classes.predictions(prediction_class),
+                result.classes.mispredictions(prediction_class),
+            ]
+            for prediction_class in CLASS_ORDER
+        }
+    return expected
+
+
+def fixture_path(name: str) -> Path:
+    return FIXTURES_DIR / f"{name}.json"
+
+
+def load_fixture(path: Path) -> dict:
+    return json.loads(path.read_text())

@@ -1,0 +1,44 @@
+"""Regenerate the golden fixtures from the reference engine.
+
+Run deliberately, only after an *intended* behaviour change::
+
+    PYTHONPATH=src python tests/golden/regenerate.py
+
+Every fixture is produced by the reference engine (the ground truth);
+``test_golden.py`` then holds both backends to these numbers.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parents[1]))
+
+from golden.harness import (  # noqa: E402
+    FIXTURE_CONFIGS,
+    FIXTURES_DIR,
+    fast_supported,
+    fixture_path,
+    run_cell,
+)
+
+
+def main() -> int:
+    FIXTURES_DIR.mkdir(exist_ok=True)
+    for config in FIXTURE_CONFIGS:
+        expected = run_cell(config, backend="reference")
+        payload = {
+            "config": {key: value for key, value in config.items() if key != "name"},
+            "fast_supported": fast_supported(config),
+            "expected": expected,
+        }
+        path = fixture_path(config["name"])
+        path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+        print(f"wrote {path.relative_to(FIXTURES_DIR.parents[1])}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

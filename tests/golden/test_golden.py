@@ -1,0 +1,53 @@
+"""Replay every golden fixture through both backends.
+
+A mismatch here means a *behavioural* change: either an intended one
+(regenerate the fixtures and say so in the PR) or a regression that the
+differential suite cannot see because both backends moved together.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from tests.golden.harness import (
+    FIXTURE_CONFIGS,
+    FIXTURES_DIR,
+    fixture_path,
+    load_fixture,
+    run_cell,
+)
+
+FIXTURE_NAMES = [config["name"] for config in FIXTURE_CONFIGS]
+
+
+def test_every_config_has_a_checked_in_fixture():
+    missing = [name for name in FIXTURE_NAMES if not fixture_path(name).exists()]
+    assert not missing, (
+        f"fixtures missing for {missing}; run "
+        "`PYTHONPATH=src python tests/golden/regenerate.py`"
+    )
+
+
+def test_no_orphan_fixtures():
+    on_disk = {path.stem for path in FIXTURES_DIR.glob("*.json")}
+    assert on_disk == set(FIXTURE_NAMES)
+
+
+@pytest.mark.parametrize("name", FIXTURE_NAMES)
+def test_reference_engine_matches_golden(name):
+    fixture = load_fixture(fixture_path(name))
+    observed = run_cell({"name": name, **fixture["config"]}, backend="reference")
+    assert observed == fixture["expected"]
+
+
+@pytest.mark.parametrize(
+    "name",
+    [config["name"] for config in FIXTURE_CONFIGS],
+)
+def test_fast_backend_matches_golden(name):
+    pytest.importorskip("numpy")
+    fixture = load_fixture(fixture_path(name))
+    if not fixture["fast_supported"]:
+        pytest.skip("cell outside the fast backend's vectorizable family")
+    observed = run_cell({"name": name, **fixture["config"]}, backend="fast")
+    assert observed == fixture["expected"]

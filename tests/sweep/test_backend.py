@@ -1,0 +1,100 @@
+"""Backend threading through the sweep layer.
+
+The selector must flow spec → grid → job → engine, while staying *out*
+of the cache identity: the equivalence suite guarantees backend-invariant
+results, so a fast sweep re-running a cached reference sweep must be a
+100% cache hit (and vice versa).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sim.backends import DEFAULT_BACKEND
+from repro.sweep import (
+    EstimatorSpec,
+    ExperimentSpec,
+    PredictorSpec,
+    ResultCache,
+    run_sweep,
+)
+from repro.sweep.executor import execute_job
+from repro.sweep.grid import expand
+from repro.sweep.spec import JobSpec
+
+
+def _spec(backend: str = DEFAULT_BACKEND, **overrides) -> ExperimentSpec:
+    options = dict(
+        name="backend-test",
+        predictors=(PredictorSpec.of("gshare"), PredictorSpec.of("bimodal")),
+        estimators=(EstimatorSpec.of("jrs"), EstimatorSpec.of("ejrs")),
+        traces=("INT-1", "MM-1"),
+        n_branches=1_200,
+        backend=backend,
+    )
+    options.update(overrides)
+    return ExperimentSpec(**options)
+
+
+def _job(backend: str = DEFAULT_BACKEND) -> JobSpec:
+    return JobSpec(
+        predictor=PredictorSpec.of("gshare"),
+        estimator=EstimatorSpec.of("jrs"),
+        trace="INT-1",
+        n_branches=1_200,
+        backend=backend,
+    )
+
+
+class TestSpecThreading:
+    def test_default_backend(self):
+        assert _spec().backend == "reference"
+        assert _job().backend == "reference"
+
+    def test_invalid_backend_rejected(self):
+        with pytest.raises(ValueError, match="unknown backend"):
+            _spec(backend="turbo")
+        with pytest.raises(ValueError, match="unknown backend"):
+            _job(backend="turbo")
+
+    def test_expansion_propagates_backend(self):
+        expansion = expand(_spec(backend="fast"))
+        assert expansion.jobs
+        assert all(job.backend == "fast" for job in expansion.jobs)
+
+    def test_with_options_switches_backend(self):
+        assert _spec().with_options(backend="fast").backend == "fast"
+
+    def test_backend_excluded_from_hashes(self):
+        """Backend choice must not split the cache keyspace."""
+        assert _spec().spec_hash() == _spec(backend="fast").spec_hash()
+        assert _job().spec_hash() == _job(backend="fast").spec_hash()
+        assert "backend" not in _job().as_dict()
+        assert "backend" not in _spec().as_dict()
+
+
+class TestExecution:
+    def test_execute_job_backends_agree(self):
+        pytest.importorskip("numpy")
+        reference = execute_job(_job())
+        fast = execute_job(_job(backend="fast"))
+        assert fast.result == reference.result
+        assert fast.binary == reference.binary
+        assert fast.estimator_bits == reference.estimator_bits
+
+    def test_fast_sweep_served_by_reference_cache(self, tmp_path):
+        pytest.importorskip("numpy")
+        cache = ResultCache(tmp_path / "sweeps")
+        cold = run_sweep(_spec(), cache=cache)
+        assert cold.n_executed == cold.n_jobs
+
+        warm = run_sweep(_spec(backend="fast"), cache=cache)
+        assert warm.n_cached == warm.n_jobs
+        assert warm.n_executed == 0
+        assert warm.table.rows() == cold.table.rows()
+
+    def test_fast_sweep_rows_equal_reference_rows(self):
+        pytest.importorskip("numpy")
+        reference = run_sweep(_spec())
+        fast = run_sweep(_spec(backend="fast"))
+        assert fast.table.rows() == reference.table.rows()
