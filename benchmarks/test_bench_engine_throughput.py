@@ -3,16 +3,28 @@
 Measures branches/second of the trace-driven engine for each predictor
 preset, with and without confidence observation — the number that
 determines how far REPRO_SCALE / REPRO_BENCH_BRANCHES can be pushed.
+Every cell is parametrized over both backends, so the pytest-benchmark
+table reads directly as a reference-vs-fast comparison for TAGE and the
+bimodal/gshare baselines alike (the BENCH trajectory of the fast path).
 """
 
 import pytest
 
 from repro.confidence.estimator import TageConfidenceEstimator
+from repro.predictors.bimodal import BimodalPredictor
+from repro.predictors.gshare import GsharePredictor
 from repro.sim.engine import simulate
 from repro.sim.runner import build_predictor
 from repro.traces.suites import cbp1_trace
 
 N_BRANCHES = 6_000
+
+BACKENDS = ("reference", "fast")
+
+
+def _require_backend(backend: str) -> None:
+    if backend == "fast":
+        pytest.importorskip("numpy")
 
 
 @pytest.fixture(scope="module")
@@ -20,20 +32,39 @@ def trace():
     return cbp1_trace("INT-1", N_BRANCHES)
 
 
+@pytest.mark.parametrize("backend", BACKENDS)
 @pytest.mark.parametrize("size", ["16K", "64K", "256K"])
-def test_throughput_plain(benchmark, trace, size):
+def test_throughput_tage_plain(benchmark, trace, size, backend):
+    _require_backend(backend)
+
     def run():
-        return simulate(trace, build_predictor(size))
+        return simulate(trace, build_predictor(size), backend=backend)
 
     result = benchmark.pedantic(run, rounds=3, iterations=1)
     assert result.n_branches == N_BRANCHES
 
 
-def test_throughput_with_estimator(benchmark, trace):
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_throughput_tage_with_estimator(benchmark, trace, backend):
+    _require_backend(backend)
+
     def run():
         predictor = build_predictor("64K")
         estimator = TageConfidenceEstimator(predictor)
-        return simulate(trace, predictor, estimator)
+        return simulate(trace, predictor, estimator, backend=backend)
 
     result = benchmark.pedantic(run, rounds=3, iterations=1)
     assert result.classes is not None
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+@pytest.mark.parametrize("kind", ["bimodal", "gshare"])
+def test_throughput_baseline(benchmark, trace, kind, backend):
+    _require_backend(backend)
+    factory = BimodalPredictor if kind == "bimodal" else GsharePredictor
+
+    def run():
+        return simulate(trace, factory(), backend=backend)
+
+    result = benchmark.pedantic(run, rounds=3, iterations=1)
+    assert result.n_branches == N_BRANCHES

@@ -1,0 +1,121 @@
+"""Fast TAGE backend wall-clock bench (not a paper experiment).
+
+Runs the paper's central cell — TAGE-16K with the storage-free
+multi-class observation estimator — over the Table-1 (CBP-1) trace
+suite on both backends, asserts the results are bit-identical and the
+plane-fed kernel clears the ≥3× speedup target, and emits a
+machine-readable perf record to
+``benchmarks/results/BENCH_tage_fast.json`` (plus the usual rendered
+text table).
+
+The fast run computes its index/tag planes in memory on purpose — no
+materialization cache — so the timed region includes the full cold-path
+cost the first job of any sweep pays.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+import warnings
+
+import pytest
+
+np = pytest.importorskip("numpy")
+
+from conftest import RESULTS_DIR, bench_branches, emit, run_once  # noqa: F401
+
+from repro.confidence.estimator import TageConfidenceEstimator
+from repro.sim.backends import FastBackendFallbackWarning
+from repro.sim.engine import simulate
+from repro.sim.runner import build_predictor
+from repro.traces.suites import CBP1_TRACE_NAMES, cbp1_trace
+
+SPEEDUP_TARGET = 3.0
+SIZE = "16K"
+
+
+def _run_suite(backend: str) -> tuple[list, float, list[dict]]:
+    """The TAGE×observation cell over the whole suite on one backend."""
+    results = []
+    per_trace = []
+    total = 0.0
+    warmup = bench_branches() // 4
+    for name in CBP1_TRACE_NAMES:
+        trace = cbp1_trace(name, bench_branches())
+        predictor = build_predictor(SIZE)
+        estimator = TageConfidenceEstimator(predictor)
+        start = time.perf_counter()
+        result = simulate(
+            trace, predictor, estimator,
+            warmup_branches=warmup, backend=backend,
+        )
+        elapsed = time.perf_counter() - start
+        total += elapsed
+        results.append(result)
+        per_trace.append({"trace": name, "seconds": round(elapsed, 6)})
+    return results, total, per_trace
+
+
+def test_tage_fast_wallclock(run_once):
+    branches = bench_branches()
+    # Generate traces (and warm the fast-path imports) outside the timed
+    # region; the warm-up run also guards against a silent fallback.
+    for name in CBP1_TRACE_NAMES:
+        cbp1_trace(name, branches)
+    with warnings.catch_warnings():
+        warnings.simplefilter("error", FastBackendFallbackWarning)
+        predictor = build_predictor(SIZE)
+        simulate(cbp1_trace(CBP1_TRACE_NAMES[0], branches), predictor,
+                 TageConfidenceEstimator(predictor), backend="fast")
+
+    reference_results, reference_seconds, reference_rows = run_once(
+        lambda: _run_suite("reference")
+    )
+    fast_results, fast_seconds, fast_rows = _run_suite("fast")
+
+    # Bit-for-bit equivalence across the whole suite, class breakdowns
+    # included (SimulationResult compares them by value).
+    assert fast_results == reference_results
+
+    speedup = reference_seconds / max(fast_seconds, 1e-9)
+    branches_total = branches * len(CBP1_TRACE_NAMES)
+    record = {
+        "bench": "tage_fast",
+        "suite": "CBP1",
+        "n_traces": len(CBP1_TRACE_NAMES),
+        "branches_per_trace": branches,
+        "cells_per_trace": [f"tage-{SIZE}+observation"],
+        "reference_seconds": round(reference_seconds, 4),
+        "fast_seconds": round(fast_seconds, 4),
+        "speedup": round(speedup, 2),
+        "speedup_target": SPEEDUP_TARGET,
+        "reference_branches_per_second": int(branches_total / reference_seconds),
+        "fast_branches_per_second": int(branches_total / fast_seconds),
+        "per_trace": {
+            "reference": reference_rows,
+            "fast": fast_rows,
+        },
+    }
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / "BENCH_tage_fast.json").write_text(
+        json.dumps(record, indent=2) + "\n"
+    )
+
+    emit(
+        "tage_fast",
+        "\n".join([
+            f"fast-TAGE bench: {len(CBP1_TRACE_NAMES)} CBP-1 traces x "
+            f"{branches} branches, cell = tage-{SIZE} x observation",
+            f"reference: {reference_seconds:.3f}s "
+            f"({record['reference_branches_per_second']} branches/s)",
+            f"fast:      {fast_seconds:.3f}s "
+            f"({record['fast_branches_per_second']} branches/s)",
+            f"speedup:   {speedup:.1f}x (target >= {SPEEDUP_TARGET:.0f}x)",
+        ]),
+    )
+
+    assert speedup >= SPEEDUP_TARGET, (
+        f"fast TAGE speedup {speedup:.2f}x below the {SPEEDUP_TARGET:.0f}x "
+        f"target ({reference_seconds:.3f}s -> {fast_seconds:.3f}s)"
+    )

@@ -28,7 +28,7 @@ from repro.predictors.tage.config import (
     AUTOMATON_PROBABILISTIC,
     AUTOMATON_STANDARD,
 )
-from repro.sim.backends import BACKENDS, DEFAULT_BACKEND
+from repro.sim.backends import BACKENDS, DEFAULT_BACKEND, default_planes_dir
 from repro.sim.engine import simulate
 from repro.sim.report import format_confidence_table, render_table
 from repro.sim.runner import SIZES, SUITES, build_predictor, get_trace, run_suite
@@ -66,14 +66,28 @@ def _add_predictor_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--branches", type=int, default=50_000,
                         help="dynamic branches per trace")
     _add_backend_arg(parser)
+    parser.add_argument("--cache-dir", default=None, metavar="DIR",
+                        help="fast-backend TAGE plane materialization cache "
+                             f"(default {default_planes_dir()})")
+    parser.add_argument("--no-cache", action="store_true",
+                        help="compute TAGE planes in memory instead of "
+                             "memmapping them from the materialization cache")
 
 
 def _add_backend_arg(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--backend", choices=BACKENDS, default=DEFAULT_BACKEND,
-                        help="simulation engine; 'fast' vectorizes the "
-                             "bimodal/gshare x JRS cells bit-exactly and "
-                             "falls back to 'reference' (with a warning) "
-                             "for everything else")
+                        help="simulation engine; 'fast' runs the bimodal/"
+                             "gshare x JRS cells and the full TAGE family "
+                             "(incl. the observation estimator) bit-exactly "
+                             "and falls back to 'reference' (with a warning) "
+                             "for the rest")
+
+
+def _materialization_dir(args):
+    """Plane materialization target for a run-trace/run-suite invocation."""
+    if args.backend != "fast" or args.no_cache:
+        return None
+    return args.cache_dir or default_planes_dir()
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -148,7 +162,11 @@ def _cmd_run_trace(args) -> int:
         args.size, automaton=args.automaton, sat_prob_log2=args.sat_prob_log2
     )
     estimator = TageConfidenceEstimator(predictor)
-    result = simulate(trace, predictor, estimator, backend=args.backend)
+    result = simulate(
+        trace, predictor, estimator,
+        backend=args.backend,
+        materialization_dir=_materialization_dir(args),
+    )
     print(result.class_table())
     return 0
 
@@ -161,6 +179,7 @@ def _cmd_run_suite(args) -> int:
         sat_prob_log2=args.sat_prob_log2,
         n_branches=args.branches,
         backend=args.backend,
+        materialization_dir=_materialization_dir(args),
     )
     for result in results:
         print(f"{result.trace_name:<16} {result.mpki:6.2f} misp/KI  {result.mkp:6.1f} MKP")

@@ -196,6 +196,30 @@ class TageConfig:
         """Bits per tagged entry: prediction counter + tag + useful."""
         return self.ctr_bits + self.tag_bits + self.u_bits
 
+    def component_geometries(self) -> tuple[tuple[int, int, int, int, int], ...]:
+        """Per-tagged-component hash geometry, in T1..TM order.
+
+        Each tuple is ``(table_number, log_entries, tag_bits,
+        history_length, path_bits)`` — exactly the parameters the
+        component's index and tag hashes depend on (``path_bits`` is the
+        effective per-component path window,
+        ``min(path_history_bits, history_length)``, mirroring
+        :class:`~repro.predictors.tage.components.TaggedComponent`).
+        The fast backend keys its precomputed index/tag planes on this
+        tuple: two configurations with equal geometries (e.g. the same
+        preset under different counter automata or seeds) share planes.
+        """
+        return tuple(
+            (
+                i + 1,
+                self.log_tagged,
+                self.tag_bits,
+                length,
+                min(self.path_history_bits, length),
+            )
+            for i, length in enumerate(self.history_lengths)
+        )
+
     def storage_bits(self) -> int:
         """Total table storage (the paper's budget accounting)."""
         bimodal = (1 << self.log_bimodal) * 2

@@ -150,7 +150,12 @@ class TagePredictor(BranchPredictor):
         self._use_alt_on_na = 0  # 4-bit signed counter, range [-8, 7]
         self._use_alt_max = (1 << (config.use_alt_on_na_bits - 1)) - 1
         self._use_alt_min = -(1 << (config.use_alt_on_na_bits - 1))
-        self._history = GlobalHistory(capacity=config.max_history)
+        # history_lengths can exceed max_history by a step or two when the
+        # duplicate-bumping in geometric_history_lengths fires (very short
+        # series); size the register to the actual longest window.
+        self._history = GlobalHistory(
+            capacity=max((config.max_history, *config.history_lengths))
+        )
         self._path = PathHistory(length=config.path_history_bits)
         self._alloc_rng = XorShift32(config.alloc_seed)
         self._branch_count = 0

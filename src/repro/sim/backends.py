@@ -5,15 +5,17 @@ Two engines can execute a (trace, predictor, estimator) cell:
 * ``"reference"`` — the pure-Python per-branch loops in
   :mod:`repro.sim.engine`; supports every predictor and estimator and is
   the semantic ground truth.
-* ``"fast"`` — the vectorized batch backend in :mod:`repro.sim.fast`;
-  runs the bimodal/gshare-family predictors and the JRS-style binary
-  confidence counters over NumPy arrays, bit-for-bit equivalent to the
+* ``"fast"`` — the batch backend in :mod:`repro.sim.fast`; runs the
+  bimodal/gshare predictors and the JRS-style binary confidence
+  counters as vectorized NumPy scans, and the full TAGE family (with
+  the multi-class observation estimator) as a lean sequential kernel
+  over precomputed index/tag planes — all bit-for-bit equivalent to the
   reference engine (enforced by ``tests/equivalence/``).
 
-A configuration the fast backend cannot vectorize (the full TAGE tagged
-path, the multi-class observation estimator, perceptron/O-GEHL
-self-confidence) raises :class:`FastBackendUnsupported` internally; the
-dispatching entry points catch it, emit a
+A configuration the fast backend cannot run exactly (perceptron/O-GEHL
+self-confidence, the adaptive saturation controller, >62-bit
+gshare/JRS/path histories) raises :class:`FastBackendUnsupported`
+internally; the dispatching entry points catch it, emit a
 :class:`FastBackendFallbackWarning` and run the reference engine, so
 ``backend="fast"`` is always safe to request.
 
@@ -25,6 +27,9 @@ NumPy (which the fast backend itself requires and which is gated behind
 
 from __future__ import annotations
 
+import os
+from pathlib import Path
+
 __all__ = [
     "BACKENDS",
     "DEFAULT_BACKEND",
@@ -32,6 +37,7 @@ __all__ = [
     "FastBackendFallbackWarning",
     "validate_backend",
     "load_fast_engine",
+    "default_planes_dir",
 ]
 
 #: The selectable simulation backends.
@@ -59,6 +65,23 @@ def validate_backend(backend: str) -> str:
     if backend not in BACKENDS:
         raise ValueError(f"unknown backend {backend!r}; choose from {BACKENDS}")
     return backend
+
+
+def default_planes_dir() -> Path:
+    """Default fast-backend plane materialization directory.
+
+    ``planes/`` inside the default sweep result cache root — i.e.
+    ``$REPRO_CACHE_DIR/planes`` when the cache override is set, else
+    ``.repro-cache/sweeps/planes`` under the cwd (mirroring
+    ``repro.sweep.cache.default_cache_dir``, which this module cannot
+    import without inverting the layering) — so single-trace CLI runs
+    and default sweeps share the same materializations.  Lives here
+    (not in :mod:`repro.sim.fast.planes`) so the CLI can resolve it
+    without importing NumPy.
+    """
+    override = os.environ.get("REPRO_CACHE_DIR")
+    base = Path(override) if override else Path(".repro-cache") / "sweeps"
+    return base / "planes"
 
 
 def load_fast_engine():

@@ -190,6 +190,7 @@ def simulate(
     controller=None,
     warmup_branches: int = 0,
     backend: str = DEFAULT_BACKEND,
+    materialization_dir=None,
 ) -> SimulationResult:
     """Run ``predictor`` over ``trace`` with optional confidence observation.
 
@@ -211,6 +212,10 @@ def simulate(
             bit-for-bit equivalent where supported and falls back here
             (with a :class:`FastBackendFallbackWarning`) where not.
             Note the fast path leaves ``predictor`` untrained.
+        materialization_dir: fast backend only — directory (or
+            :class:`~repro.sim.fast.planes.PlaneCache`) where
+            precomputed TAGE index/tag planes are memmapped and shared
+            across runs; None computes them in memory.
     """
     validate_backend(backend)
     if warmup_branches < 0:
@@ -222,6 +227,7 @@ def simulate(
             estimator=estimator,
             controller=controller,
             warmup_branches=warmup_branches,
+            materialization_dir=materialization_dir,
         ))
         if outcome is not None:
             return outcome
@@ -280,6 +286,7 @@ def simulate_binary(
     estimator,
     warmup_branches: int = 0,
     backend: str = DEFAULT_BACKEND,
+    materialization_dir=None,
 ) -> tuple[BinaryConfidenceMetrics, SimulationResult]:
     """Run a binary high/low confidence estimator over a trace.
 
@@ -287,9 +294,11 @@ def simulate_binary(
     = high confidence) and ``observe(pc, prediction, taken)``; JRS,
     enhanced JRS and the self-confidence wrappers all do.
 
-    ``backend="fast"`` vectorizes the bimodal/gshare × JRS-family cells
+    ``backend="fast"`` runs the bimodal/gshare/TAGE × JRS-family cells
     bit-exactly and falls back here (with a warning) for the rest; the
     fast path leaves the predictor and estimator untrained.
+    ``materialization_dir`` shares precomputed TAGE planes, as in
+    :func:`simulate`.
 
     Returns the pooled 2×2 confusion and the accuracy result.
     """
@@ -302,6 +311,7 @@ def simulate_binary(
             predictor=predictor,
             estimator=estimator,
             warmup_branches=warmup_branches,
+            materialization_dir=materialization_dir,
         ))
         if outcome is not None:
             return outcome

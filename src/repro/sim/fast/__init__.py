@@ -1,25 +1,33 @@
 """Vectorized batch simulation backend (``backend="fast"``).
 
 Drop-in, bit-for-bit equivalents of the reference per-branch loops for
-the vectorizable subset of the model zoo — bimodal/gshare predictors
-(the bimodal table is also the TAGE base component's template) paired
-with the JRS-family binary confidence counters — built on three layers:
+the fast subset of the model zoo — bimodal/gshare predictors with the
+JRS-family binary confidence counters, and the full TAGE family
+(every preset/automaton) with the paper's multi-class observation
+estimator — built on four layers:
 
 * :mod:`repro.sim.fast.arrays` — trace pre-materialization plus
   vectorized history windows and index folding;
 * :mod:`repro.sim.fast.scan` — exact clamp-add segmented prefix scans
   over counter tables, processed in bounded chunks;
+* :mod:`repro.sim.fast.planes` — precomputed TAGE index/tag planes
+  (the folded-history arithmetic, computed trace-wide with NumPy) and
+  their memmap-backed on-disk materialization cache;
+* :mod:`repro.sim.fast.tage` — the lean sequential TAGE kernel over
+  packed structure-of-arrays table state;
 * :mod:`repro.sim.fast.engine` — the ``simulate_fast`` /
   ``simulate_binary_fast`` entry points assembling
-  :class:`~repro.sim.engine.SimulationResult` and the 2×2 confusion.
+  :class:`~repro.sim.engine.SimulationResult` breakdowns.
 
-Unsupported configurations raise
-:class:`~repro.sim.backends.FastBackendUnsupported`; the ``backend=``
-dispatch in :mod:`repro.sim.engine` turns that into a warning plus a
-reference-engine fallback.  Equivalence with the reference engine is
-enforced by ``tests/equivalence/`` and the golden fixtures under
-``tests/golden/``; the wall-clock win is tracked by
-``benchmarks/test_bench_fast_engine.py``.
+Unsupported configurations (perceptron/O-GEHL self-confidence, the
+adaptive saturation controller, >62-bit gshare/JRS/path histories)
+raise :class:`~repro.sim.backends.FastBackendUnsupported`; the
+``backend=`` dispatch in :mod:`repro.sim.engine` turns that into a
+warning plus a reference-engine fallback.  Equivalence with the
+reference engine is enforced by ``tests/equivalence/`` and the golden
+fixtures under ``tests/golden/``; the wall-clock wins are tracked by
+``benchmarks/test_bench_fast_engine.py`` and
+``benchmarks/test_bench_tage_fast.py``.
 
 Requires NumPy; import this module through
 :func:`repro.sim.backends.load_fast_engine` to get a clean
@@ -29,14 +37,24 @@ missing.
 
 from repro.sim.fast.arrays import TraceArrays, fold_windows, history_windows
 from repro.sim.fast.engine import (
+    binary_unsupported_reason,
     simulate_binary_fast,
     simulate_fast,
     supports_estimator,
     supports_predictor,
+    unsupported_reason,
     vectorized_assessments,
     vectorized_predictions,
 )
+from repro.sim.fast.planes import (
+    PlaneCache,
+    TagePlanes,
+    compute_planes,
+    default_planes_dir,
+    plane_geometry,
+)
 from repro.sim.fast.scan import DEFAULT_CHUNK_SIZE, CounterTable, scanned_counters
+from repro.sim.fast.tage import simulate_tage_fast, tage_fast_predictions
 
 __all__ = [
     "TraceArrays",
@@ -44,10 +62,17 @@ __all__ = [
     "fold_windows",
     "simulate_fast",
     "simulate_binary_fast",
+    "simulate_tage_fast",
+    "tage_fast_predictions",
     "supports_predictor",
     "supports_estimator",
-    "vectorized_predictions",
-    "vectorized_assessments",
+    "unsupported_reason",
+    "binary_unsupported_reason",
+    "PlaneCache",
+    "TagePlanes",
+    "compute_planes",
+    "plane_geometry",
+    "default_planes_dir",
     "CounterTable",
     "scanned_counters",
     "DEFAULT_CHUNK_SIZE",

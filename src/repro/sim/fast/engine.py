@@ -1,26 +1,32 @@
-"""Vectorized batch simulation over pre-materialized trace arrays.
+"""Fast-backend entry points over pre-materialized trace arrays.
 
 :func:`simulate_fast` and :func:`simulate_binary_fast` are drop-in,
 bit-for-bit equivalents of :func:`repro.sim.engine.simulate` and
-:func:`repro.sim.engine.simulate_binary` for the vectorizable subset of
-the model zoo:
+:func:`repro.sim.engine.simulate_binary` for the fast subset of the
+model zoo:
 
-* predictors — :class:`~repro.predictors.bimodal.BimodalPredictor`
-  (also the template of the TAGE bimodal base) and
-  :class:`~repro.predictors.gshare.GsharePredictor`;
-* binary estimators — :class:`~repro.confidence.jrs.JrsEstimator` and
-  :class:`~repro.confidence.jrs.EnhancedJrsEstimator`.
+* predictors — :class:`~repro.predictors.bimodal.BimodalPredictor`,
+  :class:`~repro.predictors.gshare.GsharePredictor` (fully vectorized
+  counter scans) and :class:`~repro.predictors.tage.TagePredictor`
+  (precomputed index/tag planes feeding the lean sequential kernel in
+  :mod:`repro.sim.fast.tage`);
+* estimators — the binary :class:`~repro.confidence.jrs.JrsEstimator` /
+  :class:`~repro.confidence.jrs.EnhancedJrsEstimator` (vectorized) and
+  the multi-class
+  :class:`~repro.confidence.estimator.TageConfidenceEstimator`
+  (read directly off the TAGE kernel's observations).
 
-Why this subset vectorizes exactly: for these components the table
-*indices* depend only on the branch PC and the resolved outcome history
-— never on predictions — so every index is precomputable from the trace
-alone, and each table entry's counter sequence is a clamp-add scan
-(:mod:`repro.sim.fast.scan`).  The full TAGE tagged path (allocation
-decisions feed back into table contents), the multi-class observation
-estimator and the perceptron/O-GEHL self-confidence predictors have
-prediction-dependent state and raise :class:`FastBackendUnsupported`;
-the dispatching wrappers in :mod:`repro.sim.engine` then fall back to
-the reference loop with a :class:`FastBackendFallbackWarning`.
+Why this is exact: for every supported component the table *indices and
+tags* depend only on the branch PC and the resolved outcome/path
+histories — never on predictions — so they are precomputable from the
+trace alone.  Bimodal/gshare/JRS counter sequences are then clamp-add
+scans (:mod:`repro.sim.fast.scan`); the TAGE provider/update logic is
+prediction-dependent and runs sequentially, but over precomputed planes
+and packed table state.  The perceptron/O-GEHL self-confidence
+predictors and the adaptive saturation controller remain outside the
+family and raise :class:`FastBackendUnsupported`; the dispatching
+wrappers in :mod:`repro.sim.engine` then fall back to the reference
+loop with a :class:`FastBackendFallbackWarning`.
 
 The fast path never calls ``predict``/``train`` — the predictor and
 estimator instances are only read for their configuration and are left
@@ -32,19 +38,23 @@ from __future__ import annotations
 import numpy as np
 
 from repro.common.bitops import mask
+from repro.confidence.estimator import TageConfidenceEstimator
 from repro.confidence.jrs import EnhancedJrsEstimator, JrsEstimator
 from repro.confidence.metrics import BinaryConfidenceMetrics
 from repro.predictors.bimodal import BimodalPredictor
 from repro.predictors.gshare import GsharePredictor
+from repro.predictors.tage.predictor import TagePredictor
 from repro.sim.backends import FastBackendUnsupported
 from repro.sim.engine import SimulationResult
 from repro.sim.fast.arrays import TraceArrays, fold_windows, history_windows
+from repro.sim.fast.planes import MAX_PATH_HISTORY_BITS
 from repro.sim.fast.scan import (
     DEFAULT_CHUNK_SIZE,
     resetting_transforms,
     saturating_transforms,
     scanned_counters,
 )
+from repro.sim.fast.tage import simulate_tage_fast, tage_fast_predictions
 
 __all__ = [
     "simulate_fast",
@@ -53,6 +63,8 @@ __all__ = [
     "vectorized_assessments",
     "supports_predictor",
     "supports_estimator",
+    "unsupported_reason",
+    "binary_unsupported_reason",
 ]
 
 
@@ -62,12 +74,92 @@ def supports_predictor(predictor) -> bool:
     Exact-type checks on purpose: a subclass may override behaviour the
     vectorized path would silently ignore.
     """
-    return type(predictor) in (BimodalPredictor, GsharePredictor)
+    return type(predictor) in (BimodalPredictor, GsharePredictor, TagePredictor)
 
 
 def supports_estimator(estimator) -> bool:
-    """Can the fast backend reproduce this binary estimator bit-exactly?"""
-    return type(estimator) in (JrsEstimator, EnhancedJrsEstimator)
+    """Can the fast backend reproduce this estimator bit-exactly?
+
+    Covers both protocols: the binary JRS family (vectorized counter
+    scans) and the multi-class TAGE observation (read directly off the
+    TAGE kernel's per-branch observations).
+    """
+    return type(estimator) in (JrsEstimator, EnhancedJrsEstimator, TageConfidenceEstimator)
+
+
+def _predictor_reason(predictor) -> str | None:
+    """Why this predictor cannot run on the fast backend (None = it can)."""
+    if type(predictor) is TagePredictor:
+        # The kernel's real bound is the per-component effective path
+        # window min(path_history_bits, history_length) — the same
+        # quantity compute_planes packs into an int64 lane — not the
+        # raw register width.
+        effective_path_bits = max(
+            path_bits for *_, path_bits in predictor.config.component_geometries()
+        )
+        if effective_path_bits > MAX_PATH_HISTORY_BITS:
+            return (
+                f"TAGE path_history_bits window of {effective_path_bits} bits "
+                f"exceeds the vectorized window width ({MAX_PATH_HISTORY_BITS} bits)"
+            )
+        return None
+    if type(predictor) is GsharePredictor:
+        if predictor.history_length > _MAX_VECTOR_HISTORY:
+            return (
+                f"gshare history_length {predictor.history_length} exceeds the "
+                f"vectorized window width ({_MAX_VECTOR_HISTORY} bits)"
+            )
+        return None
+    if type(predictor) is BimodalPredictor:
+        return None
+    return (
+        f"predictor {getattr(predictor, 'name', type(predictor).__name__)!r} "
+        "is not vectorizable (supported: bimodal, gshare, tage)"
+    )
+
+
+def unsupported_reason(predictor, estimator=None, controller=None) -> str | None:
+    """Why :func:`simulate_fast` would refuse this cell (None = it runs).
+
+    One static predicate shared by the dispatching entry points and the
+    sweep executor's warn-once fallback pass, so they can never disagree.
+    """
+    if controller is not None:
+        return "the adaptive saturation controller is not vectorizable"
+    reason = _predictor_reason(predictor)
+    if reason is not None:
+        return reason
+    if estimator is None:
+        return None
+    if type(predictor) is not TagePredictor:
+        return (
+            "the multi-class TAGE observation estimator requires the "
+            "(non-subclassed) TAGE predictor"
+        )
+    if type(estimator) is not TageConfidenceEstimator:
+        return (
+            f"estimator {type(estimator).__name__} is not the (non-subclassed) "
+            "TAGE observation estimator"
+        )
+    return None
+
+
+def binary_unsupported_reason(predictor, estimator) -> str | None:
+    """Why :func:`simulate_binary_fast` would refuse this cell."""
+    reason = _predictor_reason(predictor)
+    if reason is not None:
+        return reason
+    if type(estimator) not in (JrsEstimator, EnhancedJrsEstimator):
+        return (
+            f"estimator {type(estimator).__name__} is not vectorizable "
+            "(supported: JrsEstimator, EnhancedJrsEstimator)"
+        )
+    if estimator.history_length > _MAX_VECTOR_HISTORY:
+        return (
+            f"JRS history_length {estimator.history_length} exceeds the "
+            f"vectorized window width ({_MAX_VECTOR_HISTORY} bits)"
+        )
+    return None
 
 
 def _bimodal_predictions(
@@ -108,22 +200,30 @@ def _gshare_predictions(
 
 
 def vectorized_predictions(
-    predictor, arrays: TraceArrays, chunk_size: int = DEFAULT_CHUNK_SIZE
+    predictor,
+    arrays: TraceArrays,
+    chunk_size: int = DEFAULT_CHUNK_SIZE,
+    materialization=None,
 ) -> np.ndarray:
     """Per-branch predictions of a supported predictor over a whole trace.
 
+    TAGE predictions come from the plane-fed sequential kernel
+    (:mod:`repro.sim.fast.tage`); bimodal/gshare from the counter scans.
+
     Raises:
-        FastBackendUnsupported: for any predictor outside the vectorized
-            family (the full TAGE tagged path, perceptron, O-GEHL, local).
+        FastBackendUnsupported: for any predictor outside the fast family
+            (perceptron, O-GEHL, local, subclasses of supported types).
     """
     if type(predictor) is BimodalPredictor:
         return _bimodal_predictions(predictor, arrays, chunk_size)
     if type(predictor) is GsharePredictor:
         return _gshare_predictions(predictor, arrays, chunk_size)
-    raise FastBackendUnsupported(
-        f"predictor {getattr(predictor, 'name', type(predictor).__name__)!r} "
-        "is not vectorizable (supported: bimodal, gshare)"
-    )
+    if type(predictor) is TagePredictor:
+        reason = _predictor_reason(predictor)
+        if reason is not None:
+            raise FastBackendUnsupported(reason)
+        return tage_fast_predictions(arrays, predictor, materialization)
+    raise FastBackendUnsupported(_predictor_reason(predictor))
 
 
 def vectorized_assessments(
@@ -137,7 +237,7 @@ def vectorized_assessments(
     Raises:
         FastBackendUnsupported: for estimators outside the JRS family.
     """
-    if not supports_estimator(estimator):
+    if type(estimator) not in (JrsEstimator, EnhancedJrsEstimator):
         raise FastBackendUnsupported(
             f"estimator {type(estimator).__name__} is not vectorizable "
             "(supported: JrsEstimator, EnhancedJrsEstimator)"
@@ -181,26 +281,32 @@ def simulate_fast(
     controller=None,
     warmup_branches: int = 0,
     chunk_size: int = DEFAULT_CHUNK_SIZE,
+    materialization_dir=None,
 ) -> SimulationResult:
-    """Vectorized equivalent of :func:`repro.sim.engine.simulate`.
+    """Fast-backend equivalent of :func:`repro.sim.engine.simulate`.
 
-    Only the estimator-free accuracy run is vectorizable here: the
-    multi-class observation estimator and the adaptive controller both
-    require the TAGE predictor, whose tagged path is not supported.
+    Bimodal/gshare accuracy runs use the vectorized counter scans; TAGE
+    cells — with or without the multi-class observation estimator — run
+    on the plane-fed sequential kernel, optionally sharing precomputed
+    planes through ``materialization_dir`` (a directory or a
+    :class:`~repro.sim.fast.planes.PlaneCache`).
 
     Raises:
-        FastBackendUnsupported: when an estimator/controller is attached
-            or the predictor is outside the vectorized family.
+        FastBackendUnsupported: when a controller is attached or the
+            predictor/estimator pair is outside the fast family.
     """
     if warmup_branches < 0:
         raise ValueError(f"warmup_branches must be non-negative, got {warmup_branches}")
-    if estimator is not None:
-        raise FastBackendUnsupported(
-            "the multi-class TAGE observation estimator is not vectorizable"
-        )
-    if controller is not None:
-        raise FastBackendUnsupported(
-            "the adaptive saturation controller is not vectorizable"
+    reason = unsupported_reason(predictor, estimator=estimator, controller=controller)
+    if reason is not None:
+        raise FastBackendUnsupported(reason)
+    if type(predictor) is TagePredictor:
+        return simulate_tage_fast(
+            trace,
+            predictor,
+            estimator=estimator,
+            warmup_branches=warmup_branches,
+            materialization=materialization_dir,
         )
     arrays = TraceArrays.from_trace(trace)
     predictions = vectorized_predictions(predictor, arrays, chunk_size)
@@ -214,17 +320,23 @@ def simulate_binary_fast(
     estimator,
     warmup_branches: int = 0,
     chunk_size: int = DEFAULT_CHUNK_SIZE,
+    materialization_dir=None,
 ) -> tuple[BinaryConfidenceMetrics, SimulationResult]:
-    """Vectorized equivalent of :func:`repro.sim.engine.simulate_binary`.
+    """Fast-backend equivalent of :func:`repro.sim.engine.simulate_binary`.
 
     Raises:
         FastBackendUnsupported: when the predictor or the estimator is
-            outside the vectorized family.
+            outside the fast family.
     """
     if warmup_branches < 0:
         raise ValueError(f"warmup_branches must be non-negative, got {warmup_branches}")
+    reason = binary_unsupported_reason(predictor, estimator)
+    if reason is not None:
+        raise FastBackendUnsupported(reason)
     arrays = TraceArrays.from_trace(trace)
-    predictions = vectorized_predictions(predictor, arrays, chunk_size)
+    predictions = vectorized_predictions(
+        predictor, arrays, chunk_size, materialization=materialization_dir
+    )
     high = vectorized_assessments(estimator, arrays, predictions, chunk_size)
     correct = predictions == arrays.taken_bool
     mispredictions = int(np.count_nonzero(~correct))

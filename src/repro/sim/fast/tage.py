@@ -1,0 +1,417 @@
+"""Fast TAGE engine: precomputed planes + a lean sequential kernel.
+
+The reference :class:`~repro.predictors.tage.predictor.TagePredictor`
+spends almost all of its per-branch time on index/tag arithmetic: every
+branch recomputes M component indices and tags (folded-history xors,
+path folding) and advances 3M folded-history registers.  All of that
+depends only on the PC and the *resolved* outcome/path histories, so
+:mod:`repro.sim.fast.planes` precomputes it for the whole trace with
+vectorized NumPy.  What remains genuinely sequential — provider/altpred
+selection, counter and useful-counter updates, allocation and the
+``USE_ALT_ON_NA`` monitor all feed back through table state — runs here
+as one tight Python loop over packed structure-of-arrays table state
+(per-component ``ctr``/``tag``/``u`` int lists) with zero per-step
+object allocation, attribute access or dict lookups.
+
+Bit-for-bit equivalence with the reference engine (enforced by
+``tests/equivalence/`` and ``tests/golden/``) includes every stateful
+detail: the XorShift32 allocation stream, the §6 probabilistic-
+saturation LFSR draws (count and order), graceful u-counter aging every
+``u_reset_period`` branches, and the §5 observation estimator's
+BIM-miss window.  The multi-class estimator costs nothing extra to
+layer on top: it only *reads* the observation the kernel already has in
+hand (provider, counter, bimodal state).
+
+The predictor and estimator instances are only read for configuration
+and are left in their power-on state, like the rest of the fast backend.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+
+from repro.confidence.classes import PredictionClass
+from repro.confidence.estimator import TageConfidenceEstimator
+from repro.confidence.metrics import ClassBreakdown
+from repro.predictors.tage.config import AUTOMATON_PROBABILISTIC
+from repro.predictors.tage.predictor import TagePredictor
+from repro.sim.backends import FastBackendUnsupported
+from repro.sim.engine import SimulationResult
+from repro.sim.fast.arrays import TraceArrays
+from repro.sim.fast.planes import (
+    PlaneCache,
+    TagePlanes,
+    compute_planes,
+    plane_geometry,
+)
+
+__all__ = ["simulate_tage_fast", "tage_fast_predictions", "resolve_planes"]
+
+_MASK32 = 0xFFFFFFFF
+_LFSR_TAPS = 0xA3000000
+
+#: Kernel class codes → :class:`PredictionClass`, in code order.
+_CLASS_OF_CODE = (
+    PredictionClass.HIGH_CONF_BIM,
+    PredictionClass.LOW_CONF_BIM,
+    PredictionClass.MEDIUM_CONF_BIM,
+    PredictionClass.STAG,
+    PredictionClass.NSTAG,
+    PredictionClass.NWTAG,
+    PredictionClass.WTAG,
+)
+
+
+def _check_tage_cell(predictor, estimator) -> None:
+    """Raise for anything outside the kernel's bit-exact family."""
+    if type(predictor) is not TagePredictor:
+        raise FastBackendUnsupported(
+            f"predictor {getattr(predictor, 'name', type(predictor).__name__)!r} "
+            "is not the (non-subclassed) TAGE predictor"
+        )
+    if estimator is not None and type(estimator) is not TageConfidenceEstimator:
+        raise FastBackendUnsupported(
+            f"estimator {type(estimator).__name__} is not the (non-subclassed) "
+            "TAGE observation estimator"
+        )
+
+
+def resolve_planes(
+    arrays: TraceArrays,
+    config,
+    materialization: "PlaneCache | str | Path | None" = None,
+    planes: TagePlanes | None = None,
+) -> TagePlanes:
+    """The index/tag planes for one trace × config, from the fastest source.
+
+    Precedence: an explicitly supplied ``planes`` object (validated
+    against the config's geometry), then the materialization cache
+    (a :class:`PlaneCache` or a directory for one), then a fresh
+    in-memory computation.
+    """
+    geometry = plane_geometry(config)
+    if planes is not None:
+        if planes.geometry != geometry or len(planes) != len(arrays):
+            raise ValueError("supplied planes do not match this trace/configuration")
+        return planes
+    if materialization is None:
+        return compute_planes(arrays, geometry)
+    cache = (
+        materialization
+        if isinstance(materialization, PlaneCache)
+        else PlaneCache(materialization)
+    )
+    return cache.load_or_compute(arrays, geometry)
+
+
+def _kernel(
+    config,
+    planes: TagePlanes,
+    estimator_window: int | None,
+    max_strength: int,
+    warmup: int,
+    want_predictions: bool,
+):
+    """One pass over the trace; returns (mispredictions, class counts,
+    predictions).  Everything below is deliberately inlined — this loop
+    is the fast backend's only remaining per-branch cost."""
+    n_tagged = config.n_tagged
+    takens = planes.takens.tolist()
+    bim_idx = planes.bimodal_indices.tolist()
+    idx_planes = [planes.index_plane(i + 1).tolist() for i in range(n_tagged)]
+    tag_planes = [planes.tag_plane(i + 1).tolist() for i in range(n_tagged)]
+
+    size = 1 << config.log_tagged
+    ctr_tables = [[0] * size for _ in range(n_tagged)]
+    tag_tables = [[0] * size for _ in range(n_tagged)]
+    u_tables = [[0] * size for _ in range(n_tagged)]
+    bimodal = [2] * (1 << config.log_bimodal)
+
+    cmax = (1 << (config.ctr_bits - 1)) - 1
+    cmin = -(1 << (config.ctr_bits - 1))
+    u_max = (1 << config.u_bits) - 1
+    u_reset = config.u_reset_period
+    use_alt_enabled = config.use_alt_on_na_enabled
+    use_alt_max = (1 << (config.use_alt_on_na_bits - 1)) - 1
+    use_alt_min = -(1 << (config.use_alt_on_na_bits - 1))
+    use_alt = 0
+    update_alt = config.update_alt_when_u_zero
+    randomized = config.allocation_policy == "randomized"
+
+    prob_k = (
+        config.sat_prob_log2
+        if config.automaton == AUTOMATON_PROBABILISTIC
+        else None
+    )
+    lfsr_state = config.lfsr_seed & _MASK32 or 0xDEADBEEF
+    alloc_state = config.alloc_seed & _MASK32 or 0x12345678
+
+    def update_ctr(ctrs: list, index: int, taken: int) -> None:
+        """Saturating counter step, standard or §6 probabilistic.
+
+        Replicates the reference LFSR draw exactly: ``sat_prob_log2``
+        Galois steps, consumed only on the transition into saturation
+        (and none at all when the probability is 1)."""
+        nonlocal lfsr_state
+        c = ctrs[index]
+        if taken:
+            if c >= cmax:
+                return
+            if prob_k is not None and c == cmax - 1 and prob_k:
+                state = lfsr_state
+                any_set = 0
+                for _ in range(prob_k):
+                    lsb = state & 1
+                    state >>= 1
+                    if lsb:
+                        state ^= _LFSR_TAPS
+                        any_set = 1
+                lfsr_state = state
+                if any_set:
+                    return
+            ctrs[index] = c + 1
+        else:
+            if c <= cmin:
+                return
+            if prob_k is not None and c == cmin + 1 and prob_k:
+                state = lfsr_state
+                any_set = 0
+                for _ in range(prob_k):
+                    lsb = state & 1
+                    state >>= 1
+                    if lsb:
+                        state ^= _LFSR_TAPS
+                        any_set = 1
+                lfsr_state = state
+                if any_set:
+                    return
+            ctrs[index] = c - 1
+
+    mispredictions = 0
+    pred_counts = [0] * 7
+    misp_counts = [0] * 7
+    since_miss = estimator_window if estimator_window is not None else 0
+    predictions: list | None = [] if want_predictions else None
+
+    for t in range(len(takens)):
+        taken = takens[t]
+
+        # -- provider scan: longest hitting component, then the next one.
+        provider = 0
+        provider_idx = 0
+        alt = 0
+        alt_idx = 0
+        i = n_tagged - 1
+        while i >= 0:
+            idx = idx_planes[i][t]
+            if tag_tables[i][idx] == tag_planes[i][t]:
+                if provider:
+                    alt = i + 1
+                    alt_idx = idx
+                    break
+                provider = i + 1
+                provider_idx = idx
+            i -= 1
+
+        bidx = bim_idx[t]
+        bctr = bimodal[bidx]
+
+        # -- prediction (§3.1): provider sign, unless USE_ALT_ON_NA
+        #    redirects a weak provider to the alternate prediction.
+        if provider:
+            ctr = ctr_tables[provider - 1][provider_idx]
+            provider_pred = ctr >= 0
+            weak = -1 <= ctr <= 0
+            altpred = (
+                ctr_tables[alt - 1][alt_idx] >= 0 if alt else bctr >= 2
+            )
+            if weak and use_alt_enabled and use_alt >= 0:
+                prediction = altpred
+            else:
+                prediction = provider_pred
+        else:
+            ctr = bctr
+            prediction = provider_pred = altpred = bctr >= 2
+            weak = False
+
+        mispredicted = prediction != taken
+        if mispredicted:
+            mispredictions += 1
+        if predictions is not None:
+            predictions.append(prediction)
+
+        # -- §5 observation: classify from the pre-update table outputs.
+        if estimator_window is not None:
+            if provider:
+                strength = 2 * ctr + 1
+                if strength < 0:
+                    strength = -strength
+                if strength == 1:
+                    cls = 6  # Wtag
+                elif strength == max_strength:
+                    cls = 3  # Stag
+                elif strength == max_strength - 2:
+                    cls = 4  # NStag
+                else:
+                    cls = 5  # NWtag
+            elif bctr == 1 or bctr == 2:
+                cls = 1  # low-conf-bim
+            elif since_miss < estimator_window:
+                cls = 2  # medium-conf-bim
+            else:
+                cls = 0  # high-conf-bim
+            if t >= warmup:
+                pred_counts[cls] += 1
+                if mispredicted:
+                    misp_counts[cls] += 1
+            if not provider:
+                if mispredicted:
+                    since_miss = 0
+                elif since_miss < estimator_window:
+                    since_miss += 1
+
+        # -- update (§3.2/§3.3), in the reference engine's exact order.
+        allocate = mispredicted and provider < n_tagged
+        if provider and weak:
+            if provider_pred == taken:
+                allocate = False
+            if provider_pred != altpred:
+                if altpred == taken:
+                    if use_alt < use_alt_max:
+                        use_alt += 1
+                elif use_alt > use_alt_min:
+                    use_alt -= 1
+
+        if allocate:
+            start = provider + 1
+            if randomized:
+                x = alloc_state
+                while start < n_tagged:
+                    x ^= (x << 13) & _MASK32
+                    x ^= x >> 17
+                    x ^= (x << 5) & _MASK32
+                    if not x & 1:
+                        break
+                    start += 1
+                alloc_state = x
+            allocated = False
+            for j in range(start - 1, n_tagged):
+                idx = idx_planes[j][t]
+                if u_tables[j][idx] == 0:
+                    ctr_tables[j][idx] = 0 if taken else -1
+                    tag_tables[j][idx] = tag_planes[j][t]
+                    allocated = True
+                    break
+            if not allocated:
+                for j in range(start - 1, n_tagged):
+                    idx = idx_planes[j][t]
+                    if u_tables[j][idx] > 0:
+                        u_tables[j][idx] -= 1
+
+        if provider:
+            p = provider - 1
+            update_ctr(ctr_tables[p], provider_idx, taken)
+            pu = u_tables[p]
+            if update_alt and pu[provider_idx] == 0:
+                if alt:
+                    update_ctr(ctr_tables[alt - 1], alt_idx, taken)
+                elif taken:
+                    if bimodal[bidx] < 3:
+                        bimodal[bidx] += 1
+                elif bimodal[bidx] > 0:
+                    bimodal[bidx] -= 1
+            if provider_pred != altpred:
+                uv = pu[provider_idx]
+                if provider_pred == taken:
+                    if uv < u_max:
+                        pu[provider_idx] = uv + 1
+                elif uv > 0:
+                    pu[provider_idx] = uv - 1
+        elif taken:
+            if bctr < 3:
+                bimodal[bidx] = bctr + 1
+        elif bctr > 0:
+            bimodal[bidx] = bctr - 1
+
+        # -- graceful periodic aging of the u counters.
+        if (t + 1) % u_reset == 0:
+            for u in u_tables:
+                u[:] = [value >> 1 for value in u]
+
+    return mispredictions, pred_counts, misp_counts, predictions
+
+
+def simulate_tage_fast(
+    trace,
+    predictor,
+    estimator=None,
+    warmup_branches: int = 0,
+    materialization: "PlaneCache | str | Path | None" = None,
+    planes: TagePlanes | None = None,
+) -> SimulationResult:
+    """Fast-backend equivalent of :func:`repro.sim.engine.simulate` for
+    TAGE, with the §5 observation estimator optionally attached.
+
+    Raises:
+        FastBackendUnsupported: for subclassed predictor/estimator types
+            or path histories beyond the packed window width.
+    """
+    if warmup_branches < 0:
+        raise ValueError(f"warmup_branches must be non-negative, got {warmup_branches}")
+    _check_tage_cell(predictor, estimator)
+    config = predictor.config
+    arrays = TraceArrays.from_trace(trace)
+    resolved = resolve_planes(arrays, config, materialization, planes)
+
+    if estimator is None:
+        estimator_window = None
+        max_strength = 0
+    else:
+        estimator_window = estimator.bim_miss_window
+        max_strength = (1 << estimator.predictor.config.ctr_bits) - 1
+
+    mispredictions, pred_counts, misp_counts, _ = _kernel(
+        config, resolved, estimator_window, max_strength, warmup_branches, False
+    )
+
+    classes: ClassBreakdown | None = None
+    if estimator is not None:
+        classes = ClassBreakdown()
+        for code, prediction_class in enumerate(_CLASS_OF_CODE):
+            total = pred_counts[code]
+            misses = misp_counts[code]
+            if total - misses:
+                classes.record(prediction_class, mispredicted=False, count=total - misses)
+            if misses:
+                classes.record(prediction_class, mispredicted=True, count=misses)
+
+    return SimulationResult(
+        trace_name=trace.name,
+        predictor_name=predictor.name,
+        n_branches=len(trace),
+        n_instructions=trace.total_instructions,
+        mispredictions=mispredictions,
+        storage_bits=predictor.storage_bits(),
+        classes=classes,
+    )
+
+
+def tage_fast_predictions(
+    arrays: TraceArrays,
+    predictor,
+    materialization: "PlaneCache | str | Path | None" = None,
+    planes: TagePlanes | None = None,
+) -> np.ndarray:
+    """Per-branch TAGE predictions over a whole trace (bool array).
+
+    Feeds the vectorized JRS-family assessment stage of
+    :func:`repro.sim.fast.engine.simulate_binary_fast`.
+    """
+    _check_tage_cell(predictor, None)
+    resolved = resolve_planes(arrays, predictor.config, materialization, planes)
+    _, _, _, predictions = _kernel(
+        predictor.config, resolved, None, 0, 0, True
+    )
+    return np.asarray(predictions, dtype=bool)

@@ -103,6 +103,7 @@ def run_trace(
     target_mkp: float = 10.0,
     warmup_branches: int = 0,
     backend: str = DEFAULT_BACKEND,
+    materialization_dir=None,
     **config_overrides,
 ) -> SimulationResult:
     """Simulate one trace on a fresh preset predictor with confidence
@@ -111,10 +112,12 @@ def run_trace(
     ``adaptive=True`` additionally attaches the §6.2 controller (and
     forces the probabilistic automaton, which the controller requires).
 
-    ``backend`` is threaded through to :func:`repro.sim.engine.simulate`;
-    since this runner always attaches the multi-class TAGE observation
-    estimator, ``backend="fast"`` currently falls back to the reference
-    engine with a :class:`~repro.sim.backends.FastBackendFallbackWarning`.
+    ``backend`` and ``materialization_dir`` are threaded through to
+    :func:`repro.sim.engine.simulate`.  ``backend="fast"`` runs every
+    TAGE preset/automaton with the observation estimator on the
+    plane-fed kernel; only ``adaptive=True`` (the run-time controller)
+    still falls back to the reference engine with a
+    :class:`~repro.sim.backends.FastBackendFallbackWarning`.
     """
     if adaptive:
         automaton = AUTOMATON_PROBABILISTIC
@@ -132,6 +135,7 @@ def run_trace(
         controller=controller,
         warmup_branches=warmup_branches,
         backend=backend,
+        materialization_dir=materialization_dir,
     )
 
 

@@ -16,6 +16,15 @@ grid, serve cache hits, execute the misses — serially or across a
 every job carries its own deterministic seed (or relies on the
 components' fixed built-in seeds), results are bit-for-bit identical for
 any worker count.
+
+Two fast-backend refinements happen before fan-out: unsupported fast
+cells are probed once per distinct (predictor, estimator) pair and
+downgraded to the reference engine with a single
+:class:`FastBackendFallbackWarning` (instead of one warning per job per
+worker), and fast jobs are pointed at a shared on-disk plane
+materialization directory (``<cache root>/planes`` by default) so every
+(trace, TAGE-geometry) index/tag plane set is computed once per grid —
+not once per job — and memmapped by later jobs and later runs.
 """
 
 from __future__ import annotations
@@ -23,7 +32,9 @@ from __future__ import annotations
 import multiprocessing
 import os
 import time
-from dataclasses import dataclass
+import warnings
+from dataclasses import dataclass, replace
+from pathlib import Path
 from typing import Callable
 
 from repro.confidence.adaptive import AdaptiveSaturationController
@@ -36,12 +47,17 @@ from repro.predictors.local import LocalHistoryPredictor
 from repro.predictors.ogehl import OgehlPredictor
 from repro.predictors.perceptron import PerceptronPredictor
 from repro.predictors.tage.config import AUTOMATON_PROBABILISTIC
+from repro.sim.backends import (
+    FastBackendFallbackWarning,
+    FastBackendUnsupported,
+    load_fast_engine,
+)
 from repro.sim.engine import simulate, simulate_binary
 from repro.sim.runner import build_predictor, get_trace
 from repro.sweep.cache import ResultCache
 from repro.sweep.grid import GridExpansion, expand
 from repro.sweep.result import JobResult, ResultTable
-from repro.sweep.spec import ExperimentSpec, JobSpec, PredictorSpec
+from repro.sweep.spec import EstimatorSpec, ExperimentSpec, JobSpec, PredictorSpec
 
 __all__ = ["execute_job", "run_sweep", "SweepRun", "default_workers"]
 
@@ -87,15 +103,23 @@ def _build_predictor(spec: PredictorSpec, adaptive: bool, seed: int | None):
     return _BASELINE_PREDICTORS[spec.kind](**params)
 
 
+def _build_binary_estimator(spec: EstimatorSpec, predictor):
+    params = dict(spec.params)
+    if spec.kind == "jrs":
+        return JrsEstimator(**params)
+    if spec.kind == "ejrs":
+        return EnhancedJrsEstimator(**params)
+    return SelfConfidenceEstimator(predictor, **params)  # "self"
+
+
 def execute_job(job: JobSpec) -> JobResult:
     """Run one grid cell; pure function of the job spec (picklable)."""
     start = time.perf_counter()
     trace = get_trace(job.trace, job.n_branches)
     predictor = _build_predictor(job.predictor, job.adaptive, job.seed)
-    params = dict(job.estimator.params)
 
     if job.estimator.kind == "tage":
-        estimator = TageConfidenceEstimator(predictor, **params)
+        estimator = TageConfidenceEstimator(predictor, **dict(job.estimator.params))
         controller = (
             AdaptiveSaturationController(predictor, target_mkp=job.target_mkp)
             if job.adaptive
@@ -108,22 +132,19 @@ def execute_job(job: JobSpec) -> JobResult:
             controller=controller,
             warmup_branches=job.warmup_branches,
             backend=job.backend,
+            materialization_dir=job.materialization_dir,
         )
         binary = result.binary_confusion()
         estimator_bits = 0
     else:
-        if job.estimator.kind == "jrs":
-            estimator = JrsEstimator(**params)
-        elif job.estimator.kind == "ejrs":
-            estimator = EnhancedJrsEstimator(**params)
-        else:  # "self"
-            estimator = SelfConfidenceEstimator(predictor, **params)
+        estimator = _build_binary_estimator(job.estimator, predictor)
         binary, result = simulate_binary(
             trace,
             predictor,
             estimator,
             warmup_branches=job.warmup_branches,
             backend=job.backend,
+            materialization_dir=job.materialization_dir,
         )
         estimator_bits = estimator.storage_bits()
 
@@ -134,6 +155,86 @@ def execute_job(job: JobSpec) -> JobResult:
         estimator_bits=estimator_bits,
         elapsed=time.perf_counter() - start,
     )
+
+
+def _fast_cell_unsupported_reason(job: JobSpec) -> str | None:
+    """Why the fast backend would refuse this cell (None = it runs).
+
+    Builds throwaway component instances from the cell's specs and asks
+    the fast engine's static predicate — the same one the engine raises
+    from — so the pre-pass can never disagree with execution.
+    """
+    try:
+        fast = load_fast_engine()
+    except FastBackendUnsupported as unsupported:
+        return str(unsupported)
+    predictor = _build_predictor(job.predictor, job.adaptive, job.seed)
+    if job.estimator.kind == "tage":
+        estimator = TageConfidenceEstimator(predictor, **dict(job.estimator.params))
+        controller = (
+            AdaptiveSaturationController(predictor, target_mkp=job.target_mkp)
+            if job.adaptive
+            else None
+        )
+        return fast.unsupported_reason(predictor, estimator=estimator, controller=controller)
+    return fast.binary_unsupported_reason(
+        predictor, _build_binary_estimator(job.estimator, predictor)
+    )
+
+
+def _resolve_fast_fallbacks(
+    pending: list[tuple[int, JobSpec]],
+    progress: Callable[[str], None] | None = None,
+) -> list[tuple[int, JobSpec]]:
+    """Downgrade unsupported ``backend="fast"`` cells before fan-out.
+
+    Probing once per distinct (predictor, estimator) cell — instead of
+    letting every worker rediscover the same fallback — means a mixed
+    sweep emits exactly one :class:`FastBackendFallbackWarning` per
+    unsupported cell per run, regardless of trace count or worker count.
+    The downgraded jobs run on the reference engine directly (identical
+    results; the backend is not part of the cache identity).
+    """
+    reasons: dict[tuple[PredictorSpec, EstimatorSpec, bool], str | None] = {}
+    resolved: list[tuple[int, JobSpec]] = []
+    downgraded: dict[tuple[PredictorSpec, EstimatorSpec, bool], int] = {}
+    for index, job in pending:
+        if job.backend != "fast":
+            resolved.append((index, job))
+            continue
+        cell = (job.predictor, job.estimator, job.adaptive)
+        if cell not in reasons:
+            reasons[cell] = _fast_cell_unsupported_reason(job)
+        if reasons[cell] is None:
+            resolved.append((index, job))
+        else:
+            downgraded[cell] = downgraded.get(cell, 0) + 1
+            resolved.append((index, replace(job, backend="reference")))
+    for cell, count in downgraded.items():
+        predictor, estimator, _ = cell
+        warnings.warn(
+            f"fast backend cannot run {predictor.label}x{estimator.label} "
+            f"({reasons[cell]}); falling back to the reference engine for "
+            f"{count} job(s)",
+            FastBackendFallbackWarning,
+            stacklevel=3,
+        )
+        if progress:
+            progress(
+                f"fallback: {predictor.label}x{estimator.label} -> reference "
+                f"({count} job(s))"
+            )
+    return resolved
+
+
+def _count_plane_files(materialization_dir) -> int:
+    """Plane materializations currently on disk (0 when sharing is off)."""
+    if materialization_dir is None:
+        return 0
+    root = Path(materialization_dir)
+    if not root.is_dir():
+        return 0
+    return sum(1 for _ in root.glob("*.npy"))
 
 
 @dataclass(frozen=True)
@@ -172,6 +273,7 @@ def run_sweep(
     workers: int | None = 1,
     cache: ResultCache | None = None,
     progress: Callable[[str], None] | None = None,
+    materialization_dir: str | os.PathLike | None = None,
 ) -> SweepRun:
     """Execute every cell of a spec and aggregate the results.
 
@@ -183,6 +285,11 @@ def run_sweep(
         cache: optional :class:`ResultCache`; hits skip execution,
             misses are stored after execution.
         progress: optional sink for human-readable status lines.
+        materialization_dir: directory where fast-backend TAGE index/tag
+            plane materializations are memmapped and shared across jobs
+            and runs.  Defaults to ``<cache root>/planes`` when a cache
+            is given (None and no cache → planes are computed per job in
+            memory).
 
     Returns:
         A :class:`SweepRun` whose table preserves grid order.
@@ -191,6 +298,8 @@ def run_sweep(
         workers = default_workers()
     if workers < 1:
         raise ValueError(f"workers must be >= 1, got {workers}")
+    if materialization_dir is None and cache is not None:
+        materialization_dir = cache.root / "planes"
 
     start = time.perf_counter()
     expansion = expand(spec)
@@ -209,6 +318,15 @@ def run_sweep(
         progress(f"cache: {len(slots) - len(pending)} hits, {len(pending)} misses")
 
     if pending:
+        pending = _resolve_fast_fallbacks(pending, progress)
+        if materialization_dir is not None:
+            pending = [
+                (index, replace(job, materialization_dir=str(materialization_dir)))
+                if job.backend == "fast"
+                else (index, job)
+                for index, job in pending
+            ]
+        planes_before = _count_plane_files(materialization_dir)
         jobs_to_run = [job for _, job in pending]
         if workers > 1 and len(jobs_to_run) > 1:
             pool_size = min(workers, len(jobs_to_run))
@@ -220,6 +338,13 @@ def run_sweep(
             slots[index] = outcome
             if cache is not None:
                 cache.store(job, outcome)
+        if progress and materialization_dir is not None:
+            planes_after = _count_plane_files(materialization_dir)
+            progress(
+                f"materializations: {planes_after} plane file(s) in "
+                f"{materialization_dir} ({planes_after - planes_before} new, "
+                f"{planes_before} reused from disk)"
+            )
 
     table = ResultTable([slot for slot in slots if slot is not None])
     run = SweepRun(

@@ -204,6 +204,10 @@ class JobSpec:
     reference engine (enforced by ``tests/equivalence/``), so both
     backends share the same on-disk cache entries and a fast re-run of a
     reference sweep is served entirely from cache.
+
+    ``materialization_dir`` (fast backend only) points the engine at the
+    shared on-disk TAGE plane materializations; like ``backend`` it is
+    execution plumbing, not identity, and stays out of the hash.
     """
 
     predictor: PredictorSpec
@@ -215,6 +219,7 @@ class JobSpec:
     target_mkp: float = 10.0
     seed: int | None = None
     backend: str = DEFAULT_BACKEND
+    materialization_dir: str | None = None
 
     def __post_init__(self) -> None:
         validate_backend(self.backend)

@@ -1,11 +1,13 @@
 """Fallback semantics: unsupported configurations warn and stay correct.
 
-``backend="fast"`` is a request, not a contract: cells the vectorized
-engine cannot reproduce bit-exactly (the full TAGE tagged path, the
-multi-class observation estimator, self-confidence predictors, any
-subclass of a supported component) must fall back to the reference
-engine with a :class:`FastBackendFallbackWarning` — and produce exactly
-the reference results.
+``backend="fast"`` is a request, not a contract: cells the fast engine
+cannot reproduce bit-exactly (perceptron/O-GEHL self-confidence, the
+adaptive saturation controller, >62-bit histories, any subclass of a
+supported component) must fall back to the reference engine with a
+:class:`FastBackendFallbackWarning` — and produce exactly the reference
+results.  TAGE cells — including the multi-class observation estimator
+— are inside the fast family since the plane-fed kernel and must *not*
+warn.
 """
 
 from __future__ import annotations
@@ -22,6 +24,7 @@ from repro.confidence.self_confidence import SelfConfidenceEstimator
 from repro.predictors.bimodal import BimodalPredictor
 from repro.predictors.gshare import GsharePredictor
 from repro.predictors.perceptron import PerceptronPredictor
+from repro.predictors.tage.predictor import TagePredictor
 from repro.sim.backends import FastBackendFallbackWarning, FastBackendUnsupported
 from repro.sim.engine import simulate, simulate_binary
 from repro.sim.fast import (
@@ -40,29 +43,75 @@ class _SubclassedBimodal(BimodalPredictor):
     behaviour the fast path would silently ignore)."""
 
 
+class _SubclassedTage(TagePredictor):
+    """Same exact-type rule for the TAGE kernel."""
+
+
 def test_supports_predictor_truth_table():
     assert supports_predictor(BimodalPredictor())
     assert supports_predictor(GsharePredictor())
+    assert supports_predictor(build_predictor("16K"))
     assert not supports_predictor(_SubclassedBimodal())
     assert not supports_predictor(PerceptronPredictor())
-    assert not supports_predictor(build_predictor("16K"))
+    assert not supports_predictor(_SubclassedTage(build_predictor("16K").config))
 
 
 def test_supports_estimator_truth_table():
     assert supports_estimator(JrsEstimator())
+    assert supports_estimator(TageConfidenceEstimator(build_predictor("16K")))
     perceptron = PerceptronPredictor()
     assert not supports_estimator(SelfConfidenceEstimator(perceptron))
 
 
-def test_fast_engine_raises_for_tage(tiny_trace):
+def test_fast_engine_raises_for_subclassed_tage(tiny_trace):
     with pytest.raises(FastBackendUnsupported, match="not vectorizable"):
-        simulate_fast(tiny_trace, build_predictor("16K"))
+        simulate_fast(tiny_trace, _SubclassedTage(build_predictor("16K").config))
 
 
-def test_fast_engine_raises_for_multiclass_estimator(tiny_trace):
+def test_fast_engine_raises_for_multiclass_estimator_without_tage(tiny_trace):
     predictor = build_predictor("16K")
+    estimator = TageConfidenceEstimator(predictor)
     with pytest.raises(FastBackendUnsupported, match="observation estimator"):
-        simulate_fast(tiny_trace, predictor, TageConfidenceEstimator(predictor))
+        simulate_fast(tiny_trace, BimodalPredictor(), estimator)
+
+
+def test_fast_engine_raises_for_oversized_path_history(tiny_trace):
+    predictor = build_predictor("16K", path_history_bits=70)
+    with pytest.raises(FastBackendUnsupported, match="path_history_bits"):
+        simulate_fast(tiny_trace, predictor)
+    reference = simulate(tiny_trace, build_predictor("16K", path_history_bits=70))
+    with pytest.warns(FastBackendFallbackWarning):
+        fallback = simulate(
+            tiny_trace, build_predictor("16K", path_history_bits=70), backend="fast"
+        )
+    assert fallback == reference
+
+
+def test_wide_path_register_with_short_histories_stays_fast(tiny_trace):
+    """The bound is the *effective* per-component window
+    min(path_history_bits, history_length): a >62-bit register over
+    short histories still packs into an int64 lane and must not be
+    downgraded to the reference engine."""
+    def make():
+        return build_predictor(
+            "16K", min_history=2, max_history=50, path_history_bits=70
+        )
+
+    reference = simulate(tiny_trace, make())
+    with warnings.catch_warnings():
+        warnings.simplefilter("error", FastBackendFallbackWarning)
+        fast = simulate(tiny_trace, make(), backend="fast")
+    assert fast == reference
+
+
+def test_fast_engine_raises_for_adaptive_controller(tiny_trace):
+    from repro.confidence.adaptive import AdaptiveSaturationController
+
+    predictor = build_predictor("16K", automaton="probabilistic")
+    estimator = TageConfidenceEstimator(predictor)
+    controller = AdaptiveSaturationController(predictor)
+    with pytest.raises(FastBackendUnsupported, match="adaptive saturation controller"):
+        simulate_fast(tiny_trace, predictor, estimator, controller)
 
 
 def test_fast_engine_raises_for_oversized_history(tiny_trace):
@@ -90,10 +139,27 @@ def test_fast_engine_raises_for_self_confidence(tiny_trace):
         )
 
 
-def test_simulate_tage_falls_back_with_warning(tiny_trace):
+def test_simulate_tage_runs_fast_without_warning(tiny_trace):
+    """TAGE is inside the fast family now: no fallback, same results."""
     reference = simulate(tiny_trace, build_predictor("16K"))
+    with warnings.catch_warnings():
+        warnings.simplefilter("error", FastBackendFallbackWarning)
+        fast = simulate(tiny_trace, build_predictor("16K"), backend="fast")
+    assert fast == reference
+
+
+def test_simulate_subclassed_tage_falls_back_with_warning(tiny_trace):
+    config = build_predictor("16K").config
+    reference = simulate(tiny_trace, _SubclassedTage(config))
     with pytest.warns(FastBackendFallbackWarning, match="falling back"):
-        fallback = simulate(tiny_trace, build_predictor("16K"), backend="fast")
+        fallback = simulate(tiny_trace, _SubclassedTage(config), backend="fast")
+    assert fallback == reference
+
+
+def test_simulate_adaptive_controller_falls_back(tiny_trace):
+    reference = run_trace(tiny_trace, size="16K", adaptive=True)
+    with pytest.warns(FastBackendFallbackWarning):
+        fallback = run_trace(tiny_trace, size="16K", adaptive=True, backend="fast")
     assert fallback == reference
 
 
@@ -111,11 +177,13 @@ def test_simulate_binary_self_confidence_falls_back(tiny_trace):
     assert fallback == reference
 
 
-def test_run_trace_fast_backend_falls_back(tiny_trace):
+def test_run_trace_fast_backend_matches_reference(tiny_trace):
+    """run_trace (observation estimator attached) rides the fast kernel."""
     reference = run_trace(tiny_trace, size="16K")
-    with pytest.warns(FastBackendFallbackWarning):
-        fallback = run_trace(tiny_trace, size="16K", backend="fast")
-    assert fallback == reference
+    with warnings.catch_warnings():
+        warnings.simplefilter("error", FastBackendFallbackWarning)
+        fast = run_trace(tiny_trace, size="16K", backend="fast")
+    assert fast == reference
 
 
 def test_supported_cells_do_not_warn(tiny_trace):
@@ -125,9 +193,15 @@ def test_supported_cells_do_not_warn(tiny_trace):
         simulate_binary(
             tiny_trace, GsharePredictor(), JrsEstimator(), backend="fast"
         )
+        predictor = build_predictor("16K")
+        simulate(tiny_trace, predictor, TageConfidenceEstimator(predictor),
+                 backend="fast")
+        simulate_binary(
+            tiny_trace, build_predictor("16K"), JrsEstimator(), backend="fast"
+        )
 
 
-def test_executor_fast_job_with_tage_estimator_falls_back():
+def test_executor_fast_job_with_tage_estimator_matches_reference():
     job = JobSpec(
         predictor=PredictorSpec.of("tage", size="16K"),
         estimator=EstimatorSpec.of("tage"),
@@ -138,6 +212,27 @@ def test_executor_fast_job_with_tage_estimator_falls_back():
     reference_job = JobSpec(
         predictor=job.predictor, estimator=job.estimator,
         trace=job.trace, n_branches=job.n_branches,
+    )
+    reference = execute_job(reference_job)
+    with warnings.catch_warnings():
+        warnings.simplefilter("error", FastBackendFallbackWarning)
+        fast = execute_job(job)
+    assert fast.result == reference.result
+    assert fast.binary == reference.binary
+
+
+def test_executor_fast_adaptive_job_falls_back():
+    job = JobSpec(
+        predictor=PredictorSpec.of("tage", size="16K", automaton="probabilistic"),
+        estimator=EstimatorSpec.of("tage"),
+        trace="INT-1",
+        n_branches=1_500,
+        adaptive=True,
+        backend="fast",
+    )
+    reference_job = JobSpec(
+        predictor=job.predictor, estimator=job.estimator,
+        trace=job.trace, n_branches=job.n_branches, adaptive=True,
     )
     reference = execute_job(reference_job)
     with pytest.warns(FastBackendFallbackWarning):

@@ -1,0 +1,94 @@
+"""Property-based TAGE kernel differentials on adversarial inputs.
+
+Hypothesis drives both backends with arbitrary little traces (heavy PC
+aliasing, arbitrary outcome streams) and arbitrary in-range TAGE
+geometries — component counts, history lengths, tag widths, counter
+widths, u-reset periods short enough to tick mid-trace, both automata
+and allocation policies, degenerate saturation probabilities — asserting
+bit-exact equality with the reference engine, with and without the
+multi-class observation estimator.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+np = pytest.importorskip("numpy")
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.confidence.estimator import TageConfidenceEstimator
+from repro.predictors.tage.config import TageConfig
+from repro.predictors.tage.predictor import TagePredictor
+from repro.sim.engine import simulate
+from repro.sim.fast import simulate_fast
+from repro.traces.types import Trace
+
+
+def trace_strategy(max_len: int = 220):
+    """Small traces over a tiny PC pool (maximal table aliasing)."""
+    step = st.tuples(st.integers(0, 15), st.booleans())
+    return st.lists(step, min_size=1, max_size=max_len).map(
+        lambda steps: Trace(
+            "random",
+            [0x1000 + 4 * slot for slot, _ in steps],
+            [int(taken) for _, taken in steps],
+            [1] * len(steps),
+        )
+    )
+
+
+@st.composite
+def tage_configs(draw):
+    n_tagged = draw(st.integers(1, 5))
+    min_history = draw(st.integers(1, 8))
+    max_history = draw(st.integers(min_history, 120))
+    automaton = draw(st.sampled_from(["standard", "probabilistic"]))
+    return TageConfig(
+        name="random",
+        n_tagged=n_tagged,
+        log_bimodal=draw(st.integers(1, 6)),
+        log_tagged=draw(st.integers(1, 5)),
+        tag_bits=draw(st.integers(2, 10)),
+        min_history=min_history,
+        max_history=max_history,
+        ctr_bits=draw(st.integers(2, 4)),
+        u_bits=draw(st.integers(1, 3)),
+        path_history_bits=draw(st.integers(1, 20)),
+        use_alt_on_na_bits=draw(st.integers(2, 5)),
+        use_alt_on_na_enabled=draw(st.booleans()),
+        u_reset_period=draw(st.integers(1, 120)),
+        automaton=automaton,
+        sat_prob_log2=draw(st.integers(0, 4)),
+        allocation_policy=draw(st.sampled_from(["randomized", "first-free"])),
+        update_alt_when_u_zero=draw(st.booleans()),
+        lfsr_seed=draw(st.integers(0, 0xFFFFFFFF)),
+        alloc_seed=draw(st.integers(0, 0xFFFFFFFF)),
+    )
+
+
+@settings(max_examples=60, deadline=None)
+@given(trace=trace_strategy(), config=tage_configs())
+def test_random_tage_plain(trace, config):
+    reference = simulate(trace, TagePredictor(config))
+    fast = simulate_fast(trace, TagePredictor(config))
+    assert fast == reference
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    trace=trace_strategy(),
+    config=tage_configs(),
+    bim_miss_window=st.integers(0, 12),
+    warmup_fraction=st.floats(0.0, 1.0),
+)
+def test_random_tage_observation(trace, config, bim_miss_window, warmup_fraction):
+    warmup = int(len(trace) * warmup_fraction)
+
+    def run(engine):
+        predictor = TagePredictor(config)
+        estimator = TageConfidenceEstimator(predictor, bim_miss_window=bim_miss_window)
+        return engine(trace, predictor, estimator, warmup_branches=warmup)
+
+    assert run(simulate_fast) == run(simulate)

@@ -21,8 +21,9 @@ from repro.sim.runner import build_predictor, get_trace
 FIXTURES_DIR = Path(__file__).parent / "fixtures"
 
 #: Fixture configurations: representative cells across behaviour
-#: families, table shapes and estimator kinds.  The TAGE observation
-#: cell is reference-only and guards the reference engine itself.
+#: families, table shapes and estimator kinds.  The TAGE cells exercise
+#: the fast backend's plane-fed kernel (plain, observation-estimator and
+#: probabilistic-saturation variants) as well as the reference engine.
 FIXTURE_CONFIGS: list[dict] = [
     {
         "name": "int1_bimodal_plain",
@@ -70,6 +71,25 @@ FIXTURE_CONFIGS: list[dict] = [
         "predictor": {"kind": "tage", "params": {"size": "16K"}},
         "estimator": {"kind": "tage", "params": {}},
     },
+    {
+        # u_reset_period below n_branches so the graceful u-counter
+        # aging ticks inside the fixture window.
+        "name": "serv1_tage16k_plain",
+        "trace": "SERV-1", "n_branches": 4000, "warmup_branches": 0,
+        "predictor": {"kind": "tage",
+                      "params": {"size": "16K", "u_reset_period": 1000}},
+        "estimator": None,
+    },
+    {
+        # §6 probabilistic-saturation automaton with a hot 1/8
+        # probability, so the LFSR stream is exercised heavily.
+        "name": "mm1_tage16k_prob_observation",
+        "trace": "MM-1", "n_branches": 4000, "warmup_branches": 1000,
+        "predictor": {"kind": "tage",
+                      "params": {"size": "16K", "automaton": "probabilistic",
+                                 "sat_prob_log2": 3}},
+        "estimator": {"kind": "tage", "params": {}},
+    },
 ]
 
 _PREDICTORS = {"bimodal": BimodalPredictor, "gshare": GsharePredictor}
@@ -94,8 +114,12 @@ def build_estimator_from(config: dict, predictor):
 
 
 def fast_supported(config: dict) -> bool:
-    """Is this cell inside the fast backend's vectorizable family?"""
+    """Is this cell inside the fast backend's bit-exact family?"""
     estimator = config["estimator"]
+    if config["predictor"]["kind"] == "tage":
+        # The plane-fed kernel covers every TAGE preset/automaton, plain
+        # or with the multi-class observation estimator attached.
+        return estimator is None or estimator["kind"] in ("tage", *_BINARY_ESTIMATORS)
     if config["predictor"]["kind"] not in _PREDICTORS:
         return False
     return estimator is None or estimator["kind"] in _BINARY_ESTIMATORS

@@ -8,9 +8,11 @@ results, so a fast sweep re-running a cached reference sweep must be a
 
 from __future__ import annotations
 
+import warnings
+
 import pytest
 
-from repro.sim.backends import DEFAULT_BACKEND
+from repro.sim.backends import DEFAULT_BACKEND, FastBackendFallbackWarning
 from repro.sweep import (
     EstimatorSpec,
     ExperimentSpec,
@@ -98,3 +100,128 @@ class TestExecution:
         reference = run_sweep(_spec())
         fast = run_sweep(_spec(backend="fast"))
         assert fast.table.rows() == reference.table.rows()
+
+    def test_fast_tage_sweep_rows_equal_reference_rows(self):
+        pytest.importorskip("numpy")
+        spec_options = dict(
+            predictors=(
+                PredictorSpec.of("tage", size="16K"),
+                PredictorSpec.of("tage", size="16K", automaton="probabilistic"),
+            ),
+            estimators=(EstimatorSpec.of("tage"), EstimatorSpec.of("jrs")),
+        )
+        reference = run_sweep(_spec(**spec_options))
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", FastBackendFallbackWarning)
+            fast = run_sweep(_spec(backend="fast", **spec_options))
+        assert fast.table.rows() == reference.table.rows()
+
+
+class TestFallbackDedupe:
+    """One FastBackendFallbackWarning per unsupported cell per sweep run."""
+
+    def _mixed_spec(self, **overrides) -> ExperimentSpec:
+        options = dict(
+            name="fallback-test",
+            predictors=(
+                PredictorSpec.of("tage", size="16K"),
+                PredictorSpec.of("perceptron"),
+            ),
+            estimators=(EstimatorSpec.of("tage"), EstimatorSpec.of("self")),
+            traces=("INT-1", "MM-1", "FP-1"),
+            n_branches=1_000,
+            backend="fast",
+        )
+        options.update(overrides)
+        return ExperimentSpec(**options)
+
+    def test_one_warning_per_unsupported_cell(self):
+        pytest.importorskip("numpy")
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            run_sweep(self._mixed_spec(), workers=1)
+        fallbacks = [
+            w for w in caught if issubclass(w.category, FastBackendFallbackWarning)
+        ]
+        # One unsupported cell (perceptron×self) spanning three traces
+        # must produce exactly one warning, not three.
+        assert len(fallbacks) == 1
+        assert "perceptron" in str(fallbacks[0].message)
+        assert "3 job(s)" in str(fallbacks[0].message)
+
+    def test_downgraded_jobs_match_reference_results(self):
+        pytest.importorskip("numpy")
+        reference = run_sweep(self._mixed_spec(backend="reference"), workers=1)
+        with pytest.warns(FastBackendFallbackWarning):
+            fast = run_sweep(self._mixed_spec(), workers=1)
+        assert fast.table.rows() == reference.table.rows()
+
+    def test_adaptive_fast_sweep_warns_once(self):
+        pytest.importorskip("numpy")
+        spec = self._mixed_spec(
+            predictors=(
+                PredictorSpec.of("tage", size="16K", automaton="probabilistic"),
+            ),
+            estimators=(EstimatorSpec.of("tage"),),
+            adaptive=True,
+        )
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            run_sweep(spec, workers=1)
+        fallbacks = [
+            w for w in caught if issubclass(w.category, FastBackendFallbackWarning)
+        ]
+        assert len(fallbacks) == 1
+        assert "adaptive saturation controller" in str(fallbacks[0].message)
+
+
+class TestPlaneMaterializations:
+    """Sweep jobs share memmapped TAGE planes instead of recomputing."""
+
+    def _tage_spec(self, backend="fast") -> ExperimentSpec:
+        return ExperimentSpec(
+            name="planes-test",
+            predictors=(
+                PredictorSpec.of("tage", size="16K"),
+                PredictorSpec.of("tage", size="16K", automaton="probabilistic"),
+            ),
+            estimators=(EstimatorSpec.of("tage"),),
+            traces=("INT-1", "MM-1"),
+            n_branches=1_000,
+            backend=backend,
+        )
+
+    def test_planes_materialized_next_to_result_cache(self, tmp_path):
+        pytest.importorskip("numpy")
+        cache = ResultCache(tmp_path / "sweeps")
+        lines: list[str] = []
+        run = run_sweep(self._tage_spec(), workers=1, cache=cache,
+                        progress=lines.append)
+        assert run.n_executed == 4
+        planes_dir = cache.root / "planes"
+        # Geometry is shared between the standard and probabilistic
+        # automaton, so two traces → two plane files, not four.
+        assert len(list(planes_dir.glob("*.npy"))) == 2
+        assert any("materializations: 2 plane file(s)" in line for line in lines)
+
+    def test_second_run_reuses_memmaps_without_recompute(self, tmp_path, monkeypatch):
+        pytest.importorskip("numpy")
+        import repro.sim.fast.planes as planes_module
+
+        planes_dir = tmp_path / "planes"
+        cold = run_sweep(self._tage_spec(), workers=1,
+                         materialization_dir=planes_dir)
+        assert len(list(planes_dir.glob("*.npy"))) == 2
+
+        def refuse(arrays, geometry):
+            raise AssertionError("planes were recomputed instead of memmapped")
+
+        monkeypatch.setattr(planes_module, "compute_planes", refuse)
+        warm = run_sweep(self._tage_spec(), workers=1,
+                         materialization_dir=planes_dir)
+        assert warm.table.rows() == cold.table.rows()
+
+    def test_reference_sweep_touches_no_planes(self, tmp_path):
+        cache = ResultCache(tmp_path / "sweeps")
+        run_sweep(self._tage_spec(backend="reference"), workers=1, cache=cache)
+        assert not (cache.root / "planes").exists()
