@@ -1,4 +1,4 @@
-"""§3.1 text ablation: USE_ALT_ON_NA.
+"""§3.1 text ablation: USE_ALT_ON_NA — the ``ABL_ALT_ON_NA`` artifact.
 
 Paper: "Dynamically monitoring it through a single 4-bit counter
 USE_ALT_ON_NA was found to allow to (slightly) improve prediction
@@ -9,51 +9,16 @@ Shape assertion: disabling the mechanism does not improve accuracy, and
 the weak-provider predictions it covers are individually unreliable.
 """
 
-from conftest import bench_branches, emit, run_once  # noqa: F401
+from conftest import bench_artifact, emit, run_once  # noqa: F401
 
 from repro.confidence.classes import PredictionClass
-from repro.sim.report import render_table
-from repro.sim.runner import run_suite
-from repro.sim.stats import summarize
-
-NAMES = ("INT-1", "INT-4", "MM-2", "SERV-2", "300.twolf")
 
 
 def test_use_alt_on_na_ablation(run_once):
-    def experiment():
-        def sweep(enabled):
-            cbp1_names = tuple(name for name in NAMES if not name[0].isdigit())
-            cbp2_names = tuple(name for name in NAMES if name[0].isdigit())
-            results = run_suite(
-                "CBP1", size="64K", n_branches=bench_branches(), names=cbp1_names,
-                warmup_branches=bench_branches() // 4,
-                use_alt_on_na_enabled=enabled,
-            )
-            results += run_suite(
-                "CBP2", size="64K", n_branches=bench_branches(), names=cbp2_names,
-                warmup_branches=bench_branches() // 4,
-                use_alt_on_na_enabled=enabled,
-            )
-            return summarize(results)
+    artifact = run_once(lambda: bench_artifact("ABL_ALT_ON_NA"))
+    emit("ablation_alt_on_na", artifact.text)
 
-        return {"enabled": sweep(True), "disabled": sweep(False)}
-
-    variants = run_once(experiment)
-
-    rows = [
-        [label, f"{summary.mean_mpki:.3f}",
-         f"{summary.classes.mprate(PredictionClass.WTAG):.0f}"]
-        for label, summary in variants.items()
-    ]
-    emit(
-        "ablation_alt_on_na",
-        render_table(
-            ["USE_ALT_ON_NA", "mean misp/KI", "Wtag MPrate (MKP)"],
-            rows,
-            title="Ablation - USE_ALT_ON_NA on/off (64Kbits)",
-        ),
-    )
-
+    variants = artifact.data
     # The mechanism must not hurt, and usually helps slightly.
     assert variants["enabled"].mean_mpki <= variants["disabled"].mean_mpki * 1.02
     # Weak tagged entries stay unreliable either way (>= ~20-30 %) —

@@ -1,4 +1,5 @@
-"""§5.1.2 design-choice ablation: the medium-conf-bim window W.
+"""§5.1.2 design-choice ablation: the medium-conf-bim window W — the
+``ABL_BIM_WINDOW`` artifact.
 
 The paper observes that BIM predictions "up to 8 branches" after a BIM
 misprediction are much more likely to mispredict (capacity/warm-up
@@ -11,55 +12,16 @@ predictor — so the sweep isolates the classification trade-off:
   high-conf-bim at the cost of high-confidence coverage.
 """
 
-from conftest import bench_branches, emit, run_once  # noqa: F401
+from conftest import bench_artifact, emit, run_once  # noqa: F401
 
 from repro.confidence.classes import PredictionClass
-from repro.sim.report import render_table
-from repro.sim.runner import run_suite
-from repro.sim.stats import summarize
-
-WINDOWS = (0, 4, 8, 16)
-NAMES = ("SERV-1", "SERV-3", "INT-2", "MM-2")
 
 
 def test_bim_window_sweep(run_once):
-    def experiment():
-        return {
-            window: summarize(
-                run_suite(
-                    "CBP1",
-                    size="16K",
-                    n_branches=bench_branches(),
-                    names=NAMES,
-                    warmup_branches=bench_branches() // 4,
-                    bim_miss_window=window,
-                )
-            )
-            for window in WINDOWS
-        }
+    artifact = run_once(lambda: bench_artifact("ABL_BIM_WINDOW"))
+    emit("ablation_bim_window", artifact.text)
 
-    sweeps = run_once(experiment)
-
-    rows = []
-    for window, summary in sweeps.items():
-        classes = summary.classes
-        rows.append(
-            [
-                str(window),
-                f"{classes.pcov(PredictionClass.HIGH_CONF_BIM):.3f}",
-                f"{classes.mprate(PredictionClass.HIGH_CONF_BIM):.1f}",
-                f"{classes.pcov(PredictionClass.MEDIUM_CONF_BIM):.3f}",
-                f"{classes.mprate(PredictionClass.MEDIUM_CONF_BIM):.1f}",
-            ]
-        )
-    emit(
-        "ablation_bim_window",
-        render_table(
-            ["W", "hcb Pcov", "hcb MPrate", "mcb Pcov", "mcb MPrate"],
-            rows,
-            title="Ablation - medium-conf-bim window W (16Kbits, capacity-stressed traces)",
-        ),
-    )
+    sweeps = artifact.data
 
     def hcb_rate(window):
         return sweeps[window].classes.mprate(PredictionClass.HIGH_CONF_BIM)

@@ -1,4 +1,5 @@
-"""§6 text ablation: widening the tagged counter to 4 bits.
+"""§6 text ablation: widening the tagged counter to 4 bits — the
+``ABL_CTR_WIDTH`` artifact.
 
 Paper: "Widening the prediction counter from 3 bits to 4 bits would
 create other classes of branches with slightly decreasing probability of
@@ -12,14 +13,9 @@ purify Stag anywhere near what the probabilistic automaton achieves, and
 overall accuracy does not improve.
 """
 
-from conftest import bench_branches, emit, run_once  # noqa: F401
+from conftest import bench_artifact, emit, run_once  # noqa: F401
 
 from repro.confidence.classes import PredictionClass
-from repro.sim.report import render_table
-from repro.sim.runner import run_suite
-from repro.sim.stats import summarize
-
-NAMES = ("INT-1", "INT-3", "MM-1", "MM-3", "SERV-1")
 
 
 def pooled_stag_rate(summary):
@@ -27,36 +23,13 @@ def pooled_stag_rate(summary):
 
 
 def test_counter_width_ablation(run_once):
-    def experiment():
-        kwargs = dict(n_branches=bench_branches(), names=NAMES,
-                      warmup_branches=bench_branches() // 4)
-        return {
-            "3-bit standard": summarize(run_suite("CBP1", size="64K", **kwargs)),
-            "4-bit standard": summarize(run_suite("CBP1", size="64K", ctr_bits=4, **kwargs)),
-            "3-bit prob 1/128": summarize(
-                run_suite("CBP1", size="64K", automaton="probabilistic", **kwargs)
-            ),
-        }
+    artifact = run_once(lambda: bench_artifact("ABL_CTR_WIDTH"))
+    emit("ablation_ctr_width", artifact.text)
 
-    variants = run_once(experiment)
-
-    rows = [
-        [label, f"{summary.mean_mpki:.2f}", f"{pooled_stag_rate(summary):.1f}",
-         f"{summary.classes.pcov(PredictionClass.STAG):.3f}"]
-        for label, summary in variants.items()
-    ]
-    emit(
-        "ablation_ctr_width",
-        render_table(
-            ["variant", "mean misp/KI", "Stag MPrate (MKP)", "Stag Pcov"],
-            rows,
-            title="Ablation - counter widening vs probabilistic saturation (64Kbits)",
-        ),
-    )
-
-    three_bit = variants["3-bit standard"]
-    four_bit = variants["4-bit standard"]
-    probabilistic = variants["3-bit prob 1/128"]
+    variants = artifact.data
+    three_bit = variants["3bit_standard"]
+    four_bit = variants["4bit_standard"]
+    probabilistic = variants["3bit_prob128"]
 
     # Widening does not purify Stag the way the probabilistic automaton does.
     assert pooled_stag_rate(probabilistic) < pooled_stag_rate(four_bit)

@@ -4,20 +4,20 @@ Runs the vectorizable cells — gshare × JRS binary confidence and plain
 bimodal accuracy — over the Table-1 (CBP-1) trace suite on both
 backends, asserts the results are bit-identical and the fast backend
 clears the ≥3× speedup target, and emits a machine-readable perf record
-to ``benchmarks/results/BENCH_fast_engine.json`` (plus the usual
-rendered text table).
+to ``benchmarks/records/BENCH_fast_engine.json`` (plus the usual
+rendered text table).  CI's bench-trajectory guard compares the fresh
+record's speedup against the committed baseline.
 """
 
 from __future__ import annotations
 
-import json
 import time
 
 import pytest
 
 np = pytest.importorskip("numpy")
 
-from conftest import RESULTS_DIR, bench_branches, emit, run_once  # noqa: F401
+from conftest import bench_branches, bench_speedup_target, emit, record, run_once  # noqa: F401
 
 from repro.confidence.jrs import JrsEstimator
 from repro.predictors.bimodal import BimodalPredictor
@@ -25,7 +25,7 @@ from repro.predictors.gshare import GsharePredictor
 from repro.sim.engine import simulate, simulate_binary
 from repro.traces.suites import CBP1_TRACE_NAMES, cbp1_trace
 
-SPEEDUP_TARGET = 3.0
+SPEEDUP_TARGET = bench_speedup_target()
 
 
 def _run_suite(backend: str) -> tuple[list, float, list[dict]]:
@@ -64,7 +64,7 @@ def test_fast_engine_wallclock(run_once):
 
     speedup = reference_seconds / max(fast_seconds, 1e-9)
     branches_total = branches * len(CBP1_TRACE_NAMES) * 2  # two cells per trace
-    record = {
+    payload = {
         "bench": "fast_engine",
         "suite": "CBP1",
         "n_traces": len(CBP1_TRACE_NAMES),
@@ -81,10 +81,7 @@ def test_fast_engine_wallclock(run_once):
             "fast": fast_rows,
         },
     }
-    RESULTS_DIR.mkdir(exist_ok=True)
-    (RESULTS_DIR / "BENCH_fast_engine.json").write_text(
-        json.dumps(record, indent=2) + "\n"
-    )
+    record("fast_engine", payload)
 
     emit(
         "fast_engine",
@@ -92,14 +89,14 @@ def test_fast_engine_wallclock(run_once):
             f"fast-backend bench: {len(CBP1_TRACE_NAMES)} CBP-1 traces x "
             f"{branches} branches, cells = gshare+jrs, bimodal",
             f"reference: {reference_seconds:.3f}s "
-            f"({record['reference_branches_per_second']} branches/s)",
+            f"({payload['reference_branches_per_second']} branches/s)",
             f"fast:      {fast_seconds:.3f}s "
-            f"({record['fast_branches_per_second']} branches/s)",
-            f"speedup:   {speedup:.1f}x (target >= {SPEEDUP_TARGET:.0f}x)",
+            f"({payload['fast_branches_per_second']} branches/s)",
+            f"speedup:   {speedup:.1f}x (target >= {SPEEDUP_TARGET:g}x)",
         ]),
     )
 
     assert speedup >= SPEEDUP_TARGET, (
-        f"fast backend speedup {speedup:.2f}x below the {SPEEDUP_TARGET:.0f}x "
+        f"fast backend speedup {speedup:.2f}x below the {SPEEDUP_TARGET:g}x "
         f"target ({reference_seconds:.3f}s -> {fast_seconds:.3f}s)"
     )

@@ -3,8 +3,9 @@
 For each of the 20 CBP-1 traces and each predictor size, the left panel
 of the paper's figure is the per-class prediction coverage (stacked to
 100 %) and the right panel the per-class contribution to misp/KI.  The
-bench regenerates both series for the three sizes with the standard
-automaton.
+``FIG2`` artifact regenerates both series for the three sizes with the
+standard automaton; this bench times the build and keeps the shape
+assertions.
 
 Shape assertions: coverages stack to 1; the BIM classes carry a
 significant share of predictions; on the large predictor the
@@ -13,25 +14,16 @@ low/medium-conf-bim coverage shrinks versus the small one (§5.1.2:
 bimodal component nearly vanish on the large predictor").
 """
 
-from conftest import cached_suite, emit, run_once  # noqa: F401
+from conftest import bench_artifact, emit, run_once  # noqa: F401
 
 from repro.confidence.classes import PredictionClass
-from repro.sim.report import format_distribution_figure
 
 
 def test_figure2(run_once):
-    def experiment():
-        return {size: cached_suite("CBP1", size) for size in ("16K", "64K", "256K")}
+    artifact = run_once(lambda: bench_artifact("FIG2"))
+    emit("figure2", artifact.text)
 
-    by_size = run_once(experiment)
-
-    sections = []
-    for size, results in by_size.items():
-        sections.append(
-            format_distribution_figure(results, title=f"Figure 2 data - {size} predictor, CBP-1")
-        )
-    emit("figure2", "\n\n".join(sections))
-
+    by_size = artifact.data
     for size, results in by_size.items():
         for result in results:
             total = sum(result.classes.pcov(cls) for cls in PredictionClass)

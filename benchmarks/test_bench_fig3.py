@@ -1,15 +1,14 @@
 """Figure 3: prediction / misprediction distribution per class, CBP-2.
 
-Same series as Figure 2 for the 20 CBP-2 traces.  Extra shape
-assertions: the noisy benchmarks (gzip, twolf) carry a larger
-low-confidence share than the predictable ones (mpegaudio, eon), and
-their misp/KI is far higher.
+Same series as Figure 2 for the 20 CBP-2 traces, via the ``FIG3``
+artifact.  Extra shape assertions: the noisy benchmarks (gzip, twolf)
+carry a larger low-confidence share than the predictable ones
+(mpegaudio, eon), and their misp/KI is far higher.
 """
 
-from conftest import cached_suite, emit, run_once  # noqa: F401
+from conftest import bench_artifact, emit, run_once  # noqa: F401
 
 from repro.confidence.classes import PredictionClass, confidence_level_of, ConfidenceLevel
-from repro.sim.report import format_distribution_figure
 
 
 def low_share(result):
@@ -21,17 +20,10 @@ def low_share(result):
 
 
 def test_figure3(run_once):
-    def experiment():
-        return {size: cached_suite("CBP2", size) for size in ("16K", "64K", "256K")}
+    artifact = run_once(lambda: bench_artifact("FIG3"))
+    emit("figure3", artifact.text)
 
-    by_size = run_once(experiment)
-
-    sections = [
-        format_distribution_figure(results, title=f"Figure 3 data - {size} predictor, CBP-2")
-        for size, results in by_size.items()
-    ]
-    emit("figure3", "\n\n".join(sections))
-
+    by_size = artifact.data
     results = {result.trace_name: result for result in by_size["64K"]}
     noisy = [results["164.gzip"], results["300.twolf"]]
     easy = [results["222.mpegaudio"], results["252.eon"]]

@@ -1,5 +1,5 @@
 """Figure 4: misprediction rate (MKP) per prediction class, CBP-2
-subset, 64 Kbits predictor, standard automaton.
+subset, 64 Kbits predictor, standard automaton — the ``FIG4`` artifact.
 
 Paper shape: the weak/nearly-weak tagged classes and low-conf-bim sit in
 the hundreds of MKP; high-conf-bim sits near zero; Stag sits near the
@@ -7,25 +7,16 @@ application average (that is §5.3's motivation for modifying the
 automaton).
 """
 
-from conftest import cached_suite, emit, run_once  # noqa: F401
+from conftest import bench_artifact, emit, run_once  # noqa: F401
 
 from repro.confidence.classes import PredictionClass
-from repro.sim.report import format_mprate_figure
-from repro.traces.suites import FIGURE4_TRACE_NAMES
 
 
 def test_figure4(run_once):
-    def experiment():
-        return cached_suite("CBP2", "64K", names=FIGURE4_TRACE_NAMES)
+    artifact = run_once(lambda: bench_artifact("FIG4"))
+    emit("figure4", artifact.text)
 
-    results = run_once(experiment)
-    emit(
-        "figure4",
-        format_mprate_figure(
-            results, title="Figure 4 data - MKP per class, 64Kbits, standard automaton"
-        ),
-    )
-
+    results = artifact.data
     pooled_predictions = {cls: 0 for cls in PredictionClass}
     pooled_misses = {cls: 0 for cls in PredictionClass}
     for result in results:

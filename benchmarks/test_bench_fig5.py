@@ -1,40 +1,24 @@
 """Figure 5: class distributions with the modified 3-bit automaton.
 
 The paper shows three panels: 16 Kbits on CBP-1, 64 Kbits on CBP-2 and
-256 Kbits on CBP-1, all with the 1/128 probabilistic saturation.
+256 Kbits on CBP-1, all with the 1/128 probabilistic saturation — the
+``FIG5`` artifact.
 
 Shape assertions versus the standard-automaton runs (Figures 2/3): Stag
 coverage shrinks, NStag grows, and overall accuracy moves only
 marginally.
 """
 
-from conftest import cached_suite, emit, run_once  # noqa: F401
+from conftest import bench_artifact, cached_suite, emit, run_once  # noqa: F401
 
 from repro.confidence.classes import PredictionClass
-from repro.sim.report import format_distribution_figure
-
-PANELS = (("16K", "CBP1"), ("64K", "CBP2"), ("256K", "CBP1"))
 
 
 def test_figure5(run_once):
-    def experiment():
-        return {
-            (size, suite): cached_suite(suite, size, automaton="probabilistic")
-            for size, suite in PANELS
-        }
+    artifact = run_once(lambda: bench_artifact("FIG5"))
+    emit("figure5", artifact.text)
 
-    panels = run_once(experiment)
-
-    sections = [
-        format_distribution_figure(
-            results,
-            title=f"Figure 5 data - {size} predictor, {suite}, modified automaton (p=1/128)",
-        )
-        for (size, suite), results in panels.items()
-    ]
-    emit("figure5", "\n\n".join(sections))
-
-    for (size, suite), modified in panels.items():
+    for (size, suite), modified in artifact.data.items():
         standard = cached_suite(suite, size)
         for std_result, mod_result in zip(standard, modified):
             std, mod = std_result.classes, mod_result.classes

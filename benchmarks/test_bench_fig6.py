@@ -1,31 +1,22 @@
-"""Figure 6: MKP per class, CBP-2 subset, 64 Kbits, modified automaton.
+"""Figure 6: MKP per class, CBP-2 subset, 64 Kbits, modified automaton —
+the ``FIG6`` artifact.
 
 The point of the figure (vs Figure 4): with probabilistic saturation the
 Stag class drops to a very low misprediction rate (1-5 MKP in the
 paper) on every benchmark, while NStag absorbs the mid-rate volume.
 """
 
-from conftest import cached_suite, emit, run_once  # noqa: F401
+from conftest import bench_artifact, cached_suite, emit, run_once  # noqa: F401
 
 from repro.confidence.classes import PredictionClass
-from repro.sim.report import format_mprate_figure
 from repro.traces.suites import FIGURE4_TRACE_NAMES
 
 
 def test_figure6(run_once):
-    def experiment():
-        return cached_suite(
-            "CBP2", "64K", automaton="probabilistic", names=FIGURE4_TRACE_NAMES
-        )
+    artifact = run_once(lambda: bench_artifact("FIG6"))
+    emit("figure6", artifact.text)
 
-    results = run_once(experiment)
-    emit(
-        "figure6",
-        format_mprate_figure(
-            results, title="Figure 6 data - MKP per class, 64Kbits, modified automaton"
-        ),
-    )
-
+    results = artifact.data
     standard = cached_suite("CBP2", "64K", names=FIGURE4_TRACE_NAMES)
 
     pooled = {"std": [0, 0], "mod": [0, 0]}

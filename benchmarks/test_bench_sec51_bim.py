@@ -1,4 +1,5 @@
-"""§5.1 running text: misprediction rate of the raw BIM class per trace.
+"""§5.1 running text: misprediction rate of the raw BIM class per trace
+— the ``SEC51_BIM`` artifact.
 
 The paper: on the 256 Kbits predictor, 24/40 traces show < 1 MKP on the
 BIM class; on 64 Kbits still 20/40 under 1 MKP; on 16 Kbits some server
@@ -11,51 +12,19 @@ with predictor size, and the SERV family BIM rate on 16K far exceeds the
 FP family's.
 """
 
-from conftest import bench_branches, cached_suite, emit, run_once  # noqa: F401
-
-from repro.confidence.classes import PredictionClass
-from repro.sim.report import render_table
-
-BIM_CLASSES = tuple(cls for cls in PredictionClass if cls.is_bimodal)
-
-
-def bim_rate(result):
-    predictions = sum(result.classes.predictions(cls) for cls in BIM_CLASSES)
-    misses = sum(result.classes.mispredictions(cls) for cls in BIM_CLASSES)
-    return 1000.0 * misses / predictions if predictions else 0.0
+from conftest import bench_artifact, emit, run_once  # noqa: F401
 
 
 def test_sec51_bim_class(run_once):
-    def experiment():
-        rows = {}
-        for size in ("16K", "64K", "256K"):
-            for suite in ("CBP1", "CBP2"):
-                for result in cached_suite(suite, size):
-                    rows[(size, result.trace_name)] = (bim_rate(result), result.mkp)
-        return rows
-
-    rows = run_once(experiment)
-
-    table_rows = [
-        [size, trace, f"{bim:.1f}", f"{overall:.1f}"]
-        for (size, trace), (bim, overall) in rows.items()
-    ]
-    emit(
-        "sec51_bim",
-        render_table(
-            ["size", "trace", "BIM-class MKP", "overall MKP"],
-            table_rows,
-            title=f"Sec 5.1 data - raw BIM-class misprediction rate ({bench_branches()} branches/trace)",
-        ),
-    )
+    artifact = run_once(lambda: bench_artifact("SEC51_BIM"))
+    emit("sec51_bim", artifact.text)
 
     # Clean-BIM trace counts grow with capacity (threshold scaled up from
-    # the paper's 1 MKP: reduced-scale runs keep some warmup noise).
-    def clean_count(size, threshold=8.0):
-        return sum(1 for (s, _), (bim, _) in rows.items() if s == size and bim < threshold)
+    # the paper's 1 MKP — see the registry's CLEAN_BIM_MKP).
+    cells = artifact.cells
+    assert cells["256K/clean_traces"] >= cells["16K/clean_traces"]
 
-    assert clean_count("256K") >= clean_count("16K")
-
+    rows = artifact.data
     serv_16k = [rows[("16K", f"SERV-{i}")][0] for i in range(1, 6)]
     fp_16k = [rows[("16K", f"FP-{i}")][0] for i in range(1, 6)]
     assert min(serv_16k) > max(fp_16k), "SERV BIM class must be dirtier than FP on 16K"

@@ -1,5 +1,5 @@
 """§6.2: varying the saturation probability (1/16 vs 1/128, plus a
-sweep).
+sweep) — the ``SEC62_PROB`` artifact.
 
 Paper: on the 16 Kbits predictor, moving from 1/128 to 1/16 grows the
 high-confidence prediction coverage from 69 % to 79 % while its
@@ -11,38 +11,19 @@ coverage increases monotonically-ish with the probability, and so does
 the high-confidence misprediction coverage.
 """
 
-from conftest import cached_summary, emit, run_once  # noqa: F401
+from conftest import bench_artifact, emit, run_once  # noqa: F401
 
+from repro.artifacts.registry import SEC62_SWEEP_LOG2
 from repro.confidence.classes import ConfidenceLevel
-from repro.sim.report import render_table
-
-SWEEP_LOG2 = (10, 7, 4, 2)
 
 
 def test_sec62_probability_sweep(run_once):
-    def experiment():
-        return {
-            k: cached_summary("CBP1", "16K", automaton="probabilistic", sat_prob_log2=k)
-            for k in SWEEP_LOG2
-        }
+    artifact = run_once(lambda: bench_artifact("SEC62_PROB"))
+    emit("sec62_sweep", artifact.text)
 
-    summaries = run_once(experiment)
-
-    rows = []
-    for k, summary in summaries.items():
-        pcov, mpcov, mprate = summary.level_row(ConfidenceLevel.HIGH)
-        rows.append([f"1/{1 << k}", f"{pcov:.3f}", f"{mpcov:.3f}", f"{mprate:.1f}"])
-    emit(
-        "sec62_sweep",
-        render_table(
-            ["saturation prob", "high Pcov", "high MPcov", "high MPrate (MKP)"],
-            rows,
-            title="Sec 6.2 data - saturation probability sweep, 16Kbits, CBP-1",
-        ),
-    )
-
-    coverage = [summaries[k].level_row(ConfidenceLevel.HIGH)[0] for k in SWEEP_LOG2]
-    misp_coverage = [summaries[k].level_row(ConfidenceLevel.HIGH)[1] for k in SWEEP_LOG2]
-    # SWEEP_LOG2 is ordered rare -> frequent saturation.
+    summaries = artifact.data
+    coverage = [summaries[k].level_row(ConfidenceLevel.HIGH)[0] for k in SEC62_SWEEP_LOG2]
+    misp_coverage = [summaries[k].level_row(ConfidenceLevel.HIGH)[1] for k in SEC62_SWEEP_LOG2]
+    # SEC62_SWEEP_LOG2 is ordered rare -> frequent saturation.
     assert coverage[-1] > coverage[0], "more saturation => more high-conf coverage"
     assert misp_coverage[-1] > misp_coverage[0], "and more of the mispredictions leak in"

@@ -7,38 +7,26 @@ Paper reference (RR-7371 Table 1):
     64Kbits  1 + 7   5 / 130        2.54     3.87
     256Kbits 1 + 8   5 / 300        2.18     3.47
 
-Shape assertions: accuracy strictly improves with storage on both
-suites (absolute values differ — synthetic traces, reduced scale; see
-EXPERIMENTS.md).
+The grid, rendering and machine-readable cells live in the ``TABLE1``
+artifact (:mod:`repro.artifacts.registry`); this bench times the build
+and asserts the paper's shape: accuracy strictly improves with storage
+on both suites (absolute values differ — synthetic traces, reduced
+scale; see docs/REPRODUCTION.md).
 """
 
-from conftest import cached_summary, emit, run_once  # noqa: F401
+from conftest import bench_artifact, emit, run_once  # noqa: F401
 
 from repro.predictors.tage.config import TageConfig
-from repro.sim.report import format_table1
 
 SIZES = ("16K", "64K", "256K")
 SUITES = ("CBP1", "CBP2")
 
 
 def test_table1(run_once):
-    def experiment():
-        return {
-            (size, suite): cached_summary(suite, size)
-            for size in SIZES
-            for suite in SUITES
-        }
+    artifact = run_once(lambda: bench_artifact("TABLE1"))
+    emit("table1", artifact.text)
 
-    summaries = run_once(experiment)
-
-    presets = {size: TageConfig.preset(size) for size in SIZES}
-    text = format_table1(
-        summaries,
-        storage_bits={size: preset.storage_bits() for size, preset in presets.items()},
-        history_lengths={size: preset.history_lengths for size, preset in presets.items()},
-    )
-    emit("table1", text)
-
+    summaries = artifact.data
     for suite in SUITES:
         mpki = [summaries[(size, suite)].mean_mpki for size in SIZES]
         assert mpki[0] > mpki[1], f"{suite}: 16K should be worse than 64K"

@@ -10,38 +10,27 @@ Paper reference (RR-7371 Table 2), format Pcov-MPcov (MPrate in MKP):
     256K CBP1   0.802-0.060 (2)    0.162-0.442 (57)   0.034-0.498 (302)
     256K CBP2   0.826-0.040 (1)    0.135-0.469 (88)   0.038-0.491 (325)
 
-Shape assertions: high conf covers the (vast) majority of predictions at
+Grid + rendering + the paper numbers above live in the ``TABLE2``
+artifact (``repro paper`` prints the repro-vs-paper deltas).  Shape
+assertions here: high conf covers the (vast) majority of predictions at
 a far lower rate than medium, which is far lower than low; low conf runs
 near or above the 25 % range; high-conf coverage grows with predictor
 size.
 """
 
-from conftest import cached_summary, emit, run_once  # noqa: F401
+from conftest import bench_artifact, emit, run_once  # noqa: F401
 
 from repro.confidence.classes import ConfidenceLevel
-from repro.sim.report import format_confidence_table
 
 SIZES = ("16K", "64K", "256K")
 SUITES = ("CBP1", "CBP2")
 
 
 def test_table2(run_once):
-    def experiment():
-        return {
-            (size, suite): cached_summary(suite, size, automaton="probabilistic")
-            for size in SIZES
-            for suite in SUITES
-        }
+    artifact = run_once(lambda: bench_artifact("TABLE2"))
+    emit("table2", artifact.text)
 
-    summaries = run_once(experiment)
-    emit(
-        "table2",
-        format_confidence_table(
-            summaries,
-            title="Table 2 data - three confidence levels, modified automaton (p=1/128)",
-        ),
-    )
-
+    summaries = artifact.data
     for (size, suite), summary in summaries.items():
         high = summary.level_row(ConfidenceLevel.HIGH)
         medium = summary.level_row(ConfidenceLevel.MEDIUM)

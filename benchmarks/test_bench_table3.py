@@ -6,40 +6,26 @@ buys several points of high-confidence coverage (e.g. 16K CBP1
 0.690 -> 0.758) while the high-conf misprediction rate stays in single
 digits (3-8 MKP).
 
-Shape assertions: high-conf coverage with the controller is at least
-that of the fixed 1/128 automaton (minus sampling slack), and the
-high-conf rate stays within a small multiple of the 10 MKP target.
+Grid + rendering live in the ``TABLE3`` artifact; the fixed-probability
+comparison point is the ``TABLE2`` artifact's data.  Shape assertions:
+high-conf coverage with the controller is at least that of the fixed
+1/128 automaton (minus sampling slack), and the high-conf rate stays
+within a small multiple of the 10 MKP target.
 """
 
-from conftest import cached_summary, emit, run_once  # noqa: F401
+from conftest import bench_artifact, emit, run_once  # noqa: F401
 
 from repro.confidence.classes import ConfidenceLevel
-from repro.sim.report import format_confidence_table
-
-SIZES = ("16K", "64K", "256K")
-SUITES = ("CBP1", "CBP2")
 
 
 def test_table3(run_once):
-    def experiment():
-        return {
-            (size, suite): cached_summary(suite, size, adaptive=True)
-            for size in SIZES
-            for suite in SUITES
-        }
+    artifact = run_once(lambda: bench_artifact("TABLE3"))
+    emit("table3", artifact.text)
 
-    summaries = run_once(experiment)
-    emit(
-        "table3",
-        format_confidence_table(
-            summaries,
-            title="Table 3 data - adaptive saturation probability, target < 10 MKP on high conf",
-        ),
-    )
-
-    for (size, suite), summary in summaries.items():
+    fixed_summaries = bench_artifact("TABLE2").data
+    for (size, suite), summary in artifact.data.items():
         label = f"{size}/{suite}"
-        fixed = cached_summary(suite, size, automaton="probabilistic")
+        fixed = fixed_summaries[(size, suite)]
         adaptive_high = summary.level_row(ConfidenceLevel.HIGH)
         fixed_high = fixed.level_row(ConfidenceLevel.HIGH)
 

@@ -5,8 +5,9 @@ multi-class observation estimator — over the Table-1 (CBP-1) trace
 suite on both backends, asserts the results are bit-identical and the
 plane-fed kernel clears the ≥3× speedup target, and emits a
 machine-readable perf record to
-``benchmarks/results/BENCH_tage_fast.json`` (plus the usual rendered
-text table).
+``benchmarks/records/BENCH_tage_fast.json`` (plus the usual rendered
+text table).  CI's bench-trajectory guard compares the fresh record's
+speedup against the committed baseline.
 
 The fast run computes its index/tag planes in memory on purpose — no
 materialization cache — so the timed region includes the full cold-path
@@ -15,7 +16,6 @@ cost the first job of any sweep pays.
 
 from __future__ import annotations
 
-import json
 import time
 import warnings
 
@@ -23,7 +23,7 @@ import pytest
 
 np = pytest.importorskip("numpy")
 
-from conftest import RESULTS_DIR, bench_branches, emit, run_once  # noqa: F401
+from conftest import bench_branches, bench_speedup_target, emit, record, run_once  # noqa: F401
 
 from repro.confidence.estimator import TageConfidenceEstimator
 from repro.sim.backends import FastBackendFallbackWarning
@@ -31,7 +31,7 @@ from repro.sim.engine import simulate
 from repro.sim.runner import build_predictor
 from repro.traces.suites import CBP1_TRACE_NAMES, cbp1_trace
 
-SPEEDUP_TARGET = 3.0
+SPEEDUP_TARGET = bench_speedup_target()
 SIZE = "16K"
 
 
@@ -80,7 +80,7 @@ def test_tage_fast_wallclock(run_once):
 
     speedup = reference_seconds / max(fast_seconds, 1e-9)
     branches_total = branches * len(CBP1_TRACE_NAMES)
-    record = {
+    payload = {
         "bench": "tage_fast",
         "suite": "CBP1",
         "n_traces": len(CBP1_TRACE_NAMES),
@@ -97,10 +97,7 @@ def test_tage_fast_wallclock(run_once):
             "fast": fast_rows,
         },
     }
-    RESULTS_DIR.mkdir(exist_ok=True)
-    (RESULTS_DIR / "BENCH_tage_fast.json").write_text(
-        json.dumps(record, indent=2) + "\n"
-    )
+    record("tage_fast", payload)
 
     emit(
         "tage_fast",
@@ -108,14 +105,14 @@ def test_tage_fast_wallclock(run_once):
             f"fast-TAGE bench: {len(CBP1_TRACE_NAMES)} CBP-1 traces x "
             f"{branches} branches, cell = tage-{SIZE} x observation",
             f"reference: {reference_seconds:.3f}s "
-            f"({record['reference_branches_per_second']} branches/s)",
+            f"({payload['reference_branches_per_second']} branches/s)",
             f"fast:      {fast_seconds:.3f}s "
-            f"({record['fast_branches_per_second']} branches/s)",
-            f"speedup:   {speedup:.1f}x (target >= {SPEEDUP_TARGET:.0f}x)",
+            f"({payload['fast_branches_per_second']} branches/s)",
+            f"speedup:   {speedup:.1f}x (target >= {SPEEDUP_TARGET:g}x)",
         ]),
     )
 
     assert speedup >= SPEEDUP_TARGET, (
-        f"fast TAGE speedup {speedup:.2f}x below the {SPEEDUP_TARGET:.0f}x "
+        f"fast TAGE speedup {speedup:.2f}x below the {SPEEDUP_TARGET:g}x "
         f"target ({reference_seconds:.3f}s -> {fast_seconds:.3f}s)"
     )

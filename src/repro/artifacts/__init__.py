@@ -1,0 +1,54 @@
+"""Declarative paper-artifact pipeline (``repro paper``).
+
+The package turns "reproduce the paper" into one command: a registry of
+declarative artifact specs (:mod:`repro.artifacts.registry` — Tables
+1-3, Figures 2-6, the §5.1/§6.2 running-text series, the configuration
+ablations, plus beyond-paper application scenarios), a shared sweep
+execution service (:mod:`repro.artifacts.service`) that funnels every
+grid through the cached sweep executor, and a runner
+(:mod:`repro.artifacts.runner`) that builds the whole set and emits
+``PAPER_RESULTS.md`` + ``paper_results.json`` with repro-vs-paper
+deltas.
+
+The benchmark suite consumes the same registry, so every experiment grid
+in the repository is defined exactly once.
+"""
+
+from repro.artifacts.registry import (
+    ARTIFACT_KEYS,
+    REGISTRY,
+    UnknownArtifactError,
+    get_artifact,
+    observation_grid,
+    suite_grid,
+)
+from repro.artifacts.runner import (
+    ArtifactValidationError,
+    PaperRun,
+    build_artifact,
+    run_paper,
+    select_artifacts,
+    write_reports,
+)
+from repro.artifacts.service import SweepService
+from repro.artifacts.spec import ArtifactPayload, ArtifactResult, ArtifactSpec, Scale
+
+__all__ = [
+    "ARTIFACT_KEYS",
+    "REGISTRY",
+    "ArtifactPayload",
+    "ArtifactResult",
+    "ArtifactSpec",
+    "ArtifactValidationError",
+    "PaperRun",
+    "Scale",
+    "SweepService",
+    "UnknownArtifactError",
+    "build_artifact",
+    "get_artifact",
+    "observation_grid",
+    "run_paper",
+    "select_artifacts",
+    "suite_grid",
+    "write_reports",
+]

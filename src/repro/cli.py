@@ -9,6 +9,10 @@ Usage (``python -m repro <command>``):
 * ``sweep`` — expand a predictor × estimator × trace grid, execute it
   across a worker pool with on-disk result caching, and print the tidy
   result table (see :mod:`repro.sweep`).
+* ``paper`` — run the declarative artifact registry (every paper
+  table/figure plus the beyond-paper scenarios) and emit
+  ``PAPER_RESULTS.md`` + ``paper_results.json`` with repro-vs-paper
+  deltas (see :mod:`repro.artifacts`).
 * ``gen-trace NAME PATH`` — generate a named trace and write it to a
   trace file (gzip if the path ends in ``.gz``).
 * ``inspect PATH`` — print the statistics of a trace file.
@@ -23,6 +27,15 @@ from __future__ import annotations
 import argparse
 import sys
 
+from repro.artifacts import (
+    ARTIFACT_KEYS,
+    REGISTRY,
+    ArtifactValidationError,
+    Scale,
+    UnknownArtifactError,
+    run_paper,
+    write_reports,
+)
 from repro.confidence.estimator import TageConfidenceEstimator
 from repro.predictors.tage.config import (
     AUTOMATON_PROBABILISTIC,
@@ -144,6 +157,54 @@ def build_parser() -> argparse.ArgumentParser:
     sweep_cmd.add_argument("--tsv", action="store_true",
                            help="print the raw tidy table instead of the ASCII table")
 
+    paper_cmd = commands.add_parser(
+        "paper",
+        help="one-command paper reproduction: run every registered "
+             "artifact and write PAPER_RESULTS.md + paper_results.json",
+    )
+    paper_cmd.add_argument(
+        "--quick", action="store_true",
+        help=f"CI scale ({Scale.quick().n_branches} branches/trace instead "
+             f"of {Scale.full().n_branches})",
+    )
+    paper_cmd.add_argument(
+        "--only", nargs="+", metavar="KEY", default=None,
+        help="build a subset of artifacts (case-insensitive keys; "
+             "see --list)",
+    )
+    paper_cmd.add_argument(
+        "--list", action="store_true", dest="list_artifacts",
+        help="print the artifact registry and exit",
+    )
+    paper_cmd.add_argument(
+        "--branches", type=int, default=None,
+        help="explicit dynamic branches per trace (overrides --quick)",
+    )
+    paper_cmd.add_argument(
+        "--workers", type=int, default=None, metavar="N",
+        help="sweep worker processes (default: one per CPU, min 2)",
+    )
+    _add_backend_arg(paper_cmd)
+    paper_cmd.add_argument(
+        "--cache-dir", default=None, metavar="DIR",
+        help=f"sweep result cache (default {default_cache_dir()}); plane "
+             "materializations live under <cache>/planes",
+    )
+    paper_cmd.add_argument(
+        "--no-cache", action="store_true",
+        help="disable the on-disk result cache (every job simulates)",
+    )
+    paper_cmd.add_argument(
+        "--out", default=".", metavar="DIR",
+        help="directory for PAPER_RESULTS.md and paper_results.json",
+    )
+    paper_cmd.add_argument(
+        "--require-cached", action="store_true",
+        help="fail unless every sweep job was served from the cache; the "
+             "beyond-paper app models always re-run in-process (cheap, "
+             "deterministic).  CI uses this to prove re-run determinism",
+    )
+
     gen_cmd = commands.add_parser("gen-trace", help="write a trace file")
     gen_cmd.add_argument("name")
     gen_cmd.add_argument("path")
@@ -254,6 +315,48 @@ def _cmd_sweep(args) -> int:
     return 0
 
 
+def _cmd_paper(args) -> int:
+    if args.list_artifacts:
+        rows = [
+            [spec.key, spec.paper_element, spec.kind, spec.title]
+            for spec in REGISTRY.values()
+        ]
+        print(render_table(("artifact", "paper element", "kind", "title"), rows,
+                           title=f"artifact registry ({len(rows)} entries)"))
+        return 0
+    if args.no_cache and args.require_cached:
+        raise SystemExit("--require-cached needs the cache; drop --no-cache")
+    if args.branches is not None:
+        try:
+            scale = Scale(args.branches)
+        except ValueError as error:
+            raise SystemExit(str(error)) from None
+    else:
+        scale = Scale.quick() if args.quick else Scale.full()
+    cache = None if args.no_cache else ResultCache(args.cache_dir)
+    try:
+        run = run_paper(
+            args.only,
+            scale=scale,
+            workers=args.workers,
+            cache=cache,
+            backend=args.backend,
+            progress=print,
+        )
+    except (UnknownArtifactError, ArtifactValidationError, ValueError) as error:
+        raise SystemExit(str(error)) from None
+    md_path, json_path = write_reports(run, args.out)
+    print(f"wrote {md_path} and {json_path}")
+    if cache is not None:
+        print(f"cache: {cache.root} ({len(cache)} entries)")
+    if args.require_cached and not run.fully_cached:
+        raise SystemExit(
+            f"--require-cached: {run.n_executed} of {run.n_jobs} sweep jobs "
+            "were simulated instead of served from the cache"
+        )
+    return 0
+
+
 def _cmd_gen_trace(args) -> int:
     trace = _get_trace(args.name, args.branches)
     write_trace(trace, args.path)
@@ -277,6 +380,7 @@ _HANDLERS = {
     "run-trace": _cmd_run_trace,
     "run-suite": _cmd_run_suite,
     "sweep": _cmd_sweep,
+    "paper": _cmd_paper,
     "gen-trace": _cmd_gen_trace,
     "inspect": _cmd_inspect,
     "list-traces": _cmd_list_traces,

@@ -1,13 +1,17 @@
-"""ASCII rendering of the paper's tables and figure series.
+"""ASCII and Markdown rendering of the paper's tables and figure series.
 
 Figures are rendered as numeric series tables (one row per trace) —
 exactly the data behind the paper's stacked bar charts — so "regenerating
 a figure" means printing the same series the paper plots.
+
+The Markdown helpers (:func:`render_markdown_table`,
+:func:`format_delta_rows`) serve the artifact pipeline's
+``PAPER_RESULTS.md`` report, including the repro-vs-paper delta tables.
 """
 
 from __future__ import annotations
 
-from typing import Iterable, Sequence
+from typing import Iterable, Mapping, Sequence
 
 from repro.confidence.classes import CLASS_ORDER, LEVEL_ORDER
 from repro.sim.engine import SimulationResult
@@ -15,6 +19,8 @@ from repro.sim.stats import SuiteSummary
 
 __all__ = [
     "render_table",
+    "render_markdown_table",
+    "format_delta_rows",
     "format_table1",
     "format_distribution_figure",
     "format_mprate_figure",
@@ -46,6 +52,58 @@ def render_table(
     for row in materialized:
         lines.append("  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)))
     return "\n".join(lines)
+
+
+def render_markdown_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+) -> str:
+    """Render a GitHub-flavoured Markdown table."""
+    materialized = [[str(cell) for cell in row] for row in rows]
+    for row in materialized:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row has {len(row)} cells but table has {len(headers)} headers"
+            )
+    lines = [
+        "| " + " | ".join(str(header) for header in headers) + " |",
+        "|" + "|".join(" --- " for _ in headers) + "|",
+    ]
+    for row in materialized:
+        lines.append("| " + " | ".join(row) + " |")
+    return "\n".join(lines)
+
+
+def _format_number(value: float | None) -> str:
+    """Compact numeric cell: ints stay ints, floats get 4 significant
+    digits, None renders as a dash."""
+    if value is None:
+        return "-"
+    if isinstance(value, int):
+        return str(value)
+    return f"{value:.4g}"
+
+
+def format_delta_rows(
+    deltas: Mapping[str, Mapping[str, float | None]],
+) -> list[list[str]]:
+    """Rows of a repro-vs-paper delta table.
+
+    ``deltas`` is ``{cell: {"repro", "paper", "delta", "ratio"}}`` as
+    produced by :func:`repro.artifacts.spec.cell_deltas`.
+    """
+    rows = []
+    for cell, row in deltas.items():
+        rows.append(
+            [
+                f"`{cell}`",
+                _format_number(row.get("repro")),
+                _format_number(row.get("paper")),
+                _format_number(row.get("delta")),
+                _format_number(row.get("ratio")),
+            ]
+        )
+    return rows
 
 
 def format_table1(

@@ -1,12 +1,14 @@
-"""Tests for ASCII report rendering."""
+"""Tests for ASCII and Markdown report rendering."""
 
 import pytest
 
 from repro.sim.report import (
     format_confidence_table,
+    format_delta_rows,
     format_distribution_figure,
     format_mprate_figure,
     format_table1,
+    render_markdown_table,
     render_table,
 )
 from repro.sim.runner import run_trace
@@ -66,3 +68,23 @@ class TestPaperFormats:
         text = format_confidence_table(summaries, title="Table 2")
         assert "16K CBP1" in text
         assert text.count("(") >= 3
+
+
+class TestMarkdown:
+    def test_render_markdown_table(self):
+        text = render_markdown_table(("a", "b"), [[1, 2], ["x", "y"]])
+        lines = text.splitlines()
+        assert lines[0] == "| a | b |"
+        assert lines[1] == "| --- | --- |"
+        assert lines[2] == "| 1 | 2 |"
+        assert lines[3] == "| x | y |"
+
+    def test_render_markdown_table_rejects_ragged_rows(self):
+        with pytest.raises(ValueError, match="headers"):
+            render_markdown_table(("a", "b"), [[1]])
+
+    def test_format_delta_rows(self):
+        rows = format_delta_rows(
+            {"cell": {"repro": 2.345678, "paper": 2, "delta": 0.345678, "ratio": None}}
+        )
+        assert rows == [["`cell`", "2.346", "2", "0.3457", "-"]]

@@ -1,0 +1,85 @@
+#!/usr/bin/env python3
+"""Bench-trajectory guard: fail CI on fast-backend speedup regressions.
+
+Compares freshly measured ``BENCH_*.json`` records (written by the perf
+benches with ``REPRO_BENCH_RECORDS=<scratch dir>``) against the
+committed baselines in ``benchmarks/records/``.  The compared metric is
+the reference/fast *speedup ratio* — absolute seconds vary with the CI
+machine, the ratio is the property the fast backend guarantees.
+
+Usage::
+
+    REPRO_BENCH_RECORDS=/tmp/fresh pytest benchmarks/test_bench_fast_engine.py ...
+    python tools/check_bench_trajectory.py --fresh /tmp/fresh
+
+Exit status 1 when any fresh speedup falls more than ``--tolerance``
+(default 30 %) below its committed baseline, or when a baseline has no
+fresh measurement.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+DEFAULT_BASELINE = Path(__file__).resolve().parent.parent / "benchmarks" / "records"
+
+
+def load_records(root: Path) -> dict[str, dict]:
+    records = {}
+    for path in sorted(root.glob("BENCH_*.json")):
+        with path.open() as fh:
+            records[path.name] = json.load(fh)
+    return records
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--fresh", required=True, type=Path,
+                        help="directory holding the freshly measured BENCH_*.json")
+    parser.add_argument("--baseline", type=Path, default=DEFAULT_BASELINE,
+                        help=f"committed baseline records (default {DEFAULT_BASELINE})")
+    parser.add_argument("--tolerance", type=float, default=0.30,
+                        help="allowed fractional speedup drop (default 0.30)")
+    args = parser.parse_args(argv)
+
+    if not 0 <= args.tolerance < 1:
+        parser.error(f"--tolerance must be in [0, 1), got {args.tolerance}")
+    baselines = load_records(args.baseline)
+    if not baselines:
+        print(f"error: no BENCH_*.json baselines under {args.baseline}", file=sys.stderr)
+        return 1
+    fresh = load_records(args.fresh) if args.fresh.is_dir() else {}
+
+    failures = []
+    print(f"{'record':<28} {'baseline':>9} {'fresh':>9} {'floor':>9}  verdict")
+    for name, baseline in baselines.items():
+        base_speedup = baseline["speedup"]
+        floor = base_speedup * (1 - args.tolerance)
+        measured = fresh.get(name)
+        if measured is None:
+            failures.append(f"{name}: no fresh measurement under {args.fresh}")
+            print(f"{name:<28} {base_speedup:>8.2f}x {'-':>9} {floor:>8.2f}x  MISSING")
+            continue
+        fresh_speedup = measured["speedup"]
+        ok = fresh_speedup >= floor
+        print(f"{name:<28} {base_speedup:>8.2f}x {fresh_speedup:>8.2f}x "
+              f"{floor:>8.2f}x  {'ok' if ok else 'REGRESSION'}")
+        if not ok:
+            failures.append(
+                f"{name}: speedup {fresh_speedup:.2f}x fell below "
+                f"{floor:.2f}x (baseline {base_speedup:.2f}x - {args.tolerance:.0%})"
+            )
+    if failures:
+        print("\nbench trajectory regression:", file=sys.stderr)
+        for failure in failures:
+            print(f"  - {failure}", file=sys.stderr)
+        return 1
+    print(f"\nall {len(baselines)} record(s) within {args.tolerance:.0%} of baseline")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
