@@ -1,0 +1,125 @@
+"""Adaptive-§6.2 fast backend wall-clock bench (not a paper experiment).
+
+Runs the paper's most dynamic cell — TAGE-16K with the probabilistic
+automaton, the storage-free observation estimator AND the §6.2 adaptive
+saturation controller — over the CBP-1 suite on both backends.  Until
+the controller was folded into the fast TAGE kernel this was a
+guaranteed ``FastBackendFallbackWarning``: the slowest experiments of
+every sweep (Table 3, the §6.2 running text) were exactly the ones the
+paper cares about most.  The bench asserts the results are
+bit-identical (final saturation probability included), that *no*
+fallback fires, and that the kernel clears the ≥3× speedup target; it
+emits a machine-readable perf record to
+``benchmarks/records/BENCH_adaptive_fast.json`` for CI's
+bench-trajectory guard.
+
+The fast run computes its index/tag planes in memory on purpose — no
+materialization cache — so the timed region includes the full cold-path
+cost the first job of any sweep pays.
+"""
+
+from __future__ import annotations
+
+import time
+import warnings
+
+import pytest
+
+np = pytest.importorskip("numpy")
+
+from conftest import bench_branches, bench_speedup_target, emit, record, run_once  # noqa: F401
+
+from repro.sim.backends import FastBackendFallbackWarning
+from repro.sim.runner import run_trace
+from repro.traces.suites import CBP1_TRACE_NAMES, cbp1_trace
+
+SPEEDUP_TARGET = bench_speedup_target()
+SIZE = "16K"
+TARGET_MKP = 10.0
+
+
+def _run_suite(backend: str) -> tuple[list, float, list[dict]]:
+    """The adaptive TAGE×observation cell over the suite on one backend."""
+    results = []
+    per_trace = []
+    total = 0.0
+    warmup = bench_branches() // 4
+    for name in CBP1_TRACE_NAMES:
+        trace = cbp1_trace(name, bench_branches())
+        start = time.perf_counter()
+        result = run_trace(
+            trace, size=SIZE, adaptive=True, target_mkp=TARGET_MKP,
+            warmup_branches=warmup, backend=backend,
+        )
+        elapsed = time.perf_counter() - start
+        total += elapsed
+        results.append(result)
+        per_trace.append({"trace": name, "seconds": round(elapsed, 6)})
+    return results, total, per_trace
+
+
+def test_adaptive_fast_wallclock(run_once):
+    branches = bench_branches()
+    # Generate traces (and warm the fast-path imports) outside the timed
+    # region; the warm-up run also guards against a silent fallback.
+    for name in CBP1_TRACE_NAMES:
+        cbp1_trace(name, branches)
+    with warnings.catch_warnings():
+        warnings.simplefilter("error", FastBackendFallbackWarning)
+        run_trace(
+            cbp1_trace(CBP1_TRACE_NAMES[0], branches),
+            size=SIZE, adaptive=True, backend="fast",
+        )
+
+    reference_results, reference_seconds, reference_rows = run_once(
+        lambda: _run_suite("reference")
+    )
+    with warnings.catch_warnings():
+        warnings.simplefilter("error", FastBackendFallbackWarning)
+        fast_results, fast_seconds, fast_rows = _run_suite("fast")
+
+    # Bit-for-bit equivalence across the whole suite — class breakdowns
+    # and the controller's final saturation probability included.
+    assert fast_results == reference_results
+    assert all(result.final_sat_prob_log2 is not None for result in fast_results)
+
+    speedup = reference_seconds / max(fast_seconds, 1e-9)
+    branches_total = branches * len(CBP1_TRACE_NAMES)
+    payload = {
+        "bench": "adaptive_fast",
+        "suite": "CBP1",
+        "n_traces": len(CBP1_TRACE_NAMES),
+        "branches_per_trace": branches,
+        "cells_per_trace": [f"tage-{SIZE}-prob+observation+adaptive"],
+        "target_mkp": TARGET_MKP,
+        "reference_seconds": round(reference_seconds, 4),
+        "fast_seconds": round(fast_seconds, 4),
+        "speedup": round(speedup, 2),
+        "speedup_target": SPEEDUP_TARGET,
+        "reference_branches_per_second": int(branches_total / reference_seconds),
+        "fast_branches_per_second": int(branches_total / fast_seconds),
+        "per_trace": {
+            "reference": reference_rows,
+            "fast": fast_rows,
+        },
+    }
+    record("adaptive_fast", payload)
+
+    emit(
+        "adaptive_fast",
+        "\n".join([
+            f"adaptive-fast bench: {len(CBP1_TRACE_NAMES)} CBP-1 traces x "
+            f"{branches} branches, cell = tage-{SIZE}-prob x observation x "
+            f"adaptive (target {TARGET_MKP:g} MKP)",
+            f"reference: {reference_seconds:.3f}s "
+            f"({payload['reference_branches_per_second']} branches/s)",
+            f"fast:      {fast_seconds:.3f}s "
+            f"({payload['fast_branches_per_second']} branches/s)",
+            f"speedup:   {speedup:.1f}x (target >= {SPEEDUP_TARGET:g}x)",
+        ]),
+    )
+
+    assert speedup >= SPEEDUP_TARGET, (
+        f"fast adaptive speedup {speedup:.2f}x below the {SPEEDUP_TARGET:g}x "
+        f"target ({reference_seconds:.3f}s -> {fast_seconds:.3f}s)"
+    )

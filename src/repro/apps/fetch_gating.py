@@ -20,6 +20,13 @@ Pipeline abstraction (documented, deliberately simple):
 The interesting trade-off is ``wasted_fetch_avoided`` (energy win)
 against ``useful_fetch_lost`` (performance loss) — the SPEC/PVN
 combination §2.2 says gating needs.
+
+Execution is a two-stage *replay*: the per-branch confidence signal is
+produced once by :func:`repro.sim.observe.observe_trace` (on either
+simulation backend — the gating decisions never feed back into the
+predictor, so the observation stream is policy-independent), and the
+gating policy then replays over the recorded (level, mispredicted)
+pairs.
 """
 
 from __future__ import annotations
@@ -29,6 +36,8 @@ from dataclasses import dataclass
 
 from repro.confidence.classes import ConfidenceLevel
 from repro.confidence.estimator import TageConfidenceEstimator
+from repro.sim.backends import DEFAULT_BACKEND
+from repro.sim.observe import ObservationStream, observe_trace
 
 __all__ = ["GatingPolicy", "GatingStats", "FetchGatingModel"]
 
@@ -149,20 +158,45 @@ class FetchGatingModel:
         self.fetch_width = fetch_width
         self.resolution_latency = resolution_latency
 
-    def run(self, trace) -> GatingStats:
-        """Process a trace and return gating statistics."""
+    def run(
+        self,
+        trace,
+        backend: str = DEFAULT_BACKEND,
+        materialization_dir=None,
+    ) -> GatingStats:
+        """Process a trace and return gating statistics.
+
+        ``backend`` selects the engine that produces the per-branch
+        observation stream; the policy replay itself is backend-invariant.
+        """
+        stream = observe_trace(
+            trace, self.predictor, self.estimator,
+            backend=backend, materialization_dir=materialization_dir,
+        )
+        return self.replay(stream, trace.insts)
+
+    def replay(self, stream: ObservationStream, insts) -> GatingStats:
+        """Replay the gating policy over a recorded observation stream.
+
+        ``insts`` must be the instruction column of the trace the stream
+        was recorded from (one entry per branch).
+        """
+        if len(insts) != len(stream):
+            raise ValueError(
+                f"insts column ({len(insts)} branches) does not match the "
+                f"observation stream ({len(stream)} branches)"
+            )
         stats = GatingStats()
         policy = self.policy
         # Each in-flight element: (weight, mispredicted, inst_count).
         in_flight: deque[tuple[float, bool, int]] = deque()
         pressure = 0.0
+        levels = stream.levels
+        mispredicted_flags = stream.mispredicted
 
-        for pc, taken_byte, inst in zip(trace.pcs, trace.takens, trace.insts):
-            taken = taken_byte == 1
-            prediction = self.predictor.predict(pc)
-            observation = self.predictor.last_prediction
-            level = self.estimator.level(observation)
-            mispredicted = prediction != taken
+        for index, inst in enumerate(insts):
+            level = levels[index]
+            mispredicted = mispredicted_flags[index]
 
             gated = pressure >= policy.gate_threshold
             # One record covers `inst` instructions of fetch bandwidth.
@@ -198,7 +232,4 @@ class FetchGatingModel:
             if len(in_flight) > self.resolution_latency:
                 resolved_weight, _, _ = in_flight.popleft()
                 pressure -= resolved_weight
-
-            self.estimator.observe(observation, taken)
-            self.predictor.train(pc, taken)
         return stats

@@ -18,6 +18,11 @@ The interesting figure is net cycles saved as a function of which
 confidence levels fork — forking on everything wastes bandwidth,
 forking on nothing wastes penalty; a good estimator makes LOW-only
 forking profitable.
+
+Like the other apps, the model is a replay pass: fork decisions never
+feed back into the predictor, so the per-branch (level, mispredicted)
+stream comes from :func:`repro.sim.observe.observe_trace` on either
+simulation backend and the policy replays over it.
 """
 
 from __future__ import annotations
@@ -27,6 +32,8 @@ from dataclasses import dataclass
 
 from repro.confidence.classes import ConfidenceLevel
 from repro.confidence.estimator import TageConfidenceEstimator
+from repro.sim.backends import DEFAULT_BACKEND
+from repro.sim.observe import ObservationStream, observe_trace
 
 __all__ = ["MultipathPolicy", "MultipathStats", "MultipathModel"]
 
@@ -121,22 +128,39 @@ class MultipathModel:
         self.policy = policy or MultipathPolicy()
         self.resolution_latency = resolution_latency
 
-    def run(self, trace) -> MultipathStats:
+    def run(
+        self,
+        trace,
+        backend: str = DEFAULT_BACKEND,
+        materialization_dir=None,
+    ) -> MultipathStats:
+        """Process a trace and return multipath cost accounting.
+
+        ``backend`` selects the engine that produces the per-branch
+        observation stream; the policy replay itself is backend-invariant.
+        """
+        stream = observe_trace(
+            trace, self.predictor, self.estimator,
+            backend=backend, materialization_dir=materialization_dir,
+        )
+        return self.replay(stream)
+
+    def replay(self, stream: ObservationStream) -> MultipathStats:
+        """Replay the fork policy over a recorded observation stream."""
         stats = MultipathStats()
         policy = self.policy
         # Outstanding forks: each entry is the branch index at which the
         # fork resolves (branch-granular latency).
         outstanding: deque[int] = deque()
+        levels = stream.levels
+        mispredicted_flags = stream.mispredicted
 
-        for index, (pc, taken_byte) in enumerate(zip(trace.pcs, trace.takens)):
-            taken = taken_byte == 1
+        for index in range(len(stream)):
             while outstanding and outstanding[0] <= index:
                 outstanding.popleft()
 
-            prediction = self.predictor.predict(pc)
-            observation = self.predictor.last_prediction
-            level = self.estimator.level(observation)
-            mispredicted = prediction != taken
+            level = levels[index]
+            mispredicted = mispredicted_flags[index]
 
             stats.total_branches += 1
             if mispredicted:
@@ -158,7 +182,4 @@ class MultipathModel:
                     stats.forks_denied += 1
                 if mispredicted:
                     stats.penalty_cycles += policy.mispredict_penalty
-
-            self.estimator.observe(observation, taken)
-            self.predictor.train(pc, taken)
         return stats

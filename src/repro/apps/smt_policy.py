@@ -14,6 +14,12 @@ chosen by the policy:
 The figure of merit is the *wrong-path fetch fraction*: instructions
 fetched behind a branch that will turn out mispredicted.  A good
 confidence estimator lowers it without starving any thread.
+
+Each thread's predictor only ever sees its own trace in its own order —
+arbitration changes *when* a branch is fetched, never *what* the
+predictor observes — so the per-thread confidence streams are
+precomputed with :func:`repro.sim.observe.observe_trace` (on either
+simulation backend) and the cycle-level arbitration replays over them.
 """
 
 from __future__ import annotations
@@ -24,6 +30,8 @@ from enum import Enum
 
 from repro.confidence.classes import ConfidenceLevel
 from repro.confidence.estimator import TageConfidenceEstimator
+from repro.sim.backends import DEFAULT_BACKEND
+from repro.sim.observe import ObservationStream, observe_trace
 
 __all__ = ["SmtPolicy", "SmtStats", "SmtFetchModel"]
 
@@ -72,14 +80,14 @@ class SmtStats:
 
 
 class _ThreadContext:
-    """One hardware thread: trace cursor + predictor + estimator state."""
+    """One hardware thread: a recorded observation stream + replay cursor."""
 
-    __slots__ = ("trace", "predictor", "estimator", "cursor", "in_flight", "pressure")
+    __slots__ = ("insts", "stream", "levels", "cursor", "in_flight", "pressure")
 
-    def __init__(self, trace, predictor, estimator) -> None:
-        self.trace = trace
-        self.predictor = predictor
-        self.estimator = estimator
+    def __init__(self, insts, stream: ObservationStream) -> None:
+        self.insts = insts
+        self.stream = stream
+        self.levels = stream.levels
         self.cursor = 0
         # (weight, mispredicted, resolve_cycle) per unresolved branch.
         # Branches resolve after a fixed number of *machine cycles*, not
@@ -90,7 +98,7 @@ class _ThreadContext:
 
     @property
     def exhausted(self) -> bool:
-        return self.cursor >= len(self.trace)
+        return self.cursor >= len(self.stream)
 
     def drain_resolved(self, now: int) -> None:
         while self.in_flight and self.in_flight[0][2] <= now:
@@ -126,10 +134,8 @@ class SmtFetchModel:
         self.policy = policy
         self.resolution_latency = resolution_latency
         self.max_cycles = max_cycles
-        self._threads = [
-            _ThreadContext(trace, predictor, estimator)
-            for trace, predictor, estimator in threads
-        ]
+        self.threads = list(threads)
+        self._threads: list[_ThreadContext] = []
         self._next_round_robin = 0
 
     def _choose_thread(self) -> _ThreadContext | None:
@@ -158,17 +164,11 @@ class SmtFetchModel:
     def _step_thread(
         self, thread: _ThreadContext, stats: SmtStats, slot: int, now: int
     ) -> None:
-        trace = thread.trace
         cursor = thread.cursor
-        pc = trace.pcs[cursor]
-        taken = trace.takens[cursor] == 1
-        inst = trace.insts[cursor]
+        inst = thread.insts[cursor]
+        level = thread.levels[cursor]
+        mispredicted = thread.stream.mispredicted[cursor]
         thread.cursor = cursor + 1
-
-        prediction = thread.predictor.predict(pc)
-        observation = thread.predictor.last_prediction
-        level = thread.estimator.level(observation)
-        mispredicted = prediction != taken
 
         stats.fetched_instructions += inst
         stats.per_thread_fetched[slot] += inst
@@ -179,10 +179,31 @@ class SmtFetchModel:
         thread.in_flight.append((weight, mispredicted, now + self.resolution_latency))
         thread.pressure += weight
 
-        thread.estimator.observe(observation, taken)
-        thread.predictor.train(pc, taken)
+    def observe_threads(
+        self,
+        backend: str = DEFAULT_BACKEND,
+        materialization_dir=None,
+    ) -> list[ObservationStream]:
+        """Each thread's observation stream, in thread order.
 
-    def run(self) -> SmtStats:
+        Streams are policy-invariant (arbitration changes *when* a
+        branch is fetched, never what its predictor observes), so
+        callers comparing policies over the same threads can compute
+        them once and hand them to :meth:`replay` for every policy.
+        """
+        return [
+            observe_trace(
+                trace, predictor, estimator,
+                backend=backend, materialization_dir=materialization_dir,
+            )
+            for trace, predictor, estimator in self.threads
+        ]
+
+    def run(
+        self,
+        backend: str = DEFAULT_BACKEND,
+        materialization_dir=None,
+    ) -> SmtStats:
         """Interleave the threads until every trace is exhausted or the
         cycle budget runs out.
 
@@ -192,7 +213,30 @@ class SmtFetchModel:
         same budget.  Without a budget every branch of every trace is
         eventually fetched, so only the interleaving (not the totals)
         differs between policies.
+
+        ``backend`` selects the engine that produces each thread's
+        observation stream; the arbitration replay is backend-invariant.
         """
+        return self.replay(self.observe_threads(backend, materialization_dir))
+
+    def replay(self, streams: list[ObservationStream]) -> SmtStats:
+        """Replay the arbitration policy over recorded per-thread streams."""
+        if len(streams) != len(self.threads):
+            raise ValueError(
+                f"need one stream per thread ({len(self.threads)}), "
+                f"got {len(streams)}"
+            )
+        for slot, ((trace, _, _), stream) in enumerate(zip(self.threads, streams)):
+            if len(stream) != len(trace.insts):
+                raise ValueError(
+                    f"thread {slot}: stream ({len(stream)} branches) does "
+                    f"not match its trace ({len(trace.insts)} branches)"
+                )
+        self._threads = [
+            _ThreadContext(trace.insts, stream)
+            for (trace, _, _), stream in zip(self.threads, streams)
+        ]
+        self._next_round_robin = 0
         stats = SmtStats(per_thread_fetched=[0] * len(self._threads))
         while self.max_cycles is None or stats.cycles < self.max_cycles:
             for thread in self._threads:

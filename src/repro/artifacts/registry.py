@@ -50,6 +50,7 @@ from repro.sim.report import (
     format_table1,
     render_table,
 )
+from repro.sim.observe import observe_trace
 from repro.sim.runner import get_trace
 from repro.sim.stats import SuiteSummary, summarize
 from repro.sweep.spec import EstimatorSpec, ExperimentSpec, PredictorSpec
@@ -515,6 +516,17 @@ def _build_ctr_width(service: SweepService, scale: Scale) -> ArtifactPayload:
 # Beyond-paper application builders (apps layer).
 # ---------------------------------------------------------------------------
 
+def _app_materialization_dir(service: SweepService):
+    """Shared TAGE plane memmap dir for the apps' observation streams.
+
+    The sweep executor materializes planes under ``<cache>/planes``;
+    pointing the fast-backend stream producers at the same directory
+    lets the APP artifacts reuse those memmaps instead of recomputing
+    the trace-wide precompute on every pipeline run.
+    """
+    return service.cache.root / "planes" if service.cache is not None else None
+
+
 #: (cell label, gating policy) pairs swept by APP_FETCH_GATING.
 _GATING_POLICIES = (
     ("graded-t1", GatingPolicy(gate_threshold=1.0, low_weight=1.0, medium_weight=0.25)),
@@ -527,13 +539,20 @@ _GATING_POLICIES = (
 def _build_fetch_gating(service: SweepService, scale: Scale) -> ArtifactPayload:
     trace = get_trace("300.twolf", scale.n_branches)
     stats_by: dict[str, object] = {}
+    # All four policies replay the same (trace, predictor, estimator)
+    # observation stream — computed once, on the service's backend.
+    predictor = TagePredictor(TageConfig.medium())
+    estimator = TageConfidenceEstimator(predictor)
+    stream = observe_trace(
+        trace, predictor, estimator,
+        backend=service.backend,
+        materialization_dir=_app_materialization_dir(service),
+    )
     for label, policy in _GATING_POLICIES:
-        predictor = TagePredictor(TageConfig.medium())
-        estimator = TageConfidenceEstimator(predictor)
         model = FetchGatingModel(
             predictor, estimator, policy=policy, resolution_latency=12
         )
-        stats_by[label] = model.run(trace)
+        stats_by[label] = model.replay(stream, trace.insts)
     rows = [
         [
             label,
@@ -573,11 +592,20 @@ def _build_smt_fetch(service: SweepService, scale: Scale) -> ArtifactPayload:
     # A fixed cycle budget makes this a bandwidth-allocation experiment.
     budget = scale.n_branches * 12 // 10
     stats_by: dict[str, object] = {}
+    # Streams are policy-invariant: compute each thread's once (on the
+    # service's backend) and replay both arbitration policies over them.
+    threads = make_threads()
+    streams = SmtFetchModel(
+        threads, resolution_latency=12, max_cycles=budget
+    ).observe_threads(
+        backend=service.backend,
+        materialization_dir=_app_materialization_dir(service),
+    )
     for policy in (SmtPolicy.ROUND_ROBIN, SmtPolicy.CONFIDENCE):
         model = SmtFetchModel(
-            make_threads(), policy=policy, resolution_latency=12, max_cycles=budget
+            threads, policy=policy, resolution_latency=12, max_cycles=budget
         )
-        stats_by[policy.value] = model.run()
+        stats_by[policy.value] = model.replay(streams)
     rows = []
     cells: dict[str, float] = {}
     for label, stats in stats_by.items():

@@ -89,11 +89,11 @@ def _add_predictor_args(parser: argparse.ArgumentParser) -> None:
 
 def _add_backend_arg(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--backend", choices=BACKENDS, default=DEFAULT_BACKEND,
-                        help="simulation engine; 'fast' runs the bimodal/"
-                             "gshare x JRS cells and the full TAGE family "
-                             "(incl. the observation estimator) bit-exactly "
-                             "and falls back to 'reference' (with a warning) "
-                             "for the rest")
+                        help="simulation engine; 'fast' runs the whole model "
+                             "zoo (every predictor/estimator kind, adaptive "
+                             "Sec-6.2 control included) bit-exactly and falls "
+                             "back to 'reference' (with a warning) only for "
+                             "subclassed components or >62-bit histories")
 
 
 def _materialization_dir(args):
@@ -145,6 +145,14 @@ def build_parser() -> argparse.ArgumentParser:
                            help="dynamic branches per trace")
     sweep_cmd.add_argument("--warmup", type=int, default=0,
                            help="branches excluded from class accounting")
+    sweep_cmd.add_argument("--adaptive", action="store_true",
+                           help="attach the Sec-6.2 adaptive saturation "
+                                "controller to TAGE-observation cells "
+                                "(forces the probabilistic automaton)")
+    sweep_cmd.add_argument("--target-mkp", type=float, default=10.0,
+                           metavar="MKP",
+                           help="adaptive controller high-confidence "
+                                "misprediction target (default 10)")
     sweep_cmd.add_argument("--workers", type=int, default=None, metavar="N",
                            help="worker processes (default: one per CPU, min 2)")
     sweep_cmd.add_argument("--seed", type=int, default=None,
@@ -264,6 +272,10 @@ def _cmd_sweep(args) -> int:
         estimators = tuple(EstimatorSpec.of(token) for token in args.estimators)
     except ValueError as error:
         raise SystemExit(str(error)) from None
+    if args.target_mkp != 10.0 and not args.adaptive:
+        # Without the controller the target changes nothing but the
+        # cache keys — reject instead of silently re-simulating.
+        raise SystemExit("--target-mkp only has an effect with --adaptive")
     if args.suite is not None:
         if args.traces:
             raise SystemExit("--traces and --suite are mutually exclusive")
@@ -281,6 +293,8 @@ def _cmd_sweep(args) -> int:
         traces=traces,
         n_branches=args.branches,
         warmup_branches=args.warmup,
+        adaptive=args.adaptive,
+        target_mkp=args.target_mkp,
         seed=args.seed,
         backend=args.backend,
     )

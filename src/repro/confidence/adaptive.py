@@ -72,10 +72,16 @@ class AdaptiveSaturationController:
         self.min_log2 = min_log2
         self.max_log2 = max_log2
         self.relax_fraction = relax_fraction
-        # Validates that the predictor uses the probabilistic automaton.
+        # Validates that the predictor uses the probabilistic automaton
+        # (reading the probability raises PredictorError otherwise) and
+        # that its starting probability lies inside the control range —
+        # silently clamping would hide a misconfigured experiment.
         initial = predictor.saturation_probability_log2
         if not min_log2 <= initial <= max_log2:
-            predictor.saturation_probability_log2 = max(min_log2, min(initial, max_log2))
+            raise ValueError(
+                f"predictor saturation_probability_log2 {initial} is outside "
+                f"the controller range [{min_log2}, {max_log2}]"
+            )
         self._high_predictions = 0
         self._high_mispredictions = 0
         self.adjustments: list[tuple[int, float]] = []

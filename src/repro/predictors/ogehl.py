@@ -96,7 +96,13 @@ class OgehlPredictor(BranchPredictor):
         self._ctr_min = -(1 << (counter_bits - 1))
         self._mask = mask(log_entries)
         self._tables = [[0] * (1 << log_entries) for _ in range(n_tables)]
-        self._history = GlobalHistory(capacity=max_history)
+        # history_lengths can exceed max_history by a step or two when the
+        # duplicate-bumping in geometric_history_lengths fires (very short
+        # series); size the register to the actual longest window, like
+        # the TAGE predictor does.
+        self._history = GlobalHistory(
+            capacity=max(max_history, self.history_lengths[-1])
+        )
         self._folded = [
             FoldedHistory(length, log_entries) for length in self.history_lengths
         ]

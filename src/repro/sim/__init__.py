@@ -7,6 +7,8 @@
   selector shared by the engine, the sweep layer and the CLI.
 * :mod:`repro.sim.fast` — the vectorized batch backend (NumPy),
   bit-for-bit equivalent to the reference loops where supported.
+* :mod:`repro.sim.observe` — per-branch observation streams (the apps
+  layer's replay input), produced on either backend.
 * :mod:`repro.sim.stats` — suite-level aggregation.
 * :mod:`repro.sim.runner` — suite × configuration sweeps used by the
   benches (one call per paper table/figure).
@@ -22,6 +24,7 @@ from repro.sim.backends import (
     validate_backend,
 )
 from repro.sim.engine import SimulationResult, simulate, simulate_binary
+from repro.sim.observe import ObservationStream, observe_trace
 from repro.sim.runner import (
     build_predictor,
     run_suite,
@@ -36,8 +39,10 @@ __all__ = [
     "DEFAULT_BACKEND",
     "FastBackendFallbackWarning",
     "FastBackendUnsupported",
+    "ObservationStream",
     "SimulationResult",
     "SuiteSummary",
+    "observe_trace",
     "validate_backend",
     "build_predictor",
     "render_table",

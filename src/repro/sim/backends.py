@@ -6,18 +6,21 @@ Two engines can execute a (trace, predictor, estimator) cell:
   :mod:`repro.sim.engine`; supports every predictor and estimator and is
   the semantic ground truth.
 * ``"fast"`` — the batch backend in :mod:`repro.sim.fast`; runs the
-  bimodal/gshare predictors and the JRS-style binary confidence
-  counters as vectorized NumPy scans, and the full TAGE family (with
-  the multi-class observation estimator) as a lean sequential kernel
-  over precomputed index/tag planes — all bit-for-bit equivalent to the
-  reference engine (enforced by ``tests/equivalence/``).
+  bimodal/gshare/local predictors and the JRS-style binary confidence
+  counters as vectorized NumPy scans, the full TAGE family (with the
+  multi-class observation estimator and the §6.2 adaptive saturation
+  controller) as a lean sequential kernel over precomputed index/tag
+  planes, and the sum-based perceptron/O-GEHL predictors (with their
+  storage-free self-confidence estimators) as plane-fed dot-product
+  kernels — all bit-for-bit equivalent to the reference engine
+  (enforced by ``tests/equivalence/``).
 
-A configuration the fast backend cannot run exactly (perceptron/O-GEHL
-self-confidence, the adaptive saturation controller, >62-bit
-gshare/JRS/path histories) raises :class:`FastBackendUnsupported`
-internally; the dispatching entry points catch it, emit a
-:class:`FastBackendFallbackWarning` and run the reference engine, so
-``backend="fast"`` is always safe to request.
+A configuration the fast backend cannot run exactly (a subclass of a
+supported component type, >62-bit gshare/perceptron/local/JRS/path
+history windows, or NumPy itself missing) raises
+:class:`FastBackendUnsupported` internally; the dispatching entry
+points catch it, emit a :class:`FastBackendFallbackWarning` and run the
+reference engine, so ``backend="fast"`` is always safe to request.
 
 This module is dependency-free on purpose: the sweep spec layer and the
 CLI import the backend names and validators from here without pulling in

@@ -209,9 +209,12 @@ def simulate(
             accounting (the predictor still trains; overall accuracy
             still covers the whole trace, like the paper's runs).
         backend: ``"reference"`` or ``"fast"``; the fast backend is
-            bit-for-bit equivalent where supported and falls back here
-            (with a :class:`FastBackendFallbackWarning`) where not.
-            Note the fast path leaves ``predictor`` untrained.
+            bit-for-bit equivalent where supported — including TAGE
+            cells with the §6.2 adaptive ``controller`` attached — and
+            falls back here (with a
+            :class:`FastBackendFallbackWarning`) where not.  Note the
+            fast path leaves ``predictor`` (and the controller)
+            untrained/unmoved.
         materialization_dir: fast backend only — directory (or
             :class:`~repro.sim.fast.planes.PlaneCache`) where
             precomputed TAGE index/tag planes are memmapped and shared
@@ -294,11 +297,11 @@ def simulate_binary(
     = high confidence) and ``observe(pc, prediction, taken)``; JRS,
     enhanced JRS and the self-confidence wrappers all do.
 
-    ``backend="fast"`` runs the bimodal/gshare/TAGE × JRS-family cells
-    bit-exactly and falls back here (with a warning) for the rest; the
-    fast path leaves the predictor and estimator untrained.
-    ``materialization_dir`` shares precomputed TAGE planes, as in
-    :func:`simulate`.
+    ``backend="fast"`` runs every in-family predictor × JRS-family cell
+    and the perceptron/O-GEHL × self-confidence cells bit-exactly and
+    falls back here (with a warning) for the rest; the fast path leaves
+    the predictor and estimator untrained.  ``materialization_dir``
+    shares precomputed TAGE planes, as in :func:`simulate`.
 
     Returns the pooled 2×2 confusion and the accuracy result.
     """

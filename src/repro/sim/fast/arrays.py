@@ -22,7 +22,19 @@ import numpy as np
 
 from repro.common.bitops import mask
 
-__all__ = ["TraceArrays", "history_windows", "fold_windows"]
+__all__ = [
+    "MAX_WINDOW_BITS",
+    "TraceArrays",
+    "history_windows",
+    "segmented_history_windows",
+    "fold_windows",
+]
+
+#: Longest history whose packed per-branch window fits an int64 lane —
+#: the one structural bound of every window-based fast kernel (gshare,
+#: JRS, perceptron, local, TAGE path registers).  The reference engine
+#: uses Python bigints and has no such bound.
+MAX_WINDOW_BITS = 62
 
 
 @dataclass(frozen=True)
@@ -68,6 +80,36 @@ def history_windows(takens: np.ndarray, length: int) -> np.ndarray:
     outcomes = takens.astype(np.int64)
     for age in range(1, min(length, n) + 1):
         windows[age:] |= outcomes[:-age] << (age - 1)
+    return windows
+
+
+def segmented_history_windows(
+    segments: np.ndarray, takens: np.ndarray, length: int
+) -> np.ndarray:
+    """Per-*segment* history windows: outcomes of earlier branches that
+    share the same segment value, newest in bit 0.
+
+    ``windows[t]`` packs the ``length`` most recent outcomes among
+    branches ``s < t`` with ``segments[s] == segments[t]`` — exactly the
+    shift register a per-entry local-history table (one register per
+    ``segments`` value, pushed after every access) exposes to access
+    ``t``.  Vectorized as one xor/or-accumulate pass per history age
+    over the accesses grouped by segment (stable argsort keeps trace
+    order within a group), like :func:`history_windows` does globally.
+    """
+    if length <= 0:
+        raise ValueError(f"history length must be positive, got {length}")
+    n = len(segments)
+    order = np.argsort(segments, kind="stable")
+    grouped_segments = segments[order]
+    outcomes = takens.astype(np.int64)[order]
+    grouped = np.zeros(n, dtype=np.int64)
+    for age in range(1, min(length, n) + 1):
+        same = grouped_segments[age:] == grouped_segments[:-age]
+        contribution = outcomes[:-age] << (age - 1)
+        grouped[age:][same] |= contribution[same]
+    windows = np.empty(n, dtype=np.int64)
+    windows[order] = grouped
     return windows
 
 

@@ -2,31 +2,40 @@
 
 :func:`simulate_fast` and :func:`simulate_binary_fast` are drop-in,
 bit-for-bit equivalents of :func:`repro.sim.engine.simulate` and
-:func:`repro.sim.engine.simulate_binary` for the fast subset of the
-model zoo:
+:func:`repro.sim.engine.simulate_binary` for the whole model zoo:
 
 * predictors — :class:`~repro.predictors.bimodal.BimodalPredictor`,
-  :class:`~repro.predictors.gshare.GsharePredictor` (fully vectorized
-  counter scans) and :class:`~repro.predictors.tage.TagePredictor`
+  :class:`~repro.predictors.gshare.GsharePredictor` and
+  :class:`~repro.predictors.local.LocalHistoryPredictor` (fully
+  vectorized counter scans), :class:`~repro.predictors.tage.TagePredictor`
   (precomputed index/tag planes feeding the lean sequential kernel in
-  :mod:`repro.sim.fast.tage`);
+  :mod:`repro.sim.fast.tage`) and the sum-based
+  :class:`~repro.predictors.perceptron.PerceptronPredictor` /
+  :class:`~repro.predictors.ogehl.OgehlPredictor`
+  (plane-fed dot-product kernels in :mod:`repro.sim.fast.gehl`);
 * estimators — the binary :class:`~repro.confidence.jrs.JrsEstimator` /
-  :class:`~repro.confidence.jrs.EnhancedJrsEstimator` (vectorized) and
-  the multi-class
+  :class:`~repro.confidence.jrs.EnhancedJrsEstimator` (vectorized), the
+  storage-free
+  :class:`~repro.confidence.self_confidence.SelfConfidenceEstimator`
+  (read off the sum-based kernels' outputs) and the multi-class
   :class:`~repro.confidence.estimator.TageConfidenceEstimator`
-  (read directly off the TAGE kernel's observations).
+  (read directly off the TAGE kernel's observations);
+* the §6.2 :class:`~repro.confidence.adaptive.AdaptiveSaturationController`
+  feedback loop, folded into the TAGE kernel with an identical
+  decision/LFSR stream.
 
-Why this is exact: for every supported component the table *indices and
-tags* depend only on the branch PC and the resolved outcome/path
-histories — never on predictions — so they are precomputable from the
-trace alone.  Bimodal/gshare/JRS counter sequences are then clamp-add
-scans (:mod:`repro.sim.fast.scan`); the TAGE provider/update logic is
-prediction-dependent and runs sequentially, but over precomputed planes
-and packed table state.  The perceptron/O-GEHL self-confidence
-predictors and the adaptive saturation controller remain outside the
-family and raise :class:`FastBackendUnsupported`; the dispatching
-wrappers in :mod:`repro.sim.engine` then fall back to the reference
-loop with a :class:`FastBackendFallbackWarning`.
+Why this is exact: for every supported component the table *indices,
+tags and input signs* depend only on the branch PC and the resolved
+outcome/path histories — never on predictions — so they are
+precomputable from the trace alone.  Bimodal/gshare/local/JRS counter
+sequences are then clamp-add scans (:mod:`repro.sim.fast.scan`); the
+TAGE provider/update logic and the perceptron/O-GEHL weight state are
+prediction-history-dependent and run sequentially, but over precomputed
+planes and packed table state.  Exact-type subclass checks and >62-bit
+history windows are the only remaining exclusions; those raise
+:class:`FastBackendUnsupported` and the dispatching wrappers in
+:mod:`repro.sim.engine` fall back to the reference loop with a
+:class:`FastBackendFallbackWarning`.
 
 The fast path never calls ``predict``/``train`` — the predictor and
 estimator instances are only read for their configuration and are left
@@ -41,12 +50,27 @@ from repro.common.bitops import mask
 from repro.confidence.estimator import TageConfidenceEstimator
 from repro.confidence.jrs import EnhancedJrsEstimator, JrsEstimator
 from repro.confidence.metrics import BinaryConfidenceMetrics
+from repro.confidence.self_confidence import SelfConfidenceEstimator
 from repro.predictors.bimodal import BimodalPredictor
 from repro.predictors.gshare import GsharePredictor
+from repro.predictors.local import LocalHistoryPredictor
+from repro.predictors.ogehl import OgehlPredictor
+from repro.predictors.perceptron import PerceptronPredictor
 from repro.predictors.tage.predictor import TagePredictor
 from repro.sim.backends import FastBackendUnsupported
 from repro.sim.engine import SimulationResult
-from repro.sim.fast.arrays import TraceArrays, fold_windows, history_windows
+from repro.sim.fast.arrays import (
+    MAX_WINDOW_BITS,
+    TraceArrays,
+    fold_windows,
+    history_windows,
+    segmented_history_windows,
+)
+from repro.sim.fast.gehl import (
+    MAX_PERCEPTRON_WEIGHT_BITS,
+    ogehl_fast_run,
+    perceptron_fast_run,
+)
 from repro.sim.fast.planes import MAX_PATH_HISTORY_BITS
 from repro.sim.fast.scan import (
     DEFAULT_CHUNK_SIZE,
@@ -54,11 +78,17 @@ from repro.sim.fast.scan import (
     saturating_transforms,
     scanned_counters,
 )
-from repro.sim.fast.tage import simulate_tage_fast, tage_fast_predictions
+from repro.sim.fast.tage import (
+    controller_unsupported_reason,
+    observe_tage_fast,
+    simulate_tage_fast,
+    tage_fast_predictions,
+)
 
 __all__ = [
     "simulate_fast",
     "simulate_binary_fast",
+    "observe_tage_fast",
     "vectorized_predictions",
     "vectorized_assessments",
     "supports_predictor",
@@ -67,6 +97,19 @@ __all__ = [
     "binary_unsupported_reason",
 ]
 
+#: The predictor types the fast backend reproduces bit-exactly.
+_FAST_PREDICTORS = (
+    BimodalPredictor,
+    GsharePredictor,
+    LocalHistoryPredictor,
+    TagePredictor,
+    PerceptronPredictor,
+    OgehlPredictor,
+)
+
+#: The sum-based predictors whose kernels also emit self-confidence.
+_SUM_PREDICTORS = (PerceptronPredictor, OgehlPredictor)
+
 
 def supports_predictor(predictor) -> bool:
     """Can the fast backend reproduce this predictor bit-exactly?
@@ -74,17 +117,23 @@ def supports_predictor(predictor) -> bool:
     Exact-type checks on purpose: a subclass may override behaviour the
     vectorized path would silently ignore.
     """
-    return type(predictor) in (BimodalPredictor, GsharePredictor, TagePredictor)
+    return type(predictor) in _FAST_PREDICTORS
 
 
 def supports_estimator(estimator) -> bool:
     """Can the fast backend reproduce this estimator bit-exactly?
 
-    Covers both protocols: the binary JRS family (vectorized counter
-    scans) and the multi-class TAGE observation (read directly off the
-    TAGE kernel's per-branch observations).
+    Covers all three protocols: the binary JRS family (vectorized
+    counter scans), the storage-free self-confidence wrapper (read off
+    the sum-based kernels) and the multi-class TAGE observation (read
+    directly off the TAGE kernel's per-branch observations).
     """
-    return type(estimator) in (JrsEstimator, EnhancedJrsEstimator, TageConfidenceEstimator)
+    return type(estimator) in (
+        JrsEstimator,
+        EnhancedJrsEstimator,
+        SelfConfidenceEstimator,
+        TageConfidenceEstimator,
+    )
 
 
 def _predictor_reason(predictor) -> str | None:
@@ -103,18 +152,27 @@ def _predictor_reason(predictor) -> str | None:
                 f"exceeds the vectorized window width ({MAX_PATH_HISTORY_BITS} bits)"
             )
         return None
-    if type(predictor) is GsharePredictor:
+    if type(predictor) in (GsharePredictor, PerceptronPredictor, LocalHistoryPredictor):
         if predictor.history_length > _MAX_VECTOR_HISTORY:
             return (
-                f"gshare history_length {predictor.history_length} exceeds the "
-                f"vectorized window width ({_MAX_VECTOR_HISTORY} bits)"
+                f"{predictor.name} history_length {predictor.history_length} "
+                f"exceeds the vectorized window width ({_MAX_VECTOR_HISTORY} bits)"
+            )
+        if (
+            type(predictor) is PerceptronPredictor
+            and predictor.weight_bits > MAX_PERCEPTRON_WEIGHT_BITS
+        ):
+            return (
+                f"perceptron weight_bits {predictor.weight_bits} exceeds the "
+                f"int64 weight-table width ({MAX_PERCEPTRON_WEIGHT_BITS} bits)"
             )
         return None
-    if type(predictor) is BimodalPredictor:
+    if type(predictor) in (BimodalPredictor, OgehlPredictor):
         return None
     return (
         f"predictor {getattr(predictor, 'name', type(predictor).__name__)!r} "
-        "is not vectorizable (supported: bimodal, gshare, tage)"
+        "is not vectorizable (supported: bimodal, gshare, local, tage, "
+        "perceptron, ogehl)"
     )
 
 
@@ -125,7 +183,9 @@ def unsupported_reason(predictor, estimator=None, controller=None) -> str | None
     sweep executor's warn-once fallback pass, so they can never disagree.
     """
     if controller is not None:
-        return "the adaptive saturation controller is not vectorizable"
+        reason = controller_unsupported_reason(predictor, controller)
+        if reason is not None:
+            return reason
     reason = _predictor_reason(predictor)
     if reason is not None:
         return reason
@@ -149,15 +209,43 @@ def binary_unsupported_reason(predictor, estimator) -> str | None:
     reason = _predictor_reason(predictor)
     if reason is not None:
         return reason
+    if type(estimator) is SelfConfidenceEstimator:
+        if type(predictor) not in _SUM_PREDICTORS:
+            return (
+                "self-confidence estimation requires a (non-subclassed) "
+                "sum-based predictor (perceptron, ogehl)"
+            )
+        if estimator.predictor is not predictor:
+            return (
+                "the self-confidence estimator observes a different "
+                "predictor instance than the one being simulated"
+            )
+        return None
     if type(estimator) not in (JrsEstimator, EnhancedJrsEstimator):
         return (
             f"estimator {type(estimator).__name__} is not vectorizable "
-            "(supported: JrsEstimator, EnhancedJrsEstimator)"
+            "(supported: JrsEstimator, EnhancedJrsEstimator, "
+            "SelfConfidenceEstimator)"
         )
+    return _jrs_reason(estimator)
+
+
+def _jrs_reason(estimator) -> str | None:
+    """Why a JRS-family table cannot be scanned (None = it can).
+
+    Shared by :func:`binary_unsupported_reason` and
+    :func:`vectorized_assessments` so the dispatch pre-pass and the
+    kernel can never disagree about the int64 bounds.
+    """
     if estimator.history_length > _MAX_VECTOR_HISTORY:
         return (
             f"JRS history_length {estimator.history_length} exceeds the "
             f"vectorized window width ({_MAX_VECTOR_HISTORY} bits)"
+        )
+    if estimator.counter_bits > _MAX_VECTOR_HISTORY:
+        return (
+            f"JRS counter_bits {estimator.counter_bits} exceeds the int64 "
+            f"counter width ({_MAX_VECTOR_HISTORY} bits)"
         )
     return None
 
@@ -178,17 +266,12 @@ def _bimodal_predictions(
 
 #: Longest history whose packed window fits an int64 lane (the reference
 #: engine uses Python bigints and has no such bound).
-_MAX_VECTOR_HISTORY = 62
+_MAX_VECTOR_HISTORY = MAX_WINDOW_BITS
 
 
 def _gshare_predictions(
     predictor: GsharePredictor, arrays: TraceArrays, chunk_size: int
 ) -> np.ndarray:
-    if predictor.history_length > _MAX_VECTOR_HISTORY:
-        raise FastBackendUnsupported(
-            f"gshare history_length {predictor.history_length} exceeds the "
-            f"vectorized window width ({_MAX_VECTOR_HISTORY} bits)"
-        )
     windows = history_windows(arrays.takens, predictor.history_length)
     folded = fold_windows(windows, predictor.history_length, predictor.log_entries)
     indices = ((arrays.pcs >> 2) ^ folded) & mask(predictor.log_entries)
@@ -197,6 +280,40 @@ def _gshare_predictions(
         1 << predictor.log_entries, 2, indices, b, lo, hi, chunk_size
     )
     return counters >= 2
+
+
+def _local_predictions(
+    predictor: LocalHistoryPredictor, arrays: TraceArrays, chunk_size: int
+) -> np.ndarray:
+    """Two-level local predictions as two chained vectorized stages.
+
+    The level-1 local histories are per-PC-entry shift registers of
+    resolved outcomes — prediction-independent, so every branch's
+    pre-access register value is a segmented history window.  The
+    level-2 PHT is then an ordinary saturating-counter scan over the
+    precomputed pattern indices.
+    """
+    pc_part = arrays.pcs >> 2
+    history_indices = pc_part & mask(predictor.log_histories)
+    local = segmented_history_windows(
+        history_indices, arrays.takens, predictor.history_length
+    )
+    if predictor.shared_pht:
+        pht_indices = local & mask(predictor.log_pht)
+    else:
+        pht_indices = (local ^ (pc_part << 2)) & mask(predictor.log_pht)
+    b, lo, hi = saturating_transforms(arrays.taken_bool, 3)
+    counters = scanned_counters(
+        1 << predictor.log_pht, 2, pht_indices, b, lo, hi, chunk_size
+    )
+    return counters >= 2
+
+
+def _sum_predictor_run(predictor, arrays: TraceArrays) -> tuple[np.ndarray, np.ndarray]:
+    """Per-branch (predictions, self-confidence) of a sum-based predictor."""
+    if type(predictor) is PerceptronPredictor:
+        return perceptron_fast_run(arrays, predictor)
+    return ogehl_fast_run(arrays, predictor)
 
 
 def vectorized_predictions(
@@ -208,22 +325,27 @@ def vectorized_predictions(
     """Per-branch predictions of a supported predictor over a whole trace.
 
     TAGE predictions come from the plane-fed sequential kernel
-    (:mod:`repro.sim.fast.tage`); bimodal/gshare from the counter scans.
+    (:mod:`repro.sim.fast.tage`), perceptron/O-GEHL from the dot-product
+    kernels (:mod:`repro.sim.fast.gehl`); bimodal/gshare/local from the
+    counter scans.
 
     Raises:
         FastBackendUnsupported: for any predictor outside the fast family
-            (perceptron, O-GEHL, local, subclasses of supported types).
+            (subclasses of supported types, oversized history windows).
     """
+    reason = _predictor_reason(predictor)
+    if reason is not None:
+        raise FastBackendUnsupported(reason)
     if type(predictor) is BimodalPredictor:
         return _bimodal_predictions(predictor, arrays, chunk_size)
     if type(predictor) is GsharePredictor:
         return _gshare_predictions(predictor, arrays, chunk_size)
-    if type(predictor) is TagePredictor:
-        reason = _predictor_reason(predictor)
-        if reason is not None:
-            raise FastBackendUnsupported(reason)
-        return tage_fast_predictions(arrays, predictor, materialization)
-    raise FastBackendUnsupported(_predictor_reason(predictor))
+    if type(predictor) is LocalHistoryPredictor:
+        return _local_predictions(predictor, arrays, chunk_size)
+    if type(predictor) in _SUM_PREDICTORS:
+        predictions, _ = _sum_predictor_run(predictor, arrays)
+        return predictions
+    return tage_fast_predictions(arrays, predictor, materialization)
 
 
 def vectorized_assessments(
@@ -235,18 +357,18 @@ def vectorized_assessments(
     """Per-branch high-confidence assessments of a JRS-family estimator.
 
     Raises:
-        FastBackendUnsupported: for estimators outside the JRS family.
+        FastBackendUnsupported: for estimators outside the JRS family
+            (the self-confidence flags come from the sum-based kernels
+            instead — see :func:`simulate_binary_fast`).
     """
     if type(estimator) not in (JrsEstimator, EnhancedJrsEstimator):
         raise FastBackendUnsupported(
             f"estimator {type(estimator).__name__} is not vectorizable "
             "(supported: JrsEstimator, EnhancedJrsEstimator)"
         )
-    if estimator.history_length > _MAX_VECTOR_HISTORY:
-        raise FastBackendUnsupported(
-            f"JRS history_length {estimator.history_length} exceeds the "
-            f"vectorized window width ({_MAX_VECTOR_HISTORY} bits)"
-        )
+    reason = _jrs_reason(estimator)
+    if reason is not None:
+        raise FastBackendUnsupported(reason)
     windows = history_windows(arrays.takens, estimator.history_length)
     value = (arrays.pcs >> 2) ^ fold_windows(
         windows, estimator.history_length, estimator.log_entries
@@ -285,15 +407,16 @@ def simulate_fast(
 ) -> SimulationResult:
     """Fast-backend equivalent of :func:`repro.sim.engine.simulate`.
 
-    Bimodal/gshare accuracy runs use the vectorized counter scans; TAGE
-    cells — with or without the multi-class observation estimator — run
-    on the plane-fed sequential kernel, optionally sharing precomputed
-    planes through ``materialization_dir`` (a directory or a
-    :class:`~repro.sim.fast.planes.PlaneCache`).
+    Bimodal/gshare/local accuracy runs use the vectorized counter
+    scans, perceptron/O-GEHL the dot-product kernels; TAGE cells — with
+    or without the multi-class observation estimator and the §6.2
+    adaptive controller — run on the plane-fed sequential kernel,
+    optionally sharing precomputed planes through ``materialization_dir``
+    (a directory or a :class:`~repro.sim.fast.planes.PlaneCache`).
 
     Raises:
-        FastBackendUnsupported: when a controller is attached or the
-            predictor/estimator pair is outside the fast family.
+        FastBackendUnsupported: when the predictor/estimator/controller
+            combination is outside the fast family.
     """
     if warmup_branches < 0:
         raise ValueError(f"warmup_branches must be non-negative, got {warmup_branches}")
@@ -305,6 +428,7 @@ def simulate_fast(
             trace,
             predictor,
             estimator=estimator,
+            controller=controller,
             warmup_branches=warmup_branches,
             materialization=materialization_dir,
         )
@@ -324,6 +448,10 @@ def simulate_binary_fast(
 ) -> tuple[BinaryConfidenceMetrics, SimulationResult]:
     """Fast-backend equivalent of :func:`repro.sim.engine.simulate_binary`.
 
+    JRS-family assessments are vectorized counter scans over any
+    supported predictor's prediction stream; self-confidence assessments
+    come straight out of the perceptron/O-GEHL kernels.
+
     Raises:
         FastBackendUnsupported: when the predictor or the estimator is
             outside the fast family.
@@ -334,10 +462,13 @@ def simulate_binary_fast(
     if reason is not None:
         raise FastBackendUnsupported(reason)
     arrays = TraceArrays.from_trace(trace)
-    predictions = vectorized_predictions(
-        predictor, arrays, chunk_size, materialization=materialization_dir
-    )
-    high = vectorized_assessments(estimator, arrays, predictions, chunk_size)
+    if type(estimator) is SelfConfidenceEstimator:
+        predictions, high = _sum_predictor_run(predictor, arrays)
+    else:
+        predictions = vectorized_predictions(
+            predictor, arrays, chunk_size, materialization=materialization_dir
+        )
+        high = vectorized_assessments(estimator, arrays, predictions, chunk_size)
     correct = predictions == arrays.taken_bool
     mispredictions = int(np.count_nonzero(~correct))
 

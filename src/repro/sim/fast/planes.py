@@ -36,7 +36,12 @@ import numpy as np
 
 from repro.common.bitops import mask
 from repro.sim.backends import FastBackendUnsupported, default_planes_dir
-from repro.sim.fast.arrays import TraceArrays, fold_windows, history_windows
+from repro.sim.fast.arrays import (
+    MAX_WINDOW_BITS,
+    TraceArrays,
+    fold_windows,
+    history_windows,
+)
 
 __all__ = [
     "PLANES_VERSION",
@@ -53,8 +58,9 @@ __all__ = [
 PLANES_VERSION = 1
 
 #: Longest path-history register whose packed per-branch window fits an
-#: int64 lane (the reference engine's Python bigints have no such bound).
-MAX_PATH_HISTORY_BITS = 62
+#: int64 lane (one shared bound for every window-based kernel — see
+#: :data:`repro.sim.fast.arrays.MAX_WINDOW_BITS`).
+MAX_PATH_HISTORY_BITS = MAX_WINDOW_BITS
 
 
 def plane_geometry(config) -> tuple:

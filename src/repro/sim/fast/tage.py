@@ -20,7 +20,11 @@ saturation LFSR draws (count and order), graceful u-counter aging every
 ``u_reset_period`` branches, and the §5 observation estimator's
 BIM-miss window.  The multi-class estimator costs nothing extra to
 layer on top: it only *reads* the observation the kernel already has in
-hand (provider, counter, bimodal state).
+hand (provider, counter, bimodal state) — and the same holds for the
+§6.2 adaptive saturation controller (a handful of integer counters fed
+from the class the kernel just computed, adapting the live ``prob_k``
+the LFSR gate reads) and for the per-branch observation streams the
+apps layer replays (:func:`observe_tage_fast`).
 
 The predictor and estimator instances are only read for configuration
 and are left in their power-on state, like the rest of the fast backend.
@@ -32,13 +36,15 @@ from pathlib import Path
 
 import numpy as np
 
-from repro.confidence.classes import PredictionClass
+from repro.confidence.adaptive import AdaptiveSaturationController
+from repro.confidence.classes import ConfidenceLevel, confidence_level_of
 from repro.confidence.estimator import TageConfidenceEstimator
 from repro.confidence.metrics import ClassBreakdown
 from repro.predictors.tage.config import AUTOMATON_PROBABILISTIC
 from repro.predictors.tage.predictor import TagePredictor
 from repro.sim.backends import FastBackendUnsupported
 from repro.sim.engine import SimulationResult
+from repro.sim.observe import OBSERVATION_CLASS_CODES
 from repro.sim.fast.arrays import TraceArrays
 from repro.sim.fast.planes import (
     PlaneCache,
@@ -47,24 +53,62 @@ from repro.sim.fast.planes import (
     plane_geometry,
 )
 
-__all__ = ["simulate_tage_fast", "tage_fast_predictions", "resolve_planes"]
+__all__ = [
+    "simulate_tage_fast",
+    "tage_fast_predictions",
+    "observe_tage_fast",
+    "controller_unsupported_reason",
+    "resolve_planes",
+]
 
 _MASK32 = 0xFFFFFFFF
 _LFSR_TAPS = 0xA3000000
 
-#: Kernel class codes → :class:`PredictionClass`, in code order.
-_CLASS_OF_CODE = (
-    PredictionClass.HIGH_CONF_BIM,
-    PredictionClass.LOW_CONF_BIM,
-    PredictionClass.MEDIUM_CONF_BIM,
-    PredictionClass.STAG,
-    PredictionClass.NSTAG,
-    PredictionClass.NWTAG,
-    PredictionClass.WTAG,
+#: Kernel class codes → :class:`PredictionClass`, in code order (the
+#: encoding is shared with :mod:`repro.sim.observe` streams).
+_CLASS_OF_CODE = OBSERVATION_CLASS_CODES
+
+#: Class codes the §6.2 controller counts (HIGH = high-conf-bim ∪ Stag),
+#: derived from the canonical level mapping so the kernel can never
+#: disagree with ``confidence_level_of``.
+_HIGH_CLASS_CODES = frozenset(
+    code
+    for code, prediction_class in enumerate(_CLASS_OF_CODE)
+    if confidence_level_of(prediction_class) is ConfidenceLevel.HIGH
 )
 
 
-def _check_tage_cell(predictor, estimator) -> None:
+def controller_unsupported_reason(predictor, controller) -> str | None:
+    """Why the §6.2 controller cannot ride the kernel (None = it can).
+
+    The single predicate behind both the kernel's raise and the
+    dispatch/sweep-executor pre-pass in :mod:`repro.sim.fast.engine`,
+    so they can never disagree.
+    """
+    if type(controller) is not AdaptiveSaturationController:
+        return (
+            f"controller {type(controller).__name__} is not the "
+            "(non-subclassed) adaptive saturation controller"
+        )
+    if type(predictor) is not TagePredictor:
+        return (
+            "the adaptive saturation controller requires the "
+            "(non-subclassed) TAGE predictor"
+        )
+    if controller.predictor is not predictor:
+        return (
+            "the adaptive controller steers a different predictor "
+            "instance than the one being simulated"
+        )
+    if predictor.config.automaton != AUTOMATON_PROBABILISTIC:
+        return (
+            "the adaptive controller requires the probabilistic "
+            "saturation automaton"
+        )
+    return None
+
+
+def _check_tage_cell(predictor, estimator, controller=None) -> None:
     """Raise for anything outside the kernel's bit-exact family."""
     if type(predictor) is not TagePredictor:
         raise FastBackendUnsupported(
@@ -76,6 +120,10 @@ def _check_tage_cell(predictor, estimator) -> None:
             f"estimator {type(estimator).__name__} is not the (non-subclassed) "
             "TAGE observation estimator"
         )
+    if controller is not None:
+        reason = controller_unsupported_reason(predictor, controller)
+        if reason is not None:
+            raise FastBackendUnsupported(reason)
 
 
 def resolve_planes(
@@ -113,10 +161,24 @@ def _kernel(
     max_strength: int,
     warmup: int,
     want_predictions: bool,
+    initial_k: int | None = None,
+    controller_params: tuple | None = None,
+    want_classes: bool = False,
 ):
     """One pass over the trace; returns (mispredictions, class counts,
-    predictions).  Everything below is deliberately inlined — this loop
-    is the fast backend's only remaining per-branch cost."""
+    predictions, class codes, final sat-prob log2).  Everything below is
+    deliberately inlined — this loop is the fast backend's only
+    remaining per-branch cost.
+
+    ``initial_k`` overrides the config's ``sat_prob_log2`` with the
+    automaton's *live* value (the §6.2 controller may have moved it
+    before the run).  ``controller_params`` — ``(target_mkp, window,
+    min_log2, max_log2, relax_fraction)`` — enables the in-kernel
+    adaptive feedback loop: high-confidence predictions are counted
+    exactly like :meth:`AdaptiveSaturationController.observe` and the
+    probability adapts at window boundaries *before* the branch's own
+    counter update, so the LFSR draw stream is identical to the
+    reference engine's."""
     n_tagged = config.n_tagged
     takens = planes.takens.tolist()
     bim_idx = planes.bimodal_indices.tolist()
@@ -140,11 +202,10 @@ def _kernel(
     update_alt = config.update_alt_when_u_zero
     randomized = config.allocation_policy == "randomized"
 
-    prob_k = (
-        config.sat_prob_log2
-        if config.automaton == AUTOMATON_PROBABILISTIC
-        else None
-    )
+    if config.automaton == AUTOMATON_PROBABILISTIC:
+        prob_k = config.sat_prob_log2 if initial_k is None else initial_k
+    else:
+        prob_k = None
     lfsr_state = config.lfsr_seed & _MASK32 or 0xDEADBEEF
     alloc_state = config.alloc_seed & _MASK32 or 0x12345678
 
@@ -194,6 +255,15 @@ def _kernel(
     misp_counts = [0] * 7
     since_miss = estimator_window if estimator_window is not None else 0
     predictions: list | None = [] if want_predictions else None
+    class_codes: list | None = [] if want_classes else None
+
+    if controller_params is not None:
+        ctrl_target, ctrl_window, ctrl_min, ctrl_max, ctrl_relax = controller_params
+    else:
+        ctrl_window = 0
+    ctrl_high = 0
+    ctrl_misp = 0
+    high_codes = _HIGH_CLASS_CODES
 
     for t in range(len(takens)):
         taken = takens[t]
@@ -262,6 +332,8 @@ def _kernel(
                 cls = 2  # medium-conf-bim
             else:
                 cls = 0  # high-conf-bim
+            if class_codes is not None:
+                class_codes.append(cls)
             if t >= warmup:
                 pred_counts[cls] += 1
                 if mispredicted:
@@ -271,6 +343,22 @@ def _kernel(
                     since_miss = 0
                 elif since_miss < estimator_window:
                     since_miss += 1
+
+            # -- §6.2 adaptive feedback, mirroring the reference order:
+            #    the controller observes (and may move the saturation
+            #    probability) *before* this branch's counter update.
+            if ctrl_window and cls in high_codes:
+                ctrl_high += 1
+                if mispredicted:
+                    ctrl_misp += 1
+                if ctrl_high >= ctrl_window:
+                    rate_mkp = 1000.0 * ctrl_misp / ctrl_high
+                    if rate_mkp > ctrl_target and prob_k < ctrl_max:
+                        prob_k += 1
+                    elif rate_mkp < ctrl_target * ctrl_relax and prob_k > ctrl_min:
+                        prob_k -= 1
+                    ctrl_high = 0
+                    ctrl_misp = 0
 
         # -- update (§3.2/§3.3), in the reference engine's exact order.
         allocate = mispredicted and provider < n_tagged
@@ -340,27 +428,41 @@ def _kernel(
             for u in u_tables:
                 u[:] = [value >> 1 for value in u]
 
-    return mispredictions, pred_counts, misp_counts, predictions
+    return mispredictions, pred_counts, misp_counts, predictions, class_codes, prob_k
+
+
+def _live_sat_prob_log2(predictor) -> int | None:
+    """The automaton's *current* saturation probability (None when the
+    automaton is not probabilistic).  The §6.2 controller — or a direct
+    assignment to ``saturation_probability_log2`` — may have moved it
+    away from the config value, and the reference engine reads the live
+    state."""
+    if predictor.config.automaton != AUTOMATON_PROBABILISTIC:
+        return None
+    return predictor.automaton.sat_prob_log2
 
 
 def simulate_tage_fast(
     trace,
     predictor,
     estimator=None,
+    controller=None,
     warmup_branches: int = 0,
     materialization: "PlaneCache | str | Path | None" = None,
     planes: TagePlanes | None = None,
 ) -> SimulationResult:
     """Fast-backend equivalent of :func:`repro.sim.engine.simulate` for
-    TAGE, with the §5 observation estimator optionally attached.
+    TAGE, with the §5 observation estimator and the §6.2 adaptive
+    saturation controller optionally attached.
 
     Raises:
-        FastBackendUnsupported: for subclassed predictor/estimator types
-            or path histories beyond the packed window width.
+        FastBackendUnsupported: for subclassed predictor/estimator/
+            controller types, a controller steering a different
+            predictor, or path histories beyond the packed window width.
     """
     if warmup_branches < 0:
         raise ValueError(f"warmup_branches must be non-negative, got {warmup_branches}")
-    _check_tage_cell(predictor, estimator)
+    _check_tage_cell(predictor, estimator, controller)
     config = predictor.config
     arrays = TraceArrays.from_trace(trace)
     resolved = resolve_planes(arrays, config, materialization, planes)
@@ -372,8 +474,28 @@ def simulate_tage_fast(
         estimator_window = estimator.bim_miss_window
         max_strength = (1 << estimator.predictor.config.ctr_bits) - 1
 
-    mispredictions, pred_counts, misp_counts, _ = _kernel(
-        config, resolved, estimator_window, max_strength, warmup_branches, False
+    # The controller only receives observations when an estimator is
+    # attached (exactly like the reference loop); without one it never
+    # adapts and only reports its starting probability.
+    controller_params = None
+    if controller is not None and estimator is not None:
+        controller_params = (
+            controller.target_mkp,
+            controller.window,
+            controller.min_log2,
+            controller.max_log2,
+            controller.relax_fraction,
+        )
+
+    mispredictions, pred_counts, misp_counts, _, _, final_k = _kernel(
+        config,
+        resolved,
+        estimator_window,
+        max_strength,
+        warmup_branches,
+        False,
+        initial_k=_live_sat_prob_log2(predictor),
+        controller_params=controller_params,
     )
 
     classes: ClassBreakdown | None = None
@@ -395,6 +517,7 @@ def simulate_tage_fast(
         mispredictions=mispredictions,
         storage_bits=predictor.storage_bits(),
         classes=classes,
+        final_sat_prob_log2=final_k if controller is not None else None,
     )
 
 
@@ -411,7 +534,45 @@ def tage_fast_predictions(
     """
     _check_tage_cell(predictor, None)
     resolved = resolve_planes(arrays, predictor.config, materialization, planes)
-    _, _, _, predictions = _kernel(
-        predictor.config, resolved, None, 0, 0, True
+    _, _, _, predictions, _, _ = _kernel(
+        predictor.config, resolved, None, 0, 0, True,
+        initial_k=_live_sat_prob_log2(predictor),
     )
     return np.asarray(predictions, dtype=bool)
+
+
+def observe_tage_fast(
+    trace,
+    predictor,
+    estimator,
+    materialization: "PlaneCache | str | Path | None" = None,
+    planes: TagePlanes | None = None,
+) -> tuple[list[bool], list[int]]:
+    """Per-branch (predictions, observation class codes) of one trace.
+
+    The code encoding is :data:`repro.sim.observe.OBSERVATION_CLASS_CODES`;
+    this is the fast producer behind
+    :func:`repro.sim.observe.observe_trace` and therefore the apps layer.
+
+    Raises:
+        FastBackendUnsupported: for cells outside the kernel's family.
+    """
+    if estimator is None:
+        raise FastBackendUnsupported(
+            "observation streams need the TAGE observation estimator"
+        )
+    _check_tage_cell(predictor, estimator)
+    config = predictor.config
+    arrays = TraceArrays.from_trace(trace)
+    resolved = resolve_planes(arrays, config, materialization, planes)
+    _, _, _, predictions, class_codes, _ = _kernel(
+        config,
+        resolved,
+        estimator.bim_miss_window,
+        (1 << estimator.predictor.config.ctr_bits) - 1,
+        0,
+        True,
+        initial_k=_live_sat_prob_log2(predictor),
+        want_classes=True,
+    )
+    return predictions, class_codes

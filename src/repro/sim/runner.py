@@ -114,10 +114,10 @@ def run_trace(
 
     ``backend`` and ``materialization_dir`` are threaded through to
     :func:`repro.sim.engine.simulate`.  ``backend="fast"`` runs every
-    TAGE preset/automaton with the observation estimator on the
-    plane-fed kernel; only ``adaptive=True`` (the run-time controller)
-    still falls back to the reference engine with a
-    :class:`~repro.sim.backends.FastBackendFallbackWarning`.
+    TAGE preset/automaton with the observation estimator — including
+    ``adaptive=True``, whose §6.2 feedback loop is folded into the
+    kernel with an identical decision/LFSR stream — on the plane-fed
+    kernel.
     """
     if adaptive:
         automaton = AUTOMATON_PROBABILISTIC

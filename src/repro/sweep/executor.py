@@ -18,13 +18,17 @@ components' fixed built-in seeds), results are bit-for-bit identical for
 any worker count.
 
 Two fast-backend refinements happen before fan-out: unsupported fast
-cells are probed once per distinct (predictor, estimator) pair and
-downgraded to the reference engine with a single
+cells are probed once per distinct (predictor, estimator, adaptive)
+cell and downgraded to the reference engine with a single
 :class:`FastBackendFallbackWarning` (instead of one warning per job per
 worker), and fast jobs are pointed at a shared on-disk plane
 materialization directory (``<cache root>/planes`` by default) so every
 (trace, TAGE-geometry) index/tag plane set is computed once per grid —
-not once per job — and memmapped by later jobs and later runs.
+not once per job — and memmapped by later jobs and later runs.  Every
+cell the default grids can express — all predictor kinds, all estimator
+kinds, adaptive §6.2 included — is inside the fast family, so a
+``backend="fast"`` sweep over them emits no warnings at all; the probe
+exists for subclassed components and >62-bit history windows.
 """
 
 from __future__ import annotations

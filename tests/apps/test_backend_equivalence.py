@@ -1,0 +1,127 @@
+"""The apps layer must be backend-invariant.
+
+Each application model is a replay pass over a per-branch observation
+stream (:func:`repro.sim.observe.observe_trace`); with the stream
+produced by the fast TAGE kernel the statistics must equal the
+reference run's exactly — and no :class:`FastBackendFallbackWarning`
+may fire, since the stream cells are inside the fast family.
+"""
+
+from __future__ import annotations
+
+import warnings
+
+import pytest
+
+np = pytest.importorskip("numpy")
+
+from repro.apps.fetch_gating import FetchGatingModel, GatingPolicy
+from repro.apps.multipath import MultipathModel, MultipathPolicy
+from repro.apps.smt_policy import SmtFetchModel, SmtPolicy
+from repro.confidence.estimator import TageConfidenceEstimator
+from repro.predictors.tage.config import TageConfig
+from repro.predictors.tage.predictor import TagePredictor
+from repro.sim.backends import FastBackendFallbackWarning
+from repro.sim.observe import observe_trace
+
+
+def make_pair(config=None):
+    predictor = TagePredictor(config or TageConfig.small())
+    return predictor, TageConfidenceEstimator(predictor)
+
+
+def test_observation_stream_is_bit_identical(tiny_trace):
+    reference = observe_trace(tiny_trace, *make_pair(), backend="reference")
+    with warnings.catch_warnings():
+        warnings.simplefilter("error", FastBackendFallbackWarning)
+        fast = observe_trace(tiny_trace, *make_pair(), backend="fast")
+    assert fast == reference
+    assert fast.levels == reference.levels
+    assert fast.classes == reference.classes
+
+
+def test_observation_stream_probabilistic_automaton(tiny_trace):
+    config = TageConfig.small().with_probabilistic_automaton(sat_prob_log2=3)
+    reference = observe_trace(tiny_trace, *make_pair(config), backend="reference")
+    fast = observe_trace(tiny_trace, *make_pair(config), backend="fast")
+    assert fast == reference
+
+
+def test_observation_stream_falls_back_for_subclass(tiny_trace):
+    class _SubclassedTage(TagePredictor):
+        pass
+
+    def run(backend):
+        predictor = _SubclassedTage(TageConfig.small())
+        estimator = TageConfidenceEstimator(predictor)
+        return observe_trace(tiny_trace, predictor, estimator, backend=backend)
+
+    reference = run("reference")
+    with pytest.warns(FastBackendFallbackWarning):
+        fallback = run("fast")
+    assert fallback == reference
+
+
+def test_replay_rejects_mismatched_stream_and_insts(tiny_trace, fp1_trace):
+    stream = observe_trace(tiny_trace, *make_pair())
+    model = FetchGatingModel(*make_pair())
+    with pytest.raises(ValueError, match="does not match"):
+        model.replay(stream, fp1_trace.insts)
+    smt = SmtFetchModel([(tiny_trace, *make_pair()), (tiny_trace, *make_pair())])
+    with pytest.raises(ValueError, match="one stream per thread"):
+        smt.replay([stream])
+    short = observe_trace(fp1_trace.head(10), *make_pair())
+    with pytest.raises(ValueError, match="does not match its trace"):
+        smt.replay([stream, short])
+
+
+@pytest.mark.parametrize("policy", [
+    GatingPolicy(),
+    GatingPolicy(gate_threshold=1.0, medium_weight=0.0),
+    GatingPolicy(gate_threshold=2.0, throttle_factor=0.5),
+])
+def test_fetch_gating_backend_invariant(tiny_trace, policy):
+    reference = FetchGatingModel(*make_pair(), policy=policy).run(
+        tiny_trace, backend="reference"
+    )
+    with warnings.catch_warnings():
+        warnings.simplefilter("error", FastBackendFallbackWarning)
+        fast = FetchGatingModel(*make_pair(), policy=policy).run(
+            tiny_trace, backend="fast"
+        )
+    assert fast == reference
+
+
+@pytest.mark.parametrize("policy", [
+    MultipathPolicy(),
+    MultipathPolicy(fork_on_medium=True, max_outstanding_forks=1),
+])
+def test_multipath_backend_invariant(tiny_trace, policy):
+    reference = MultipathModel(*make_pair(), policy=policy).run(
+        tiny_trace, backend="reference"
+    )
+    with warnings.catch_warnings():
+        warnings.simplefilter("error", FastBackendFallbackWarning)
+        fast = MultipathModel(*make_pair(), policy=policy).run(
+            tiny_trace, backend="fast"
+        )
+    assert fast == reference
+
+
+@pytest.mark.parametrize("policy", [SmtPolicy.ROUND_ROBIN, SmtPolicy.CONFIDENCE])
+def test_smt_backend_invariant(tiny_trace, fp1_trace, policy):
+    def make_model():
+        return SmtFetchModel(
+            [
+                (tiny_trace, *make_pair()),
+                (fp1_trace.head(len(tiny_trace)), *make_pair()),
+            ],
+            policy=policy,
+            max_cycles=2 * len(tiny_trace),
+        )
+
+    reference = make_model().run(backend="reference")
+    with warnings.catch_warnings():
+        warnings.simplefilter("error", FastBackendFallbackWarning)
+        fast = make_model().run(backend="fast")
+    assert fast == reference

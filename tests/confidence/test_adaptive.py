@@ -21,8 +21,17 @@ class TestConstruction:
         with pytest.raises(PredictorError):
             AdaptiveSaturationController(predictor)
 
-    def test_clamps_initial_probability(self):
+    def test_rejects_out_of_range_initial_probability(self):
+        """Regression: an out-of-range starting probability used to be
+        silently clamped into [min_log2, max_log2]; it must raise."""
         predictor = probabilistic_predictor(sat_prob_log2=15)
+        with pytest.raises(ValueError, match="outside the controller range"):
+            AdaptiveSaturationController(predictor, min_log2=0, max_log2=10)
+        # The failed construction must not have touched the predictor.
+        assert predictor.saturation_probability_log2 == 15
+
+    def test_accepts_boundary_initial_probability(self):
+        predictor = probabilistic_predictor(sat_prob_log2=10)
         AdaptiveSaturationController(predictor, min_log2=0, max_log2=10)
         assert predictor.saturation_probability_log2 == 10
 

@@ -1,0 +1,169 @@
+"""Backend differentials for the §6.2 adaptive saturation controller.
+
+The controller is the one model-zoo component whose state feeds back
+into the *probability* of future counter transitions, so the
+equivalence bar is the strictest in the repository: the fast kernel
+must reproduce the reference engine's decision stream — every class
+count, every adaptation step, and therefore every LFSR draw the moved
+probability gates — bit for bit.  Curated cells sweep the control
+parameters (window, target, relax fraction, bounds, starting
+probability) across behaviour families; the Hypothesis suite drives
+arbitrary traces × random TAGE geometries × random controller
+parameters through both backends.
+"""
+
+from __future__ import annotations
+
+import warnings
+
+import pytest
+
+np = pytest.importorskip("numpy")
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.confidence.adaptive import AdaptiveSaturationController
+from repro.confidence.estimator import TageConfidenceEstimator
+from repro.predictors.tage.config import TageConfig
+from repro.predictors.tage.predictor import TagePredictor
+from repro.sim.backends import FastBackendFallbackWarning
+from repro.sim.engine import simulate
+from repro.sim.fast import simulate_fast
+from repro.sim.runner import build_predictor, run_trace
+
+from .test_tage_differential_random import tage_configs, trace_strategy
+
+#: Curated controller parameterizations: default, tight/loose targets,
+#: tiny windows (many adaptations), narrowed probability bands and
+#: off-center starting probabilities.
+CONTROLLER_CELLS = [
+    ("default", dict()),
+    ("tight-target", dict(target_mkp=2.0, window=128)),
+    ("loose-target", dict(target_mkp=80.0, window=256)),
+    ("tiny-window", dict(window=64)),
+    ("narrow-band", dict(min_log2=4, max_log2=8, window=128)),
+    ("eager-relax", dict(relax_fraction=0.9, window=128)),
+]
+
+TRACE_FIXTURES = ("int1_trace", "serv1_trace", "twolf_trace")
+
+
+@pytest.fixture(params=TRACE_FIXTURES)
+def trace(request):
+    return request.getfixturevalue(request.param)
+
+
+def run_adaptive(trace, backend, initial_k=7, warmup=1000, **controller_kwargs):
+    predictor = build_predictor(
+        "16K", automaton="probabilistic", sat_prob_log2=initial_k
+    )
+    estimator = TageConfidenceEstimator(predictor)
+    controller = AdaptiveSaturationController(predictor, **controller_kwargs)
+    return simulate(
+        trace, predictor, estimator, controller,
+        warmup_branches=warmup, backend=backend,
+    )
+
+
+@pytest.mark.parametrize("label,kwargs", CONTROLLER_CELLS,
+                         ids=[label for label, _ in CONTROLLER_CELLS])
+def test_adaptive_cell_is_bit_identical(trace, label, kwargs):
+    reference = run_adaptive(trace, "reference", **kwargs)
+    with warnings.catch_warnings():
+        warnings.simplefilter("error", FastBackendFallbackWarning)
+        fast = run_adaptive(trace, "fast", **kwargs)
+    assert fast == reference
+    assert fast.final_sat_prob_log2 == reference.final_sat_prob_log2
+
+
+@pytest.mark.parametrize("initial_k", [0, 3, 10])
+def test_starting_probability_is_bit_identical(int1_trace, initial_k):
+    reference = run_adaptive(int1_trace, "reference", initial_k=initial_k, window=128)
+    fast = run_adaptive(int1_trace, "fast", initial_k=initial_k, window=128)
+    assert fast == reference
+
+
+def test_run_trace_adaptive_matches_across_sizes(int1_trace):
+    for size in ("16K", "64K"):
+        reference = run_trace(int1_trace, size=size, adaptive=True, target_mkp=5.0)
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", FastBackendFallbackWarning)
+            fast = run_trace(
+                int1_trace, size=size, adaptive=True, target_mkp=5.0, backend="fast"
+            )
+        assert fast == reference
+
+
+def test_moved_live_probability_is_respected(int1_trace):
+    """The kernel must start from the automaton's *live* probability:
+    the reference engine reads predictor state, not the config."""
+    def run(backend):
+        predictor = build_predictor("16K", automaton="probabilistic", sat_prob_log2=7)
+        predictor.saturation_probability_log2 = 2  # moved after construction
+        estimator = TageConfidenceEstimator(predictor)
+        return simulate(int1_trace, predictor, estimator, backend=backend)
+
+    assert run("fast") == run("reference")
+
+
+def test_fast_path_leaves_controller_and_predictor_untouched(int1_trace):
+    """Power-on contract: the fast run must not move the probability or
+    record adjustments on the passed-in instances."""
+    predictor = build_predictor("16K", automaton="probabilistic", sat_prob_log2=7)
+    estimator = TageConfidenceEstimator(predictor)
+    controller = AdaptiveSaturationController(predictor, window=64, target_mkp=2.0)
+    result = simulate(
+        int1_trace, predictor, estimator, controller, backend="fast"
+    )
+    assert controller.adjustments == []
+    assert predictor.saturation_probability_log2 == 7
+    # ... while the *result* reports where the probability ended up.
+    assert result.final_sat_prob_log2 is not None
+
+
+def controller_params():
+    return st.tuples(
+        st.floats(0.5, 200.0),   # target_mkp
+        st.integers(8, 300),     # window
+        st.integers(0, 6),       # min_log2
+        st.integers(0, 6),       # max span above min
+        st.floats(0.05, 0.95),   # relax_fraction
+    )
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    trace=trace_strategy(),
+    config=tage_configs(),
+    params=controller_params(),
+    warmup_fraction=st.floats(0.0, 1.0),
+)
+def test_random_adaptive_cells(trace, config, params, warmup_fraction):
+    target_mkp, window, min_log2, span, relax_fraction = params
+    max_log2 = min_log2 + span
+    config = config.with_probabilistic_automaton(
+        sat_prob_log2=min(max(config.sat_prob_log2, min_log2), max_log2)
+    )
+    warmup = int(len(trace) * warmup_fraction)
+
+    def run(engine):
+        predictor = TagePredictor(config)
+        estimator = TageConfidenceEstimator(predictor)
+        controller = AdaptiveSaturationController(
+            predictor,
+            target_mkp=target_mkp,
+            window=window,
+            min_log2=min_log2,
+            max_log2=max_log2,
+            relax_fraction=relax_fraction,
+        )
+        result = engine(
+            trace, predictor, estimator, controller, warmup_branches=warmup
+        )
+        return result
+
+    reference = run(simulate)
+    fast = run(simulate_fast)
+    assert fast == reference
+    assert fast.final_sat_prob_log2 == reference.final_sat_prob_log2

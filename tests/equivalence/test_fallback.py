@@ -1,13 +1,13 @@
 """Fallback semantics: unsupported configurations warn and stay correct.
 
 ``backend="fast"`` is a request, not a contract: cells the fast engine
-cannot reproduce bit-exactly (perceptron/O-GEHL self-confidence, the
-adaptive saturation controller, >62-bit histories, any subclass of a
+cannot reproduce bit-exactly (>62-bit histories, any subclass of a
 supported component) must fall back to the reference engine with a
 :class:`FastBackendFallbackWarning` — and produce exactly the reference
-results.  TAGE cells — including the multi-class observation estimator
-— are inside the fast family since the plane-fed kernel and must *not*
-warn.
+results.  Everything the stock model zoo can express — TAGE with the
+observation estimator and the §6.2 adaptive controller, the
+perceptron/O-GEHL self-confidence cells, the local predictor — is
+inside the fast family and must *not* warn.
 """
 
 from __future__ import annotations
@@ -18,11 +18,14 @@ import pytest
 
 np = pytest.importorskip("numpy")
 
+from repro.confidence.adaptive import AdaptiveSaturationController
 from repro.confidence.estimator import TageConfidenceEstimator
 from repro.confidence.jrs import JrsEstimator
 from repro.confidence.self_confidence import SelfConfidenceEstimator
 from repro.predictors.bimodal import BimodalPredictor
 from repro.predictors.gshare import GsharePredictor
+from repro.predictors.local import LocalHistoryPredictor
+from repro.predictors.ogehl import OgehlPredictor
 from repro.predictors.perceptron import PerceptronPredictor
 from repro.predictors.tage.predictor import TagePredictor
 from repro.sim.backends import FastBackendFallbackWarning, FastBackendUnsupported
@@ -47,20 +50,35 @@ class _SubclassedTage(TagePredictor):
     """Same exact-type rule for the TAGE kernel."""
 
 
+class _SubclassedPerceptron(PerceptronPredictor):
+    """Same exact-type rule for the dot-product kernels."""
+
+
+class _SubclassedController(AdaptiveSaturationController):
+    """Same exact-type rule for the in-kernel §6.2 feedback loop."""
+
+
 def test_supports_predictor_truth_table():
     assert supports_predictor(BimodalPredictor())
     assert supports_predictor(GsharePredictor())
     assert supports_predictor(build_predictor("16K"))
+    assert supports_predictor(PerceptronPredictor())
+    assert supports_predictor(OgehlPredictor())
+    assert supports_predictor(LocalHistoryPredictor())
     assert not supports_predictor(_SubclassedBimodal())
-    assert not supports_predictor(PerceptronPredictor())
+    assert not supports_predictor(_SubclassedPerceptron())
     assert not supports_predictor(_SubclassedTage(build_predictor("16K").config))
 
 
 def test_supports_estimator_truth_table():
     assert supports_estimator(JrsEstimator())
     assert supports_estimator(TageConfidenceEstimator(build_predictor("16K")))
-    perceptron = PerceptronPredictor()
-    assert not supports_estimator(SelfConfidenceEstimator(perceptron))
+    assert supports_estimator(SelfConfidenceEstimator(PerceptronPredictor()))
+
+    class _SubclassedSelf(SelfConfidenceEstimator):
+        pass
+
+    assert not supports_estimator(_SubclassedSelf(OgehlPredictor()))
 
 
 def test_fast_engine_raises_for_subclassed_tage(tiny_trace):
@@ -104,14 +122,23 @@ def test_wide_path_register_with_short_histories_stays_fast(tiny_trace):
     assert fast == reference
 
 
-def test_fast_engine_raises_for_adaptive_controller(tiny_trace):
-    from repro.confidence.adaptive import AdaptiveSaturationController
-
+def test_fast_engine_raises_for_subclassed_controller(tiny_trace):
     predictor = build_predictor("16K", automaton="probabilistic")
     estimator = TageConfidenceEstimator(predictor)
-    controller = AdaptiveSaturationController(predictor)
+    controller = _SubclassedController(predictor)
     with pytest.raises(FastBackendUnsupported, match="adaptive saturation controller"):
         simulate_fast(tiny_trace, predictor, estimator, controller)
+
+
+def test_fast_engine_raises_for_controller_predictor_mismatch(tiny_trace):
+    """A controller steering a different predictor instance than the
+    simulated one cannot be folded into the kernel."""
+    simulated = build_predictor("16K", automaton="probabilistic")
+    other = build_predictor("16K", automaton="probabilistic")
+    controller = AdaptiveSaturationController(other)
+    estimator = TageConfidenceEstimator(simulated)
+    with pytest.raises(FastBackendUnsupported, match="different predictor"):
+        simulate_fast(tiny_trace, simulated, estimator, controller)
 
 
 def test_fast_engine_raises_for_oversized_history(tiny_trace):
@@ -119,6 +146,13 @@ def test_fast_engine_raises_for_oversized_history(tiny_trace):
     engine's Python bigints have no such bound)."""
     with pytest.raises(FastBackendUnsupported, match="window width"):
         simulate_fast(tiny_trace, GsharePredictor(history_length=70))
+    with pytest.raises(FastBackendUnsupported, match="window width"):
+        simulate_fast(tiny_trace, PerceptronPredictor(history_length=70))
+    with pytest.raises(FastBackendUnsupported, match="window width"):
+        simulate_fast(
+            tiny_trace,
+            LocalHistoryPredictor(history_length=70, log_pht=12, shared_pht=False),
+        )
     with pytest.raises(FastBackendUnsupported, match="window width"):
         simulate_binary_fast(
             tiny_trace, GsharePredictor(), JrsEstimator(history_length=80)
@@ -131,12 +165,45 @@ def test_fast_engine_raises_for_oversized_history(tiny_trace):
     assert fallback == reference
 
 
-def test_fast_engine_raises_for_self_confidence(tiny_trace):
-    perceptron = PerceptronPredictor()
-    with pytest.raises(FastBackendUnsupported, match="not vectorizable"):
+def test_oversized_numeric_widths_fall_back_instead_of_overflowing(tiny_trace):
+    """Regression: widths beyond what int64 tables can represent must
+    take the warn-and-fall-back path, not crash with OverflowError."""
+    def run_wide_perceptron(backend):
+        predictor = PerceptronPredictor(weight_bits=65)
+        return simulate_binary(
+            tiny_trace, predictor, SelfConfidenceEstimator(predictor),
+            backend=backend,
+        )
+
+    reference = run_wide_perceptron("reference")
+    with pytest.warns(FastBackendFallbackWarning, match="weight_bits"):
+        fallback = run_wide_perceptron("fast")
+    assert fallback == reference
+
+    wide_jrs = JrsEstimator(counter_bits=70, threshold=15)
+    reference = simulate_binary(tiny_trace, GsharePredictor(), wide_jrs)
+    with pytest.warns(FastBackendFallbackWarning, match="counter_bits"):
+        fallback = simulate_binary(
+            tiny_trace, GsharePredictor(), JrsEstimator(counter_bits=70, threshold=15),
+            backend="fast",
+        )
+    assert fallback == reference
+
+
+def test_fast_engine_raises_for_subclassed_self_confidence(tiny_trace):
+    perceptron = _SubclassedPerceptron()
+    with pytest.raises(FastBackendUnsupported, match="window width|not vectorizable"):
         simulate_binary_fast(
             tiny_trace, perceptron, SelfConfidenceEstimator(perceptron)
         )
+
+
+def test_fast_engine_raises_for_self_confidence_predictor_mismatch(tiny_trace):
+    """The estimator must observe the simulated predictor instance."""
+    simulated = PerceptronPredictor()
+    other = PerceptronPredictor()
+    with pytest.raises(FastBackendUnsupported, match="different"):
+        simulate_binary_fast(tiny_trace, simulated, SelfConfidenceEstimator(other))
 
 
 def test_simulate_tage_runs_fast_without_warning(tiny_trace):
@@ -156,14 +223,18 @@ def test_simulate_subclassed_tage_falls_back_with_warning(tiny_trace):
     assert fallback == reference
 
 
-def test_simulate_adaptive_controller_falls_back(tiny_trace):
+def test_simulate_adaptive_controller_runs_fast_without_warning(tiny_trace):
+    """The §6.2 controller is folded into the kernel: no fallback, same
+    results — final saturation probability included."""
     reference = run_trace(tiny_trace, size="16K", adaptive=True)
-    with pytest.warns(FastBackendFallbackWarning):
-        fallback = run_trace(tiny_trace, size="16K", adaptive=True, backend="fast")
-    assert fallback == reference
+    with warnings.catch_warnings():
+        warnings.simplefilter("error", FastBackendFallbackWarning)
+        fast = run_trace(tiny_trace, size="16K", adaptive=True, backend="fast")
+    assert fast == reference
+    assert fast.final_sat_prob_log2 == reference.final_sat_prob_log2
 
 
-def test_simulate_binary_self_confidence_falls_back(tiny_trace):
+def test_simulate_binary_self_confidence_runs_fast_without_warning(tiny_trace):
     def run(backend):
         perceptron = PerceptronPredictor()
         return simulate_binary(
@@ -172,9 +243,10 @@ def test_simulate_binary_self_confidence_falls_back(tiny_trace):
         )
 
     reference = run("reference")
-    with pytest.warns(FastBackendFallbackWarning):
-        fallback = run("fast")
-    assert fallback == reference
+    with warnings.catch_warnings():
+        warnings.simplefilter("error", FastBackendFallbackWarning)
+        fast = run("fast")
+    assert fast == reference
 
 
 def test_run_trace_fast_backend_matches_reference(tiny_trace):
@@ -190,6 +262,8 @@ def test_supported_cells_do_not_warn(tiny_trace):
     with warnings.catch_warnings():
         warnings.simplefilter("error", FastBackendFallbackWarning)
         simulate(tiny_trace, BimodalPredictor(), backend="fast")
+        simulate(tiny_trace, LocalHistoryPredictor(), backend="fast")
+        simulate(tiny_trace, OgehlPredictor(), backend="fast")
         simulate_binary(
             tiny_trace, GsharePredictor(), JrsEstimator(), backend="fast"
         )
@@ -198,6 +272,10 @@ def test_supported_cells_do_not_warn(tiny_trace):
                  backend="fast")
         simulate_binary(
             tiny_trace, build_predictor("16K"), JrsEstimator(), backend="fast"
+        )
+        ogehl = OgehlPredictor()
+        simulate_binary(
+            tiny_trace, ogehl, SelfConfidenceEstimator(ogehl), backend="fast"
         )
 
 
@@ -221,7 +299,7 @@ def test_executor_fast_job_with_tage_estimator_matches_reference():
     assert fast.binary == reference.binary
 
 
-def test_executor_fast_adaptive_job_falls_back():
+def test_executor_fast_adaptive_job_runs_fast_without_warning():
     job = JobSpec(
         predictor=PredictorSpec.of("tage", size="16K", automaton="probabilistic"),
         estimator=EstimatorSpec.of("tage"),
@@ -235,10 +313,31 @@ def test_executor_fast_adaptive_job_falls_back():
         trace=job.trace, n_branches=job.n_branches, adaptive=True,
     )
     reference = execute_job(reference_job)
-    with pytest.warns(FastBackendFallbackWarning):
-        fallback = execute_job(job)
-    assert fallback.result == reference.result
-    assert fallback.binary == reference.binary
+    with warnings.catch_warnings():
+        warnings.simplefilter("error", FastBackendFallbackWarning)
+        fast = execute_job(job)
+    assert fast.result == reference.result
+    assert fast.binary == reference.binary
+
+
+def test_executor_fast_self_confidence_job_runs_fast_without_warning():
+    job = JobSpec(
+        predictor=PredictorSpec.of("perceptron"),
+        estimator=EstimatorSpec.of("self"),
+        trace="MM-1",
+        n_branches=1_500,
+        backend="fast",
+    )
+    reference_job = JobSpec(
+        predictor=job.predictor, estimator=job.estimator,
+        trace=job.trace, n_branches=job.n_branches,
+    )
+    reference = execute_job(reference_job)
+    with warnings.catch_warnings():
+        warnings.simplefilter("error", FastBackendFallbackWarning)
+        fast = execute_job(job)
+    assert fast.result == reference.result
+    assert fast.binary == reference.binary
 
 
 def test_unknown_backend_is_rejected(tiny_trace):

@@ -10,11 +10,16 @@ from __future__ import annotations
 import json
 from pathlib import Path
 
+from repro.confidence.adaptive import AdaptiveSaturationController
 from repro.confidence.classes import CLASS_ORDER
 from repro.confidence.estimator import TageConfidenceEstimator
 from repro.confidence.jrs import EnhancedJrsEstimator, JrsEstimator
+from repro.confidence.self_confidence import SelfConfidenceEstimator
 from repro.predictors.bimodal import BimodalPredictor
 from repro.predictors.gshare import GsharePredictor
+from repro.predictors.local import LocalHistoryPredictor
+from repro.predictors.ogehl import OgehlPredictor
+from repro.predictors.perceptron import PerceptronPredictor
 from repro.sim.engine import simulate, simulate_binary
 from repro.sim.runner import build_predictor, get_trace
 
@@ -90,10 +95,53 @@ FIXTURE_CONFIGS: list[dict] = [
                                  "sat_prob_log2": 3}},
         "estimator": {"kind": "tage", "params": {}},
     },
+    {
+        # §6.2 run-time adaptive saturation probability: a window small
+        # enough to adapt several times inside the fixture, so the
+        # frozen numbers pin the whole feedback/LFSR interaction.
+        "name": "serv1_tage16k_adaptive",
+        "trace": "SERV-1", "n_branches": 4000, "warmup_branches": 1000,
+        "predictor": {"kind": "tage",
+                      "params": {"size": "16K", "automaton": "probabilistic",
+                                 "sat_prob_log2": 7}},
+        "estimator": {"kind": "tage", "params": {}},
+        "adaptive": {"target_mkp": 10.0, "window": 256},
+    },
+    {
+        # Perceptron self-confidence (§2.2 storage-free prior art).
+        "name": "mm1_perceptron_self",
+        "trace": "MM-1", "n_branches": 4000, "warmup_branches": 500,
+        "predictor": {"kind": "perceptron",
+                      "params": {"log_entries": 8, "history_length": 20}},
+        "estimator": {"kind": "self", "params": {}},
+    },
+    {
+        # O-GEHL self-confidence with the adaptive TC threshold active.
+        "name": "twolf_ogehl_self",
+        "trace": "300.twolf", "n_branches": 4000, "warmup_branches": 500,
+        "predictor": {"kind": "ogehl", "params": {}},
+        "estimator": {"kind": "self", "params": {}},
+    },
+    {
+        # Two-level local history baseline (PAg shape).
+        "name": "int1_local_plain",
+        "trace": "INT-1", "n_branches": 4000, "warmup_branches": 0,
+        "predictor": {"kind": "local",
+                      "params": {"log_histories": 8, "history_length": 8,
+                                 "log_pht": 10}},
+        "estimator": None,
+    },
 ]
 
-_PREDICTORS = {"bimodal": BimodalPredictor, "gshare": GsharePredictor}
+_PREDICTORS = {
+    "bimodal": BimodalPredictor,
+    "gshare": GsharePredictor,
+    "perceptron": PerceptronPredictor,
+    "ogehl": OgehlPredictor,
+    "local": LocalHistoryPredictor,
+}
 _BINARY_ESTIMATORS = {"jrs": JrsEstimator, "ejrs": EnhancedJrsEstimator}
+_SELF_PREDICTORS = ("perceptron", "ogehl")
 
 
 def build_predictor_from(config: dict):
@@ -110,18 +158,27 @@ def build_estimator_from(config: dict, predictor):
         return None
     if spec["kind"] == "tage":
         return TageConfidenceEstimator(predictor, **spec["params"])
+    if spec["kind"] == "self":
+        return SelfConfidenceEstimator(predictor, **spec["params"])
     return _BINARY_ESTIMATORS[spec["kind"]](**spec["params"])
 
 
 def fast_supported(config: dict) -> bool:
-    """Is this cell inside the fast backend's bit-exact family?"""
+    """Is this cell inside the fast backend's bit-exact family?
+
+    With the whole stock model zoo vectorized — adaptive §6.2 control
+    and self-confidence included — every expressible fixture cell is.
+    """
     estimator = config["estimator"]
     if config["predictor"]["kind"] == "tage":
         # The plane-fed kernel covers every TAGE preset/automaton, plain
-        # or with the multi-class observation estimator attached.
+        # or with the multi-class observation estimator attached — the
+        # §6.2 adaptive controller included.
         return estimator is None or estimator["kind"] in ("tage", *_BINARY_ESTIMATORS)
     if config["predictor"]["kind"] not in _PREDICTORS:
         return False
+    if estimator is not None and estimator["kind"] == "self":
+        return config["predictor"]["kind"] in _SELF_PREDICTORS
     return estimator is None or estimator["kind"] in _BINARY_ESTIMATORS
 
 
@@ -133,8 +190,13 @@ def run_cell(config: dict, backend: str) -> dict:
     warmup = config["warmup_branches"]
 
     if estimator is None or config["estimator"]["kind"] == "tage":
+        controller = None
+        if config.get("adaptive"):
+            controller = AdaptiveSaturationController(
+                predictor, **config["adaptive"]
+            )
         result = simulate(
-            trace, predictor, estimator=estimator,
+            trace, predictor, estimator=estimator, controller=controller,
             warmup_branches=warmup, backend=backend,
         )
         confusion = result.binary_confusion()
@@ -153,6 +215,8 @@ def run_cell(config: dict, backend: str) -> dict:
         "storage_bits": result.storage_bits,
         "predictor_name": result.predictor_name,
     }
+    if result.final_sat_prob_log2 is not None:
+        expected["final_sat_prob_log2"] = result.final_sat_prob_log2
     if estimator_bits is not None:
         expected["estimator_bits"] = estimator_bits
     if confusion is not None:

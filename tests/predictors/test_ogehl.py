@@ -94,3 +94,14 @@ class TestOgehl:
             OgehlPredictor(n_tables=1)
         with pytest.raises(ValueError):
             OgehlPredictor(log_entries=0)
+
+    def test_degenerate_geometric_series_trains(self):
+        """Regression: duplicate-bumped history lengths can exceed
+        max_history; the history register must cover the actual longest
+        window (the TAGE predictor got the same fix earlier)."""
+        predictor = OgehlPredictor(
+            n_tables=7, log_entries=4, min_history=6, max_history=6
+        )
+        assert predictor.history_lengths[-1] > 6
+        for step in range(64):
+            predictor.predict_and_train(0x40 + 4 * (step % 5), step % 3 == 0)

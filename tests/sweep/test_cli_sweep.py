@@ -21,6 +21,19 @@ class TestSweepParser:
         with pytest.raises(SystemExit):
             main(["sweep", "--traces", "NOPE-1", "--no-cache"])
 
+    def test_target_mkp_without_adaptive_exits(self):
+        """The target would change nothing but the cache keys."""
+        with pytest.raises(SystemExit, match="--adaptive"):
+            main(["sweep", "--target-mkp", "12", "--no-cache"])
+
+    def test_adaptive_sweep_runs(self, capsys):
+        assert main([
+            "sweep", "--branches", "400", "--traces", "INT-1",
+            "--predictors", "tage-16K-prob", "--estimators", "tage",
+            "--adaptive", "--target-mkp", "5", "--no-cache",
+        ]) == 0
+        assert "tage-16K-prob" in capsys.readouterr().out
+
 
 class TestSweepCommand:
     ARGS = [

@@ -1,0 +1,115 @@
+"""Unit tests for the CI bench-trajectory guard script.
+
+The guard must fail with a *clear one-line message* — never a stack
+trace — for every malformed-input shape CI can hand it: an empty or
+missing baseline directory, unparseable record JSON, and records
+without a numeric ``speedup`` field.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import json
+from pathlib import Path
+
+import pytest
+
+_TOOL_PATH = Path(__file__).resolve().parents[2] / "tools" / "check_bench_trajectory.py"
+
+_spec = importlib.util.spec_from_file_location("check_bench_trajectory", _TOOL_PATH)
+tool = importlib.util.module_from_spec(_spec)
+_spec.loader.exec_module(tool)
+
+
+def write_record(root: Path, name: str, speedup) -> Path:
+    root.mkdir(parents=True, exist_ok=True)
+    path = root / f"BENCH_{name}.json"
+    path.write_text(json.dumps({"bench": name, "speedup": speedup}) + "\n")
+    return path
+
+
+class TestLoadRecords:
+    def test_loads_well_formed_records(self, tmp_path):
+        write_record(tmp_path, "a", 4.5)
+        write_record(tmp_path, "b", 9)
+        records = tool.load_records(tmp_path)
+        assert sorted(records) == ["BENCH_a.json", "BENCH_b.json"]
+        assert records["BENCH_a.json"]["speedup"] == 4.5
+
+    def test_invalid_json_raises_record_error(self, tmp_path):
+        (tmp_path / "BENCH_broken.json").write_text("{not json")
+        with pytest.raises(tool.RecordLoadError, match="not valid JSON"):
+            tool.load_records(tmp_path)
+
+    @pytest.mark.parametrize("payload", [{}, {"speedup": "fast"}, {"speedup": True}, [1, 2]])
+    def test_missing_or_non_numeric_speedup_raises(self, tmp_path, payload):
+        (tmp_path / "BENCH_bad.json").write_text(json.dumps(payload))
+        with pytest.raises(tool.RecordLoadError, match="speedup"):
+            tool.load_records(tmp_path)
+
+
+class TestMain:
+    def run(self, *argv):
+        return tool.main(list(argv))
+
+    def test_empty_baseline_dir_fails_with_message(self, tmp_path, capsys):
+        baseline = tmp_path / "records"
+        baseline.mkdir()
+        fresh = tmp_path / "fresh"
+        code = self.run("--fresh", str(fresh), "--baseline", str(baseline))
+        assert code == 1
+        err = capsys.readouterr().err
+        assert "no BENCH_*.json baselines" in err
+
+    def test_missing_baseline_dir_fails_with_message(self, tmp_path, capsys):
+        code = self.run(
+            "--fresh", str(tmp_path / "fresh"),
+            "--baseline", str(tmp_path / "does-not-exist"),
+        )
+        assert code == 1
+        assert "no BENCH_*.json baselines" in capsys.readouterr().err
+
+    def test_malformed_baseline_fails_with_message_not_traceback(self, tmp_path, capsys):
+        baseline = tmp_path / "records"
+        baseline.mkdir()
+        (baseline / "BENCH_bad.json").write_text("{truncated")
+        code = self.run("--fresh", str(tmp_path / "fresh"), "--baseline", str(baseline))
+        assert code == 1
+        err = capsys.readouterr().err
+        assert "error: malformed record" in err
+        assert "BENCH_bad.json" in err
+
+    def test_malformed_fresh_record_fails_with_message(self, tmp_path, capsys):
+        baseline = tmp_path / "records"
+        write_record(baseline, "a", 5.0)
+        fresh = tmp_path / "fresh"
+        fresh.mkdir()
+        (fresh / "BENCH_a.json").write_text(json.dumps({"speedup": None}))
+        code = self.run("--fresh", str(fresh), "--baseline", str(baseline))
+        assert code == 1
+        assert "speedup" in capsys.readouterr().err
+
+    def test_regression_detected(self, tmp_path, capsys):
+        baseline = tmp_path / "records"
+        write_record(baseline, "a", 10.0)
+        fresh = tmp_path / "fresh"
+        write_record(fresh, "a", 2.0)
+        code = self.run("--fresh", str(fresh), "--baseline", str(baseline))
+        assert code == 1
+        assert "REGRESSION" in capsys.readouterr().out
+
+    def test_within_tolerance_passes(self, tmp_path, capsys):
+        baseline = tmp_path / "records"
+        write_record(baseline, "a", 10.0)
+        fresh = tmp_path / "fresh"
+        write_record(fresh, "a", 8.0)
+        code = self.run("--fresh", str(fresh), "--baseline", str(baseline))
+        assert code == 0
+        assert "all 1 record(s)" in capsys.readouterr().out
+
+    def test_missing_fresh_measurement_fails(self, tmp_path, capsys):
+        baseline = tmp_path / "records"
+        write_record(baseline, "a", 10.0)
+        code = self.run("--fresh", str(tmp_path / "fresh"), "--baseline", str(baseline))
+        assert code == 1
+        assert "MISSING" in capsys.readouterr().out

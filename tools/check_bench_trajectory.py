@@ -27,11 +27,35 @@ from pathlib import Path
 DEFAULT_BASELINE = Path(__file__).resolve().parent.parent / "benchmarks" / "records"
 
 
+class RecordLoadError(RuntimeError):
+    """A BENCH_*.json record could not be read or is malformed."""
+
+
 def load_records(root: Path) -> dict[str, dict]:
+    """All ``BENCH_*.json`` records under ``root``, keyed by file name.
+
+    Raises:
+        RecordLoadError: for an unreadable/unparseable record file, or a
+            record without a numeric ``speedup`` field — with the
+            offending path in the message, instead of a stack trace.
+    """
     records = {}
     for path in sorted(root.glob("BENCH_*.json")):
-        with path.open() as fh:
-            records[path.name] = json.load(fh)
+        try:
+            with path.open() as fh:
+                payload = json.load(fh)
+        except OSError as error:
+            raise RecordLoadError(f"cannot read record {path}: {error}") from error
+        except json.JSONDecodeError as error:
+            raise RecordLoadError(
+                f"malformed record {path}: not valid JSON ({error})"
+            ) from error
+        speedup = payload.get("speedup") if isinstance(payload, dict) else None
+        if not isinstance(speedup, (int, float)) or isinstance(speedup, bool):
+            raise RecordLoadError(
+                f"malformed record {path}: missing a numeric 'speedup' field"
+            )
+        records[path.name] = payload
     return records
 
 
@@ -47,11 +71,20 @@ def main(argv: list[str] | None = None) -> int:
 
     if not 0 <= args.tolerance < 1:
         parser.error(f"--tolerance must be in [0, 1), got {args.tolerance}")
-    baselines = load_records(args.baseline)
-    if not baselines:
-        print(f"error: no BENCH_*.json baselines under {args.baseline}", file=sys.stderr)
+    try:
+        baselines = load_records(args.baseline) if args.baseline.is_dir() else {}
+        fresh = load_records(args.fresh) if args.fresh.is_dir() else {}
+    except RecordLoadError as error:
+        print(f"error: {error}", file=sys.stderr)
         return 1
-    fresh = load_records(args.fresh) if args.fresh.is_dir() else {}
+    if not baselines:
+        print(
+            f"error: no BENCH_*.json baselines under {args.baseline} "
+            "(missing or empty directory - run the perf benches and commit "
+            "their records first)",
+            file=sys.stderr,
+        )
+        return 1
 
     failures = []
     print(f"{'record':<28} {'baseline':>9} {'fresh':>9} {'floor':>9}  verdict")
