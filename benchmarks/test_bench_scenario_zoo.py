@@ -1,0 +1,49 @@
+"""Scenario zoo: every registered trace source through the 16 Kbit TAGE
+observation cell, plus the adversarial confidence-inversion grid — the
+``SCENARIO_ZOO`` artifact (beyond paper).
+
+Shape expectations: the benign generator sources sit at ordinary
+misprediction rates while the adversarial ones stand out on their
+target metric — the tag-aliasing storm in raw misp/KI, the inversion
+source in collapsed JRS/EJRS high-confidence precision versus the
+synthetic baseline.
+"""
+
+from conftest import bench_artifact, bench_branches, emit, run_once  # noqa: F401
+
+from repro.artifacts.registry import ZOO_BASELINE_TRACE
+from repro.traces.sources import ADVERSARIAL_SOURCE_NAMES, ZOO_SOURCE_NAMES
+
+
+def test_scenario_zoo(run_once):
+    artifact = run_once(lambda: bench_artifact("SCENARIO_ZOO"))
+    emit("scenario_zoo", artifact.text)
+
+    # One observation row per registered zoo source, every cell finite.
+    observation = artifact.data["observation"]
+    assert tuple(result.trace_name for result in observation) == ZOO_SOURCE_NAMES
+    for result in observation:
+        assert result.n_branches == bench_branches()
+        assert result.mpki >= 0.0
+
+    # The adversarial grid crosses both JRS variants with the baseline.
+    adversarial = artifact.data["adversarial"]
+    traces = {row["trace"] for row in adversarial}
+    assert traces == {ZOO_BASELINE_TRACE, "zoo.jrs-inversion"}
+    assert {row["estimator"] for row in adversarial} == {"jrs", "ejrs"}
+
+    # Confidence inversion: high-confidence precision collapses versus
+    # the synthetic baseline for *both* estimator variants.
+    for estimator in ("jrs", "ejrs"):
+        baseline = artifact.cells[f"{estimator}/{ZOO_BASELINE_TRACE}/pvp"]
+        attacked = artifact.cells[f"{estimator}/zoo.jrs-inversion/pvp"]
+        assert baseline > 0.9
+        assert attacked < baseline - 0.05
+
+    # Difficulty spread: the loop-nest source is TAGE's easiest zoo
+    # trace by far (every exit fits in history), while the tag-aliasing
+    # storm keeps the tagged tables churning well above it.
+    mpki = {name: artifact.cells[f"{name}/mpki"] for name in ZOO_SOURCE_NAMES}
+    assert min(mpki, key=mpki.get) == "zoo.loopnest"
+    assert mpki["zoo.tag-storm"] > 5 * mpki["zoo.loopnest"]
+    assert all(name in mpki for name in ADVERSARIAL_SOURCE_NAMES)

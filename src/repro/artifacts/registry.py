@@ -22,6 +22,7 @@ Registered artifacts:
 ``ABL_CTR_WIDTH``     §6 — 4-bit counters vs probabilistic saturation
 ``APP_FETCH_GATING``  beyond paper — confidence-directed fetch gating
 ``APP_SMT_FETCH``     beyond paper — confidence-directed SMT fetch policy
+``SCENARIO_ZOO``      beyond paper — trace-source scenario zoo
 ====================  =======================================================
 
 Absolute cell values differ from the paper (synthetic traces, reduced
@@ -54,6 +55,7 @@ from repro.sim.observe import observe_trace
 from repro.sim.runner import get_trace
 from repro.sim.stats import SuiteSummary, summarize
 from repro.sweep.spec import EstimatorSpec, ExperimentSpec, PredictorSpec
+from repro.traces.sources import ZOO_SOURCE_NAMES
 from repro.traces.suites import (
     CBP1_TRACE_NAMES,
     CBP2_TRACE_NAMES,
@@ -69,6 +71,8 @@ __all__ = [
     "get_artifact",
     "observation_grid",
     "suite_grid",
+    "zoo_observation_grid",
+    "zoo_adversarial_grid",
 ]
 
 #: The paper's TAGE storage presets and trace suites.
@@ -513,6 +517,96 @@ def _build_ctr_width(service: SweepService, scale: Scale) -> ArtifactPayload:
 
 
 # ---------------------------------------------------------------------------
+# Scenario-zoo builder (trace-source layer).
+# ---------------------------------------------------------------------------
+
+#: Synthetic baseline the adversarial JRS grid is compared against.
+ZOO_BASELINE_TRACE = "INT-1"
+
+#: What each zoo source stresses (rendered into the artifact text).
+_ZOO_STRESSES = {
+    "zoo.markov": "two-state Markov chains (run-length structure)",
+    "zoo.loopnest": "nested loop trip counts (history depth)",
+    "zoo.phase": "phase changes between workload segments",
+    "zoo.interference": "context-switch interleaving, shared PC window",
+    "zoo.jrs-inversion": "JRS/EJRS confidence inversion (searched period)",
+    "zoo.tag-storm": "TAGE tag aliasing / allocation churn",
+    "zoo.xor": "linearly-inseparable history function (perceptron)",
+}
+
+
+def zoo_observation_grid(*, scale: Scale) -> ExperimentSpec:
+    """Every zoo source × the 16 Kbit TAGE observation cell."""
+    return ExperimentSpec(
+        name=f"zoo-observation-16K-{len(ZOO_SOURCE_NAMES)}t",
+        predictors=(PredictorSpec.of("tage", size="16K"),),
+        estimators=(EstimatorSpec.of("tage"),),
+        traces=ZOO_SOURCE_NAMES,
+        n_branches=scale.n_branches,
+        warmup_branches=scale.warmup_branches,
+    )
+
+
+def zoo_adversarial_grid(*, scale: Scale) -> ExperimentSpec:
+    """gshare × JRS/EJRS on the inversion source vs the synthetic baseline."""
+    return ExperimentSpec(
+        name="zoo-adversarial-jrs",
+        predictors=(PredictorSpec.of("gshare"),),
+        estimators=(EstimatorSpec.of("jrs"), EstimatorSpec.of("ejrs")),
+        traces=(ZOO_BASELINE_TRACE, "zoo.jrs-inversion"),
+        n_branches=scale.n_branches,
+        warmup_branches=scale.warmup_branches,
+    )
+
+
+def _build_scenario_zoo(service: SweepService, scale: Scale) -> ArtifactPayload:
+    results = service.results(zoo_observation_grid(scale=scale))
+    high = LEVEL_ORDER[0]
+    obs_rows = []
+    cells: dict[str, float] = {}
+    for result in results:
+        summary = summarize([result])
+        pcov, _, mprate = summary.level_row(high)
+        obs_rows.append([
+            result.trace_name,
+            _ZOO_STRESSES.get(result.trace_name, "-"),
+            f"{result.mpki:.2f}", f"{pcov:.3f}", f"{mprate:.1f}",
+        ])
+        cells[f"{result.trace_name}/mpki"] = result.mpki
+        cells[f"{result.trace_name}/high_pcov"] = pcov
+        cells[f"{result.trace_name}/high_mprate"] = mprate
+    observation_text = render_table(
+        ["source", "stresses", "misp/KI", "high Pcov", "high MPrate (MKP)"],
+        obs_rows,
+        title="Beyond paper - scenario zoo, TAGE 16Kbits observation",
+    )
+
+    adversarial_rows = service.sweep(zoo_adversarial_grid(scale=scale)).table.rows()
+    adv_rows = []
+    for row in adversarial_rows:
+        # Empty high-confidence sets count as precision 1.0 (no
+        # high-confidence misses) so tiny-scale cells stay finite.
+        pvp = 1.0 if row["pvp"] is None else row["pvp"]
+        adv_rows.append([
+            row["estimator"], row["trace"], f"{row['mpki']:.2f}", f"{pvp:.3f}",
+        ])
+        cells[f"{row['estimator']}/{row['trace']}/pvp"] = pvp
+    adversarial_text = render_table(
+        ["estimator", "trace", "misp/KI", "PVP (high-conf precision)"],
+        adv_rows,
+        title=(
+            "Beyond paper - adversarial confidence inversion, gshare + "
+            f"JRS/EJRS ({ZOO_BASELINE_TRACE} baseline)"
+        ),
+    )
+    return ArtifactPayload(
+        text=observation_text + "\n\n" + adversarial_text,
+        cells=cells,
+        data={"observation": results, "adversarial": adversarial_rows},
+    )
+
+
+# ---------------------------------------------------------------------------
 # Beyond-paper application builders (apps layer).
 # ---------------------------------------------------------------------------
 
@@ -835,6 +929,20 @@ REGISTRY: dict[str, ArtifactSpec] = {
             "arbitration fills a fixed cycle budget with more useful "
             "instructions than round-robin without starving either thread.",
             _build_smt_fetch,
+        ),
+        _spec(
+            "SCENARIO_ZOO",
+            "Trace-source scenario zoo",
+            "beyond paper",
+            "application",
+            "The pluggable trace-source registry run end to end: every "
+            "zoo source (markov chains, loop nests, phase changes, "
+            "interference, and the adversarial estimator-breakers) "
+            "through the 16 Kbit TAGE observation cell, plus the "
+            "confidence-inversion source against gshare + JRS/EJRS — "
+            "where high-confidence precision collapses versus the "
+            "synthetic baseline.",
+            _build_scenario_zoo,
         ),
     )
 }

@@ -16,7 +16,12 @@ Usage (``python -m repro <command>``):
 * ``gen-trace NAME PATH`` — generate a named trace and write it to a
   trace file (gzip if the path ends in ``.gz``).
 * ``inspect PATH`` — print the statistics of a trace file.
-* ``list-traces`` — show the registered trace names.
+* ``trace`` — generate/inspect/convert traces through the pluggable
+  source registry: ``--source NAME`` (any registered source or
+  ``file:<path>``) or ``--input PATH``, with ``--stats`` and
+  ``--export PATH`` (see :mod:`repro.traces.sources`).
+* ``list-traces`` — show the registered trace names (CBP suites and
+  the scenario-zoo trace sources).
 
 The CLI is a thin veneer over the library; each command maps to one or
 two public calls.
@@ -54,7 +59,8 @@ from repro.sweep import (
     run_sweep,
 )
 from repro.sweep.cache import default_cache_dir
-from repro.traces.io import read_trace, write_trace
+from repro.traces.io import TraceFormatError, read_trace, write_trace
+from repro.traces.sources import FILE_PREFIX, get_source, is_source_name, source_names
 from repro.traces.stats import analyze_trace
 from repro.traces.suites import CBP1_TRACE_NAMES, CBP2_TRACE_NAMES
 
@@ -221,6 +227,31 @@ def build_parser() -> argparse.ArgumentParser:
     inspect_cmd = commands.add_parser("inspect", help="describe a trace file")
     inspect_cmd.add_argument("path")
 
+    trace_cmd = commands.add_parser(
+        "trace",
+        help="generate, inspect or convert traces via the source registry",
+    )
+    trace_what = trace_cmd.add_mutually_exclusive_group(required=True)
+    trace_what.add_argument(
+        "--source", metavar="NAME",
+        help="a registered trace source (CBP/zoo name, or file:<path>)",
+    )
+    trace_what.add_argument(
+        "--input", metavar="PATH",
+        help="an RTRC trace file to inspect/convert (plain or .gz)",
+    )
+    trace_what.add_argument(
+        "--list", action="store_true", dest="list_sources",
+        help="print the source registry and exit",
+    )
+    trace_cmd.add_argument("--branches", type=int, default=50_000,
+                           help="dynamic branches to materialize from --source")
+    trace_cmd.add_argument("--stats", action="store_true",
+                           help="print the full trace statistics summary")
+    trace_cmd.add_argument("--export", metavar="PATH", default=None,
+                           help="write the trace to an RTRC file "
+                                "(gzip if the path ends in .gz)")
+
     commands.add_parser("list-traces", help="list registered trace names")
     return parser
 
@@ -283,7 +314,8 @@ def _cmd_sweep(args) -> int:
     else:
         traces = tuple(args.traces) if args.traces else _DEFAULT_SWEEP_TRACES
     for name in traces:
-        if name not in CBP1_TRACE_NAMES and name not in CBP2_TRACE_NAMES:
+        if (name not in CBP1_TRACE_NAMES and name not in CBP2_TRACE_NAMES
+                and not is_source_name(name)):
             raise SystemExit(f"unknown trace {name!r}; try `list-traces`")
 
     spec = ExperimentSpec(
@@ -384,9 +416,43 @@ def _cmd_inspect(args) -> int:
     return 0
 
 
+def _cmd_trace(args) -> int:
+    if args.list_sources:
+        rows = [
+            [name, get_source(name).spec_dict()["kind"], get_source(name).source_id()]
+            for name in source_names()
+        ]
+        print(render_table(("source", "kind", "spec digest"), rows,
+                           title=f"trace source registry ({len(rows)} entries); "
+                                 f"{FILE_PREFIX}<path> replays an RTRC file"))
+        return 0
+    try:
+        if args.input is not None:
+            trace = read_trace(args.input)
+            origin = args.input
+        else:
+            name = args.source
+            if not is_source_name(name):
+                # The CBP suites resolve through get_trace, not the registry.
+                trace = _get_trace(name, args.branches)
+            else:
+                trace = get_source(name).generate(args.branches)
+            origin = name
+    except TraceFormatError as error:
+        raise SystemExit(str(error)) from None
+    print(f"{origin}: {len(trace)} branches, {trace.total_instructions} instructions")
+    if args.stats or args.export is None:
+        print(analyze_trace(trace).summary())
+    if args.export is not None:
+        write_trace(trace, args.export)
+        print(f"wrote {len(trace)} records to {args.export}")
+    return 0
+
+
 def _cmd_list_traces(args) -> int:
     print("CBP-1:", " ".join(CBP1_TRACE_NAMES))
     print("CBP-2:", " ".join(CBP2_TRACE_NAMES))
+    print("sources:", " ".join(source_names()))
     return 0
 
 
@@ -397,6 +463,7 @@ _HANDLERS = {
     "paper": _cmd_paper,
     "gen-trace": _cmd_gen_trace,
     "inspect": _cmd_inspect,
+    "trace": _cmd_trace,
     "list-traces": _cmd_list_traces,
 }
 

@@ -17,11 +17,13 @@ from repro.predictors.tage.config import (
 from repro.predictors.tage.predictor import TagePredictor
 from repro.sim.backends import DEFAULT_BACKEND
 from repro.sim.engine import SimulationResult, simulate
+from repro.traces.sources import is_source_name, resolve_trace
 from repro.traces.suites import (
     CBP1_TRACE_NAMES,
     CBP2_TRACE_NAMES,
     cbp1_trace,
     cbp2_trace,
+    default_trace_length,
 )
 from repro.traces.types import Trace
 
@@ -40,17 +42,23 @@ SIZES = ("16K", "64K", "256K")
 
 
 def get_trace(name: str, n_branches: int | None = None) -> Trace:
-    """Resolve any registered trace name (either suite) to a trace.
+    """Resolve any registered trace name to a trace.
 
-    This is the picklable-friendly lookup the sweep workers use: a job
-    ships only the *name*, and each worker process regenerates (and
-    memoizes) the deterministic trace locally instead of pickling branch
-    columns across the pipe.
+    Covers both CBP suites, every registered
+    :class:`~repro.traces.sources.TraceSource` (the scenario zoo) and
+    ``file:<path>`` RTRC replay.  This is the picklable-friendly lookup
+    the sweep workers use: a job ships only the *name*, and each worker
+    process regenerates (and memoizes) the deterministic trace locally
+    instead of pickling branch columns across the pipe.
     """
     if name in CBP1_TRACE_NAMES:
         return cbp1_trace(name, n_branches)
     if name in CBP2_TRACE_NAMES:
         return cbp2_trace(name, n_branches)
+    if is_source_name(name):
+        return resolve_trace(
+            name, n_branches if n_branches is not None else default_trace_length()
+        )
     raise KeyError(f"unknown trace name {name!r}")
 
 

@@ -14,10 +14,14 @@ Public entry points:
 * :func:`cbp1_suite` / :func:`cbp2_suite` — generate a whole suite;
 * :data:`CBP1_TRACE_NAMES` / :data:`CBP2_TRACE_NAMES` — the paper's names;
 * :class:`repro.traces.types.Trace` — the in-memory trace model;
-* :mod:`repro.traces.io` — trace file read/write.
+* :mod:`repro.traces.io` — trace file read/write (streaming reads);
+* :mod:`repro.traces.sources` — pluggable trace sources: ``file:<path>``
+  replay, parameterized generators and the adversarial scenario zoo
+  (``zoo.*`` names), all resolvable through
+  :func:`repro.sim.runner.get_trace`.
 """
 
-from repro.traces.io import read_trace, write_trace
+from repro.traces.io import TraceReader, read_trace, write_trace
 from repro.traces.kernels import (
     BiasedKernel,
     BranchKernel,
@@ -27,6 +31,13 @@ from repro.traces.kernels import (
     LoopKernel,
     NestedLoopKernel,
     PatternKernel,
+)
+from repro.traces.sources import (
+    TraceSource,
+    ZOO_SOURCE_NAMES,
+    register_source,
+    resolve_trace,
+    source_names,
 )
 from repro.traces.stats import TraceStatistics, analyze_trace
 from repro.traces.suites import (
@@ -57,9 +68,15 @@ __all__ = [
     "StaticBranch",
     "SyntheticWorkload",
     "Trace",
+    "TraceReader",
+    "TraceSource",
     "TraceStatistics",
     "WorkloadSpec",
+    "ZOO_SOURCE_NAMES",
     "analyze_trace",
+    "register_source",
+    "resolve_trace",
+    "source_names",
     "cbp1_suite",
     "cbp1_trace",
     "cbp2_suite",

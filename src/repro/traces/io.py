@@ -17,24 +17,47 @@ Files whose path ends in ``.gz`` are transparently gzip-compressed.  The
 format round-trips every :class:`repro.traces.types.Trace` whose PCs fit
 in 64 bits and whose per-record instruction counts fit in 8 bits (both are
 asserted at write time).
+
+Reading is streaming: :class:`TraceReader` decodes the record payload in
+bounded buffers, so multi-million-branch files replay without eagerly
+materializing the whole trace (:meth:`TraceReader.iter_records` /
+:meth:`TraceReader.iter_chunks`).  :func:`read_trace` remains the
+materialize-everything convenience wrapper.
+
+Every malformed input raises :class:`TraceFormatError` with a message
+naming the offending field (``magic``, ``version``, ``name``,
+``record count``, ``record payload``, ``taken``, ``inst``) — there are
+no silent-garbage paths: truncation, non-UTF-8 names, out-of-range
+record bytes, trailing data and corrupt gzip streams all fail loudly.
 """
 
 from __future__ import annotations
 
 import gzip
 import struct
+import zlib
 from pathlib import Path
-from typing import BinaryIO
+from typing import BinaryIO, Iterator
 
-from repro.traces.types import Trace
+from repro.traces.types import BranchRecord, Trace
 
-__all__ = ["write_trace", "read_trace", "TraceFormatError", "FORMAT_VERSION", "MAGIC"]
+__all__ = [
+    "write_trace",
+    "read_trace",
+    "TraceReader",
+    "TraceFormatError",
+    "FORMAT_VERSION",
+    "MAGIC",
+]
 
 MAGIC = b"RTRC"
 FORMAT_VERSION = 1
 _HEADER = struct.Struct("<4sHH")
 _COUNT = struct.Struct("<Q")
 _RECORD = struct.Struct("<QBB")
+
+#: Records decoded per streaming read (640 KiB payload buffers).
+_CHUNK_RECORDS = 65_536
 
 
 class TraceFormatError(ValueError):
@@ -52,7 +75,10 @@ def write_trace(trace: Trace, path: str | Path) -> None:
     path = Path(path)
     name_bytes = trace.name.encode("utf-8")
     if len(name_bytes) > 0xFFFF:
-        raise TraceFormatError(f"trace name too long ({len(name_bytes)} bytes)")
+        raise TraceFormatError(
+            f"trace name too long ({len(name_bytes)} bytes; the name field "
+            "holds at most 65535)"
+        )
     with _open(path, "wb") as stream:
         stream.write(_HEADER.pack(MAGIC, FORMAT_VERSION, len(name_bytes)))
         stream.write(name_bytes)
@@ -67,33 +93,134 @@ def write_trace(trace: Trace, path: str | Path) -> None:
             write(pack(pc, taken, inst))
 
 
+class TraceReader:
+    """Streaming RTRC reader: header up front, records on demand.
+
+    Usable as a context manager::
+
+        with TraceReader(path) as reader:
+            for record in reader.iter_records():
+                ...
+
+    The header (magic, version, name, record count) is validated in the
+    constructor; the record payload is decoded lazily in bounded buffers
+    so arbitrarily large traces never materialize eagerly.
+    """
+
+    def __init__(self, path: str | Path) -> None:
+        self.path = Path(path)
+        self._stream = _open(self.path, "rb")
+        try:
+            header = self._read("header", _HEADER.size, exact=True)
+            magic, version, name_len = _HEADER.unpack(header)
+            if magic != MAGIC:
+                raise TraceFormatError(f"{self.path}: bad magic {magic!r}")
+            if version != FORMAT_VERSION:
+                raise TraceFormatError(
+                    f"{self.path}: unsupported version {version}"
+                )
+            self.version = version
+            name_bytes = self._read("name", name_len, exact=True)
+            try:
+                self.name = name_bytes.decode("utf-8")
+            except UnicodeDecodeError as error:
+                raise TraceFormatError(
+                    f"{self.path}: name field is not valid UTF-8 ({error})"
+                ) from error
+            count_bytes = self._read("record count", _COUNT.size, exact=True)
+            (self.n_records,) = _COUNT.unpack(count_bytes)
+        except Exception:
+            self._stream.close()
+            raise
+        self._consumed = 0
+
+    # -- low-level IO --------------------------------------------------
+
+    def _read(self, field: str, size: int, *, exact: bool = False) -> bytes:
+        """Read up to ``size`` bytes, converting every failure mode —
+        short reads (when ``exact``) and corrupt compressed streams —
+        into a :class:`TraceFormatError` naming the field."""
+        try:
+            data = self._stream.read(size)
+        except (OSError, EOFError, zlib.error) as error:  # BadGzipFile is OSError
+            raise TraceFormatError(
+                f"{self.path}: corrupt stream while reading {field} ({error})"
+            ) from error
+        if exact and len(data) != size:
+            raise TraceFormatError(
+                f"{self.path}: truncated {field} "
+                f"(expected {size} bytes, got {len(data)})"
+            )
+        return data
+
+    # -- record access -------------------------------------------------
+
+    def iter_records(self) -> Iterator[BranchRecord]:
+        """Yield every remaining record, decoding in bounded buffers."""
+        path = self.path
+        while self._consumed < self.n_records:
+            batch = min(_CHUNK_RECORDS, self.n_records - self._consumed)
+            payload = self._read("record payload", batch * _RECORD.size)
+            got, extra = divmod(len(payload), _RECORD.size)
+            if got != batch or extra:
+                raise TraceFormatError(
+                    f"{path}: expected {self.n_records} records, record "
+                    f"payload truncated at record {self._consumed + got}"
+                )
+            for index, (pc, taken, inst) in enumerate(_RECORD.iter_unpack(payload)):
+                if taken > 1:
+                    raise TraceFormatError(
+                        f"{path}: record {self._consumed + index}: "
+                        f"invalid taken byte {taken} (must be 0 or 1)"
+                    )
+                if inst < 1:
+                    raise TraceFormatError(
+                        f"{path}: record {self._consumed + index}: "
+                        f"invalid inst count {inst} (must be >= 1)"
+                    )
+                yield BranchRecord(pc, bool(taken), inst)
+            self._consumed += batch
+
+    def iter_chunks(self, chunk_size: int = _CHUNK_RECORDS) -> Iterator[Trace]:
+        """Yield the records as :class:`Trace` chunks of ``chunk_size``."""
+        if chunk_size < 1:
+            raise ValueError(f"chunk_size must be >= 1, got {chunk_size}")
+        pcs: list[int] = []
+        takens: list[bool] = []
+        insts: list[int] = []
+        for record in self.iter_records():
+            pcs.append(record.pc)
+            takens.append(record.taken)
+            insts.append(record.inst_count)
+            if len(pcs) >= chunk_size:
+                yield Trace(self.name, pcs, takens, insts)
+                pcs, takens, insts = [], [], []
+        if pcs:
+            yield Trace(self.name, pcs, takens, insts)
+
+    def read(self) -> Trace:
+        """Materialize every remaining record, then reject trailing data."""
+        trace = Trace.from_records(self.name, self.iter_records())
+        trailing = self._read("end of file", 1)
+        if trailing:
+            raise TraceFormatError(
+                f"{self.path}: trailing data after {self.n_records} records"
+            )
+        return trace
+
+    # -- lifecycle -----------------------------------------------------
+
+    def close(self) -> None:
+        self._stream.close()
+
+    def __enter__(self) -> "TraceReader":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
 def read_trace(path: str | Path) -> Trace:
     """Deserialize a trace previously written by :func:`write_trace`."""
-    path = Path(path)
-    with _open(path, "rb") as stream:
-        header = stream.read(_HEADER.size)
-        if len(header) != _HEADER.size:
-            raise TraceFormatError(f"{path}: truncated header")
-        magic, version, name_len = _HEADER.unpack(header)
-        if magic != MAGIC:
-            raise TraceFormatError(f"{path}: bad magic {magic!r}")
-        if version != FORMAT_VERSION:
-            raise TraceFormatError(f"{path}: unsupported version {version}")
-        name = stream.read(name_len).decode("utf-8")
-        count_bytes = stream.read(_COUNT.size)
-        if len(count_bytes) != _COUNT.size:
-            raise TraceFormatError(f"{path}: truncated record count")
-        (count,) = _COUNT.unpack(count_bytes)
-        payload = stream.read(count * _RECORD.size)
-        if len(payload) != count * _RECORD.size:
-            raise TraceFormatError(
-                f"{path}: expected {count} records, payload truncated"
-            )
-    pcs: list[int] = []
-    takens: list[int] = []
-    insts: list[int] = []
-    for pc, taken, inst in _RECORD.iter_unpack(payload):
-        pcs.append(pc)
-        takens.append(taken)
-        insts.append(inst)
-    return Trace(name, pcs, takens, insts)
+    with TraceReader(path) as reader:
+        return reader.read()

@@ -1,0 +1,165 @@
+"""The :class:`TraceSource` abstraction and its registry.
+
+A trace source is a *named, seeded, hashable* recipe for a branch
+stream.  Every source can
+
+* stream records lazily (:meth:`TraceSource.records`) so huge traces
+  never materialize eagerly,
+* materialize a :class:`~repro.traces.types.Trace`
+  (:meth:`TraceSource.generate`), and
+* chunk the stream (:meth:`TraceSource.iter_chunks`) — chunking wraps
+  the *same* record stream, so the concatenation of chunks is
+  identical for every chunk size by construction.
+
+Identity is the source *name*: the sweep layer ships only trace names
+through job specs and caches, so a registered source flows through
+``sweep/spec.py`` job hashing, the ``SweepService`` cache and the fast
+backend's plane materialization unchanged.  :func:`resolve_trace` is the
+picklable lookup :func:`repro.sim.runner.get_trace` falls back to —
+sources registered at import time (the zoo) resolve identically inside
+spawn workers.
+
+``file:<path>`` names replay an on-disk RTRC trace (see
+:mod:`repro.traces.sources.replay`) without prior registration.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from abc import ABC, abstractmethod
+from functools import lru_cache
+from itertools import islice
+from typing import Iterator
+
+from repro.traces.types import BranchRecord, Trace
+
+__all__ = [
+    "TraceSource",
+    "FILE_PREFIX",
+    "register_source",
+    "get_source",
+    "source_names",
+    "is_source_name",
+    "resolve_trace",
+]
+
+#: Name prefix that resolves to on-disk RTRC replay instead of the registry.
+FILE_PREFIX = "file:"
+
+
+class TraceSource(ABC):
+    """A named, deterministic producer of branch-record streams.
+
+    Concrete sources are frozen dataclasses: hashable, picklable and
+    fully described by :meth:`spec_dict`, so two sources with equal spec
+    dicts produce bit-identical streams in any process.
+    """
+
+    @property
+    @abstractmethod
+    def name(self) -> str:
+        """The registry/sweep identity of this source."""
+
+    @abstractmethod
+    def spec_dict(self) -> dict:
+        """Plain-data parameterization (JSON-serializable, canonical)."""
+
+    @abstractmethod
+    def records(self, n_branches: int) -> Iterator[BranchRecord]:
+        """Stream exactly ``n_branches`` records, lazily.
+
+        Streams are prefix-stable: ``records(m)`` is the first ``m``
+        records of ``records(n)`` for any ``m <= n`` — the property that
+        lets cached materializations of different lengths coexist.
+        """
+
+    # -- derived API ---------------------------------------------------
+
+    def generate(self, n_branches: int) -> Trace:
+        """Materialize ``n_branches`` records as a :class:`Trace`."""
+        if n_branches < 0:
+            raise ValueError(f"n_branches must be non-negative, got {n_branches}")
+        return Trace.from_records(self.name, self.records(n_branches))
+
+    def iter_chunks(self, n_branches: int, chunk_size: int) -> Iterator[Trace]:
+        """Stream ``n_branches`` records as traces of ``chunk_size``.
+
+        Chunks partition the single stream of :meth:`records`, so their
+        concatenation is independent of ``chunk_size``.
+        """
+        if chunk_size < 1:
+            raise ValueError(f"chunk_size must be >= 1, got {chunk_size}")
+        stream = self.records(n_branches)
+        while True:
+            chunk = list(islice(stream, chunk_size))
+            if not chunk:
+                return
+            yield Trace.from_records(self.name, chunk)
+
+    def source_id(self) -> str:
+        """Short content digest of the spec dict (provenance labels)."""
+        payload = json.dumps(self.spec_dict(), sort_keys=True, separators=(",", ":"))
+        return hashlib.sha256(payload.encode()).hexdigest()[:12]
+
+
+# ---------------------------------------------------------------------------
+# Registry.
+# ---------------------------------------------------------------------------
+
+_REGISTRY: dict[str, TraceSource] = {}
+
+
+def register_source(source: TraceSource, *, replace: bool = False) -> TraceSource:
+    """Register a source under its name; returns the source.
+
+    Names must be non-empty, contain no whitespace, and must not shadow
+    the built-in CBP suite names or the ``file:`` replay prefix.
+    """
+    name = source.name
+    if not name or name != name.strip() or any(c.isspace() for c in name):
+        raise ValueError(f"invalid source name {name!r}")
+    if name.startswith(FILE_PREFIX):
+        raise ValueError(
+            f"source name {name!r} shadows the {FILE_PREFIX!r} replay prefix"
+        )
+    from repro.traces.suites import CBP1_TRACE_NAMES, CBP2_TRACE_NAMES
+
+    if name in CBP1_TRACE_NAMES or name in CBP2_TRACE_NAMES:
+        raise ValueError(f"source name {name!r} shadows a built-in suite trace")
+    if not replace and name in _REGISTRY:
+        raise ValueError(f"source {name!r} already registered")
+    _REGISTRY[name] = source
+    return source
+
+
+def get_source(name: str) -> TraceSource:
+    """Resolve a source name (registered, or a ``file:<path>`` replay)."""
+    if name.startswith(FILE_PREFIX):
+        from repro.traces.sources.replay import FileReplaySource
+
+        return FileReplaySource(path=name[len(FILE_PREFIX):])
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise KeyError(f"unknown trace source {name!r}") from None
+
+
+def source_names() -> tuple[str, ...]:
+    """Registered source names, in registration order."""
+    return tuple(_REGISTRY)
+
+
+def is_source_name(name: str) -> bool:
+    """Does ``name`` resolve to a source (registered or file replay)?"""
+    return name in _REGISTRY or name.startswith(FILE_PREFIX)
+
+
+@lru_cache(maxsize=64)
+def _generate_cached(name: str, n_branches: int) -> Trace:
+    return get_source(name).generate(n_branches)
+
+
+def resolve_trace(name: str, n_branches: int) -> Trace:
+    """Materialize (and memoize) a source by name — the sweep-worker path."""
+    return _generate_cached(name, n_branches)

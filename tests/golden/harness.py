@@ -131,6 +131,30 @@ FIXTURE_CONFIGS: list[dict] = [
                                  "log_pht": 10}},
         "estimator": None,
     },
+    {
+        # Scenario-zoo markov-chain source through the TAGE observation
+        # path: pins the registered-source resolution end to end.
+        "name": "zoo_markov_tage16k_observation",
+        "trace": "zoo.markov", "n_branches": 4000, "warmup_branches": 1000,
+        "predictor": {"kind": "tage", "params": {"size": "16K"}},
+        "estimator": {"kind": "tage", "params": {}},
+    },
+    {
+        # Phase-change composition (resuming workload segments) under a
+        # JRS estimator — the phase boundaries land inside the window.
+        "name": "zoo_phase_gshare_jrs",
+        "trace": "zoo.phase", "n_branches": 4000, "warmup_branches": 500,
+        "predictor": {"kind": "gshare", "params": {}},
+        "estimator": {"kind": "jrs", "params": {}},
+    },
+    {
+        # Adversarial tag-aliasing storm: allocation churn inside TAGE's
+        # tagged tables, frozen so neither backend can drift on it.
+        "name": "zoo_tagstorm_tage16k_observation",
+        "trace": "zoo.tag-storm", "n_branches": 4000, "warmup_branches": 1000,
+        "predictor": {"kind": "tage", "params": {"size": "16K"}},
+        "estimator": {"kind": "tage", "params": {}},
+    },
 ]
 
 _PREDICTORS = {

@@ -51,6 +51,63 @@ class TestCommands:
         assert "FP-1" in out
         assert "1200 branches" in out
 
+    def test_trace_list_shows_source_registry(self, capsys):
+        assert main(["trace", "--list"]) == 0
+        out = capsys.readouterr().out
+        assert "zoo.markov" in out and "zoo.jrs-inversion" in out
+        assert "file:" in out  # the replay prefix is advertised
+
+    def test_trace_generate_export_replay_roundtrip(self, tmp_path, capsys):
+        """CLI round trip: generate a source, export it, inspect the
+        file, then replay it through the ``file:`` prefix — all via main()."""
+        from repro.traces.sources import get_source
+
+        path = tmp_path / "zm.rtrc.gz"
+        assert main([
+            "trace", "--source", "zoo.markov", "--branches", "800",
+            "--export", str(path),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "zoo.markov: 800 branches" in out
+        assert f"wrote 800 records to {path}" in out
+
+        assert main(["trace", "--input", str(path), "--stats"]) == 0
+        out = capsys.readouterr().out
+        assert "800 branches" in out
+
+        assert main(["trace", "--source", f"file:{path}", "--branches", "800"]) == 0
+        out = capsys.readouterr().out
+        assert f"file:{path}: 800 branches" in out
+
+        from repro.traces.io import read_trace
+
+        direct = get_source("zoo.markov").generate(800)
+        loaded = read_trace(path)
+        assert loaded.pcs == direct.pcs
+        assert list(loaded.takens) == list(direct.takens)
+
+    def test_trace_accepts_cbp_names(self, capsys):
+        assert main(["trace", "--source", "INT-1", "--branches", "500"]) == 0
+        assert "INT-1: 500 branches" in capsys.readouterr().out
+
+    def test_trace_unknown_source_fails(self):
+        with pytest.raises(SystemExit):
+            main(["trace", "--source", "zoo.nope", "--branches", "100"])
+
+    def test_trace_corrupt_input_exits_cleanly(self, tmp_path):
+        path = tmp_path / "junk.rtrc"
+        path.write_bytes(b"NOPE" + b"\x00" * 12)
+        with pytest.raises(SystemExit, match="bad magic"):
+            main(["trace", "--input", str(path)])
+
+    def test_trace_requires_exactly_one_mode(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["trace"])
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["trace", "--source", "zoo.markov", "--list"]
+            )
+
     def test_run_suite_subset_not_supported_runs_full(self, capsys):
         # run-suite over CBP1 at a tiny branch count: exercises the whole
         # path (20 traces) quickly.

@@ -89,6 +89,35 @@ def test_adaptive_fast_sweep_emits_no_fallback_warnings():
     assert run.n_jobs == 2
 
 
+def test_zoo_trace_sources_fast_sweep_is_clean_and_reference_identical():
+    """The scenario-zoo sources flow through the fast backend like any
+    registered trace: a grid over the full zoo must emit zero fallback
+    warnings and match the reference engine bit for bit."""
+    from repro.traces.sources import ZOO_SOURCE_NAMES
+
+    spec = ExperimentSpec(
+        name="hygiene-zoo-sources",
+        predictors=(
+            PredictorSpec.of("tage", size="16K"),
+            PredictorSpec.of("gshare"),
+            PredictorSpec.of("perceptron"),
+        ),
+        estimators=(
+            EstimatorSpec.of("tage"),
+            EstimatorSpec.of("jrs"),
+            EstimatorSpec.of("self"),
+        ),
+        traces=ZOO_SOURCE_NAMES,
+        n_branches=600,
+        backend="fast",
+    )
+    fast_run, fallbacks = run_fast_sweep(spec)
+    assert fallbacks == []
+    assert {row["trace"] for row in fast_run.table.rows()} == set(ZOO_SOURCE_NAMES)
+    reference_run, _ = run_fast_sweep(spec.with_options(backend="reference"))
+    assert fast_run.table.to_tsv() == reference_run.table.to_tsv()
+
+
 class _SubclassedGshare(GsharePredictor):
     """Outside the exact-type fast family on purpose."""
 

@@ -34,6 +34,12 @@ def _spec_digest_in_subprocess(spec: WorkloadSpec, n_branches: int) -> str:
     return _columns_digest(SyntheticWorkload(spec).generate(n_branches))
 
 
+def _many_digests_in_subprocess(names: tuple[str, ...], n_branches: int) -> dict:
+    """One spawn, every registered source: import-time registration must
+    reproduce each stream bit-identically in a fresh interpreter."""
+    return {name: _columns_digest(get_trace(name, n_branches)) for name in names}
+
+
 class TestInProcessDeterminism:
     def test_fresh_workloads_from_same_spec_are_identical(self):
         spec = WorkloadSpec(name="det", seed=99, n_static=120, n_routines=16)
@@ -94,12 +100,64 @@ class TestCrossProcessDeterminism:
         assert remote == local
 
 
+class TestTraceSourceDeterminism:
+    """The same gate, extended over every registered ``zoo.*`` source —
+    including the adversarial ones whose parameters come from an
+    embedded simulation search (the searched period must be a pure
+    function of the source spec, or spawn workers would disagree)."""
+
+    def test_every_zoo_source_matches_subprocess(self):
+        from repro.traces.sources import ZOO_SOURCE_NAMES
+
+        n_branches = 1_500
+        local = {
+            name: _columns_digest(get_trace(name, n_branches))
+            for name in ZOO_SOURCE_NAMES
+        }
+        context = multiprocessing.get_context("spawn")
+        with context.Pool(1) as pool:
+            remote = pool.apply(
+                _many_digests_in_subprocess, (ZOO_SOURCE_NAMES, n_branches)
+            )
+        assert remote == local
+
+    def test_zoo_streams_are_chunk_size_invariant(self):
+        from repro.traces.sources import ZOO_SOURCE_NAMES, get_source
+        from repro.traces.types import Trace
+
+        for name in ZOO_SOURCE_NAMES:
+            source = get_source(name)
+            reference = _columns_digest(source.generate(700))
+            for chunk_size in (1, 13, 256, 4_096):
+                records = [
+                    record
+                    for chunk in source.iter_chunks(700, chunk_size)
+                    for record in chunk.records()
+                ]
+                stitched = Trace.from_records(name, records)
+                assert _columns_digest(stitched) == reference, (name, chunk_size)
+
+    def test_fresh_source_instances_are_identical(self):
+        from repro.traces.sources import get_source
+
+        source = get_source("zoo.markov")
+        rebuilt = type(source)(**{
+            field: getattr(source, field)
+            for field in source.__dataclass_fields__
+        })
+        assert rebuilt is not source
+        assert _columns_digest(rebuilt.generate(1_000)) == _columns_digest(
+            source.generate(1_000)
+        )
+
+
 class TestFastBackendMaterialization:
-    def test_trace_arrays_deterministic(self):
+    @pytest.mark.parametrize("name", ["INT-1", "zoo.markov", "zoo.tag-storm"])
+    def test_trace_arrays_deterministic(self, name):
         np = pytest.importorskip("numpy")
         from repro.sim.fast import TraceArrays
 
-        trace = get_trace("INT-1", 2_000)
+        trace = get_trace(name, 2_000)
         first = TraceArrays.from_trace(trace)
         second = TraceArrays.from_trace(trace)
         assert np.array_equal(first.pcs, second.pcs)

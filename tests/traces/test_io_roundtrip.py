@@ -1,0 +1,296 @@
+"""Property-based round-trip + malformed-input suite for the RTRC format.
+
+Two halves, mirroring the format's contract (`repro.traces.io`):
+
+* **Round trip** — any valid trace (arbitrary 64-bit PCs, arbitrary
+  unicode name, inst counts 1..255) survives write→read with identical
+  columns, and a second write of the loaded trace is *byte-identical*
+  to the first file (bit-for-bit for plain files; identical decompressed
+  payload for ``.gz``, whose container embeds a timestamp).
+* **Malformed inputs** — every corruption the format can express raises
+  :class:`TraceFormatError` with a message *naming the offending field*:
+  magic, version, header, name (truncated and non-UTF-8), record count,
+  record payload (truncated and absurdly oversized counts), taken bytes
+  outside {0, 1}, zero inst counts, trailing data, and corrupt gzip
+  streams.  No malformed input may yield a silently-garbage trace.
+"""
+
+from __future__ import annotations
+
+import gzip
+import struct
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.traces.io import (
+    FORMAT_VERSION,
+    MAGIC,
+    TraceFormatError,
+    TraceReader,
+    read_trace,
+    write_trace,
+)
+from repro.traces.types import BranchRecord, Trace
+
+_HEADER = struct.Struct("<4sHH")
+_COUNT = struct.Struct("<Q")
+_RECORD = struct.Struct("<QBB")
+
+#: UTF-8-encodable text (hypothesis excludes surrogates via the codec).
+names = st.text(
+    alphabet=st.characters(codec="utf-8"), min_size=0, max_size=40
+)
+
+rows = st.lists(
+    st.tuples(
+        st.integers(min_value=0, max_value=2**64 - 1),  # pc
+        st.booleans(),                                  # taken
+        st.integers(min_value=1, max_value=255),        # inst count
+    ),
+    max_size=60,
+)
+
+
+def build_trace(name, records):
+    return Trace.from_records(name, [BranchRecord(*row) for row in records])
+
+
+def write_valid(path, name, records):
+    """Hand-assemble a well-formed RTRC byte string (independent of
+    write_trace, so the two implementations check each other)."""
+    name_bytes = name.encode("utf-8")
+    blob = _HEADER.pack(MAGIC, FORMAT_VERSION, len(name_bytes)) + name_bytes
+    blob += _COUNT.pack(len(records))
+    for pc, taken, inst in records:
+        blob += _RECORD.pack(pc, int(taken), inst)
+    path.write_bytes(blob)
+    return blob
+
+
+class TestRoundTripProperty:
+    @given(name=names, records=rows)
+    @settings(max_examples=50, deadline=None)
+    def test_plain_write_read_write_is_byte_identical(
+        self, tmp_path_factory, name, records
+    ):
+        tmp = tmp_path_factory.mktemp("rt")
+        first, second = tmp / "a.rtrc", tmp / "b.rtrc"
+        trace = build_trace(name, records)
+        write_trace(trace, first)
+        loaded = read_trace(first)
+        assert loaded.name == trace.name
+        assert list(loaded.records()) == list(trace.records())
+        write_trace(loaded, second)
+        assert first.read_bytes() == second.read_bytes()
+
+    @given(name=names, records=rows)
+    @settings(max_examples=25, deadline=None)
+    def test_gzip_round_trip_payload_identical(
+        self, tmp_path_factory, name, records
+    ):
+        tmp = tmp_path_factory.mktemp("rtgz")
+        first, second = tmp / "a.rtrc.gz", tmp / "b.rtrc.gz"
+        trace = build_trace(name, records)
+        write_trace(trace, first)
+        loaded = read_trace(first)
+        assert list(loaded.records()) == list(trace.records())
+        write_trace(loaded, second)
+        # The gzip container embeds an mtime; the *payload* must match.
+        assert gzip.decompress(first.read_bytes()) == gzip.decompress(
+            second.read_bytes()
+        )
+
+    @given(name=names, records=rows)
+    @settings(max_examples=25, deadline=None)
+    def test_write_trace_matches_hand_assembled_bytes(
+        self, tmp_path_factory, name, records
+    ):
+        tmp = tmp_path_factory.mktemp("blob")
+        expected = write_valid(tmp / "hand.rtrc", name, records)
+        write_trace(build_trace(name, records), tmp / "lib.rtrc")
+        assert (tmp / "lib.rtrc").read_bytes() == expected
+
+    @given(records=st.lists(
+        st.tuples(
+            st.integers(min_value=0, max_value=2**64 - 1),
+            st.booleans(),
+            st.integers(min_value=1, max_value=255),
+        ),
+        min_size=1, max_size=200,
+    ), chunk_size=st.integers(min_value=1, max_value=64))
+    @settings(max_examples=25, deadline=None)
+    def test_streaming_chunks_concatenate_to_full_trace(
+        self, tmp_path_factory, records, chunk_size
+    ):
+        tmp = tmp_path_factory.mktemp("chunks")
+        path = tmp / "c.rtrc"
+        trace = build_trace("chunky", records)
+        write_trace(trace, path)
+        with TraceReader(path) as reader:
+            chunks = list(reader.iter_chunks(chunk_size))
+        assert all(len(chunk) <= chunk_size for chunk in chunks)
+        stitched = [record for chunk in chunks for record in chunk.records()]
+        assert stitched == list(trace.records())
+
+
+class TestReaderStreaming:
+    def test_header_fields_available_before_payload(self, tmp_path):
+        path = tmp_path / "h.rtrc"
+        trace = build_trace("header-probe", [(4, True, 3)] * 7)
+        write_trace(trace, path)
+        with TraceReader(path) as reader:
+            assert reader.name == "header-probe"
+            assert reader.n_records == 7
+            assert reader.version == FORMAT_VERSION
+
+    def test_iter_records_matches_read_trace(self, tmp_path):
+        path = tmp_path / "s.rtrc.gz"
+        trace = build_trace("stream", [(8 * i, i % 3 == 0, 1 + i % 9)
+                                       for i in range(300)])
+        write_trace(trace, path)
+        with TraceReader(path) as reader:
+            streamed = list(reader.iter_records())
+        assert streamed == list(read_trace(path).records())
+
+    def test_constructor_failure_does_not_leak_stream(self, tmp_path):
+        path = tmp_path / "bad.rtrc"
+        path.write_bytes(b"NOPE" + b"\x00" * 12)
+        for _ in range(600):  # would exhaust fds if streams leaked
+            with pytest.raises(TraceFormatError):
+                TraceReader(path)
+
+
+class TestMalformedInputs:
+    """Each corruption must raise TraceFormatError naming its field."""
+
+    def _valid_bytes(self, n=5, name="m"):
+        records = [(4 * i, i % 2 == 0, 1 + i % 5) for i in range(n)]
+        name_bytes = name.encode("utf-8")
+        blob = _HEADER.pack(MAGIC, FORMAT_VERSION, len(name_bytes)) + name_bytes
+        blob += _COUNT.pack(n)
+        for pc, taken, inst in records:
+            blob += _RECORD.pack(pc, int(taken), inst)
+        return blob
+
+    def test_bad_magic_names_magic(self, tmp_path):
+        path = tmp_path / "m.rtrc"
+        path.write_bytes(b"XTRC" + self._valid_bytes()[4:])
+        with pytest.raises(TraceFormatError, match="bad magic"):
+            read_trace(path)
+
+    def test_unsupported_version_names_version(self, tmp_path):
+        path = tmp_path / "v.rtrc"
+        blob = self._valid_bytes()
+        path.write_bytes(blob[:4] + struct.pack("<H", 99) + blob[6:])
+        with pytest.raises(TraceFormatError, match="unsupported version 99"):
+            read_trace(path)
+
+    @pytest.mark.parametrize("keep", [0, 3, 7])
+    def test_truncated_header_names_header(self, tmp_path, keep):
+        path = tmp_path / "h.rtrc"
+        path.write_bytes(self._valid_bytes()[:keep])
+        with pytest.raises(TraceFormatError, match="truncated header"):
+            read_trace(path)
+
+    def test_truncated_name_names_name(self, tmp_path):
+        path = tmp_path / "n.rtrc"
+        # Header declares a 200-byte name; only 3 bytes follow.
+        path.write_bytes(_HEADER.pack(MAGIC, FORMAT_VERSION, 200) + b"abc")
+        with pytest.raises(TraceFormatError, match="truncated name"):
+            read_trace(path)
+
+    def test_non_utf8_name_names_name(self, tmp_path):
+        path = tmp_path / "u.rtrc"
+        path.write_bytes(
+            _HEADER.pack(MAGIC, FORMAT_VERSION, 2) + b"\xff\xfe"
+            + _COUNT.pack(0)
+        )
+        with pytest.raises(TraceFormatError, match="name field is not valid UTF-8"):
+            read_trace(path)
+
+    def test_truncated_count_names_record_count(self, tmp_path):
+        path = tmp_path / "c.rtrc"
+        path.write_bytes(_HEADER.pack(MAGIC, FORMAT_VERSION, 1) + b"x" + b"\x05")
+        with pytest.raises(TraceFormatError, match="truncated record count"):
+            read_trace(path)
+
+    @pytest.mark.parametrize("drop", [1, 5, 9])
+    def test_truncated_payload_names_record_index(self, tmp_path, drop):
+        path = tmp_path / "p.rtrc"
+        blob = self._valid_bytes(n=5)
+        path.write_bytes(blob[:-drop])
+        with pytest.raises(
+            TraceFormatError, match=r"record payload truncated at record 4"
+        ):
+            read_trace(path)
+
+    def test_oversized_count_fails_without_materializing(self, tmp_path):
+        """A header claiming 2**60 records must fail fast on the short
+        payload, not allocate or loop toward 2**60."""
+        path = tmp_path / "big.rtrc"
+        blob = _HEADER.pack(MAGIC, FORMAT_VERSION, 1) + b"x"
+        blob += _COUNT.pack(2**60) + _RECORD.pack(4, 1, 1) * 3
+        path.write_bytes(blob)
+        with pytest.raises(
+            TraceFormatError, match="record payload truncated at record 3"
+        ):
+            read_trace(path)
+
+    def test_invalid_taken_byte_names_taken(self, tmp_path):
+        path = tmp_path / "t.rtrc"
+        blob = _HEADER.pack(MAGIC, FORMAT_VERSION, 1) + b"x"
+        blob += _COUNT.pack(2) + _RECORD.pack(4, 1, 1) + _RECORD.pack(8, 2, 1)
+        path.write_bytes(blob)
+        with pytest.raises(
+            TraceFormatError, match=r"record 1: invalid taken byte 2"
+        ):
+            read_trace(path)
+
+    def test_zero_inst_count_names_inst(self, tmp_path):
+        path = tmp_path / "i.rtrc"
+        blob = _HEADER.pack(MAGIC, FORMAT_VERSION, 1) + b"x"
+        blob += _COUNT.pack(1) + _RECORD.pack(4, 0, 0)
+        path.write_bytes(blob)
+        with pytest.raises(
+            TraceFormatError, match=r"record 0: invalid inst count 0"
+        ):
+            read_trace(path)
+
+    def test_trailing_data_rejected(self, tmp_path):
+        path = tmp_path / "extra.rtrc"
+        path.write_bytes(self._valid_bytes(n=3) + b"\x00")
+        with pytest.raises(TraceFormatError, match="trailing data after 3 records"):
+            read_trace(path)
+
+    def test_truncated_gzip_stream(self, tmp_path):
+        path = tmp_path / "g.rtrc.gz"
+        write_trace(build_trace("gz", [(4, True, 1)] * 400), path)
+        path.write_bytes(path.read_bytes()[:-15])
+        with pytest.raises(TraceFormatError, match="corrupt stream while reading"):
+            read_trace(path)
+
+    def test_corrupt_gzip_payload(self, tmp_path):
+        path = tmp_path / "flip.rtrc.gz"
+        write_trace(
+            build_trace("gz", [(4 * i, i % 2 == 0, 1) for i in range(500)]),
+            path,
+        )
+        data = bytearray(path.read_bytes())
+        data[len(data) // 2] ^= 0xFF  # flip one byte mid-stream
+        path.write_bytes(bytes(data))
+        with pytest.raises(TraceFormatError):
+            read_trace(path)
+
+    @given(junk=st.binary(max_size=64))
+    @settings(max_examples=50, deadline=None)
+    def test_arbitrary_junk_never_yields_garbage(self, tmp_path_factory, junk):
+        """Random bytes either parse as a (coincidentally) valid file or
+        raise TraceFormatError — never any other exception."""
+        path = tmp_path_factory.mktemp("junk") / "j.rtrc"
+        path.write_bytes(junk)
+        try:
+            read_trace(path)
+        except TraceFormatError:
+            pass
