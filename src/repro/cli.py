@@ -22,6 +22,13 @@ Usage (``python -m repro <command>``):
   ``--export PATH`` (see :mod:`repro.traces.sources`).
 * ``list-traces`` — show the registered trace names (CBP suites and
   the scenario-zoo trace sources).
+* ``serve`` — run the multi-tenant confidence server until SIGINT or
+  SIGTERM, then drain gracefully (see :mod:`repro.serve`).
+* ``drive`` — load-drive a running server with open- or closed-loop
+  traffic generated from any registered trace source; prints latency
+  percentiles and the throughput curve, optionally verifying served
+  decisions bit-identical to the offline engines (``--verify``) and
+  recording the report as JSON (``--record``).
 
 The CLI is a thin veneer over the library; each command maps to one or
 two public calls.
@@ -30,7 +37,11 @@ two public calls.
 from __future__ import annotations
 
 import argparse
+import asyncio
+import json
+import signal
 import sys
+import uuid
 
 from repro.artifacts import (
     ARTIFACT_KEYS,
@@ -45,6 +56,15 @@ from repro.confidence.estimator import TageConfidenceEstimator
 from repro.predictors.tage.config import (
     AUTOMATON_PROBABILISTIC,
     AUTOMATON_STANDARD,
+)
+from repro.serve import (
+    ConfidenceServer,
+    DifferentialMismatchError,
+    DriveConfig,
+    ServeError,
+    ServerConfig,
+    run_differential_check,
+    run_drive,
 )
 from repro.sim.backends import BACKENDS, DEFAULT_BACKEND, default_planes_dir
 from repro.sim.engine import simulate
@@ -253,6 +273,68 @@ def build_parser() -> argparse.ArgumentParser:
                                 "(gzip if the path ends in .gz)")
 
     commands.add_parser("list-traces", help="list registered trace names")
+
+    serve_cmd = commands.add_parser(
+        "serve",
+        help="run the multi-tenant confidence server (SIGINT/SIGTERM drains)",
+    )
+    serve_cmd.add_argument("--host", default="127.0.0.1")
+    serve_cmd.add_argument("--port", type=int, default=7421,
+                           help="bind port; 0 picks a free port")
+    serve_cmd.add_argument("--shards", type=int, default=4,
+                           help="shard worker count (per-tenant serialization units)")
+    serve_cmd.add_argument("--max-queue", type=int, default=64, metavar="N",
+                           help="admitted-but-uncompleted requests per tenant "
+                                "before explicit rejects")
+    serve_cmd.add_argument("--timeout", type=float, default=5.0, metavar="SEC",
+                           help="request deadline (queued or mid-frame stall)")
+    serve_cmd.add_argument("--max-batch", type=int, default=8192, metavar="N",
+                           help="records allowed per observe frame")
+
+    drive_cmd = commands.add_parser(
+        "drive",
+        help="load-drive a running confidence server and report "
+             "latency percentiles + the throughput curve",
+    )
+    drive_cmd.add_argument("--host", default="127.0.0.1")
+    drive_cmd.add_argument("--port", type=int, default=7421)
+    drive_cmd.add_argument("--trace", default="INT-1",
+                           help="any registered trace name (CBP, zoo, file:<path>)")
+    drive_cmd.add_argument("--branches", type=int, default=20_000,
+                           help="dynamic branches replayed per client")
+    drive_cmd.add_argument("--predictor", default="tage-16K",
+                           help="predictor token (tage-<SIZE>[-prob], gshare, ...)")
+    drive_cmd.add_argument("--estimator", default="tage",
+                           help="estimator kind: tage, jrs, ejrs, self")
+    drive_cmd.add_argument("--adaptive", action="store_true",
+                           help="attach the Sec-6.2 adaptive controller")
+    drive_cmd.add_argument("--target-mkp", type=float, default=10.0)
+    drive_cmd.add_argument("--seed", type=int, default=None)
+    drive_cmd.add_argument("--mode", choices=("closed", "open"), default="closed",
+                           help="closed: N clients back-to-back (saturation "
+                                "curve); open: fixed arrival rate")
+    drive_cmd.add_argument("--clients", type=int, nargs="+", default=[1, 2, 4],
+                           metavar="N",
+                           help="closed-loop concurrency sweep (also the "
+                                "connection count for open loop)")
+    drive_cmd.add_argument("--rates", type=float, nargs="+", default=[50.0],
+                           metavar="R",
+                           help="open-loop arrival rates (batches/s)")
+    drive_cmd.add_argument("--batch", type=int, default=256,
+                           help="branches per observe request")
+    drive_cmd.add_argument("--tenant-prefix", default="drive",
+                           help="tenant namespace; a unique per-invocation "
+                                "suffix is appended so repeated drives against "
+                                "one server never re-attach to trained state")
+    drive_cmd.add_argument("--connect-timeout", type=float, default=5.0,
+                           metavar="SEC",
+                           help="retry connecting this long (lets 'start "
+                                "server, then drive' scripts race safely)")
+    drive_cmd.add_argument("--verify", action="store_true",
+                           help="first check served decisions are bit-identical "
+                                "to the offline reference replay of the same cell")
+    drive_cmd.add_argument("--record", metavar="PATH", default=None,
+                           help="write the drive report as JSON")
     return parser
 
 
@@ -456,6 +538,125 @@ def _cmd_list_traces(args) -> int:
     return 0
 
 
+async def _serve_until_signalled(config: ServerConfig) -> ConfidenceServer:
+    server = ConfidenceServer(config)
+    host, port = await server.start()
+    print(f"serving on {host}:{port} "
+          f"({config.n_shards} shards, queue<={config.max_tenant_queue}/tenant, "
+          f"timeout {config.request_timeout:g}s)", flush=True)
+    stop = asyncio.Event()
+    loop = asyncio.get_running_loop()
+    for signum in (signal.SIGINT, signal.SIGTERM):
+        loop.add_signal_handler(signum, stop.set)
+    await stop.wait()
+    print("draining...", flush=True)
+    await server.drain()
+    return server
+
+
+def _cmd_serve(args) -> int:
+    try:
+        config = ServerConfig(
+            host=args.host,
+            port=args.port,
+            n_shards=args.shards,
+            max_tenant_queue=args.max_queue,
+            request_timeout=args.timeout,
+            max_batch=args.max_batch,
+        )
+    except ValueError as error:
+        raise SystemExit(str(error)) from None
+    try:
+        server = asyncio.run(_serve_until_signalled(config))
+    except OSError as error:
+        raise SystemExit(f"cannot serve on {args.host}:{args.port}: {error}") from None
+    print(f"drained: {server.n_answered} answered, {server.n_rejected} rejected, "
+          f"{server.n_timed_out} timed out, {len(server.session_stats())} tenants")
+    return 0
+
+
+def _cmd_drive(args) -> int:
+    # Tenants are stateful on the server side: re-using a name would
+    # either re-attach to a trained predictor (skewing the curve and
+    # breaking --verify's fresh-replay bit-identity) or be refused for
+    # a different spec.  A per-invocation suffix keeps every drive run
+    # against a long-lived server in its own namespace.
+    prefix = f"{args.tenant_prefix}.{uuid.uuid4().hex[:8]}"
+    try:
+        config = DriveConfig(
+            host=args.host,
+            port=args.port,
+            trace=args.trace,
+            n_branches=args.branches,
+            predictor=args.predictor,
+            estimator=args.estimator,
+            adaptive=args.adaptive,
+            target_mkp=args.target_mkp,
+            seed=args.seed,
+            mode=args.mode,
+            clients=tuple(args.clients),
+            rates=tuple(args.rates),
+            batch_size=args.batch,
+            tenant_prefix=prefix,
+            connect_timeout=args.connect_timeout,
+        )
+    except ValueError as error:
+        raise SystemExit(str(error)) from None
+    try:
+        if args.verify:
+            outcome = run_differential_check(
+                args.host, args.port,
+                config.session_spec(f"{prefix}.verify"),
+                args.trace, args.branches,
+                batch_size=args.batch,
+                connect_timeout=args.connect_timeout,
+            )
+            print(f"differential: served == offline reference "
+                  f"({outcome['mispredictions']} mispredictions over "
+                  f"{outcome['n_branches']} branches, {outcome['mpki']:.2f} misp/KI)")
+        report = run_drive(config)
+    except DifferentialMismatchError as error:
+        raise SystemExit(f"differential check FAILED: {error}") from None
+    except ServeError as error:
+        raise SystemExit(f"server error: {error}") from None
+    except KeyError:
+        raise SystemExit(f"unknown trace {args.trace!r}; try `list-traces`") from None
+    except (ConnectionError, OSError) as error:
+        raise SystemExit(
+            f"cannot reach server at {args.host}:{args.port}: {error}"
+        ) from None
+
+    rows = [
+        [
+            str(point.clients),
+            "-" if point.rate is None else f"{point.rate:g}",
+            str(point.n_requests),
+            str(point.n_rejected),
+            str(point.n_timed_out),
+            f"{point.throughput_rps:.0f}",
+            f"{point.p50_ms:.2f}",
+            f"{point.p95_ms:.2f}",
+            f"{point.p99_ms:.2f}",
+        ]
+        for point in report.points
+    ]
+    print()
+    print(render_table(
+        ("clients", "rate", "requests", "rejected", "timeout",
+         "records/s", "p50 ms", "p95 ms", "p99 ms"),
+        rows,
+        title=f"{report.mode}-loop drive: {report.predictor} x "
+              f"{report.estimator} on {report.trace} "
+              f"({report.n_branches} branches, batch {report.batch_size})",
+    ))
+    if args.record is not None:
+        with open(args.record, "w", encoding="utf-8") as handle:
+            json.dump(report.as_dict(), handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"wrote {args.record}")
+    return 0
+
+
 _HANDLERS = {
     "run-trace": _cmd_run_trace,
     "run-suite": _cmd_run_suite,
@@ -465,6 +666,8 @@ _HANDLERS = {
     "inspect": _cmd_inspect,
     "trace": _cmd_trace,
     "list-traces": _cmd_list_traces,
+    "serve": _cmd_serve,
+    "drive": _cmd_drive,
 }
 
 

@@ -1,0 +1,82 @@
+"""Confidence-as-a-service: the serving layer.
+
+The paper's estimators are pure functions over branch streams, so they
+serve naturally: a long-running asyncio server
+(:class:`~repro.serve.server.ConfidenceServer`) holds sharded per-tenant
+predictor + estimator state behind a small length-prefixed wire protocol
+(:mod:`repro.serve.protocol`) — "observe a batch of branches, get back
+each branch's prediction and confidence class" — and a load-driving
+client (:mod:`repro.serve.driver`) measures it with open- and
+closed-loop modes, latency percentiles and throughput/saturation curves.
+
+Layering:
+
+* :mod:`repro.serve.protocol` — frames, message types, error codes;
+* :mod:`repro.serve.state` — :class:`SessionSpec` (the wire-facing cell
+  description, built on the sweep layer's predictor/estimator specs) and
+  :class:`TenantSession` (the live per-tenant replica of the reference
+  engine's per-branch loop);
+* :mod:`repro.serve.server` — the asyncio server: tenant → shard
+  routing, per-tenant admission control with explicit rejects, request
+  timeouts, graceful drain;
+* :mod:`repro.serve.client` — the asyncio client (pipelined or
+  call-and-wait) plus trace replay;
+* :mod:`repro.serve.driver` — open/closed-loop load generation from any
+  registered trace source, percentile reporting, saturation curves and
+  the served-vs-offline differential check.
+
+The serving hot path is bit-identical to the offline engines: a served
+trace's per-branch (prediction, confidence class) stream equals the
+reference :func:`repro.sim.engine.simulate` replay of the same
+(predictor, estimator, trace) cell — enforced by
+:func:`repro.serve.driver.differential_check` and the CI serving smoke.
+"""
+
+from repro.serve.client import (
+    DecisionStream,
+    ServeBadRequest,
+    ServeClient,
+    ServeDraining,
+    ServeError,
+    ServeRejected,
+    ServeTimeout,
+)
+from repro.serve.driver import (
+    DifferentialMismatchError,
+    DriveConfig,
+    DrivePoint,
+    DriveReport,
+    differential_check,
+    drive,
+    offline_decisions,
+    run_differential_check,
+    run_drive,
+)
+from repro.serve.protocol import ProtocolError
+from repro.serve.server import ConfidenceServer, ServerConfig, running_server
+from repro.serve.state import SessionSpec, TenantSession
+
+__all__ = [
+    "ConfidenceServer",
+    "ServerConfig",
+    "SessionSpec",
+    "TenantSession",
+    "ServeClient",
+    "DecisionStream",
+    "ServeError",
+    "ServeRejected",
+    "ServeTimeout",
+    "ServeDraining",
+    "ServeBadRequest",
+    "ProtocolError",
+    "running_server",
+    "DriveConfig",
+    "DrivePoint",
+    "DriveReport",
+    "drive",
+    "run_drive",
+    "differential_check",
+    "run_differential_check",
+    "DifferentialMismatchError",
+    "offline_decisions",
+]

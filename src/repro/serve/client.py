@@ -1,0 +1,229 @@
+"""Asyncio client for the confidence server.
+
+:class:`ServeClient` speaks the wire protocol of
+:mod:`repro.serve.protocol`.  The two usage shapes:
+
+* **call-and-wait** (:meth:`ServeClient.observe`) — one batch per round
+  trip; the replay helpers and the closed-loop driver use this;
+* **pipelined** (:meth:`ServeClient.send_observe` +
+  :meth:`ServeClient.recv_result`) — many batches in flight on one
+  connection; responses come back in request order (a protocol
+  guarantee), which is what the open-loop driver and the fault tests
+  exploit.
+
+Server error frames surface as typed exceptions
+(:class:`ServeRejected`, :class:`ServeTimeout`, :class:`ServeDraining`,
+:class:`ServeBadRequest`) so callers can distinguish admission-control
+replies from real failures.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from dataclasses import dataclass, field
+
+from repro.serve import protocol
+from repro.serve.state import SessionSpec
+
+__all__ = [
+    "ServeError",
+    "ServeRejected",
+    "ServeTimeout",
+    "ServeDraining",
+    "ServeBadRequest",
+    "DecisionStream",
+    "ServeClient",
+]
+
+
+class ServeError(RuntimeError):
+    """An ERROR frame from the server (or a broken conversation)."""
+
+    def __init__(self, code: int, message: str) -> None:
+        super().__init__(
+            f"{protocol.ERROR_NAMES.get(code, code)}: {message}"
+        )
+        self.code = code
+        self.message = message
+
+
+class ServeRejected(ServeError):
+    """Tenant admission queue full — the batch was not applied."""
+
+
+class ServeTimeout(ServeError):
+    """The request missed its server-side deadline — not applied."""
+
+
+class ServeDraining(ServeError):
+    """The server is shutting down gracefully."""
+
+
+class ServeBadRequest(ServeError):
+    """The server rejected the request as malformed/out-of-order."""
+
+
+_ERROR_TYPES = {
+    protocol.ERR_REJECTED: ServeRejected,
+    protocol.ERR_TIMEOUT: ServeTimeout,
+    protocol.ERR_DRAINING: ServeDraining,
+    protocol.ERR_BAD_REQUEST: ServeBadRequest,
+}
+
+
+def _error_from_frame(payload: bytes) -> ServeError:
+    code, message = protocol.decode_error(payload)
+    return _ERROR_TYPES.get(code, ServeError)(code, message)
+
+
+@dataclass
+class DecisionStream:
+    """A served trace's per-branch decisions, in trace order.
+
+    ``codes`` are §5 observation-class codes (multi-class sessions) or
+    high-confidence flags (binary sessions) — exactly the server's
+    RESULTS columns, concatenated across batches.
+    """
+
+    tenant: str
+    predictions: list[bool] = field(default_factory=list)
+    codes: list[int] = field(default_factory=list)
+
+    def __len__(self) -> int:
+        return len(self.codes)
+
+    def extend(self, predictions: bytes, codes: bytes) -> None:
+        self.predictions.extend(byte == 1 for byte in predictions)
+        self.codes.extend(codes)
+
+    @property
+    def mispredicted_against(self):
+        """``lambda takens: [...]`` — misprediction flags vs. a taken column."""
+        def compare(takens):
+            return [
+                prediction != (taken == 1)
+                for prediction, taken in zip(self.predictions, takens)
+            ]
+        return compare
+
+
+class ServeClient:
+    """One connection to a :class:`~repro.serve.server.ConfidenceServer`."""
+
+    def __init__(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        self._reader = reader
+        self._writer = writer
+        self.session: SessionSpec | None = None
+
+    @classmethod
+    async def connect(
+        cls, host: str, port: int, connect_timeout: float = 5.0
+    ) -> "ServeClient":
+        """Connect, retrying until ``connect_timeout`` elapses.
+
+        The retry loop makes "start the server, then drive it" scripts
+        (CI smoke, the CLI) robust without a separate port-polling step.
+        """
+        loop = asyncio.get_running_loop()
+        deadline = loop.time() + connect_timeout
+        while True:
+            try:
+                reader, writer = await asyncio.open_connection(host, port)
+                return cls(reader, writer)
+            except (ConnectionError, OSError):
+                if loop.time() >= deadline:
+                    raise
+                await asyncio.sleep(0.05)
+
+    # -- conversation --------------------------------------------------
+
+    async def hello(self, spec: SessionSpec) -> dict:
+        """Open (or re-attach to) the tenant session; server's HELLO_OK."""
+        await self._send(protocol.MSG_HELLO, protocol.encode_json(spec.as_dict()))
+        msg_type, payload = await self._recv()
+        if msg_type == protocol.MSG_ERROR:
+            raise _error_from_frame(payload)
+        if msg_type != protocol.MSG_HELLO_OK:
+            raise ServeError(
+                protocol.ERR_INTERNAL, f"unexpected reply {msg_type:#x} to hello"
+            )
+        self.session = spec
+        return protocol.decode_json(payload)
+
+    async def observe(self, pcs, takens) -> tuple[bytes, bytes]:
+        """One batched observe round trip → ``(predictions, codes)``."""
+        await self.send_observe(pcs, takens)
+        return await self.recv_result()
+
+    async def send_observe(self, pcs, takens) -> None:
+        """Pipelined send half of :meth:`observe`."""
+        await self._send(
+            protocol.MSG_OBSERVE, protocol.pack_observe(pcs, takens)
+        )
+
+    async def recv_result(self) -> tuple[bytes, bytes]:
+        """Pipelined receive half; raises typed errors on ERROR frames."""
+        msg_type, payload = await self._recv()
+        if msg_type == protocol.MSG_ERROR:
+            raise _error_from_frame(payload)
+        if msg_type != protocol.MSG_RESULTS:
+            raise ServeError(
+                protocol.ERR_INTERNAL,
+                f"unexpected reply {msg_type:#x} to observe",
+            )
+        return protocol.unpack_results(payload)
+
+    async def replay(self, trace, batch_size: int = 512) -> DecisionStream:
+        """Stream a whole trace through the session, batch by batch."""
+        if self.session is None:
+            raise ServeError(protocol.ERR_BAD_REQUEST, "replay before hello")
+        if batch_size < 1:
+            raise ValueError(f"batch_size must be >= 1, got {batch_size}")
+        stream = DecisionStream(tenant=self.session.tenant)
+        pcs = trace.pcs
+        takens = trace.takens
+        for start in range(0, len(trace), batch_size):
+            predictions, codes = await self.observe(
+                pcs[start:start + batch_size], takens[start:start + batch_size]
+            )
+            stream.extend(predictions, codes)
+        return stream
+
+    async def close(self) -> dict:
+        """Polite goodbye; returns the server's session accounting."""
+        try:
+            await self._send(protocol.MSG_CLOSE)
+            msg_type, payload = await self._recv()
+            stats = (
+                protocol.decode_json(payload)
+                if msg_type == protocol.MSG_CLOSED
+                else {}
+            )
+        except (ConnectionError, OSError, ServeError):
+            stats = {}
+        await self.abort()
+        return stats
+
+    async def abort(self) -> None:
+        """Drop the connection without protocol goodbyes."""
+        self._writer.close()
+        try:
+            await self._writer.wait_closed()
+        except (ConnectionError, OSError):
+            pass
+
+    # -- plumbing ------------------------------------------------------
+
+    async def _send(self, msg_type: int, payload: bytes = b"") -> None:
+        self._writer.write(protocol.encode_frame(msg_type, payload))
+        await self._writer.drain()
+
+    async def _recv(self) -> tuple[int, bytes]:
+        frame = await protocol.read_frame(self._reader)
+        if frame is None:
+            raise ServeError(
+                protocol.ERR_INTERNAL, "server closed the connection"
+            )
+        return frame

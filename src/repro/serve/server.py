@@ -1,0 +1,428 @@
+"""The asyncio confidence server.
+
+One :class:`ConfidenceServer` holds every tenant's
+:class:`~repro.serve.state.TenantSession` and serves the wire protocol
+of :mod:`repro.serve.protocol`.  The concurrency model is
+shard-per-worker:
+
+* a tenant maps to a fixed shard (CRC-32 of the tenant name modulo
+  ``n_shards``), and each shard is one FIFO work queue drained by one
+  worker task — so per-tenant requests execute serially in arrival
+  order (sessions need no locks) while distinct shards interleave
+  cooperatively;
+* each connection runs a reader task (frames → admission → shard queue)
+  and a writer task draining an ordered response queue, so clients may
+  pipeline requests and still receive responses in request order.
+
+Admission control and fault semantics:
+
+* **per-tenant queue bound** — at most ``max_tenant_queue`` admitted
+  but uncompleted observe requests per tenant, across all of the
+  tenant's connections; the bound answers an explicit ``ERR_REJECTED``
+  frame instead of queueing unboundedly (the rejected batch is *not*
+  applied);
+* **request timeout** — a request that sits queued past
+  ``request_timeout`` answers ``ERR_TIMEOUT`` and is *not* applied, so
+  the tenant's decision stream stays an exact function of the
+  successfully answered batches;
+* **stalled clients** — a connection that stops sending mid-frame for
+  ``request_timeout`` seconds is answered with ``ERR_TIMEOUT`` and
+  disconnected; its tenant state keeps only the fully received batches,
+  and no other tenant is affected;
+* **graceful drain** — :meth:`ConfidenceServer.drain` stops accepting
+  connections, answers new requests with ``ERR_DRAINING``, completes
+  everything already queued, then retires the shard workers and closes
+  the remaining connections.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import zlib
+from contextlib import asynccontextmanager
+from dataclasses import dataclass
+
+from repro.serve import protocol
+from repro.serve.state import SessionSpec, TenantSession
+
+__all__ = ["ServerConfig", "ConfidenceServer", "running_server"]
+
+
+@dataclass(frozen=True)
+class ServerConfig:
+    """Serving knobs.
+
+    Attributes:
+        host / port: bind address; port 0 picks a free port (tests).
+        n_shards: shard worker count (per-tenant serialization units).
+        max_tenant_queue: admitted-but-uncompleted observe requests
+            allowed per tenant before explicit rejects.
+        request_timeout: seconds a request may wait in its shard queue
+            (and a client may stall mid-frame) before ``ERR_TIMEOUT``.
+        max_batch: records allowed per observe frame.
+        service_delay: artificial per-request processing delay in
+            seconds — a test/bench hook for making queueing effects
+            (rejects, timeouts, saturation) deterministic; 0 in
+            production.
+    """
+
+    host: str = "127.0.0.1"
+    port: int = 0
+    n_shards: int = 4
+    max_tenant_queue: int = 64
+    request_timeout: float = 5.0
+    max_batch: int = 8192
+    service_delay: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.n_shards < 1:
+            raise ValueError(f"n_shards must be >= 1, got {self.n_shards}")
+        if self.max_tenant_queue < 1:
+            raise ValueError(
+                f"max_tenant_queue must be >= 1, got {self.max_tenant_queue}"
+            )
+        if self.request_timeout <= 0:
+            raise ValueError(
+                f"request_timeout must be positive, got {self.request_timeout}"
+            )
+        if self.max_batch < 1:
+            raise ValueError(f"max_batch must be >= 1, got {self.max_batch}")
+        if self.service_delay < 0:
+            raise ValueError(
+                f"service_delay must be non-negative, got {self.service_delay}"
+            )
+
+
+class _Work:
+    """One admitted observe request travelling through a shard queue."""
+
+    __slots__ = ("session", "pcs", "takens", "deadline", "future")
+
+    def __init__(self, session, pcs, takens, deadline, future):
+        self.session = session
+        self.pcs = pcs
+        self.takens = takens
+        self.deadline = deadline
+        self.future = future
+
+
+_CONNECTION_DONE = object()
+_WORKER_STOP = object()
+
+
+class ConfidenceServer:
+    """Long-running multi-tenant prediction/confidence server."""
+
+    def __init__(self, config: ServerConfig | None = None) -> None:
+        self.config = config or ServerConfig()
+        self._sessions: dict[str, TenantSession] = {}
+        self._inflight: dict[str, int] = {}
+        self._shards: list[asyncio.Queue] = []
+        self._workers: list[asyncio.Task] = []
+        self._writers: set[asyncio.StreamWriter] = set()
+        self._server: asyncio.base_events.Server | None = None
+        self._draining = False
+        self.n_admitted = 0
+        self.n_rejected = 0
+        self.n_timed_out = 0
+        self.n_answered = 0
+
+    # -- lifecycle -----------------------------------------------------
+
+    async def start(self) -> tuple[str, int]:
+        """Bind, spawn shard workers, accept connections; returns address."""
+        if self._server is not None:
+            raise RuntimeError("server already started")
+        self._shards = [asyncio.Queue() for _ in range(self.config.n_shards)]
+        self._workers = [
+            asyncio.ensure_future(self._shard_worker(queue))
+            for queue in self._shards
+        ]
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.config.host, self.config.port
+        )
+        return self.address
+
+    @property
+    def address(self) -> tuple[str, int]:
+        """The bound (host, port) — meaningful after :meth:`start`."""
+        if self._server is None or not self._server.sockets:
+            raise RuntimeError("server is not listening")
+        host, port = self._server.sockets[0].getsockname()[:2]
+        return host, port
+
+    @property
+    def draining(self) -> bool:
+        return self._draining
+
+    def session_stats(self) -> list[dict]:
+        """Per-tenant accounting, in tenant-creation order."""
+        return [session.stats() for session in self._sessions.values()]
+
+    async def drain(self) -> None:
+        """Graceful shutdown: finish queued work, then stop.
+
+        Idempotent.  New requests arriving while draining are answered
+        with ``ERR_DRAINING``; everything admitted before the drain
+        started completes and is answered normally.
+        """
+        self._draining = True
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        for queue in self._shards:
+            await queue.join()
+        for queue in self._shards:
+            queue.put_nowait(_WORKER_STOP)
+        for worker in self._workers:
+            await worker
+        self._workers = []
+        for writer in list(self._writers):
+            writer.close()
+        self._writers.clear()
+
+    # -- shard workers -------------------------------------------------
+
+    def _shard_of(self, tenant: str) -> asyncio.Queue:
+        index = zlib.crc32(tenant.encode()) % len(self._shards)
+        return self._shards[index]
+
+    async def _shard_worker(self, queue: asyncio.Queue) -> None:
+        loop = asyncio.get_running_loop()
+        while True:
+            work = await queue.get()
+            if work is _WORKER_STOP:
+                queue.task_done()
+                return
+            try:
+                tenant = work.session.spec.tenant
+                self._inflight[tenant] -= 1
+                if loop.time() > work.deadline:
+                    # The batch is dropped, not applied: a TIMEOUT reply
+                    # tells the client exactly which prefix of its
+                    # stream the session state reflects.
+                    self.n_timed_out += 1
+                    self._resolve(
+                        work.future,
+                        _error_frame(protocol.ERR_TIMEOUT,
+                                     "request queued past its deadline"),
+                    )
+                    continue
+                if self.config.service_delay:
+                    await asyncio.sleep(self.config.service_delay)
+                try:
+                    predictions, codes = work.session.observe_batch(
+                        work.pcs, work.takens
+                    )
+                except Exception as error:  # state bug — answer, don't die
+                    self._resolve(
+                        work.future,
+                        _error_frame(protocol.ERR_INTERNAL, repr(error)),
+                    )
+                    continue
+                self.n_answered += 1
+                self._resolve(
+                    work.future,
+                    protocol.encode_frame(
+                        protocol.MSG_RESULTS,
+                        protocol.pack_results(predictions, codes),
+                    ),
+                )
+            finally:
+                queue.task_done()
+
+    @staticmethod
+    def _resolve(future: asyncio.Future, frame: bytes) -> None:
+        if not future.done():
+            future.set_result(frame)
+
+    # -- connection handling -------------------------------------------
+
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        self._writers.add(writer)
+        responses: asyncio.Queue = asyncio.Queue()
+        writer_task = asyncio.ensure_future(
+            self._write_responses(writer, responses)
+        )
+        try:
+            await self._read_requests(reader, responses)
+        finally:
+            responses.put_nowait(_CONNECTION_DONE)
+            await writer_task
+            self._writers.discard(writer)
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+    async def _read_requests(
+        self, reader: asyncio.StreamReader, responses: asyncio.Queue
+    ) -> None:
+        """Per-connection reader loop; returns when the stream ends."""
+        loop = asyncio.get_running_loop()
+        session: TenantSession | None = None
+        while True:
+            try:
+                frame = await protocol.read_frame(
+                    reader, body_timeout=self.config.request_timeout
+                )
+            except asyncio.TimeoutError:
+                self.n_timed_out += 1
+                responses.put_nowait(_error_frame(
+                    protocol.ERR_TIMEOUT, "stalled mid-frame"
+                ))
+                return
+            except protocol.ProtocolError as error:
+                responses.put_nowait(_error_frame(
+                    protocol.ERR_BAD_REQUEST, str(error)
+                ))
+                return
+            except (ConnectionError, OSError):
+                return
+            if frame is None:  # clean EOF (or mid-stream disconnect)
+                return
+            msg_type, payload = frame
+
+            if msg_type == protocol.MSG_HELLO:
+                try:
+                    spec = SessionSpec.from_dict(protocol.decode_json(payload))
+                    session = self._open_session(spec)
+                except (protocol.ProtocolError, ValueError) as error:
+                    responses.put_nowait(_error_frame(
+                        protocol.ERR_BAD_REQUEST, str(error)
+                    ))
+                    return
+                shard = zlib.crc32(spec.tenant.encode()) % len(self._shards)
+                responses.put_nowait(protocol.encode_frame(
+                    protocol.MSG_HELLO_OK,
+                    protocol.encode_json({
+                        "tenant": spec.tenant,
+                        "shard": shard,
+                        "predictor": spec.predictor,
+                        "estimator": spec.estimator,
+                        "observed": session.n_observed,
+                    }),
+                ))
+                continue
+
+            if msg_type == protocol.MSG_CLOSE:
+                stats = session.stats() if session is not None else {}
+                responses.put_nowait(protocol.encode_frame(
+                    protocol.MSG_CLOSED, protocol.encode_json(stats)
+                ))
+                return
+
+            if msg_type != protocol.MSG_OBSERVE:
+                responses.put_nowait(_error_frame(
+                    protocol.ERR_BAD_REQUEST,
+                    f"unknown message type {msg_type:#x}",
+                ))
+                return
+            if session is None:
+                responses.put_nowait(_error_frame(
+                    protocol.ERR_BAD_REQUEST, "observe before hello"
+                ))
+                return
+            try:
+                pcs, takens = protocol.unpack_observe(payload)
+            except protocol.ProtocolError as error:
+                responses.put_nowait(_error_frame(
+                    protocol.ERR_BAD_REQUEST, str(error)
+                ))
+                return
+            if len(pcs) > self.config.max_batch:
+                responses.put_nowait(_error_frame(
+                    protocol.ERR_BAD_REQUEST,
+                    f"batch of {len(pcs)} exceeds max_batch "
+                    f"({self.config.max_batch})",
+                ))
+                return
+
+            # -- admission control (explicit replies, never a hang) ----
+            if self._draining:
+                responses.put_nowait(_error_frame(
+                    protocol.ERR_DRAINING, "server is draining"
+                ))
+                continue
+            tenant = session.spec.tenant
+            inflight = self._inflight.get(tenant, 0)
+            if inflight >= self.config.max_tenant_queue:
+                self.n_rejected += 1
+                responses.put_nowait(_error_frame(
+                    protocol.ERR_REJECTED,
+                    f"tenant {tenant!r} queue full "
+                    f"({inflight} requests pending)",
+                ))
+                continue
+            self._inflight[tenant] = inflight + 1
+            self.n_admitted += 1
+            future: asyncio.Future = asyncio.get_running_loop().create_future()
+            self._shard_of(tenant).put_nowait(_Work(
+                session, pcs, takens,
+                deadline=loop.time() + self.config.request_timeout,
+                future=future,
+            ))
+            responses.put_nowait(future)
+
+    def _open_session(self, spec: SessionSpec) -> TenantSession:
+        """Create the tenant session, or re-attach to the existing one.
+
+        Re-attaching requires an identical spec: tenant identity is the
+        state namespace, so two clients disagreeing about the cell the
+        tenant runs would corrupt each other's decision streams.
+        """
+        existing = self._sessions.get(spec.tenant)
+        if existing is not None:
+            if existing.spec != spec:
+                raise ValueError(
+                    f"tenant {spec.tenant!r} already exists with a "
+                    "different session spec"
+                )
+            return existing
+        session = TenantSession(spec)
+        self._sessions[spec.tenant] = session
+        return session
+
+    async def _write_responses(
+        self, writer: asyncio.StreamWriter, responses: asyncio.Queue
+    ) -> None:
+        """Drain the ordered response queue onto the socket.
+
+        Items are ready frames or futures of frames, in request order.
+        Write failures (client went away) are swallowed — the queue is
+        still consumed so in-flight shard work can resolve its futures
+        without anyone waiting on a dead socket.
+        """
+        broken = False
+        while True:
+            item = await responses.get()
+            if item is _CONNECTION_DONE:
+                return
+            frame = item if isinstance(item, bytes) else await item
+            if broken:
+                continue
+            try:
+                writer.write(frame)
+                await writer.drain()
+            except (ConnectionError, OSError):
+                broken = True
+
+
+def _error_frame(code: int, message: str) -> bytes:
+    return protocol.encode_frame(
+        protocol.MSG_ERROR, protocol.encode_error(code, message)
+    )
+
+
+@asynccontextmanager
+async def running_server(config: ServerConfig | None = None):
+    """Context manager running a server for the enclosed block (tests)."""
+    server = ConfidenceServer(config)
+    await server.start()
+    try:
+        yield server
+    finally:
+        await server.drain()

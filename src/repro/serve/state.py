@@ -1,0 +1,208 @@
+"""Per-tenant serving state.
+
+A tenant session is the live, server-held replica of one offline
+simulation cell: a predictor plus a confidence estimator (and the §6.2
+adaptive controller when requested), advanced one observed branch at a
+time in exactly the reference engine's per-branch step order — predict,
+classify/assess, observe, (controller,) train.  Because the step order
+and component construction both match the sweep layer
+(:func:`repro.sweep.executor.build_cell_predictor` et al.), a served
+trace's per-branch decision stream is bit-identical to the offline
+:func:`repro.sim.engine.simulate` / :func:`simulate_binary` replay of
+the same (predictor, estimator, trace) cell — the property
+:func:`repro.serve.driver.differential_check` enforces.
+
+:class:`SessionSpec` is the wire-facing description of such a cell: the
+CLI predictor token (``tage-16K``, ``gshare``, …), the estimator kind
+(``tage``/``jrs``/``ejrs``/``self``) and the scalar options a sweep cell
+carries (seed, adaptive, target MKP).  It validates eagerly so a bad
+HELLO is rejected before any state is allocated.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.confidence.adaptive import AdaptiveSaturationController
+from repro.confidence.estimator import TageConfidenceEstimator
+from repro.confidence.classes import confidence_level_of
+from repro.sim.observe import OBSERVATION_CLASS_CODES
+from repro.sweep.executor import build_cell_binary_estimator, build_cell_predictor
+from repro.sweep.spec import EstimatorSpec, PredictorSpec
+
+__all__ = ["SessionSpec", "TenantSession"]
+
+_CODE_OF_CLASS = {
+    prediction_class: code
+    for code, prediction_class in enumerate(OBSERVATION_CLASS_CODES)
+}
+
+
+@dataclass(frozen=True)
+class SessionSpec:
+    """One tenant's cell description, as carried by the HELLO payload.
+
+    Attributes:
+        tenant: tenant identity — routing key, admission-control scope
+            and state namespace, all at once.
+        predictor: CLI predictor token (``tage-<SIZE>[-prob]``,
+            ``gshare``, ``bimodal``, ``perceptron``, ``ogehl``,
+            ``local``).
+        estimator: estimator kind (``tage`` for the paper's multi-class
+            observation, ``jrs``/``ejrs``/``self`` for the binary
+            baselines).
+        adaptive: attach the §6.2 adaptive saturation controller
+            (``tage`` estimator on a TAGE predictor only; forces the
+            probabilistic automaton like the sweep layer does).
+        target_mkp: adaptive controller target.
+        seed: per-session RNG seed, derived exactly like a sweep job's
+            (``None`` keeps each component's built-in seeds).
+    """
+
+    tenant: str
+    predictor: str = "tage-64K"
+    estimator: str = "tage"
+    adaptive: bool = False
+    target_mkp: float = 10.0
+    seed: int | None = None
+
+    def __post_init__(self) -> None:
+        if not self.tenant or any(c.isspace() for c in self.tenant):
+            raise ValueError(f"invalid tenant name {self.tenant!r}")
+        predictor = PredictorSpec.parse(self.predictor)  # raises on bad token
+        estimator = EstimatorSpec.of(self.estimator)
+        if not estimator.compatible_with(predictor):
+            raise ValueError(
+                f"estimator {self.estimator!r} cannot observe predictor "
+                f"{self.predictor!r}"
+            )
+        if self.adaptive and (estimator.kind != "tage" or predictor.kind != "tage"):
+            raise ValueError(
+                "adaptive control needs a TAGE predictor with the 'tage' "
+                f"observation estimator, got {self.predictor!r} x {self.estimator!r}"
+            )
+
+    @property
+    def predictor_spec(self) -> PredictorSpec:
+        return PredictorSpec.parse(self.predictor)
+
+    @property
+    def estimator_spec(self) -> EstimatorSpec:
+        return EstimatorSpec.of(self.estimator)
+
+    @property
+    def is_binary(self) -> bool:
+        """Binary high/low sessions return the confidence flag as code."""
+        return self.estimator_spec.is_binary
+
+    def as_dict(self) -> dict:
+        """Plain-data wire form (the HELLO payload)."""
+        return {
+            "tenant": self.tenant,
+            "predictor": self.predictor,
+            "estimator": self.estimator,
+            "adaptive": self.adaptive,
+            "target_mkp": self.target_mkp,
+            "seed": self.seed,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "SessionSpec":
+        """Validated spec from a decoded HELLO payload."""
+        known = {"tenant", "predictor", "estimator", "adaptive", "target_mkp", "seed"}
+        unknown = set(payload) - known
+        if unknown:
+            raise ValueError(f"unknown session fields {sorted(unknown)}")
+        if "tenant" not in payload:
+            raise ValueError("session spec needs a 'tenant' field")
+        return cls(**payload)
+
+
+class TenantSession:
+    """Live predictor + estimator state for one tenant.
+
+    All mutation happens through :meth:`observe_batch`, which the server
+    calls from exactly one shard worker — per-tenant serialization is a
+    routing property, so the session itself needs no locking.
+    """
+
+    def __init__(self, spec: SessionSpec) -> None:
+        self.spec = spec
+        predictor_spec = spec.predictor_spec
+        self.predictor = build_cell_predictor(
+            predictor_spec, adaptive=spec.adaptive, seed=spec.seed
+        )
+        self.controller = None
+        if spec.estimator_spec.kind == "tage":
+            self.estimator = TageConfidenceEstimator(self.predictor)
+            if spec.adaptive:
+                self.controller = AdaptiveSaturationController(
+                    self.predictor, target_mkp=spec.target_mkp
+                )
+        else:
+            self.estimator = build_cell_binary_estimator(
+                spec.estimator_spec, self.predictor
+            )
+        self.n_observed = 0
+        self.mispredictions = 0
+
+    def observe_batch(self, pcs, takens) -> tuple[bytes, bytes]:
+        """Advance the session over a batch; per-record decisions back.
+
+        Returns parallel byte columns ``(predictions, codes)`` — codes
+        are §5 observation-class codes for multi-class sessions, the
+        high-confidence flag for binary ones.  The per-branch step order
+        replicates :func:`repro.sim.engine.simulate` (multi-class) and
+        :func:`simulate_binary` (binary) exactly.
+        """
+        predictions = bytearray()
+        codes = bytearray()
+        predictor = self.predictor
+        predict = predictor.predict
+        train = predictor.train
+        mispredictions = 0
+        if self.spec.is_binary:
+            assess = self.estimator.assess
+            observe = self.estimator.observe
+            for pc, taken_byte in zip(pcs, takens):
+                taken = taken_byte == 1
+                prediction = predict(pc)
+                high = assess(pc, prediction)
+                if prediction != taken:
+                    mispredictions += 1
+                observe(pc, prediction, taken)
+                train(pc, taken)
+                predictions.append(1 if prediction else 0)
+                codes.append(1 if high else 0)
+        else:
+            classify = self.estimator.classify
+            observe = self.estimator.observe
+            controller = self.controller
+            code_of = _CODE_OF_CLASS
+            for pc, taken_byte in zip(pcs, takens):
+                taken = taken_byte == 1
+                prediction = predict(pc)
+                mispredicted = prediction != taken
+                if mispredicted:
+                    mispredictions += 1
+                observation = predictor.last_prediction
+                prediction_class = classify(observation)
+                observe(observation, taken)
+                if controller is not None:
+                    controller.observe(
+                        confidence_level_of(prediction_class), mispredicted
+                    )
+                train(pc, taken)
+                predictions.append(1 if prediction else 0)
+                codes.append(code_of[prediction_class])
+        self.n_observed += len(predictions)
+        self.mispredictions += mispredictions
+        return bytes(predictions), bytes(codes)
+
+    def stats(self) -> dict:
+        """Plain-data session accounting (the CLOSED payload)."""
+        return {
+            "tenant": self.spec.tenant,
+            "observed": self.n_observed,
+            "mispredictions": self.mispredictions,
+        }

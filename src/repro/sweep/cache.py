@@ -92,7 +92,11 @@ class ResultCache:
             raise
 
     def __contains__(self, job: JobSpec) -> bool:
-        return self.path(job).exists()
+        """Membership means *loadability*: a truncated, corrupt or
+        foreign pickle on the entry path is a miss, exactly as
+        :meth:`load` would treat it — so "in cache" never claims an
+        entry that execution would then have to recompute."""
+        return self.load(job) is not None
 
     def __len__(self) -> int:
         if not self.root.is_dir():

@@ -63,7 +63,14 @@ from repro.sweep.grid import GridExpansion, expand
 from repro.sweep.result import JobResult, ResultTable
 from repro.sweep.spec import EstimatorSpec, ExperimentSpec, JobSpec, PredictorSpec
 
-__all__ = ["execute_job", "run_sweep", "SweepRun", "default_workers"]
+__all__ = [
+    "execute_job",
+    "run_sweep",
+    "SweepRun",
+    "default_workers",
+    "build_cell_predictor",
+    "build_cell_binary_estimator",
+]
 
 _BASELINE_PREDICTORS = {
     "gshare": GsharePredictor,
@@ -114,6 +121,22 @@ def _build_binary_estimator(spec: EstimatorSpec, predictor):
     if spec.kind == "ejrs":
         return EnhancedJrsEstimator(**params)
     return SelfConfidenceEstimator(predictor, **params)  # "self"
+
+
+def build_cell_predictor(spec: PredictorSpec, adaptive: bool = False,
+                         seed: int | None = None):
+    """Public entry to the per-cell predictor instantiation.
+
+    The serving layer (:mod:`repro.serve`) builds tenant state through
+    this so a served (predictor, estimator) cell is constructed exactly
+    like the equivalent sweep job — same presets, same seed derivation.
+    """
+    return _build_predictor(spec, adaptive, seed)
+
+
+def build_cell_binary_estimator(spec: EstimatorSpec, predictor):
+    """Public entry to the per-cell binary-estimator instantiation."""
+    return _build_binary_estimator(spec, predictor)
 
 
 def execute_job(job: JobSpec) -> JobResult:

@@ -129,7 +129,11 @@ class TraceReader:
                 ) from error
             count_bytes = self._read("record count", _COUNT.size, exact=True)
             (self.n_records,) = _COUNT.unpack(count_bytes)
-        except Exception:
+        except BaseException:
+            # BaseException, not Exception: a KeyboardInterrupt (or any
+            # other non-Exception raise) during header parsing must not
+            # leak the file handle either — same idiom as
+            # PlaneCache.store's cleanup path.
             self._stream.close()
             raise
         self._consumed = 0

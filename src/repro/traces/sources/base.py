@@ -30,6 +30,7 @@ import json
 from abc import ABC, abstractmethod
 from functools import lru_cache
 from itertools import islice
+from pathlib import Path
 from typing import Iterator
 
 from repro.traces.types import BranchRecord, Trace
@@ -127,8 +128,12 @@ def register_source(source: TraceSource, *, replace: bool = False) -> TraceSourc
 
     if name in CBP1_TRACE_NAMES or name in CBP2_TRACE_NAMES:
         raise ValueError(f"source name {name!r} shadows a built-in suite trace")
-    if not replace and name in _REGISTRY:
-        raise ValueError(f"source {name!r} already registered")
+    if name in _REGISTRY:
+        if not replace:
+            raise ValueError(f"source {name!r} already registered")
+        # The replaced source may have memoized materializations under
+        # this name; drop them so the new source is actually consulted.
+        _generate_cached.cache_clear()
     _REGISTRY[name] = source
     return source
 
@@ -156,10 +161,34 @@ def is_source_name(name: str) -> bool:
 
 
 @lru_cache(maxsize=64)
-def _generate_cached(name: str, n_branches: int) -> Trace:
+def _generate_cached(name: str, n_branches: int, file_stamp=None) -> Trace:
+    # ``file_stamp`` only widens the memoization key (see resolve_trace);
+    # generation itself depends purely on the name.
     return get_source(name).generate(n_branches)
 
 
+def _file_stamp(name: str) -> tuple[int, int] | None:
+    """Freshness key of a ``file:<path>`` source: ``(mtime_ns, size)``.
+
+    ``None`` for a missing file — the stat is repeated on every resolve,
+    so a file created after a failed lookup is picked up immediately.
+    """
+    try:
+        stat = Path(name[len(FILE_PREFIX):]).stat()
+    except OSError:
+        return None
+    return (stat.st_mtime_ns, stat.st_size)
+
+
 def resolve_trace(name: str, n_branches: int) -> Trace:
-    """Materialize (and memoize) a source by name — the sweep-worker path."""
+    """Materialize (and memoize) a source by name — the sweep-worker path.
+
+    ``file:<path>`` replays are additionally keyed by the file's
+    ``(mtime_ns, size)``, so rewriting the on-disk trace invalidates the
+    memoized materialization instead of serving stale records; replacing
+    a registered source (``register_source(..., replace=True)``) clears
+    the memo entirely for the same reason.
+    """
+    if name.startswith(FILE_PREFIX):
+        return _generate_cached(name, n_branches, _file_stamp(name))
     return _generate_cached(name, n_branches)

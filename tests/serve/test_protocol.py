@@ -1,0 +1,166 @@
+"""Wire-protocol framing and payload codecs."""
+
+import asyncio
+
+import pytest
+
+from repro.serve import protocol
+
+
+def _reader_with(data: bytes) -> asyncio.StreamReader:
+    reader = asyncio.StreamReader()
+    reader.feed_data(data)
+    reader.feed_eof()
+    return reader
+
+
+def _read_one(data: bytes):
+    async def read():
+        return await protocol.read_frame(_reader_with(data))
+
+    return asyncio.run(read())
+
+
+class TestFrames:
+    def test_round_trip(self):
+        frame = protocol.encode_frame(protocol.MSG_OBSERVE, b"payload")
+        assert _read_one(frame) == (protocol.MSG_OBSERVE, b"payload")
+
+    def test_empty_payload_round_trip(self):
+        frame = protocol.encode_frame(protocol.MSG_CLOSE)
+        assert _read_one(frame) == (protocol.MSG_CLOSE, b"")
+
+    def test_clean_eof_is_none(self):
+        assert _read_one(b"") is None
+
+    def test_back_to_back_frames(self):
+        async def read_two():
+            reader = _reader_with(
+                protocol.encode_frame(protocol.MSG_HELLO, b"a")
+                + protocol.encode_frame(protocol.MSG_CLOSE, b"bb")
+            )
+            return [await protocol.read_frame(reader) for _ in range(3)]
+
+        first, second, third = asyncio.run(read_two())
+        assert first == (protocol.MSG_HELLO, b"a")
+        assert second == (protocol.MSG_CLOSE, b"bb")
+        assert third is None
+
+    def test_truncated_body_raises(self):
+        frame = protocol.encode_frame(protocol.MSG_OBSERVE, b"payload")
+        with pytest.raises(protocol.ProtocolError, match="truncated"):
+            _read_one(frame[:-3])
+
+    def test_truncated_length_prefix_raises(self):
+        frame = protocol.encode_frame(protocol.MSG_OBSERVE, b"payload")
+        with pytest.raises(protocol.ProtocolError, match="truncated"):
+            _read_one(frame[:2])
+
+    def test_zero_length_frame_raises(self):
+        with pytest.raises(protocol.ProtocolError, match="zero-length"):
+            _read_one(b"\x00\x00\x00\x00")
+
+    def test_oversized_length_prefix_rejected_before_allocation(self):
+        huge = (protocol.MAX_FRAME + 1).to_bytes(4, "little")
+        with pytest.raises(protocol.ProtocolError, match="MAX_FRAME"):
+            _read_one(huge)
+
+    def test_oversized_encode_rejected(self):
+        with pytest.raises(protocol.ProtocolError, match="MAX_FRAME"):
+            protocol.encode_frame(protocol.MSG_OBSERVE, b"x" * protocol.MAX_FRAME)
+
+    def test_type_must_fit_a_byte(self):
+        with pytest.raises(protocol.ProtocolError):
+            protocol.encode_frame(0x1FF, b"")
+
+    def test_stalled_body_times_out(self):
+        frame = protocol.encode_frame(protocol.MSG_OBSERVE, b"payload")
+
+        async def stall():
+            reader = asyncio.StreamReader()
+            reader.feed_data(frame[:-3])  # never completes, never EOFs
+            await protocol.read_frame(reader, body_timeout=0.05)
+
+        with pytest.raises(asyncio.TimeoutError):
+            asyncio.run(stall())
+
+
+class TestObservePayload:
+    def test_round_trip(self):
+        pcs = [0, 0x400812, 2**64 - 1]
+        takens = b"\x01\x00\x01"
+        payload = protocol.pack_observe(pcs, takens)
+        assert protocol.unpack_observe(payload) == (pcs, takens)
+
+    def test_empty_batch(self):
+        assert protocol.unpack_observe(protocol.pack_observe([], b"")) == ([], b"")
+
+    def test_column_mismatch(self):
+        with pytest.raises(protocol.ProtocolError, match="mismatch"):
+            protocol.pack_observe([1, 2], b"\x01")
+
+    def test_pc_range(self):
+        with pytest.raises(protocol.ProtocolError, match="64 bits"):
+            protocol.pack_observe([2**64], b"\x01")
+
+    def test_count_body_mismatch(self):
+        payload = protocol.pack_observe([1], b"\x01")
+        with pytest.raises(protocol.ProtocolError, match="advertises"):
+            protocol.unpack_observe(payload + b"\x00")
+
+    def test_invalid_taken_byte(self):
+        payload = bytearray(protocol.pack_observe([1], b"\x01"))
+        payload[-1] = 7
+        with pytest.raises(protocol.ProtocolError, match="taken byte"):
+            protocol.unpack_observe(bytes(payload))
+
+    def test_short_payload(self):
+        with pytest.raises(protocol.ProtocolError, match="count"):
+            protocol.unpack_observe(b"\x01")
+
+
+class TestResultsPayload:
+    def test_round_trip(self):
+        predictions = b"\x01\x00\x01"
+        codes = b"\x00\x06\x03"
+        payload = protocol.pack_results(predictions, codes)
+        assert protocol.unpack_results(payload) == (predictions, codes)
+
+    def test_column_mismatch(self):
+        with pytest.raises(protocol.ProtocolError, match="mismatch"):
+            protocol.pack_results(b"\x01", b"")
+
+    def test_count_body_mismatch(self):
+        payload = protocol.pack_results(b"\x01", b"\x02")
+        with pytest.raises(protocol.ProtocolError, match="advertises"):
+            protocol.unpack_results(payload[:-1])
+
+
+class TestJsonAndErrorPayloads:
+    def test_json_round_trip(self):
+        value = {"tenant": "t0", "seed": None, "adaptive": False}
+        assert protocol.decode_json(protocol.encode_json(value)) == value
+
+    def test_json_canonical(self):
+        assert (protocol.encode_json({"b": 1, "a": 2})
+                == protocol.encode_json({"a": 2, "b": 1}))
+
+    def test_json_malformed(self):
+        with pytest.raises(protocol.ProtocolError, match="JSON"):
+            protocol.decode_json(b"{nope")
+
+    def test_json_non_object(self):
+        with pytest.raises(protocol.ProtocolError, match="object"):
+            protocol.decode_json(b"[1,2]")
+
+    def test_error_round_trip(self):
+        payload = protocol.encode_error(protocol.ERR_REJECTED, "queue full")
+        assert protocol.decode_error(payload) == (protocol.ERR_REJECTED, "queue full")
+
+    def test_error_unknown_code(self):
+        with pytest.raises(protocol.ProtocolError, match="unknown error code"):
+            protocol.decode_error(b"\x63hm")
+
+    def test_error_empty_payload(self):
+        with pytest.raises(protocol.ProtocolError, match="reason byte"):
+            protocol.decode_error(b"")

@@ -62,6 +62,28 @@ class TestResultCache:
         cache.path(job).write_bytes(b"not a pickle")
         assert cache.load(job) is None
 
+    def test_membership_is_loadability_not_existence(self, tmp_path):
+        # Regression: __contains__ used to answer path.exists() while
+        # load() rejected corrupt pickles, so a poisoned entry claimed
+        # membership it could not honour.
+        cache = ResultCache(tmp_path)
+        job = make_job()
+        cache.store(job, execute_job(job))
+        assert job in cache
+        cache.path(job).write_bytes(b"not a pickle")
+        assert cache.path(job).exists()
+        assert job not in cache
+        assert cache.load(job) is None
+
+    def test_membership_consistent_with_load_on_truncated_entry(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        job = make_job()
+        cache.store(job, execute_job(job))
+        payload = cache.path(job).read_bytes()
+        cache.path(job).write_bytes(payload[: len(payload) // 2])
+        assert (job in cache) == (cache.load(job) is not None)
+        assert job not in cache
+
     def test_clear(self, tmp_path):
         cache = ResultCache(tmp_path)
         for trace in ("FP-1", "INT-1"):

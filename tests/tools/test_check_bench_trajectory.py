@@ -41,10 +41,15 @@ class TestLoadRecords:
         with pytest.raises(tool.RecordLoadError, match="not valid JSON"):
             tool.load_records(tmp_path)
 
-    @pytest.mark.parametrize("payload", [{}, {"speedup": "fast"}, {"speedup": True}, [1, 2]])
+    @pytest.mark.parametrize("payload", [{}, {"speedup": "fast"}, {"speedup": True}])
     def test_missing_or_non_numeric_speedup_raises(self, tmp_path, payload):
         (tmp_path / "BENCH_bad.json").write_text(json.dumps(payload))
         with pytest.raises(tool.RecordLoadError, match="speedup"):
+            tool.load_records(tmp_path)
+
+    def test_non_object_payload_raises(self, tmp_path):
+        (tmp_path / "BENCH_bad.json").write_text(json.dumps([1, 2]))
+        with pytest.raises(tool.RecordLoadError, match="JSON object"):
             tool.load_records(tmp_path)
 
 
@@ -113,3 +118,68 @@ class TestMain:
         code = self.run("--fresh", str(tmp_path / "fresh"), "--baseline", str(baseline))
         assert code == 1
         assert "MISSING" in capsys.readouterr().out
+
+
+class TestMetricField:
+    """Records may name their compared metric (default ``speedup``)."""
+
+    def write_metric_record(self, root: Path, name: str, metric: str, value) -> Path:
+        root.mkdir(parents=True, exist_ok=True)
+        path = root / f"BENCH_{name}.json"
+        path.write_text(json.dumps({"bench": name, "metric": metric, metric: value}) + "\n")
+        return path
+
+    def test_loads_record_with_custom_metric(self, tmp_path):
+        self.write_metric_record(tmp_path, "serve", "relative_throughput", 0.8)
+        records = tool.load_records(tmp_path)
+        assert records["BENCH_serve.json"]["relative_throughput"] == 0.8
+        assert tool.metric_name(records["BENCH_serve.json"]) == "relative_throughput"
+
+    def test_custom_metric_missing_value_raises(self, tmp_path):
+        (tmp_path / "BENCH_bad.json").write_text(
+            json.dumps({"metric": "relative_throughput", "speedup": 4.0})
+        )
+        with pytest.raises(tool.RecordLoadError, match="relative_throughput"):
+            tool.load_records(tmp_path)
+
+    def test_non_string_metric_raises(self, tmp_path):
+        (tmp_path / "BENCH_bad.json").write_text(json.dumps({"metric": 7, "7": 1.0}))
+        with pytest.raises(tool.RecordLoadError, match="field name"):
+            tool.load_records(tmp_path)
+
+    def test_custom_metric_regression_detected(self, tmp_path, capsys):
+        baseline = tmp_path / "records"
+        fresh = tmp_path / "fresh"
+        self.write_metric_record(baseline, "serve", "relative_throughput", 1.0)
+        self.write_metric_record(fresh, "serve", "relative_throughput", 0.2)
+        assert tool.main(["--fresh", str(fresh), "--baseline", str(baseline)]) == 1
+        assert "REGRESSION" in capsys.readouterr().out
+
+    def test_custom_metric_within_tolerance_passes(self, tmp_path, capsys):
+        baseline = tmp_path / "records"
+        fresh = tmp_path / "fresh"
+        self.write_metric_record(baseline, "serve", "relative_throughput", 1.0)
+        self.write_metric_record(fresh, "serve", "relative_throughput", 0.9)
+        assert tool.main(["--fresh", str(fresh), "--baseline", str(baseline)]) == 0
+        out = capsys.readouterr().out
+        assert "relative_throughput" in out
+
+    def test_mixed_metrics_compare_independently(self, tmp_path, capsys):
+        baseline = tmp_path / "records"
+        fresh = tmp_path / "fresh"
+        write_record(baseline, "fast", 8.0)
+        self.write_metric_record(baseline, "serve", "relative_throughput", 1.0)
+        write_record(fresh, "fast", 7.5)
+        self.write_metric_record(fresh, "serve", "relative_throughput", 0.95)
+        assert tool.main(["--fresh", str(fresh), "--baseline", str(baseline)]) == 0
+        assert "all 2 record(s)" in capsys.readouterr().out
+
+    def test_fresh_record_missing_baseline_metric_fails(self, tmp_path, capsys):
+        baseline = tmp_path / "records"
+        fresh = tmp_path / "fresh"
+        self.write_metric_record(baseline, "serve", "relative_throughput", 1.0)
+        # Fresh record is valid on its own (different metric) but lacks
+        # the field the baseline compares.
+        self.write_metric_record(fresh, "serve", "speedup", 4.0)
+        assert tool.main(["--fresh", str(fresh), "--baseline", str(baseline)]) == 1
+        assert "MALFORMED" in capsys.readouterr().out

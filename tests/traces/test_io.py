@@ -118,3 +118,51 @@ class TestValidation:
         path.write_bytes(struct.pack("<4sHH", MAGIC, 1, 1) + b"x" + b"\x01\x02")
         with pytest.raises(TraceFormatError, match="truncated record count"):
             read_trace(path)
+
+
+class TestReaderHandleHygiene:
+    def test_keyboard_interrupt_during_header_closes_handle(self, tmp_path, monkeypatch):
+        """Regression: TraceReader.__init__ cleaned up via ``except
+        Exception``, so a KeyboardInterrupt mid-header leaked the open
+        file handle."""
+        from repro.traces import io as io_module
+
+        path = tmp_path / "ok.rtrc"
+        write_trace(make_trace(5), path)
+
+        opened = []
+        real_open = io_module._open
+
+        def spying_open(target, mode):
+            stream = real_open(target, mode)
+            opened.append(stream)
+            return stream
+
+        def interrupting_read(self, *args, **kwargs):
+            raise KeyboardInterrupt
+
+        monkeypatch.setattr(io_module, "_open", spying_open)
+        monkeypatch.setattr(io_module.TraceReader, "_read", interrupting_read)
+        with pytest.raises(KeyboardInterrupt):
+            io_module.TraceReader(path)
+        assert len(opened) == 1
+        assert opened[0].closed
+
+    def test_format_error_during_header_closes_handle(self, tmp_path, monkeypatch):
+        from repro.traces import io as io_module
+
+        path = tmp_path / "junk.rtrc"
+        path.write_bytes(b"NOPE" + b"\x00" * 16)
+
+        opened = []
+        real_open = io_module._open
+
+        def spying_open(target, mode):
+            stream = real_open(target, mode)
+            opened.append(stream)
+            return stream
+
+        monkeypatch.setattr(io_module, "_open", spying_open)
+        with pytest.raises(TraceFormatError, match="bad magic"):
+            io_module.TraceReader(path)
+        assert opened[0].closed

@@ -36,6 +36,7 @@ from repro.traces.sources import (
     get_source,
     is_source_name,
     register_source,
+    resolve_trace,
     source_names,
 )
 from repro.traces.sources import base as base_module
@@ -162,6 +163,42 @@ class TestFileReplay:
         write_trace(origin, path)
         trace = get_trace(f"{FILE_PREFIX}{path}", 200)
         assert trace.pcs == origin.pcs
+
+
+class TestResolveTraceCache:
+    """The resolve_trace memo must never serve stale data.
+
+    Two historic staleness bugs, pinned: a ``file:`` replay memoized on
+    ``(name, n_branches)`` kept serving the old file contents after the
+    file changed; and ``register_source(..., replace=True)`` kept
+    resolving through the replaced source.
+    """
+
+    def test_file_replay_sees_rewritten_file(self, tmp_path):
+        first = get_source("zoo.markov").generate(200)
+        second = get_source("zoo.loopnest").generate(200)
+        assert first.pcs != second.pcs
+        path = tmp_path / "swap.rtrc"
+        write_trace(first, path)
+        name = f"{FILE_PREFIX}{path}"
+        assert resolve_trace(name, 200).pcs == first.pcs
+        write_trace(second, path)
+        assert resolve_trace(name, 200).pcs == second.pcs
+
+    def test_file_replay_still_memoizes_unchanged_file(self, tmp_path):
+        origin = get_source("zoo.markov").generate(150)
+        path = tmp_path / "stable.rtrc"
+        write_trace(origin, path)
+        name = f"{FILE_PREFIX}{path}"
+        assert resolve_trace(name, 150) is resolve_trace(name, 150)
+
+    def test_registry_replacement_clears_the_memo(self, scratch_registry):
+        register_source(MarkovChainSource(label="test.swap", seed=1))
+        before = resolve_trace("test.swap", 300)
+        register_source(MarkovChainSource(label="test.swap", seed=2), replace=True)
+        after = resolve_trace("test.swap", 300)
+        assert after.pcs != before.pcs
+        assert after.pcs == MarkovChainSource(label="x", seed=2).generate(300).pcs
 
 
 class TestGeneratorBehaviours:

@@ -1,18 +1,22 @@
 #!/usr/bin/env python3
-"""Bench-trajectory guard: fail CI on fast-backend speedup regressions.
+"""Bench-trajectory guard: fail CI on machine-relative perf regressions.
 
 Compares freshly measured ``BENCH_*.json`` records (written by the perf
 benches with ``REPRO_BENCH_RECORDS=<scratch dir>``) against the
-committed baselines in ``benchmarks/records/``.  The compared metric is
-the reference/fast *speedup ratio* — absolute seconds vary with the CI
-machine, the ratio is the property the fast backend guarantees.
+committed baselines in ``benchmarks/records/``.  Each record names its
+compared metric in an optional ``"metric"`` field (default
+``"speedup"``): the fast-backend benches compare the reference/fast
+*speedup ratio*, the serving bench compares served-vs-offline
+*relative throughput* — in both cases a machine-relative ratio, because
+absolute seconds vary with the CI machine while the ratio is the
+property the implementation guarantees.
 
 Usage::
 
     REPRO_BENCH_RECORDS=/tmp/fresh pytest benchmarks/test_bench_fast_engine.py ...
     python tools/check_bench_trajectory.py --fresh /tmp/fresh
 
-Exit status 1 when any fresh speedup falls more than ``--tolerance``
+Exit status 1 when any fresh metric falls more than ``--tolerance``
 (default 30 %) below its committed baseline, or when a baseline has no
 fresh measurement.
 """
@@ -26,9 +30,17 @@ from pathlib import Path
 
 DEFAULT_BASELINE = Path(__file__).resolve().parent.parent / "benchmarks" / "records"
 
+#: Metric compared when a record carries no ``"metric"`` field.
+DEFAULT_METRIC = "speedup"
+
 
 class RecordLoadError(RuntimeError):
     """A BENCH_*.json record could not be read or is malformed."""
+
+
+def metric_name(payload: dict) -> str:
+    """The record's compared-metric field name (``"metric"`` override)."""
+    return payload.get("metric", DEFAULT_METRIC)
 
 
 def load_records(root: Path) -> dict[str, dict]:
@@ -36,8 +48,10 @@ def load_records(root: Path) -> dict[str, dict]:
 
     Raises:
         RecordLoadError: for an unreadable/unparseable record file, or a
-            record without a numeric ``speedup`` field — with the
-            offending path in the message, instead of a stack trace.
+            record whose compared metric (the field named by its
+            ``"metric"`` entry, default ``"speedup"``) is missing or
+            non-numeric — with the offending path in the message,
+            instead of a stack trace.
     """
     records = {}
     for path in sorted(root.glob("BENCH_*.json")):
@@ -50,10 +64,19 @@ def load_records(root: Path) -> dict[str, dict]:
             raise RecordLoadError(
                 f"malformed record {path}: not valid JSON ({error})"
             ) from error
-        speedup = payload.get("speedup") if isinstance(payload, dict) else None
-        if not isinstance(speedup, (int, float)) or isinstance(speedup, bool):
+        if not isinstance(payload, dict):
             raise RecordLoadError(
-                f"malformed record {path}: missing a numeric 'speedup' field"
+                f"malformed record {path}: top level must be a JSON object"
+            )
+        metric = metric_name(payload)
+        if not isinstance(metric, str) or not metric:
+            raise RecordLoadError(
+                f"malformed record {path}: 'metric' must be a field name"
+            )
+        value = payload.get(metric)
+        if not isinstance(value, (int, float)) or isinstance(value, bool):
+            raise RecordLoadError(
+                f"malformed record {path}: missing a numeric {metric!r} field"
             )
         records[path.name] = payload
     return records
@@ -66,7 +89,7 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--baseline", type=Path, default=DEFAULT_BASELINE,
                         help=f"committed baseline records (default {DEFAULT_BASELINE})")
     parser.add_argument("--tolerance", type=float, default=0.30,
-                        help="allowed fractional speedup drop (default 0.30)")
+                        help="allowed fractional metric drop (default 0.30)")
     args = parser.parse_args(argv)
 
     if not 0 <= args.tolerance < 1:
@@ -87,23 +110,34 @@ def main(argv: list[str] | None = None) -> int:
         return 1
 
     failures = []
-    print(f"{'record':<28} {'baseline':>9} {'fresh':>9} {'floor':>9}  verdict")
+    print(f"{'record':<28} {'metric':<22} {'baseline':>9} {'fresh':>9} "
+          f"{'floor':>9}  verdict")
     for name, baseline in baselines.items():
-        base_speedup = baseline["speedup"]
-        floor = base_speedup * (1 - args.tolerance)
+        metric = metric_name(baseline)
+        base_value = baseline[metric]
+        floor = base_value * (1 - args.tolerance)
         measured = fresh.get(name)
         if measured is None:
             failures.append(f"{name}: no fresh measurement under {args.fresh}")
-            print(f"{name:<28} {base_speedup:>8.2f}x {'-':>9} {floor:>8.2f}x  MISSING")
+            print(f"{name:<28} {metric:<22} {base_value:>9.2f} {'-':>9} "
+                  f"{floor:>9.2f}  MISSING")
             continue
-        fresh_speedup = measured["speedup"]
-        ok = fresh_speedup >= floor
-        print(f"{name:<28} {base_speedup:>8.2f}x {fresh_speedup:>8.2f}x "
-              f"{floor:>8.2f}x  {'ok' if ok else 'REGRESSION'}")
+        fresh_value = measured.get(metric)
+        if not isinstance(fresh_value, (int, float)) or isinstance(fresh_value, bool):
+            failures.append(
+                f"{name}: fresh record has no numeric {metric!r} field "
+                f"(baseline compares it)"
+            )
+            print(f"{name:<28} {metric:<22} {base_value:>9.2f} {'-':>9} "
+                  f"{floor:>9.2f}  MALFORMED")
+            continue
+        ok = fresh_value >= floor
+        print(f"{name:<28} {metric:<22} {base_value:>9.2f} {fresh_value:>9.2f} "
+              f"{floor:>9.2f}  {'ok' if ok else 'REGRESSION'}")
         if not ok:
             failures.append(
-                f"{name}: speedup {fresh_speedup:.2f}x fell below "
-                f"{floor:.2f}x (baseline {base_speedup:.2f}x - {args.tolerance:.0%})"
+                f"{name}: {metric} {fresh_value:.2f} fell below "
+                f"{floor:.2f} (baseline {base_value:.2f} - {args.tolerance:.0%})"
             )
     if failures:
         print("\nbench trajectory regression:", file=sys.stderr)
