@@ -201,6 +201,8 @@ def run_paper(
     backend: str = DEFAULT_BACKEND,
     progress: Callable[[str], None] | None = None,
     validate: bool = True,
+    run_id: str | None = None,
+    resume: bool = False,
 ) -> PaperRun:
     """Build the selected artifacts (default: the whole registry).
 
@@ -215,11 +217,17 @@ def run_paper(
         validate: raise :class:`ArtifactValidationError` on any missing
             or non-finite cell (the CI contract); pass False to inspect
             a broken run.
+        run_id: journal namespace for the pipeline's sweeps (each grid
+            journals under ``<run_id>.<spec_hash>``); an interrupted
+            ``repro paper`` invocation resumes with the same id.
+        resume: continue any journals ``run_id`` left behind; grids
+            without a journal simply start fresh.
     """
     scale = scale or Scale.full()
     specs = select_artifacts(keys)
     service = SweepService(
-        workers=workers, cache=cache, backend=backend, progress=progress
+        workers=workers, cache=cache, backend=backend, progress=progress,
+        run_id=run_id, resume=resume,
     )
     start = time.perf_counter()
     results = []

@@ -43,12 +43,18 @@ class SweepService:
         cache: ResultCache | None = None,
         backend: str = DEFAULT_BACKEND,
         progress: Callable[[str], None] | None = None,
+        run_id: str | None = None,
+        resume: bool = False,
+        max_retries: int = 2,
     ) -> None:
         validate_backend(backend)
         self.workers = workers
         self.cache = cache
         self.backend = backend
         self.progress = progress
+        self.run_id = run_id
+        self.resume = resume
+        self.max_retries = max_retries
         self._runs: dict[str, SweepRun] = {}
 
     def sweep(self, spec: ExperimentSpec) -> SweepRun:
@@ -57,6 +63,12 @@ class SweepService:
         The service's backend overrides the spec's: the backend is
         bit-for-bit result-invariant and excluded from every hash, so
         the memo key and the on-disk entries are shared either way.
+
+        When the service carries a ``run_id``, each distinct grid
+        journals under ``<run_id>.<spec_hash>`` — one pipeline
+        invocation produces one resumable journal per sweep, and
+        ``resume=True`` continues any of them that were interrupted
+        (grids whose journal is absent just start fresh).
         """
         key = spec.spec_hash()
         run = self._runs.get(key)
@@ -66,6 +78,9 @@ class SweepService:
                 workers=self.workers,
                 cache=self.cache,
                 progress=self.progress,
+                run_id=f"{self.run_id}.{key}" if self.run_id else None,
+                resume=self.resume,
+                max_retries=self.max_retries,
             )
             self._runs[key] = run
         return run

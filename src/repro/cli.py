@@ -7,12 +7,17 @@ Usage (``python -m repro <command>``):
 * ``run-suite SUITE`` — simulate a whole suite on one preset and print
   the Table-2-style three-level summary.
 * ``sweep`` — expand a predictor × estimator × trace grid, execute it
-  across a worker pool with on-disk result caching, and print the tidy
-  result table (see :mod:`repro.sweep`).
+  through the fault-tolerant broker/worker executor with on-disk result
+  caching and a crash-safe run journal, and print the tidy result table
+  (see :mod:`repro.sweep`).  Interrupting with Ctrl-C checkpoints the
+  journal and exits 130; ``--resume <run-id>`` continues bit-identically
+  (only unfinished jobs execute).  Quarantined jobs produce a partial
+  table, a report, and exit code 3.
 * ``paper`` — run the declarative artifact registry (every paper
   table/figure plus the beyond-paper scenarios) and emit
   ``PAPER_RESULTS.md`` + ``paper_results.json`` with repro-vs-paper
-  deltas (see :mod:`repro.artifacts`).
+  deltas (see :mod:`repro.artifacts`); ``--run-id ID`` + ``--resume``
+  continue an interrupted invocation.
 * ``gen-trace NAME PATH`` — generate a named trace and write it to a
   trace file (gzip if the path ends in ``.gz``).
 * ``inspect PATH`` — print the statistics of a trace file.
@@ -74,8 +79,11 @@ from repro.sim.stats import summarize
 from repro.sweep import (
     EstimatorSpec,
     ExperimentSpec,
+    JournalError,
     PredictorSpec,
     ResultCache,
+    SweepInterrupted,
+    resume_sweep,
     run_sweep,
 )
 from repro.sweep.cache import default_cache_dir
@@ -190,6 +198,26 @@ def build_parser() -> argparse.ArgumentParser:
     _add_backend_arg(sweep_cmd)
     sweep_cmd.add_argument("--tsv", action="store_true",
                            help="print the raw tidy table instead of the ASCII table")
+    sweep_cmd.add_argument("--run-id", default=None, metavar="ID",
+                           help="name this run's journal (default: "
+                                "<spec-hash>-<random>); an interrupted run "
+                                "prints the id to resume with")
+    sweep_cmd.add_argument("--resume", default=None, metavar="RUN_ID",
+                           help="continue an interrupted run from its journal: "
+                                "completed jobs are served bit-identically "
+                                "from the cache, only the rest execute "
+                                "(the grid axes come from the journal)")
+    sweep_cmd.add_argument("--max-retries", type=int, default=2, metavar="N",
+                           help="transient-failure retries per job (crash, "
+                                "stall, flaky I/O) before quarantine")
+    sweep_cmd.add_argument("--heartbeat-timeout", type=float, default=30.0,
+                           metavar="SEC",
+                           help="seconds of worker silence before the broker "
+                                "re-dispatches its job as a straggler")
+    sweep_cmd.add_argument("--faults", default=None, metavar="PLAN",
+                           help="deterministic fault-injection plan, e.g. "
+                                "'kill@3;flaky@1:2;corrupt@4' (default: "
+                                "$REPRO_FAULTS; testing/chaos only)")
 
     paper_cmd = commands.add_parser(
         "paper",
@@ -237,6 +265,17 @@ def build_parser() -> argparse.ArgumentParser:
         help="fail unless every sweep job was served from the cache; the "
              "beyond-paper app models always re-run in-process (cheap, "
              "deterministic).  CI uses this to prove re-run determinism",
+    )
+    paper_cmd.add_argument(
+        "--run-id", default=None, metavar="ID",
+        help="journal namespace for the pipeline's sweeps (each grid "
+             "journals under <ID>.<spec-hash>); required for --resume",
+    )
+    paper_cmd.add_argument(
+        "--resume", action="store_true",
+        help="continue an interrupted `repro paper --run-id ID` "
+             "invocation: sweeps with a journal resume, the rest start "
+             "fresh",
     )
 
     gen_cmd = commands.add_parser("gen-trace", help="write a trace file")
@@ -330,6 +369,11 @@ def build_parser() -> argparse.ArgumentParser:
                            metavar="SEC",
                            help="retry connecting this long (lets 'start "
                                 "server, then drive' scripts race safely)")
+    drive_cmd.add_argument("--retries", type=int, default=0, metavar="N",
+                           help="closed-loop: re-send a REJECTED/TIMEOUT "
+                                "batch (never applied server-side) up to N "
+                                "times with capped backoff before counting "
+                                "it as lost")
     drive_cmd.add_argument("--verify", action="store_true",
                            help="first check served decisions are bit-identical "
                                 "to the offline reference replay of the same cell")
@@ -380,6 +424,28 @@ _DEFAULT_SWEEP_TRACES = ("INT-1", "MM-1", "SERV-1", "300.twolf")
 
 
 def _cmd_sweep(args) -> int:
+    cache = None if args.no_cache else ResultCache(args.cache_dir)
+    if args.resume is not None:
+        # The journal carries the grid: axis flags are ignored on resume.
+        if cache is None:
+            raise SystemExit("--resume needs the result cache; drop --no-cache")
+        try:
+            run = resume_sweep(
+                args.resume,
+                cache=cache,
+                workers=args.workers,
+                progress=print,
+                backend=args.backend,
+                max_retries=args.max_retries,
+                heartbeat_timeout=args.heartbeat_timeout,
+                faults=args.faults,
+            )
+        except SweepInterrupted as interrupted:
+            return _report_interrupted(interrupted)
+        except (JournalError, ValueError) as error:
+            raise SystemExit(str(error)) from None
+        return _print_sweep(args, run, cache)
+
     try:
         predictors = tuple(PredictorSpec.parse(token) for token in args.predictors)
         estimators = tuple(EstimatorSpec.of(token) for token in args.estimators)
@@ -412,12 +478,31 @@ def _cmd_sweep(args) -> int:
         seed=args.seed,
         backend=args.backend,
     )
-    cache = None if args.no_cache else ResultCache(args.cache_dir)
     try:
-        run = run_sweep(spec, workers=args.workers, cache=cache, progress=print)
-    except ValueError as error:
+        run = run_sweep(
+            spec, workers=args.workers, cache=cache, progress=print,
+            run_id=args.run_id,
+            max_retries=args.max_retries,
+            heartbeat_timeout=args.heartbeat_timeout,
+            faults=args.faults,
+        )
+    except SweepInterrupted as interrupted:
+        return _report_interrupted(interrupted)
+    except (JournalError, ValueError) as error:
         raise SystemExit(str(error)) from None
+    return _print_sweep(args, run, cache)
 
+
+def _report_interrupted(interrupted: SweepInterrupted) -> int:
+    """Checkpointed SIGINT/SIGTERM: print the resume hint, exit 130."""
+    print(f"\ninterrupted: {interrupted.n_done} job(s) done, "
+          f"{interrupted.n_pending} pending (journal checkpointed)")
+    if interrupted.run_id:
+        print(f"resume with: repro sweep --resume {interrupted.run_id}")
+    return 130
+
+
+def _print_sweep(args, run, cache) -> int:
     if args.tsv:
         print(run.table.to_tsv())
     else:
@@ -436,10 +521,19 @@ def _cmd_sweep(args) -> int:
             ("trace", "predictor", "estimator", "misp/KI", "MKP",
              "accuracy", "est.bits", "SPEC", "PVN"),
             rows,
-            title=f"sweep {spec.spec_hash()} - {len(run.table)} jobs",
+            title=f"sweep {run.spec.spec_hash()} - {len(run.table)} jobs",
         ))
     if cache is not None:
         print(f"cache: {cache.root} ({len(cache)} entries)")
+    if run.quarantined:
+        # Partial-result report: the table above is every healthy cell;
+        # these are the cells the run gave up on.
+        print(f"\nQUARANTINED ({len(run.quarantined)} job(s)):")
+        for entry in run.quarantined:
+            print(f"  {entry.describe()}")
+        if run.run_id:
+            print(f"re-attempt with: repro sweep --resume {run.run_id}")
+        return 3
     return 0
 
 
@@ -454,6 +548,11 @@ def _cmd_paper(args) -> int:
         return 0
     if args.no_cache and args.require_cached:
         raise SystemExit("--require-cached needs the cache; drop --no-cache")
+    if args.resume and args.run_id is None:
+        raise SystemExit("--resume needs --run-id (the id of the "
+                         "interrupted invocation)")
+    if args.resume and args.no_cache:
+        raise SystemExit("--resume needs the result cache; drop --no-cache")
     if args.branches is not None:
         try:
             scale = Scale(args.branches)
@@ -470,8 +569,17 @@ def _cmd_paper(args) -> int:
             cache=cache,
             backend=args.backend,
             progress=print,
+            run_id=args.run_id,
+            resume=args.resume,
         )
-    except (UnknownArtifactError, ArtifactValidationError, ValueError) as error:
+    except SweepInterrupted as interrupted:
+        print(f"\ninterrupted: {interrupted.n_done} job(s) done, "
+              f"{interrupted.n_pending} pending (journal checkpointed)")
+        if args.run_id:
+            print(f"resume with: repro paper --run-id {args.run_id} --resume")
+        return 130
+    except (UnknownArtifactError, ArtifactValidationError, ValueError,
+            JournalError) as error:
         raise SystemExit(str(error)) from None
     md_path, json_path = write_reports(run, args.out)
     print(f"wrote {md_path} and {json_path}")
@@ -599,6 +707,7 @@ def _cmd_drive(args) -> int:
             batch_size=args.batch,
             tenant_prefix=prefix,
             connect_timeout=args.connect_timeout,
+            retries=args.retries,
         )
     except ValueError as error:
         raise SystemExit(str(error)) from None
@@ -633,6 +742,7 @@ def _cmd_drive(args) -> int:
             str(point.n_requests),
             str(point.n_rejected),
             str(point.n_timed_out),
+            str(point.n_retries),
             f"{point.throughput_rps:.0f}",
             f"{point.p50_ms:.2f}",
             f"{point.p95_ms:.2f}",
@@ -642,7 +752,7 @@ def _cmd_drive(args) -> int:
     ]
     print()
     print(render_table(
-        ("clients", "rate", "requests", "rejected", "timeout",
+        ("clients", "rate", "requests", "rejected", "timeout", "retried",
          "records/s", "p50 ms", "p95 ms", "p99 ms"),
         rows,
         title=f"{report.mode}-loop drive: {report.predictor} x "

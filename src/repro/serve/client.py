@@ -15,11 +15,20 @@ Server error frames surface as typed exceptions
 (:class:`ServeRejected`, :class:`ServeTimeout`, :class:`ServeDraining`,
 :class:`ServeBadRequest`) so callers can distinguish admission-control
 replies from real failures.
+
+Admission-control replies are *safe to retry*: REJECTED and TIMEOUT
+both mean the batch was **not applied** to the session, so re-sending
+the identical batch cannot double-count branches.  Construct the client
+with ``max_retries > 0`` (CLI: ``repro drive --retries N``) and
+:meth:`ServeClient.observe` transparently retries those two errors with
+capped exponential backoff and deterministic jitter; everything else
+(DRAINING, BAD_REQUEST, connection loss) still raises immediately.
 """
 
 from __future__ import annotations
 
 import asyncio
+import zlib
 from dataclasses import dataclass, field
 
 from repro.serve import protocol
@@ -33,6 +42,7 @@ __all__ = [
     "ServeBadRequest",
     "DecisionStream",
     "ServeClient",
+    "retry_delay",
 ]
 
 
@@ -107,19 +117,55 @@ class DecisionStream:
         return compare
 
 
+def retry_delay(tenant: str, sequence: int, attempt: int,
+                base: float = 0.05, cap: float = 1.0) -> float:
+    """Capped exponential backoff with deterministic jitter.
+
+    Jitter derives from (tenant, request sequence, attempt), so many
+    tenants rejected by the same admission wave spread their retries out
+    instead of re-colliding — yet every schedule is reproducible.
+    """
+    delay = min(cap, base * (2.0 ** attempt))
+    frac = (zlib.crc32(f"{tenant}:{sequence}:{attempt}".encode())
+            & 0xFFFFFFFF) / 0xFFFFFFFF
+    return delay * (0.5 + 0.5 * frac)
+
+
 class ServeClient:
-    """One connection to a :class:`~repro.serve.server.ConfidenceServer`."""
+    """One connection to a :class:`~repro.serve.server.ConfidenceServer`.
+
+    Args:
+        max_retries: how many times :meth:`observe` re-sends a batch the
+            server answered with REJECTED or TIMEOUT (both mean "not
+            applied").  0 — the default — preserves fail-fast behaviour.
+        retry_base: first-retry backoff in seconds.
+        retry_cap: backoff ceiling in seconds.
+    """
 
     def __init__(
-        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter,
+        max_retries: int = 0, retry_base: float = 0.05,
+        retry_cap: float = 1.0,
     ) -> None:
+        if max_retries < 0:
+            raise ValueError(f"max_retries must be >= 0, got {max_retries}")
         self._reader = reader
         self._writer = writer
         self.session: SessionSpec | None = None
+        self.max_retries = max_retries
+        self.retry_base = retry_base
+        self.retry_cap = retry_cap
+        #: Batches that eventually succeeded only after >= 1 retry, and
+        #: total retry sends — the driver reports both.
+        self.n_retried_batches = 0
+        self.n_retries = 0
+        self._sequence = 0
 
     @classmethod
     async def connect(
-        cls, host: str, port: int, connect_timeout: float = 5.0
+        cls, host: str, port: int, connect_timeout: float = 5.0,
+        max_retries: int = 0, retry_base: float = 0.05,
+        retry_cap: float = 1.0,
     ) -> "ServeClient":
         """Connect, retrying until ``connect_timeout`` elapses.
 
@@ -131,7 +177,8 @@ class ServeClient:
         while True:
             try:
                 reader, writer = await asyncio.open_connection(host, port)
-                return cls(reader, writer)
+                return cls(reader, writer, max_retries=max_retries,
+                           retry_base=retry_base, retry_cap=retry_cap)
             except (ConnectionError, OSError):
                 if loop.time() >= deadline:
                     raise
@@ -153,9 +200,35 @@ class ServeClient:
         return protocol.decode_json(payload)
 
     async def observe(self, pcs, takens) -> tuple[bytes, bytes]:
-        """One batched observe round trip → ``(predictions, codes)``."""
-        await self.send_observe(pcs, takens)
-        return await self.recv_result()
+        """One batched observe round trip → ``(predictions, codes)``.
+
+        With ``max_retries > 0``, REJECTED/TIMEOUT replies — which
+        guarantee the batch was not applied — are retried with capped
+        exponential backoff + deterministic jitter before surfacing.
+        The pipelined halves (:meth:`send_observe`/:meth:`recv_result`)
+        never retry: in-flight ordering makes a re-send ambiguous there.
+        """
+        tenant = self.session.tenant if self.session else ""
+        sequence = self._sequence
+        self._sequence += 1
+        attempt = 0
+        while True:
+            try:
+                await self.send_observe(pcs, takens)
+                result = await self.recv_result()
+            except (ServeRejected, ServeTimeout):
+                if attempt >= self.max_retries:
+                    raise
+                await asyncio.sleep(retry_delay(
+                    tenant, sequence, attempt,
+                    base=self.retry_base, cap=self.retry_cap,
+                ))
+                attempt += 1
+                self.n_retries += 1
+            else:
+                if attempt:
+                    self.n_retried_batches += 1
+                return result
 
     async def send_observe(self, pcs, takens) -> None:
         """Pipelined send half of :meth:`observe`."""

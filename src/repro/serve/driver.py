@@ -13,7 +13,10 @@ Two load modes:
   sending the next batch only when the previous reply arrives.  Offered
   load tracks service capacity; sweeping the client count yields the
   saturation curve (throughput flattens while latency climbs once the
-  server's one core is busy).
+  server's one core is busy).  With ``retries > 0`` (CLI:
+  ``repro drive --retries``), REJECTED/TIMEOUT replies — which mean the
+  batch was not applied — are re-sent with capped backoff before being
+  counted as losses; re-sends are tallied per point.
 * **open loop** — batches are injected at a fixed arrival *rate*,
   regardless of completions, pipelined over the connections.  Latency
   is measured from the scheduled arrival time (not the actual send), so
@@ -96,10 +99,13 @@ class DriveConfig:
     batch_size: int = 256
     tenant_prefix: str = "drive"
     connect_timeout: float = 5.0
+    retries: int = 0
 
     def __post_init__(self) -> None:
         if self.mode not in ("closed", "open"):
             raise ValueError(f"mode must be 'closed' or 'open', got {self.mode!r}")
+        if self.retries < 0:
+            raise ValueError(f"retries must be >= 0, got {self.retries}")
         if self.n_branches < 1:
             raise ValueError(f"n_branches must be >= 1, got {self.n_branches}")
         if self.batch_size < 1:
@@ -135,6 +141,7 @@ class DrivePoint:
     n_records: int              # branch records applied
     n_rejected: int
     n_timed_out: int
+    n_retries: int              # re-sent batches (closed loop, --retries)
     elapsed: float              # wall seconds for the point
     p50_ms: float
     p95_ms: float
@@ -163,6 +170,7 @@ class DrivePoint:
             "n_records": self.n_records,
             "n_rejected": self.n_rejected,
             "n_timed_out": self.n_timed_out,
+            "n_retries": self.n_retries,
             "elapsed_s": self.elapsed,
             "throughput_rps": self.throughput_rps,
             "requests_per_s": self.requests_per_s,
@@ -214,7 +222,8 @@ def _split_batches(trace, batch_size: int):
 
 async def _closed_client(config, tenant, batches, latencies, counts):
     client = await ServeClient.connect(
-        config.host, config.port, config.connect_timeout
+        config.host, config.port, config.connect_timeout,
+        max_retries=config.retries,
     )
     loop = asyncio.get_running_loop()
     try:
@@ -233,13 +242,15 @@ async def _closed_client(config, tenant, batches, latencies, counts):
             counts["requests"] += 1
             counts["records"] += len(pcs)
     finally:
+        counts["retries"] += client.n_retries
         await client.close()
 
 
 async def _closed_point(config, batches, n_clients, point_label) -> DrivePoint:
     loop = asyncio.get_running_loop()
     latencies: list[float] = []
-    counts = {"requests": 0, "records": 0, "rejected": 0, "timed_out": 0}
+    counts = {"requests": 0, "records": 0, "rejected": 0, "timed_out": 0,
+              "retries": 0}
     started = loop.time()
     await asyncio.gather(*(
         _closed_client(
@@ -305,7 +316,8 @@ async def _open_client(config, tenant, assigned, epoch, rate, latencies, counts)
 async def _open_point(config, batches, rate, point_label) -> DrivePoint:
     loop = asyncio.get_running_loop()
     latencies: list[float] = []
-    counts = {"requests": 0, "records": 0, "rejected": 0, "timed_out": 0}
+    counts = {"requests": 0, "records": 0, "rejected": 0, "timed_out": 0,
+              "retries": 0}
     n_clients = max(1, min(len(config.clients) and max(config.clients), len(batches)))
     assignments = [
         [(j, batches[j]) for j in range(index, len(batches), n_clients)]
@@ -333,6 +345,7 @@ def _make_point(mode, clients, rate, counts, latencies, elapsed) -> DrivePoint:
         n_records=counts["records"],
         n_rejected=counts["rejected"],
         n_timed_out=counts["timed_out"],
+        n_retries=counts["retries"],
         elapsed=elapsed,
         p50_ms=percentile(latencies, 50) * 1000.0,
         p95_ms=percentile(latencies, 95) * 1000.0,

@@ -25,15 +25,46 @@ Typical use::
     run = run_sweep(spec, workers=4, cache=ResultCache())
     print(run.table.to_tsv())
 
+Sweeps are fault tolerant and resumable: the broker journals every
+completion to an append-only run journal, retries transient failures
+with backoff, quarantines deterministic ones, and
+:func:`resume_sweep` (``repro sweep --resume <run-id>``) continues an
+interrupted run bit-identically from the journal plus cache.
+
 Module map: :mod:`~repro.sweep.spec` (declarative specs + hashing),
 :mod:`~repro.sweep.grid` (expansion + compatibility filtering),
-:mod:`~repro.sweep.executor` (single-job entry point + pool),
+:mod:`~repro.sweep.executor` (single-job entry point + sweep API),
+:mod:`~repro.sweep.broker` (dispatch, supervision, retry, quarantine),
+:mod:`~repro.sweep.worker` (worker process loop + heartbeats),
+:mod:`~repro.sweep.journal` (crash-safe run journal),
+:mod:`~repro.sweep.faults` (deterministic fault injection),
 :mod:`~repro.sweep.cache` (on-disk memoization),
 :mod:`~repro.sweep.result` (tidy aggregation).
 """
 
+from repro.sweep.broker import Broker, BrokerConfig, QuarantinedJob, SweepInterrupted
 from repro.sweep.cache import ResultCache, default_cache_dir
-from repro.sweep.executor import SweepRun, default_workers, execute_job, run_sweep
+from repro.sweep.executor import (
+    SweepRun,
+    default_journal_dir,
+    default_workers,
+    execute_job,
+    resume_sweep,
+    run_sweep,
+)
+from repro.sweep.faults import (
+    FAULTS_ENV,
+    FaultInjector,
+    PoisonedJobError,
+    TransientJobError,
+)
+from repro.sweep.journal import (
+    JournalError,
+    JournalState,
+    RunJournal,
+    journal_path,
+    replay_journal,
+)
 from repro.sweep.grid import GridExpansion, expand
 from repro.sweep.result import JobResult, ResultTable
 from repro.sweep.spec import (
@@ -56,8 +87,23 @@ __all__ = [
     "expand",
     "execute_job",
     "run_sweep",
+    "resume_sweep",
     "SweepRun",
     "default_workers",
+    "default_journal_dir",
+    "Broker",
+    "BrokerConfig",
+    "QuarantinedJob",
+    "SweepInterrupted",
+    "FAULTS_ENV",
+    "FaultInjector",
+    "TransientJobError",
+    "PoisonedJobError",
+    "JournalError",
+    "JournalState",
+    "RunJournal",
+    "journal_path",
+    "replay_journal",
     "ResultCache",
     "default_cache_dir",
     "JobResult",

@@ -8,9 +8,13 @@ stale layouts never deserialize).  Because the key is per *job*, a new
 sweep that overlaps a previous grid — one more trace, one more predictor
 — only pays for the new cells.
 
-Writes are atomic (temp file + ``os.replace``) so a crashed or killed
-worker can never leave a truncated entry behind; unreadable entries are
-treated as misses and overwritten.
+Writes are atomic and durable (temp file + fsync + ``os.replace``) so a
+crashed or killed worker can never leave a truncated entry behind.  An
+entry that is nonetheless unreadable — torn by a power cut, scribbled on
+by fault injection — is treated as a miss, *quarantined* to a
+``.corrupt/`` sibling directory for post-mortem (rather than silently
+overwritten in place), and reported with a one-line warning naming the
+spec hash.
 """
 
 from __future__ import annotations
@@ -18,12 +22,13 @@ from __future__ import annotations
 import os
 import pickle
 import tempfile
+import warnings
 from pathlib import Path
 
 from repro.sweep.result import JobResult
 from repro.sweep.spec import JobSpec, stable_digest
 
-__all__ = ["ResultCache", "default_cache_dir", "CACHE_VERSION"]
+__all__ = ["ResultCache", "default_cache_dir", "CACHE_VERSION", "CORRUPT_DIR"]
 
 #: Bump on any change that alters simulation *behaviour* or the pickled
 #: result layout.  The package version participates in the key as well,
@@ -33,6 +38,9 @@ CACHE_VERSION = 1
 
 #: Environment override for the cache location.
 CACHE_DIR_ENV = "REPRO_CACHE_DIR"
+
+#: Sibling directory (under the cache root) corrupt entries move to.
+CORRUPT_DIR = ".corrupt"
 
 
 def default_cache_dir() -> Path:
@@ -63,26 +71,62 @@ class ResultCache:
         return self.root / f"{self.key(job)}.pkl"
 
     def load(self, job: JobSpec) -> JobResult | None:
-        """The memoized result, or None on miss/corruption."""
+        """The memoized result, or None on miss/corruption.
+
+        A present-but-unreadable entry (truncated pickle, wrong type) is
+        quarantined to ``<root>/.corrupt/`` with a one-line warning
+        naming the spec hash, then reported as a miss — the sweep re-runs
+        the job and the next :meth:`store` writes a fresh entry.
+        """
         path = self.path(job)
+        if not path.exists():
+            return None
         try:
             with path.open("rb") as fh:
                 cached = pickle.load(fh)
-        except (OSError, pickle.UnpicklingError, EOFError, AttributeError,
-                ImportError, IndexError):
+        except OSError:
+            return None
+        except (pickle.UnpicklingError, EOFError, AttributeError,
+                ImportError, IndexError, ValueError):
+            self._quarantine(path, job)
             return None
         if not isinstance(cached, JobResult):
+            self._quarantine(path, job)
             return None
         return cached.cached()
 
+    def _quarantine(self, path: Path, job: JobSpec) -> None:
+        """Move a corrupt entry aside for post-mortem instead of serving
+        or silently deleting it."""
+        corrupt_dir = self.root / CORRUPT_DIR
+        try:
+            corrupt_dir.mkdir(parents=True, exist_ok=True)
+            os.replace(path, corrupt_dir / path.name)
+        except OSError:
+            return  # cross-process race on the same entry: already moved
+        warnings.warn(
+            f"quarantined corrupt cache entry for job {job.spec_hash()} "
+            f"to {corrupt_dir / path.name}; the job will re-run",
+            RuntimeWarning,
+            stacklevel=3,
+        )
+
     def store(self, job: JobSpec, result: JobResult) -> None:
-        """Atomically persist a completed job."""
+        """Atomically and durably persist a completed job.
+
+        The temp file is fsynced before ``os.replace`` publishes it, so
+        an entry can never be observed half-written — crucial for the
+        run journal, whose ``done`` records promise the entry's bytes
+        are on disk.
+        """
         self.root.mkdir(parents=True, exist_ok=True)
         path = self.path(job)
         fd, tmp_name = tempfile.mkstemp(dir=self.root, suffix=".tmp")
         try:
             with os.fdopen(fd, "wb") as fh:
                 pickle.dump(result, fh, protocol=pickle.HIGHEST_PROTOCOL)
+                fh.flush()
+                os.fsync(fh.fileno())
             os.replace(tmp_name, path)
         except BaseException:
             try:

@@ -1,4 +1,4 @@
-"""Sweep execution: single-job entry point + multiprocessing fan-out.
+"""Sweep execution: single-job entry point + fault-tolerant fan-out.
 
 :func:`execute_job` is the picklable unit of work: it takes one
 :class:`~repro.sweep.spec.JobSpec` (pure data), regenerates the named
@@ -10,12 +10,20 @@ the fast engine supports, the per-branch reference loop (after a
 :class:`~repro.sim.backends.FastBackendFallbackWarning`) for the rest.
 
 :func:`run_sweep` drives a whole :class:`ExperimentSpec`: expand the
-grid, serve cache hits, execute the misses — serially or across a
-``multiprocessing`` pool — and aggregate into a
+grid, serve cache hits, execute the misses through the supervised
+:class:`~repro.sweep.broker.Broker` (journaled, heartbeat-monitored
+worker processes with retry/backoff, quarantine and straggler
+re-dispatch — see :mod:`repro.sweep.broker`), and aggregate into a
 :class:`~repro.sweep.result.ResultTable` in stable grid order.  Because
 every job carries its own deterministic seed (or relies on the
 components' fixed built-in seeds), results are bit-for-bit identical for
-any worker count.
+any worker count — and for any retry/crash/re-dispatch history.
+
+When a cache is attached, every run also appends a crash-safe
+:class:`~repro.sweep.journal.RunJournal` under ``<cache root>/runs``;
+:func:`resume_sweep` (the ``repro sweep --resume <run-id>`` entry)
+rebuilds the spec from that journal and re-runs *only* the unfinished
+jobs, serving completed ones bit-identically from the cache.
 
 Two fast-backend refinements happen before fan-out: unsupported fast
 cells are probed once per distinct (predictor, estimator, adaptive)
@@ -36,6 +44,7 @@ from __future__ import annotations
 import multiprocessing
 import os
 import time
+import uuid
 import warnings
 from dataclasses import dataclass, replace
 from pathlib import Path
@@ -58,16 +67,33 @@ from repro.sim.backends import (
 )
 from repro.sim.engine import simulate, simulate_binary
 from repro.sim.runner import build_predictor, get_trace
+from repro.sweep.broker import (
+    Broker,
+    BrokerConfig,
+    QuarantinedJob,
+    SweepInterrupted,
+)
 from repro.sweep.cache import ResultCache
+from repro.sweep.faults import FAULTS_ENV
 from repro.sweep.grid import GridExpansion, expand
+from repro.sweep.journal import (
+    JournalError,
+    RunJournal,
+    journal_path,
+    replay_journal,
+)
 from repro.sweep.result import JobResult, ResultTable
 from repro.sweep.spec import EstimatorSpec, ExperimentSpec, JobSpec, PredictorSpec
 
 __all__ = [
     "execute_job",
     "run_sweep",
+    "resume_sweep",
     "SweepRun",
+    "SweepInterrupted",
+    "QuarantinedJob",
     "default_workers",
+    "default_journal_dir",
     "build_cell_predictor",
     "build_cell_binary_estimator",
 ]
@@ -266,13 +292,23 @@ def _count_plane_files(materialization_dir) -> int:
 
 @dataclass(frozen=True)
 class SweepRun:
-    """A completed sweep: the aggregate table plus execution accounting."""
+    """A completed sweep: the aggregate table plus execution accounting.
+
+    ``quarantined`` lists the jobs the broker gave up on (deterministic
+    failures, or transient ones past ``max_retries``); their cells are
+    absent from ``table``, making the run a *partial-result report*
+    rather than a total loss.  ``run_id`` names the journal a
+    ``--resume`` of this run would replay.
+    """
 
     spec: ExperimentSpec
     expansion: GridExpansion
     table: ResultTable
     workers: int
     elapsed: float
+    quarantined: tuple[QuarantinedJob, ...] = ()
+    run_id: str | None = None
+    n_retries: int = 0
 
     @property
     def n_jobs(self) -> int:
@@ -286,13 +322,74 @@ class SweepRun:
     def n_executed(self) -> int:
         return self.table.n_executed
 
+    @property
+    def n_quarantined(self) -> int:
+        return len(self.quarantined)
+
     def describe(self) -> str:
-        return (
+        text = (
             f"{self.spec.name} [{self.spec.spec_hash()}]: "
             f"{self.n_jobs} jobs ({self.n_cached} cached, "
             f"{self.n_executed} executed) with {self.workers} workers "
             f"in {self.elapsed:.2f}s"
         )
+        if self.n_retries:
+            text += f"; {self.n_retries} retr{'y' if self.n_retries == 1 else 'ies'}"
+        if self.quarantined:
+            text += f"; {self.n_quarantined} QUARANTINED"
+        return text
+
+
+def default_journal_dir(cache: ResultCache | None) -> Path | None:
+    """Where run journals live by default: ``<cache root>/runs``."""
+    if cache is None:
+        return None
+    return cache.root / "runs"
+
+
+def _open_journal(
+    spec: ExperimentSpec,
+    expansion: GridExpansion,
+    run_id: str | None,
+    journal_dir,
+    resume: bool,
+    fsync_journal: bool,
+    progress: Callable[[str], None] | None,
+) -> tuple[RunJournal | None, str | None, dict[int, str]]:
+    """Open (or resume) this run's journal.
+
+    Returns ``(journal, run_id, done)`` where ``done`` maps grid indices
+    the journal already records as completed to their job hashes.
+    """
+    if journal_dir is None:
+        return None, run_id, {}
+    if run_id is None:
+        run_id = f"{spec.spec_hash()}-{uuid.uuid4().hex[:8]}"
+    path = journal_path(journal_dir, run_id)
+    job_hashes = [job.spec_hash() for job in expansion.jobs]
+    if resume and path.exists():
+        state = replay_journal(path, run_id)
+        if state.spec_hash != spec.spec_hash():
+            raise JournalError(
+                f"journal {path} records spec {state.spec_hash}, but the "
+                f"resumed spec hashes to {spec.spec_hash()}"
+            )
+        if list(state.job_hashes) != job_hashes:
+            raise JournalError(
+                f"journal {path} records a different grid expansion than "
+                "the resumed spec produces"
+            )
+        journal = RunJournal(path, run_id, fresh=False, fsync=fsync_journal)
+        journal.resume(len(state.done), len(state.pending_indices))
+        if progress:
+            progress(
+                f"resume {run_id}: journal records {len(state.done)} of "
+                f"{state.n_jobs} jobs done"
+            )
+        return journal, run_id, dict(state.done)
+    journal = RunJournal(path, run_id, fresh=True, fsync=fsync_journal)
+    journal.begin(spec.as_dict(), spec.spec_hash(), job_hashes)
+    return journal, run_id, {}
 
 
 def run_sweep(
@@ -301,6 +398,14 @@ def run_sweep(
     cache: ResultCache | None = None,
     progress: Callable[[str], None] | None = None,
     materialization_dir: str | os.PathLike | None = None,
+    *,
+    run_id: str | None = None,
+    journal_dir: str | os.PathLike | None = None,
+    resume: bool = False,
+    max_retries: int = 2,
+    heartbeat_timeout: float = 30.0,
+    faults: str | None = None,
+    fsync_journal: bool = True,
 ) -> SweepRun:
     """Execute every cell of a spec and aggregate the results.
 
@@ -310,16 +415,38 @@ def run_sweep(
             picks :func:`default_workers`.  Results are identical for
             every value.
         cache: optional :class:`ResultCache`; hits skip execution,
-            misses are stored after execution.
+            misses are stored the moment each job completes.
         progress: optional sink for human-readable status lines.
         materialization_dir: directory where fast-backend TAGE index/tag
             plane materializations are memmapped and shared across jobs
             and runs.  Defaults to ``<cache root>/planes`` when a cache
             is given (None and no cache → planes are computed per job in
             memory).
+        run_id: names this run's journal (auto-generated when omitted);
+            the handle ``--resume`` takes.
+        journal_dir: where journals live; defaults to
+            ``<cache root>/runs`` when a cache is given, and journaling
+            is disabled when neither is available.
+        resume: continue the journal named by ``run_id`` — completed
+            jobs are served bit-identically from the cache; only the
+            rest execute.  A missing journal starts fresh.
+        max_retries: transient-failure budget per job (crash, stall,
+            :class:`~repro.sweep.faults.TransientJobError`) before the
+            job is quarantined.
+        heartbeat_timeout: seconds of worker silence before the broker
+            declares a straggler and re-dispatches its job.
+        faults: a :class:`~repro.sweep.faults.FaultInjector` plan;
+            defaults to ``$REPRO_FAULTS``.
+        fsync_journal: fsync each journal record (leave on outside
+            tests; without it a crash can forget acknowledged progress).
 
     Returns:
-        A :class:`SweepRun` whose table preserves grid order.
+        A :class:`SweepRun` whose table preserves grid order (minus any
+        quarantined cells, reported in ``SweepRun.quarantined``).
+
+    Raises:
+        SweepInterrupted: on SIGINT/SIGTERM, after the journal has a
+            clean checkpoint; resume with the run id it carries.
     """
     if workers is None:
         workers = default_workers()
@@ -327,51 +454,86 @@ def run_sweep(
         raise ValueError(f"workers must be >= 1, got {workers}")
     if materialization_dir is None and cache is not None:
         materialization_dir = cache.root / "planes"
+    if journal_dir is None:
+        journal_dir = default_journal_dir(cache)
+    if faults is None:
+        faults = os.environ.get(FAULTS_ENV, "")
 
     start = time.perf_counter()
     expansion = expand(spec)
     if progress:
         progress(expansion.describe())
 
-    slots: list[JobResult | None] = []
-    pending: list[tuple[int, JobSpec]] = []
-    for index, job in enumerate(expansion.jobs):
-        hit = cache.load(job) if cache is not None else None
-        slots.append(hit)
-        if hit is None:
-            pending.append((index, job))
+    journal, run_id, journal_done = _open_journal(
+        spec, expansion, run_id, journal_dir, resume, fsync_journal, progress
+    )
+    try:
+        slots: list[JobResult | None] = []
+        pending: list[tuple[int, JobSpec]] = []
+        for index, job in enumerate(expansion.jobs):
+            hit = cache.load(job) if cache is not None else None
+            if hit is None and index in journal_done:
+                # The journal promised this job was done but the cache
+                # cannot honour it (entry evicted or quarantined as
+                # corrupt): re-run rather than fail the resume.
+                if progress:
+                    progress(
+                        f"journal records job {index} done but the cache "
+                        "misses; re-running"
+                    )
+            slots.append(hit)
+            if hit is None:
+                pending.append((index, job))
 
-    if progress and cache is not None:
-        progress(f"cache: {len(slots) - len(pending)} hits, {len(pending)} misses")
+        if progress and cache is not None:
+            progress(f"cache: {len(slots) - len(pending)} hits, "
+                     f"{len(pending)} misses")
 
-    if pending:
-        pending = _resolve_fast_fallbacks(pending, progress)
-        if materialization_dir is not None:
-            pending = [
-                (index, replace(job, materialization_dir=str(materialization_dir)))
-                if job.backend == "fast"
-                else (index, job)
-                for index, job in pending
-            ]
-        planes_before = _count_plane_files(materialization_dir)
-        jobs_to_run = [job for _, job in pending]
-        if workers > 1 and len(jobs_to_run) > 1:
-            pool_size = min(workers, len(jobs_to_run))
-            with multiprocessing.get_context().Pool(processes=pool_size) as pool:
-                outcomes = pool.map(execute_job, jobs_to_run, chunksize=1)
-        else:
-            outcomes = [execute_job(job) for job in jobs_to_run]
-        for (index, job), outcome in zip(pending, outcomes):
-            slots[index] = outcome
-            if cache is not None:
-                cache.store(job, outcome)
-        if progress and materialization_dir is not None:
-            planes_after = _count_plane_files(materialization_dir)
-            progress(
-                f"materializations: {planes_after} plane file(s) in "
-                f"{materialization_dir} ({planes_after - planes_before} new, "
-                f"{planes_before} reused from disk)"
+        quarantined: tuple[QuarantinedJob, ...] = ()
+        n_retries = 0
+        if pending:
+            pending = _resolve_fast_fallbacks(pending, progress)
+            if materialization_dir is not None:
+                pending = [
+                    (index, replace(job, materialization_dir=str(materialization_dir)))
+                    if job.backend == "fast"
+                    else (index, job)
+                    for index, job in pending
+                ]
+            planes_before = _count_plane_files(materialization_dir)
+            broker = Broker(
+                BrokerConfig(
+                    workers=min(workers, len(pending)),
+                    max_retries=max_retries,
+                    heartbeat_timeout=heartbeat_timeout,
+                    faults=faults,
+                ),
+                ctx=multiprocessing.get_context(),
+                run_id=run_id,
+                cache=cache,
+                journal=journal,
+                progress=progress,
             )
+            outcomes, dropped = broker.run(pending)
+            n_retries = broker.n_retries
+            quarantined = tuple(dropped)
+            for index, outcome in outcomes.items():
+                slots[index] = outcome
+            if progress and materialization_dir is not None:
+                planes_after = _count_plane_files(materialization_dir)
+                progress(
+                    f"materializations: {planes_after} plane file(s) in "
+                    f"{materialization_dir} ({planes_after - planes_before} new, "
+                    f"{planes_before} reused from disk)"
+                )
+
+        if journal is not None:
+            journal.end(
+                sum(1 for slot in slots if slot is not None), len(quarantined)
+            )
+    finally:
+        if journal is not None:
+            journal.close()
 
     table = ResultTable([slot for slot in slots if slot is not None])
     run = SweepRun(
@@ -380,7 +542,64 @@ def run_sweep(
         table=table,
         workers=workers,
         elapsed=time.perf_counter() - start,
+        quarantined=quarantined,
+        run_id=run_id,
+        n_retries=n_retries,
     )
     if progress:
         progress(run.describe())
     return run
+
+
+def resume_sweep(
+    run_id: str,
+    cache: ResultCache,
+    workers: int | None = 1,
+    progress: Callable[[str], None] | None = None,
+    *,
+    journal_dir: str | os.PathLike | None = None,
+    backend: str | None = None,
+    max_retries: int = 2,
+    heartbeat_timeout: float = 30.0,
+    faults: str | None = None,
+    fsync_journal: bool = True,
+) -> SweepRun:
+    """Resume an interrupted run from its journal alone.
+
+    The spec is reconstructed from the journal's ``begin`` record —
+    the caller needs nothing but the run id.  Completed jobs are served
+    bit-identically from the cache; unfinished (and previously
+    quarantined) jobs execute.
+
+    Args:
+        run_id: the id printed (and journaled) by the original run.
+        cache: the same result cache the original run used.
+        backend: engine override; None keeps the spec's recorded axes on
+            the default backend (results are backend-invariant).
+
+    Raises:
+        JournalError: unknown run id, or a journal that does not match
+            its own spec.
+    """
+    if journal_dir is None:
+        journal_dir = default_journal_dir(cache)
+    path = journal_path(journal_dir, run_id)
+    if not path.exists():
+        raise JournalError(f"no journal for run id {run_id!r} under {journal_dir}")
+    state = replay_journal(path, run_id)
+    spec = ExperimentSpec.from_dict(state.spec_dict)
+    if backend is not None:
+        spec = spec.with_options(backend=backend)
+    return run_sweep(
+        spec,
+        workers=workers,
+        cache=cache,
+        progress=progress,
+        run_id=run_id,
+        journal_dir=journal_dir,
+        resume=True,
+        max_retries=max_retries,
+        heartbeat_timeout=heartbeat_timeout,
+        faults=faults,
+        fsync_journal=fsync_journal,
+    )

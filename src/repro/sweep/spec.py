@@ -66,6 +66,18 @@ def _freeze_params(params: dict) -> tuple[tuple[str, object], ...]:
     return tuple(sorted(params.items()))
 
 
+def _thaw(value):
+    """Undo JSON's tuple→list coercion so round-tripped specs stay
+    hashable (journal resume rebuilds specs from their as_dict form)."""
+    if isinstance(value, list):
+        return tuple(_thaw(item) for item in value)
+    return value
+
+
+def _params_from_dict(pairs) -> tuple[tuple[str, object], ...]:
+    return tuple(sorted((key, _thaw(value)) for key, value in pairs))
+
+
 @dataclass(frozen=True)
 class PredictorSpec:
     """One point on the predictor axis.
@@ -126,6 +138,17 @@ class PredictorSpec:
             f"{PREDICTOR_KINDS} or tage-<SIZE>[-prob]"
         )
 
+    @classmethod
+    def from_dict(cls, data: dict) -> "PredictorSpec":
+        """Inverse of :meth:`as_dict` (journal/resume reconstruction)."""
+        return cls(
+            kind=data["kind"],
+            size=data.get("size"),
+            automaton=data.get("automaton", "standard"),
+            sat_prob_log2=data.get("sat_prob_log2", 7),
+            params=_params_from_dict(data.get("params", ())),
+        )
+
     @property
     def label(self) -> str:
         """Short human-readable axis label (used in result rows)."""
@@ -167,6 +190,12 @@ class EstimatorSpec:
     @classmethod
     def of(cls, kind: str, **params) -> "EstimatorSpec":
         return cls(kind=kind, params=_freeze_params(params))
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "EstimatorSpec":
+        """Inverse of :meth:`as_dict` (journal/resume reconstruction)."""
+        return cls(kind=data["kind"],
+                   params=_params_from_dict(data.get("params", ())))
 
     @property
     def is_binary(self) -> bool:
@@ -301,6 +330,31 @@ class ExperimentSpec:
     def with_options(self, **changes) -> "ExperimentSpec":
         """A copy with scalar options replaced (axes stay shared)."""
         return replace(self, **changes)
+
+    @classmethod
+    def from_dict(cls, data: dict, backend: str = DEFAULT_BACKEND) -> "ExperimentSpec":
+        """Inverse of :meth:`as_dict` — how ``--resume`` rebuilds the grid.
+
+        ``backend`` is supplied by the caller because it is (by design)
+        not part of the canonical dict: results are backend-invariant,
+        so a run may be resumed on a different engine.
+        """
+        return cls(
+            name=data["name"],
+            predictors=tuple(
+                PredictorSpec.from_dict(entry) for entry in data["predictors"]
+            ),
+            estimators=tuple(
+                EstimatorSpec.from_dict(entry) for entry in data["estimators"]
+            ),
+            traces=tuple(data["traces"]),
+            n_branches=data["n_branches"],
+            warmup_branches=data.get("warmup_branches", 0),
+            adaptive=data.get("adaptive", False),
+            target_mkp=data.get("target_mkp", 10.0),
+            seed=data.get("seed"),
+            backend=backend,
+        )
 
     def as_dict(self) -> dict:
         return {

@@ -1,6 +1,10 @@
 """Tests for the on-disk sweep result cache."""
 
-from repro.sweep.cache import ResultCache
+import warnings
+
+import pytest
+
+from repro.sweep.cache import CORRUPT_DIR, ResultCache
 from repro.sweep.executor import execute_job
 from repro.sweep.spec import EstimatorSpec, JobSpec, PredictorSpec
 
@@ -55,6 +59,7 @@ class TestResultCache:
         assert cache.load(make_job(trace="INT-1")) is None
         assert cache.load(make_job(seed=9)) is None
 
+    @pytest.mark.filterwarnings("ignore::RuntimeWarning")
     def test_corrupt_entry_is_a_miss(self, tmp_path):
         cache = ResultCache(tmp_path)
         job = make_job()
@@ -62,6 +67,7 @@ class TestResultCache:
         cache.path(job).write_bytes(b"not a pickle")
         assert cache.load(job) is None
 
+    @pytest.mark.filterwarnings("ignore::RuntimeWarning")
     def test_membership_is_loadability_not_existence(self, tmp_path):
         # Regression: __contains__ used to answer path.exists() while
         # load() rejected corrupt pickles, so a poisoned entry claimed
@@ -75,6 +81,7 @@ class TestResultCache:
         assert job not in cache
         assert cache.load(job) is None
 
+    @pytest.mark.filterwarnings("ignore::RuntimeWarning")
     def test_membership_consistent_with_load_on_truncated_entry(self, tmp_path):
         cache = ResultCache(tmp_path)
         job = make_job()
@@ -83,6 +90,45 @@ class TestResultCache:
         cache.path(job).write_bytes(payload[: len(payload) // 2])
         assert (job in cache) == (cache.load(job) is not None)
         assert job not in cache
+
+    def test_corrupt_entry_quarantined_with_warning(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        job = make_job()
+        cache.store(job, execute_job(job))
+        entry = cache.path(job)
+        entry.write_bytes(b"not a pickle")
+        with pytest.warns(RuntimeWarning) as caught:
+            assert cache.load(job) is None
+        # The warning names the job's spec hash and the evidence moved
+        # to the .corrupt/ sibling for post-mortem.
+        assert job.spec_hash() in str(caught[0].message)
+        assert not entry.exists()
+        quarantined = tmp_path / CORRUPT_DIR / entry.name
+        assert quarantined.read_bytes() == b"not a pickle"
+        # Second load: plain miss, no second warning (nothing to move).
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            assert cache.load(job) is None
+
+    def test_store_after_quarantine_recovers(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        job = make_job()
+        executed = execute_job(job)
+        cache.store(job, executed)
+        cache.path(job).write_bytes(b"")
+        with pytest.warns(RuntimeWarning):
+            assert cache.load(job) is None
+        cache.store(job, executed)
+        loaded = cache.load(job)
+        assert loaded is not None and loaded.row() == executed.row()
+
+    def test_missing_entry_is_not_quarantined(self, tmp_path):
+        # A plain miss must not warn or create .corrupt/.
+        cache = ResultCache(tmp_path)
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            assert cache.load(make_job()) is None
+        assert not (tmp_path / CORRUPT_DIR).exists()
 
     def test_clear(self, tmp_path):
         cache = ResultCache(tmp_path)

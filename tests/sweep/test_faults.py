@@ -1,0 +1,91 @@
+"""Tests for the deterministic fault-injection plan language and hooks."""
+
+import pytest
+
+from repro.sweep.faults import (
+    FAULTS_ENV,
+    FaultInjector,
+    FaultSpec,
+    PoisonedJobError,
+    TransientJobError,
+)
+
+
+class TestParsing:
+    def test_full_plan_round_trips(self):
+        plan = "kill@3;stall@5:1:30;flaky@1:2;poison@2;corrupt@4"
+        injector = FaultInjector.parse(plan)
+        assert injector.text() == plan
+        assert FaultInjector.parse(injector.text()).faults == injector.faults
+
+    def test_empty_and_none_mean_no_faults(self):
+        assert not FaultInjector.parse(None)
+        assert not FaultInjector.parse("")
+        assert not FaultInjector.parse("  ;  ")
+
+    def test_from_env(self):
+        injector = FaultInjector.from_env({FAULTS_ENV: "flaky@0:3"})
+        assert injector.faults == (FaultSpec("flaky", 0, count=3),)
+        assert not FaultInjector.from_env({})
+
+    @pytest.mark.parametrize("bad", [
+        "kill",            # no @index
+        "explode@1",       # unknown kind
+        "kill@x",          # non-numeric index
+        "kill@1:2:3:4",    # too many fields
+        "kill@-1",         # negative index
+        "flaky@1:0",       # zero count
+    ])
+    def test_bad_directives_raise(self, bad):
+        with pytest.raises(ValueError):
+            FaultInjector.parse(bad)
+
+
+class TestPredicates:
+    def test_fires_by_index_and_attempt(self):
+        fault = FaultSpec("flaky", 2, count=2)
+        assert fault.fires(2, 0) and fault.fires(2, 1)
+        assert not fault.fires(2, 2)   # succeeds on the third attempt
+        assert not fault.fires(3, 0)
+
+    def test_kill_and_corrupt_predicates(self):
+        injector = FaultInjector.parse("kill@1;corrupt@2")
+        assert injector.kills(1, 0) and not injector.kills(1, 1)
+        assert injector.corrupts(2, 0) and not injector.corrupts(0, 0)
+        assert injector.stalls(1, 0) is None
+
+    def test_stall_carries_its_param(self):
+        stall = FaultInjector.parse("stall@5:1:30").stalls(5, 0)
+        assert stall is not None and stall.param == 30.0
+
+
+class TestWorkerHook:
+    def test_flaky_raises_transient_then_clears(self):
+        injector = FaultInjector.parse("flaky@1:2")
+        with pytest.raises(TransientJobError):
+            injector.pre_job(1, 0)
+        with pytest.raises(TransientJobError):
+            injector.pre_job(1, 1)
+        injector.pre_job(1, 2)  # third attempt: clean
+        injector.pre_job(0, 0)  # other jobs never fire
+
+    def test_poison_raises_deterministic_every_attempt(self):
+        injector = FaultInjector.parse("poison@0")
+        with pytest.raises(PoisonedJobError):
+            injector.pre_job(0, 0)
+        # Poison is count=1 by definition of the plan, but quarantine
+        # means attempt 0 is the only one the broker ever makes.
+
+
+class TestBrokerHook:
+    def test_post_store_truncates_entry(self, tmp_path):
+        victim = tmp_path / "entry.pkl"
+        victim.write_bytes(b"x" * 100)
+        injector = FaultInjector.parse("corrupt@4")
+        assert injector.post_store(4, 0, victim)
+        assert victim.stat().st_size == 50
+        assert not injector.post_store(3, 0, victim)
+        assert victim.stat().st_size == 50
+
+    def test_post_store_without_path_is_noop(self):
+        assert not FaultInjector.parse("corrupt@4").post_store(4, 0, None)

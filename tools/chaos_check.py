@@ -1,0 +1,220 @@
+#!/usr/bin/env python3
+"""Chaos gate: the sweep executor must survive injected faults with
+bit-identical results, and SIGINT + --resume must re-run only
+unfinished jobs.
+
+Three stages, each against the same 20-job grid (tage-16K/gshare/bimodal
+x tage/jrs compatibility-filtered to 4 pairs, x 5 traces):
+
+1. **reference** — fault-free run, no cache; its TSV is the oracle.
+2. **chaos** — 3 workers under a deterministic fault plan (worker
+   SIGKILLs, a silent stall past the heartbeat deadline, transient
+   flakes, one corrupted cache entry).  The run must complete without
+   quarantine, byte-identical to the reference; a follow-up run over the
+   same cache must quarantine the corrupt entry, re-run exactly that
+   job, and again be byte-identical.
+3. **interrupt/resume** — a real ``repro sweep`` subprocess is SIGINTed
+   once its journal shows partial progress; it must exit 130 with a
+   checkpoint, and ``repro sweep --resume <run-id>`` must finish the
+   run re-executing only the unfinished jobs (journal-verified),
+   byte-identical to the reference.
+
+Usage::
+
+    PYTHONPATH=src python tools/chaos_check.py [--scratch DIR]
+
+Exit status 0 when every stage holds, 1 otherwise.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import signal
+import subprocess
+import sys
+import tempfile
+import time
+import warnings
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO / "src"))
+
+from repro.sweep import (  # noqa: E402  (path bootstrap above)
+    EstimatorSpec,
+    ExperimentSpec,
+    PredictorSpec,
+    ResultCache,
+    journal_path,
+    replay_journal,
+    run_sweep,
+)
+
+N_BRANCHES = 3_000
+PREDICTORS = ("tage-16K", "gshare", "bimodal")
+ESTIMATORS = ("tage", "jrs")
+TRACES = ("INT-1", "MM-1", "SERV-1", "FP-1", "300.twolf")
+N_JOBS = 20  # 4 compatible (predictor, estimator) pairs x 5 traces
+
+#: Worker SIGKILLs on two jobs (one twice), a silent stall past the
+#: heartbeat deadline, transient flakes, and one corrupted cache entry.
+CHAOS_PLAN = "kill@0;kill@7:2;stall@12;flaky@5:2;corrupt@9"
+
+
+def make_spec() -> ExperimentSpec:
+    return ExperimentSpec(
+        name="cli-sweep",  # matches what the CLI invocation in stage 3 builds
+        predictors=tuple(PredictorSpec.parse(p) for p in PREDICTORS),
+        estimators=tuple(EstimatorSpec.of(e) for e in ESTIMATORS),
+        traces=TRACES,
+        n_branches=N_BRANCHES,
+    )
+
+
+def fail(message: str) -> None:
+    print(f"FAIL: {message}")
+    sys.exit(1)
+
+
+def check(condition: bool, message: str) -> None:
+    if not condition:
+        fail(message)
+    print(f"  ok: {message}")
+
+
+def stage_reference() -> str:
+    print("[1/3] fault-free reference run")
+    run = run_sweep(make_spec(), workers=2)
+    check(len(run.table) == N_JOBS, f"reference produced {N_JOBS} rows")
+    return run.table.to_tsv()
+
+
+def stage_chaos(scratch: Path, reference_tsv: str) -> None:
+    print(f"[2/3] chaos run: {CHAOS_PLAN}")
+    cache = ResultCache(scratch / "chaos-cache")
+    run = run_sweep(
+        make_spec(), workers=3, cache=cache, run_id="chaos",
+        faults=CHAOS_PLAN, heartbeat_timeout=2.0, max_retries=4,
+    )
+    check(not run.quarantined,
+          "every injected fault recovered (no quarantine)")
+    check(run.n_retries >= 5,
+          f"retries/re-dispatches actually happened ({run.n_retries})")
+    check(run.table.to_tsv() == reference_tsv,
+          "chaos-run table byte-identical to fault-free reference")
+    state = replay_journal(journal_path(cache.root / "runs", "chaos"), "chaos")
+    check(state.ended and len(state.done) == N_JOBS,
+          "journal records every job done")
+
+    # The corrupt@9 fault tore job 9's cache entry post-store: a second
+    # run must quarantine it (one-line warning naming the hash), re-run
+    # exactly that job, and still be byte-identical.
+    with warnings.catch_warnings(record=True) as caught:
+        warnings.simplefilter("always")
+        again = run_sweep(make_spec(), workers=2, cache=cache)
+    check(any("quarantined corrupt" in str(w.message) for w in caught),
+          "corrupt entry quarantined with a warning")
+    check(again.n_executed == 1 and again.n_cached == N_JOBS - 1,
+          "only the corrupted job re-ran")
+    check(again.table.to_tsv() == reference_tsv,
+          "post-quarantine table byte-identical")
+
+
+def stage_interrupt_resume(scratch: Path, reference_tsv: str) -> None:
+    print("[3/3] SIGINT checkpoint + --resume")
+    cache_dir = scratch / "resume-cache"
+    run_id = "chaos-resume"
+    argv = [
+        sys.executable, "-m", "repro", "sweep",
+        "--predictors", *PREDICTORS,
+        "--estimators", *ESTIMATORS,
+        "--traces", *TRACES,
+        "--branches", str(N_BRANCHES),
+        "--workers", "2",
+        "--cache-dir", str(cache_dir),
+        "--run-id", run_id,
+        "--tsv",
+    ]
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO / "src")
+    env.pop("REPRO_FAULTS", None)
+
+    process = subprocess.Popen(
+        argv, cwd=REPO, env=env,
+        stdout=subprocess.PIPE, stderr=subprocess.STDOUT, text=True,
+    )
+    journal = journal_path(cache_dir / "runs", run_id)
+    deadline = time.monotonic() + 120
+    interrupted = False
+    while time.monotonic() < deadline and process.poll() is None:
+        if journal.exists():
+            state = replay_journal(journal, run_id)
+            if 1 <= len(state.done) < N_JOBS:
+                process.send_signal(signal.SIGINT)
+                interrupted = True
+                break
+        time.sleep(0.005)
+    stdout, _ = process.communicate(timeout=120)
+    if not interrupted:
+        fail("run finished before the interrupt could land; "
+             "raise N_BRANCHES")
+    check(process.returncode == 130,
+          f"interrupted run exited 130 (got {process.returncode})")
+    check(f"--resume {run_id}" in stdout, "resume hint printed")
+
+    state = replay_journal(journal, run_id)
+    check(state.interrupted and not state.ended,
+          "journal carries the interrupt checkpoint")
+    done_before = set(state.done)
+    check(0 < len(done_before) < N_JOBS,
+          f"partial progress checkpointed ({len(done_before)}/{N_JOBS})")
+
+    resumed = subprocess.run(
+        [sys.executable, "-m", "repro", "sweep",
+         "--cache-dir", str(cache_dir), "--tsv", "--resume", run_id],
+        cwd=REPO, env=env, capture_output=True, text=True, timeout=300,
+    )
+    check(resumed.returncode == 0,
+          f"resume exited 0 (got {resumed.returncode}): {resumed.stdout[-500:]}")
+    state = replay_journal(journal, run_id)
+    check(state.ended and set(state.done) == set(range(N_JOBS)),
+          "journal records the resumed run complete")
+    check(f"cache: {len(done_before)} hits" in resumed.stdout,
+          "resume served exactly the checkpointed jobs from cache")
+
+    lines = resumed.stdout.splitlines()
+    start = next(i for i, line in enumerate(lines)
+                 if line.startswith("trace\t"))
+    end = start + 1
+    while end < len(lines) and "\t" in lines[end]:
+        end += 1
+    check("\n".join(lines[start:end]) == reference_tsv,
+          "resumed table byte-identical to fault-free reference")
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--scratch", default=None,
+                        help="working directory (default: a temp dir)")
+    args = parser.parse_args()
+    if args.scratch is not None:
+        scratch = Path(args.scratch)
+        scratch.mkdir(parents=True, exist_ok=True)
+        context = None
+    else:
+        context = tempfile.TemporaryDirectory(prefix="chaos-check-")
+        scratch = Path(context.name)
+    try:
+        reference_tsv = stage_reference()
+        stage_chaos(scratch, reference_tsv)
+        stage_interrupt_resume(scratch, reference_tsv)
+    finally:
+        if context is not None:
+            context.cleanup()
+    print("chaos gate: PASS")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
