@@ -20,7 +20,8 @@ PVN) are pooled over the traces with
 Run:  python examples/compare_confidence_estimators.py
 """
 
-from repro.sweep import EstimatorSpec, ExperimentSpec, PredictorSpec, run_sweep
+from repro.api import run_sweep
+from repro.sweep import EstimatorSpec, ExperimentSpec, PredictorSpec
 
 TRACES = ("INT-1", "MM-1", "SERV-1")
 N_BRANCHES = 20_000

@@ -10,6 +10,7 @@ the two Championships" (§1).
 Run:  python examples/predictor_zoo.py
 """
 
+from repro.api import simulate
 from repro.predictors.bimodal import BimodalPredictor
 from repro.predictors.gshare import GsharePredictor
 from repro.predictors.local import LocalHistoryPredictor
@@ -19,7 +20,6 @@ from repro.predictors.tage.config import TageConfig
 from repro.predictors.tage.loop import LtagePredictor
 from repro.predictors.tage.predictor import TagePredictor
 from repro.predictors.tournament import TournamentPredictor
-from repro.sim.engine import simulate
 from repro.traces import cbp1_trace
 
 TRACES = ("FP-1", "INT-1", "MM-1", "SERV-1")

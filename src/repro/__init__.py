@@ -26,6 +26,11 @@ The package is organized as:
 ``repro.apps``
     Confidence-estimation consumers: fetch gating and SMT fetch policy
     models.
+``repro.api``
+    The stable import surface: ``simulate``/``simulate_binary``,
+    ``run_trace``, ``run_sweep``, ``run_paper``, ``resolve_trace`` and
+    the backend capability query — import from there instead of deep
+    module paths.
 
 Quickstart::
 

@@ -27,6 +27,10 @@ Usage (``python -m repro <command>``):
   ``--export PATH`` (see :mod:`repro.traces.sources`).
 * ``list-traces`` — show the registered trace names (CBP suites and
   the scenario-zoo trace sources).
+* ``capability`` — report, per backend, whether one (predictor,
+  estimator) cell is supported, which compiled kernel provider would
+  run it under the current ``--kernel`` mode, and whether it can join
+  a lockstep batch (see :meth:`repro.sim.backends.Backend.capability`).
 * ``serve`` — run the multi-tenant confidence server until SIGINT or
   SIGTERM, then drain gracefully (see :mod:`repro.serve`).
 * ``drive`` — load-drive a running server with open- or closed-loop
@@ -44,6 +48,7 @@ from __future__ import annotations
 import argparse
 import asyncio
 import json
+import os
 import signal
 import sys
 import uuid
@@ -128,6 +133,21 @@ def _add_backend_arg(parser: argparse.ArgumentParser) -> None:
                              "Sec-6.2 control included) bit-exactly and falls "
                              "back to 'reference' (with a warning) only for "
                              "subclassed components or >62-bit histories")
+    parser.add_argument("--kernel", choices=("auto", "pure", "compiled"),
+                        default=None,
+                        help="fast-backend kernel mode (sets $REPRO_KERNEL "
+                             "for this invocation, workers included): 'auto' "
+                             "uses a compiled build when one is available, "
+                             "'pure' pins the Python kernels, 'compiled' "
+                             "requires a provider (Numba or the C "
+                             "translation) and warns once if none resolves; "
+                             "all modes are bit-identical")
+
+
+def _apply_kernel_mode(args) -> None:
+    """Export ``--kernel`` so this process and its workers agree."""
+    if getattr(args, "kernel", None) is not None:
+        os.environ["REPRO_KERNEL"] = args.kernel
 
 
 def _materialization_dir(args):
@@ -218,6 +238,11 @@ def build_parser() -> argparse.ArgumentParser:
                            help="deterministic fault-injection plan, e.g. "
                                 "'kill@3;flaky@1:2;corrupt@4' (default: "
                                 "$REPRO_FAULTS; testing/chaos only)")
+    sweep_cmd.add_argument("--no-lockstep", action="store_true",
+                           help="run every fast-backend job independently "
+                                "instead of fusing shared-plane TAGE jobs "
+                                "into batched lockstep kernel passes "
+                                "(results are bit-identical either way)")
 
     paper_cmd = commands.add_parser(
         "paper",
@@ -313,6 +338,29 @@ def build_parser() -> argparse.ArgumentParser:
 
     commands.add_parser("list-traces", help="list registered trace names")
 
+    capability_cmd = commands.add_parser(
+        "capability",
+        help="report per-backend support (+ compiled/lockstep "
+             "availability) for one predictor x estimator cell",
+    )
+    capability_cmd.add_argument(
+        "--predictor", default="tage-64K",
+        help="predictor token (tage-<SIZE>[-prob], gshare, bimodal, "
+             "perceptron, ogehl, local)",
+    )
+    capability_cmd.add_argument(
+        "--estimator", default="tage",
+        help="estimator kind: tage, jrs, ejrs, self",
+    )
+    capability_cmd.add_argument(
+        "--adaptive", action="store_true",
+        help="attach the Sec-6.2 adaptive saturation controller",
+    )
+    capability_cmd.add_argument(
+        "--kernel", choices=("auto", "pure", "compiled"), default=None,
+        help="evaluate under this $REPRO_KERNEL mode",
+    )
+
     serve_cmd = commands.add_parser(
         "serve",
         help="run the multi-tenant confidence server (SIGINT/SIGTERM drains)",
@@ -383,6 +431,7 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def _cmd_run_trace(args) -> int:
+    _apply_kernel_mode(args)
     trace = _get_trace(args.name, args.branches)
     predictor = build_predictor(
         args.size, automaton=args.automaton, sat_prob_log2=args.sat_prob_log2
@@ -398,6 +447,7 @@ def _cmd_run_trace(args) -> int:
 
 
 def _cmd_run_suite(args) -> int:
+    _apply_kernel_mode(args)
     results = run_suite(
         args.suite,
         size=args.size,
@@ -424,6 +474,8 @@ _DEFAULT_SWEEP_TRACES = ("INT-1", "MM-1", "SERV-1", "300.twolf")
 
 
 def _cmd_sweep(args) -> int:
+    _apply_kernel_mode(args)
+    lockstep = False if args.no_lockstep else None
     cache = None if args.no_cache else ResultCache(args.cache_dir)
     if args.resume is not None:
         # The journal carries the grid: axis flags are ignored on resume.
@@ -439,6 +491,7 @@ def _cmd_sweep(args) -> int:
                 max_retries=args.max_retries,
                 heartbeat_timeout=args.heartbeat_timeout,
                 faults=args.faults,
+                lockstep=lockstep,
             )
         except SweepInterrupted as interrupted:
             return _report_interrupted(interrupted)
@@ -485,6 +538,7 @@ def _cmd_sweep(args) -> int:
             max_retries=args.max_retries,
             heartbeat_timeout=args.heartbeat_timeout,
             faults=args.faults,
+            lockstep=lockstep,
         )
     except SweepInterrupted as interrupted:
         return _report_interrupted(interrupted)
@@ -538,6 +592,7 @@ def _print_sweep(args, run, cache) -> int:
 
 
 def _cmd_paper(args) -> int:
+    _apply_kernel_mode(args)
     if args.list_artifacts:
         rows = [
             [spec.key, spec.paper_element, spec.kind, spec.title]
@@ -643,6 +698,41 @@ def _cmd_list_traces(args) -> int:
     print("CBP-1:", " ".join(CBP1_TRACE_NAMES))
     print("CBP-2:", " ".join(CBP2_TRACE_NAMES))
     print("sources:", " ".join(source_names()))
+    return 0
+
+
+def _cmd_capability(args) -> int:
+    _apply_kernel_mode(args)
+    from repro.serve.state import SessionSpec
+    from repro.sim.fast.compiled import kernel_mode, provider_unavailable_reason
+
+    try:
+        spec = SessionSpec(tenant="cli", predictor=args.predictor,
+                           estimator=args.estimator, adaptive=args.adaptive)
+    except ValueError as error:
+        raise SystemExit(str(error)) from None
+    rows = []
+    for backend in BACKENDS:
+        capability = spec.capability(backend)
+        rows.append([
+            backend,
+            "yes" if capability.supported else "no",
+            "yes" if capability.compiled else "no",
+            capability.compiled_provider or "-",
+            "yes" if capability.lockstep else "no",
+            capability.reason or ("-" if capability.fallback is None
+                                  else f"falls back to {capability.fallback}"),
+        ])
+    print(render_table(
+        ("backend", "supported", "compiled", "provider", "lockstep", "notes"),
+        rows,
+        title=f"{args.predictor} x {args.estimator}"
+              + (" + adaptive" if args.adaptive else "")
+              + f" (kernel mode: {kernel_mode()})",
+    ))
+    reason = provider_unavailable_reason()
+    if reason is not None:
+        print(f"compiled provider: unavailable ({reason})")
     return 0
 
 
@@ -776,6 +866,7 @@ _HANDLERS = {
     "inspect": _cmd_inspect,
     "trace": _cmd_trace,
     "list-traces": _cmd_list_traces,
+    "capability": _cmd_capability,
     "serve": _cmd_serve,
     "drive": _cmd_drive,
 }

@@ -26,6 +26,7 @@ from dataclasses import dataclass
 from repro.confidence.adaptive import AdaptiveSaturationController
 from repro.confidence.estimator import TageConfidenceEstimator
 from repro.confidence.classes import confidence_level_of
+from repro.sim.backends import Capability, Cell, get_backend
 from repro.sim.observe import OBSERVATION_CLASS_CODES
 from repro.sweep.executor import build_cell_binary_estimator, build_cell_predictor
 from repro.sweep.spec import EstimatorSpec, PredictorSpec
@@ -94,6 +95,40 @@ class SessionSpec:
     def is_binary(self) -> bool:
         """Binary high/low sessions return the confidence flag as code."""
         return self.estimator_spec.is_binary
+
+    def capability(self, backend: str = "fast") -> Capability:
+        """The named backend's verdict for this session's offline twin.
+
+        Builds the session's components exactly as :class:`TenantSession`
+        would and asks :meth:`repro.sim.backends.Backend.capability` —
+        the same single decision point the sweep executor and the
+        ``simulate`` dispatchers use — so a served cell and its offline
+        differential-check replay can never disagree about backend
+        support.
+        """
+        predictor = build_cell_predictor(
+            self.predictor_spec, adaptive=self.adaptive, seed=self.seed
+        )
+        if self.estimator_spec.kind == "tage":
+            controller = (
+                AdaptiveSaturationController(predictor, target_mkp=self.target_mkp)
+                if self.adaptive
+                else None
+            )
+            cell = Cell(
+                predictor=predictor,
+                estimator=TageConfidenceEstimator(predictor),
+                controller=controller,
+            )
+        else:
+            cell = Cell(
+                predictor=predictor,
+                estimator=build_cell_binary_estimator(
+                    self.estimator_spec, predictor
+                ),
+                binary=True,
+            )
+        return get_backend(backend).capability(cell)
 
     def as_dict(self) -> dict:
         """Plain-data wire form (the HELLO payload)."""

@@ -31,6 +31,7 @@ NumPy (which the fast backend itself requires and which is gated behind
 from __future__ import annotations
 
 import os
+from dataclasses import dataclass
 from pathlib import Path
 
 __all__ = [
@@ -38,6 +39,10 @@ __all__ = [
     "DEFAULT_BACKEND",
     "FastBackendUnsupported",
     "FastBackendFallbackWarning",
+    "Cell",
+    "Capability",
+    "Backend",
+    "get_backend",
     "validate_backend",
     "load_fast_engine",
     "default_planes_dir",
@@ -68,6 +73,111 @@ def validate_backend(backend: str) -> str:
     if backend not in BACKENDS:
         raise ValueError(f"unknown backend {backend!r}; choose from {BACKENDS}")
     return backend
+
+
+@dataclass(frozen=True)
+class Cell:
+    """One simulation cell, as a backend sees it: a predictor with an
+    optional estimator and §6.2 controller, run through either the
+    accuracy protocol or (``binary=True``) the binary-confidence
+    protocol of ``simulate_binary``.
+
+    This is the single argument shape of :meth:`Backend.capability` —
+    component *instances*, not spec strings, because support decisions
+    are exact-type and configuration-bound (a subclassed predictor or
+    an oversized history window changes the answer).
+    """
+
+    predictor: object
+    estimator: object | None = None
+    controller: object | None = None
+    binary: bool = False
+
+
+@dataclass(frozen=True)
+class Capability:
+    """A backend's answer to "can you run this cell, and how?".
+
+    ``supported`` is the verdict; ``reason`` explains a refusal in the
+    exact wording the fallback warning uses; ``fallback`` names the
+    backend that will silently take over (the reference engine never
+    refuses, so its capabilities carry no fallback).  ``compiled``
+    reports whether a compiled kernel build (Numba or the C
+    translation) would execute this cell under the current
+    ``REPRO_KERNEL`` mode, with ``compiled_provider`` naming the
+    provider; ``lockstep`` reports whether the cell can join a
+    multi-cell lockstep batch (shared-plane TAGE cells).
+
+    Truthiness is the verdict: ``if backend.capability(cell): ...``.
+    """
+
+    backend: str
+    supported: bool
+    reason: str | None = None
+    fallback: str | None = None
+    compiled: bool = False
+    compiled_provider: str | None = None
+    lockstep: bool = False
+
+    def __bool__(self) -> bool:
+        return self.supported
+
+
+class Backend:
+    """A named simulation backend answering capability queries.
+
+    The one fallback-decision surface: every dispatcher (the
+    ``simulate``/``simulate_binary`` wrappers, the sweep executor's
+    warn-once pre-pass, the serve layer, the CLI) asks
+    :meth:`capability` instead of re-deriving support rules, so they
+    can never disagree.
+    """
+
+    name: str = "?"
+
+    def capability(self, cell: Cell) -> Capability:
+        raise NotImplementedError
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<{type(self).__name__} {self.name!r}>"
+
+
+class _ReferenceBackend(Backend):
+    """The pure-Python engine: runs everything, compiles nothing."""
+
+    name = "reference"
+
+    def capability(self, cell: Cell) -> Capability:
+        return Capability(backend=self.name, supported=True)
+
+
+class _FastBackend(Backend):
+    """The vectorized/plane-fed engine, including its NumPy gate."""
+
+    name = "fast"
+
+    def capability(self, cell: Cell) -> Capability:
+        try:
+            fast = load_fast_engine()
+        except FastBackendUnsupported as error:
+            return Capability(
+                backend=self.name,
+                supported=False,
+                reason=str(error),
+                fallback="reference",
+            )
+        return fast.cell_capability(cell)
+
+
+_BACKEND_OBJECTS = {
+    "reference": _ReferenceBackend(),
+    "fast": _FastBackend(),
+}
+
+
+def get_backend(name: str) -> Backend:
+    """The :class:`Backend` singleton for a validated backend name."""
+    return _BACKEND_OBJECTS[validate_backend(name)]
 
 
 def default_planes_dir() -> Path:

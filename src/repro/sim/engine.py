@@ -24,9 +24,11 @@ import warnings
 from dataclasses import dataclass, field
 
 from repro.sim.backends import (
+    Cell,
     DEFAULT_BACKEND,
     FastBackendFallbackWarning,
     FastBackendUnsupported,
+    get_backend,
     load_fast_engine,
     validate_backend,
 )
@@ -42,17 +44,37 @@ from repro.confidence.metrics import BinaryConfidenceMetrics, ClassBreakdown, mk
 __all__ = ["SimulationResult", "simulate", "simulate_binary"]
 
 
-def _dispatch_fast(entry_point: str, kwargs: dict):
+def _dispatch_fast(entry_point: str, kwargs: dict, binary: bool = False):
     """Try the fast backend; return its result or None after warning.
 
-    The fallback warning is keyed to the unsupported-configuration
-    message so mixed sweeps surface each distinct fallback once under
-    the default warning filter.
+    The fallback decision is the
+    :meth:`~repro.sim.backends.Backend.capability` query — the same
+    verdict (and reason wording) the sweep executor's pre-pass and the
+    CLI read — so a cell can never be judged differently by different
+    dispatchers.  The fallback warning is keyed to the
+    unsupported-configuration message so mixed sweeps surface each
+    distinct fallback once under the default warning filter.
     """
+    capability = get_backend("fast").capability(Cell(
+        predictor=kwargs.get("predictor"),
+        estimator=kwargs.get("estimator"),
+        controller=kwargs.get("controller"),
+        binary=binary,
+    ))
+    if not capability:
+        warnings.warn(
+            f"fast backend cannot run this configuration "
+            f"({capability.reason}); falling back to the reference engine",
+            FastBackendFallbackWarning,
+            stacklevel=3,
+        )
+        return None
     try:
         fast = load_fast_engine()
         return getattr(fast, entry_point)(**kwargs)
     except FastBackendUnsupported as unsupported:
+        # Safety net: the capability probe and the kernels share their
+        # predicates, so this only fires if they somehow drift.
         warnings.warn(
             f"fast backend cannot run this configuration ({unsupported}); "
             "falling back to the reference engine",
@@ -315,7 +337,7 @@ def simulate_binary(
             estimator=estimator,
             warmup_branches=warmup_branches,
             materialization_dir=materialization_dir,
-        ))
+        ), binary=True)
         if outcome is not None:
             return outcome
     high_correct = high_incorrect = low_correct = low_incorrect = 0

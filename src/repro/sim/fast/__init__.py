@@ -21,9 +21,18 @@ estimators — built on five layers:
   feedback loop and per-branch observation streams for the apps layer);
 * :mod:`repro.sim.fast.gehl` — the plane-fed dot-product kernels for
   the sum-based predictors and their self-confidence signals;
+* :mod:`repro.sim.fast.compiled` — optional compiled builds (Numba or
+  an embedded C translation) of the sequential TAGE/O-GEHL kernels,
+  bit-identical to the pure loops, selected per process via
+  ``REPRO_KERNEL``;
+* :mod:`repro.sim.fast.lockstep` — multi-cell lockstep batching:
+  ablation cells sharing one trace's planes advance through a single
+  batched kernel pass;
 * :mod:`repro.sim.fast.engine` — the ``simulate_fast`` /
   ``simulate_binary_fast`` entry points assembling
-  :class:`~repro.sim.engine.SimulationResult` breakdowns.
+  :class:`~repro.sim.engine.SimulationResult` breakdowns, plus
+  :func:`~repro.sim.fast.engine.cell_capability`, the fast backend's
+  answer to the :meth:`repro.sim.backends.Backend.capability` query.
 
 Unsupported configurations (subclasses of supported component types,
 >62-bit gshare/perceptron/local/JRS/path history windows) raise
@@ -48,8 +57,15 @@ from repro.sim.fast.arrays import (
     history_windows,
     segmented_history_windows,
 )
+from repro.sim.fast.compiled import (
+    active_provider,
+    kernel_mode,
+    resolve_ogehl_kernel,
+    resolve_tage_kernel,
+)
 from repro.sim.fast.engine import (
     binary_unsupported_reason,
+    cell_capability,
     simulate_binary_fast,
     simulate_fast,
     supports_estimator,
@@ -59,6 +75,7 @@ from repro.sim.fast.engine import (
     vectorized_predictions,
 )
 from repro.sim.fast.gehl import ogehl_fast_run, perceptron_fast_run
+from repro.sim.fast.lockstep import LockstepCell, simulate_tage_lockstep
 from repro.sim.fast.planes import (
     PlaneCache,
     TagePlanes,
@@ -85,6 +102,13 @@ __all__ = [
     "observe_tage_fast",
     "perceptron_fast_run",
     "ogehl_fast_run",
+    "LockstepCell",
+    "simulate_tage_lockstep",
+    "cell_capability",
+    "kernel_mode",
+    "active_provider",
+    "resolve_tage_kernel",
+    "resolve_ogehl_kernel",
     "supports_predictor",
     "supports_estimator",
     "unsupported_reason",

@@ -1,0 +1,1111 @@
+"""Optional compiled builds of the fast-backend inner loops.
+
+The fast backend's remaining per-branch cost is a handful of genuinely
+sequential kernels (:func:`repro.sim.fast.tage._kernel`, the O-GEHL
+loop in :mod:`repro.sim.fast.gehl`).  This module packages *flat-array*
+re-statements of those loops — every piece of kernel state lives in a
+NumPy array or a plain integer, no lists, dicts, closures or
+attributes — so one source of truth serves three execution modes:
+
+* **pure** — the flat function runs as ordinary Python.  This is also
+  the differential-test anchor: the flat restatement must be bit-exact
+  against the original kernels *before* any compilation enters the
+  picture.
+* **numba** — the same function compiled with ``numba.njit`` when the
+  optional ``repro[compiled]`` extra is installed (``fastmath`` stays
+  off: bit-for-bit equality is the contract, not a goal).
+* **cext** — an embedded C mirror of the same loops, compiled once per
+  source digest with the system C compiler into a cached shared
+  library and called through :mod:`ctypes`.  This keeps the compiled
+  path measurable on machines without Numba (CI runners, containers
+  with a toolchain but no wheel access).
+
+Provider resolution is lazy, cached and silent: ``numba`` wins when
+importable, then ``cext`` when a C compiler is present, else the pure
+kernels.  ``REPRO_COMPILED_PROVIDER`` pins a specific provider
+(``numba`` / ``cext`` / ``none``) for tests and benchmarks.
+
+Which mode actually runs is a *process-wide* switch, not a per-call
+argument: ``REPRO_KERNEL`` is ``auto`` (compiled when available — safe
+because the compiled kernels are bit-identical), ``pure``, or
+``compiled``.  Because the env var inherits into sweep worker
+processes, one setting governs a whole parallel sweep.  Requesting
+``compiled`` with no provider available falls back to pure and emits
+:class:`~repro.sim.backends.FastBackendFallbackWarning` exactly once
+per process, naming the ``pip install 'repro[compiled]'`` remedy.
+
+The TAGE kernel here is *batched*: it runs ``n_cells`` independent
+configurations over one shared set of index/tag planes in a single
+call (cells-outer, trace-inner — the cells never interact, so the
+per-cell streams are bit-identical to independent runs while the trace
+planes are walked once per cell from warm cache lines).  The lockstep
+sweep scheduler (:mod:`repro.sim.fast.lockstep`) and the single-cell
+entry points in :mod:`repro.sim.fast.tage` both call it; a single-cell
+simulation is simply a batch of one.
+"""
+
+from __future__ import annotations
+
+import ctypes
+import hashlib
+import os
+import shutil
+import subprocess
+import tempfile
+import threading
+import warnings
+from pathlib import Path
+
+import numpy as np
+
+from repro.sim.backends import FastBackendFallbackWarning
+
+__all__ = [
+    "KERNEL_MODES",
+    "COMPILED_PROVIDERS",
+    "kernel_mode",
+    "active_provider",
+    "provider_unavailable_reason",
+    "resolve_tage_kernel",
+    "resolve_ogehl_kernel",
+    "warn_missing_compiled",
+    "N_IPARAMS",
+    "N_FPARAMS",
+    "N_COUNTS",
+]
+
+#: Process-wide kernel-mode switch (see module docstring).
+KERNEL_MODE_ENV = "REPRO_KERNEL"
+#: Pin one compiled provider: ``numba`` | ``cext`` | ``none``.
+PROVIDER_ENV = "REPRO_COMPILED_PROVIDER"
+#: Where compiled shared libraries are cached (default ~/.cache).
+CACHE_ENV = "REPRO_COMPILED_CACHE"
+
+KERNEL_MODES = ("auto", "pure", "compiled")
+COMPILED_PROVIDERS = ("numba", "cext")
+
+# ---------------------------------------------------------------------------
+# Packed per-cell parameter layout for the batched TAGE kernel.
+#
+# One int64 row per cell (N_IPARAMS wide) plus one float64 row
+# (N_FPARAMS wide) carry everything `tage._kernel` reads from the
+# config/estimator/controller objects; one int64 row (N_COUNTS wide)
+# carries everything it returns.  The layout is shared verbatim by the
+# pure, numba and C builds — the literal indices below are the ABI.
+# ---------------------------------------------------------------------------
+
+IP_LOG_TAGGED = 0      # log2 entries per tagged component
+IP_CMAX = 1            # prediction counter ceiling
+IP_CMIN = 2            # prediction counter floor
+IP_U_MAX = 3           # useful-counter ceiling
+IP_U_RESET = 4         # graceful u aging period
+IP_USE_ALT_ENABLED = 5  # USE_ALT_ON_NA monitor enabled (0/1)
+IP_USE_ALT_MAX = 6     # monitor ceiling
+IP_USE_ALT_MIN = 7     # monitor floor
+IP_UPDATE_ALT = 8      # update_alt_when_u_zero (0/1)
+IP_RANDOMIZED = 9      # randomized allocation start (0/1)
+IP_PROB_ENABLED = 10   # §6 probabilistic saturation automaton (0/1)
+IP_PROB_K = 11         # initial sat-prob log2 (live automaton value)
+IP_LFSR_SEED = 12      # §6 LFSR state, already masked/defaulted
+IP_ALLOC_SEED = 13     # XorShift32 state, already masked/defaulted
+IP_EST_WINDOW = 14     # §5 BIM-miss window; -1 = no estimator
+IP_MAX_STRENGTH = 15   # (1 << ctr_bits) - 1 of the estimator's predictor
+IP_WARMUP = 16         # branches excluded from class counts
+IP_CTRL_WINDOW = 17    # §6.2 controller window; 0 = no controller
+IP_CTRL_MIN = 18       # controller sat-prob floor
+IP_CTRL_MAX = 19       # controller sat-prob ceiling
+IP_HIGH_MASK = 20      # bitmask of HIGH-confidence class codes
+IP_LOG_BIMODAL = 21    # log2 bimodal entries
+N_IPARAMS = 22
+
+FP_CTRL_TARGET = 0     # §6.2 target misses per kilo-prediction
+FP_CTRL_RELAX = 1      # §6.2 relax fraction
+N_FPARAMS = 2
+
+CT_MISPREDICTIONS = 0  # [0]
+CT_PRED_BASE = 1       # [1..7]  per-class prediction counts
+CT_MISP_BASE = 8       # [8..14] per-class misprediction counts
+CT_FINAL_PROB_K = 15   # [15]    final sat-prob log2 (-1: not probabilistic)
+N_COUNTS = 16
+
+
+# ---------------------------------------------------------------------------
+# Flat kernels (pure Python / numba-compatible subset).
+# ---------------------------------------------------------------------------
+
+def _tage_batch(takens, bim_idx, idx_planes, tag_planes, iparams, fparams,
+                counts, want_predictions, predictions, want_classes, classes):
+    """Batched flat-array restatement of :func:`repro.sim.fast.tage._kernel`.
+
+    ``takens``/``bim_idx`` are int64[n]; ``idx_planes``/``tag_planes``
+    int64[n_tagged, n]; ``iparams`` int64[n_cells, N_IPARAMS];
+    ``fparams`` float64[n_cells, N_FPARAMS]; ``counts`` (output)
+    int64[n_cells, N_COUNTS]; ``predictions``/``classes`` (outputs)
+    uint8[n_cells, n] when the matching ``want_*`` flag is nonzero
+    (1-element dummies otherwise).  Cells are mutually independent —
+    the batch is bit-identical to ``n_cells`` separate runs.
+
+    Everything is written in the numba-compatible subset (no closures,
+    no ``None``, no lists) and deliberately mirrors the reference
+    kernel statement for statement, including the §6 LFSR draw sites,
+    the XorShift32 allocation stream and the §6.2 controller update
+    that fires *before* the branch's own counter update.
+    """
+    n = takens.shape[0]
+    n_tagged = idx_planes.shape[0]
+    n_cells = iparams.shape[0]
+
+    for c in range(n_cells):
+        log_tagged = iparams[c, 0]
+        cmax = iparams[c, 1]
+        cmin = iparams[c, 2]
+        u_max = iparams[c, 3]
+        u_reset = iparams[c, 4]
+        use_alt_enabled = iparams[c, 5]
+        use_alt_max = iparams[c, 6]
+        use_alt_min = iparams[c, 7]
+        update_alt = iparams[c, 8]
+        randomized = iparams[c, 9]
+        prob_enabled = iparams[c, 10]
+        prob_k = iparams[c, 11]
+        lfsr_state = iparams[c, 12]
+        alloc_state = iparams[c, 13]
+        est_window = iparams[c, 14]
+        max_strength = iparams[c, 15]
+        warmup = iparams[c, 16]
+        ctrl_window = iparams[c, 17]
+        ctrl_min = iparams[c, 18]
+        ctrl_max = iparams[c, 19]
+        high_mask = iparams[c, 20]
+        log_bimodal = iparams[c, 21]
+        ctrl_target = fparams[c, 0]
+        ctrl_relax = fparams[c, 1]
+
+        size = 1 << log_tagged
+        ctr = np.zeros((n_tagged, size), np.int64)
+        tag = np.zeros((n_tagged, size), np.int64)
+        u = np.zeros((n_tagged, size), np.int64)
+        bimodal = np.empty(1 << log_bimodal, np.int64)
+        for s in range(bimodal.shape[0]):
+            bimodal[s] = 2
+
+        use_alt = 0
+        mispredictions = 0
+        since_miss = est_window if est_window >= 0 else 0
+        ctrl_high = 0
+        ctrl_misp = 0
+
+        for t in range(n):
+            taken = takens[t] != 0
+
+            # -- provider scan: longest hitting component, then the next.
+            provider = 0
+            provider_idx = 0
+            alt = 0
+            alt_idx = 0
+            i = n_tagged - 1
+            while i >= 0:
+                idx = idx_planes[i, t]
+                if tag[i, idx] == tag_planes[i, t]:
+                    if provider != 0:
+                        alt = i + 1
+                        alt_idx = idx
+                        break
+                    provider = i + 1
+                    provider_idx = idx
+                i -= 1
+
+            bidx = bim_idx[t]
+            bctr = bimodal[bidx]
+
+            # -- prediction (§3.1), with the USE_ALT_ON_NA redirect.
+            if provider != 0:
+                ctrv = ctr[provider - 1, provider_idx]
+                provider_pred = ctrv >= 0
+                weak = ctrv >= -1 and ctrv <= 0
+                if alt != 0:
+                    altpred = ctr[alt - 1, alt_idx] >= 0
+                else:
+                    altpred = bctr >= 2
+                if weak and use_alt_enabled != 0 and use_alt >= 0:
+                    prediction = altpred
+                else:
+                    prediction = provider_pred
+            else:
+                ctrv = bctr
+                prediction = bctr >= 2
+                provider_pred = prediction
+                altpred = prediction
+                weak = False
+
+            mispredicted = prediction != taken
+            if mispredicted:
+                mispredictions += 1
+            if want_predictions != 0:
+                predictions[c, t] = 1 if prediction else 0
+
+            # -- §5 observation from the pre-update table outputs.
+            if est_window >= 0:
+                if provider != 0:
+                    strength = 2 * ctrv + 1
+                    if strength < 0:
+                        strength = -strength
+                    if strength == 1:
+                        cls = 6  # Wtag
+                    elif strength == max_strength:
+                        cls = 3  # Stag
+                    elif strength == max_strength - 2:
+                        cls = 4  # NStag
+                    else:
+                        cls = 5  # NWtag
+                elif bctr == 1 or bctr == 2:
+                    cls = 1  # low-conf-bim
+                elif since_miss < est_window:
+                    cls = 2  # medium-conf-bim
+                else:
+                    cls = 0  # high-conf-bim
+                if want_classes != 0:
+                    classes[c, t] = cls
+                if t >= warmup:
+                    counts[c, 1 + cls] += 1
+                    if mispredicted:
+                        counts[c, 8 + cls] += 1
+                if provider == 0:
+                    if mispredicted:
+                        since_miss = 0
+                    elif since_miss < est_window:
+                        since_miss += 1
+
+                # -- §6.2 adaptive feedback, before the counter update.
+                if ctrl_window > 0 and ((high_mask >> cls) & 1) != 0:
+                    ctrl_high += 1
+                    if mispredicted:
+                        ctrl_misp += 1
+                    if ctrl_high >= ctrl_window:
+                        rate_mkp = 1000.0 * ctrl_misp / ctrl_high
+                        if rate_mkp > ctrl_target and prob_k < ctrl_max:
+                            prob_k += 1
+                        elif (rate_mkp < ctrl_target * ctrl_relax
+                              and prob_k > ctrl_min):
+                            prob_k -= 1
+                        ctrl_high = 0
+                        ctrl_misp = 0
+
+            # -- update (§3.2/§3.3), in the reference engine's order.
+            allocate = mispredicted and provider < n_tagged
+            if provider != 0 and weak:
+                if provider_pred == taken:
+                    allocate = False
+                if provider_pred != altpred:
+                    if altpred == taken:
+                        if use_alt < use_alt_max:
+                            use_alt += 1
+                    elif use_alt > use_alt_min:
+                        use_alt -= 1
+
+            if allocate:
+                start = provider + 1
+                if randomized != 0:
+                    x = alloc_state
+                    while start < n_tagged:
+                        x ^= (x << 13) & 0xFFFFFFFF
+                        x ^= x >> 17
+                        x ^= (x << 5) & 0xFFFFFFFF
+                        if x & 1 == 0:
+                            break
+                        start += 1
+                    alloc_state = x
+                allocated = False
+                for j in range(start - 1, n_tagged):
+                    idx = idx_planes[j, t]
+                    if u[j, idx] == 0:
+                        ctr[j, idx] = 0 if taken else -1
+                        tag[j, idx] = tag_planes[j, t]
+                        allocated = True
+                        break
+                if not allocated:
+                    for j in range(start - 1, n_tagged):
+                        idx = idx_planes[j, t]
+                        if u[j, idx] > 0:
+                            u[j, idx] -= 1
+
+            if provider != 0:
+                p = provider - 1
+                # update_ctr(provider), standard or §6 probabilistic:
+                # the LFSR draw is consumed only on the transition into
+                # saturation, and never when the probability is 1.
+                cval = ctr[p, provider_idx]
+                if taken:
+                    if cval < cmax:
+                        step = True
+                        if prob_enabled != 0 and cval == cmax - 1 and prob_k > 0:
+                            state = lfsr_state
+                            any_set = 0
+                            for _ in range(prob_k):
+                                lsb = state & 1
+                                state >>= 1
+                                if lsb != 0:
+                                    state ^= 0xA3000000
+                                    any_set = 1
+                            lfsr_state = state
+                            if any_set != 0:
+                                step = False
+                        if step:
+                            ctr[p, provider_idx] = cval + 1
+                else:
+                    if cval > cmin:
+                        step = True
+                        if prob_enabled != 0 and cval == cmin + 1 and prob_k > 0:
+                            state = lfsr_state
+                            any_set = 0
+                            for _ in range(prob_k):
+                                lsb = state & 1
+                                state >>= 1
+                                if lsb != 0:
+                                    state ^= 0xA3000000
+                                    any_set = 1
+                            lfsr_state = state
+                            if any_set != 0:
+                                step = False
+                        if step:
+                            ctr[p, provider_idx] = cval - 1
+                if update_alt != 0 and u[p, provider_idx] == 0:
+                    if alt != 0:
+                        # update_ctr(alt), same draw discipline.
+                        a = alt - 1
+                        cval = ctr[a, alt_idx]
+                        if taken:
+                            if cval < cmax:
+                                step = True
+                                if (prob_enabled != 0 and cval == cmax - 1
+                                        and prob_k > 0):
+                                    state = lfsr_state
+                                    any_set = 0
+                                    for _ in range(prob_k):
+                                        lsb = state & 1
+                                        state >>= 1
+                                        if lsb != 0:
+                                            state ^= 0xA3000000
+                                            any_set = 1
+                                    lfsr_state = state
+                                    if any_set != 0:
+                                        step = False
+                                if step:
+                                    ctr[a, alt_idx] = cval + 1
+                        else:
+                            if cval > cmin:
+                                step = True
+                                if (prob_enabled != 0 and cval == cmin + 1
+                                        and prob_k > 0):
+                                    state = lfsr_state
+                                    any_set = 0
+                                    for _ in range(prob_k):
+                                        lsb = state & 1
+                                        state >>= 1
+                                        if lsb != 0:
+                                            state ^= 0xA3000000
+                                            any_set = 1
+                                    lfsr_state = state
+                                    if any_set != 0:
+                                        step = False
+                                if step:
+                                    ctr[a, alt_idx] = cval - 1
+                    elif taken:
+                        if bimodal[bidx] < 3:
+                            bimodal[bidx] += 1
+                    elif bimodal[bidx] > 0:
+                        bimodal[bidx] -= 1
+                if provider_pred != altpred:
+                    uv = u[p, provider_idx]
+                    if provider_pred == taken:
+                        if uv < u_max:
+                            u[p, provider_idx] = uv + 1
+                    elif uv > 0:
+                        u[p, provider_idx] = uv - 1
+            elif taken:
+                if bctr < 3:
+                    bimodal[bidx] = bctr + 1
+            elif bctr > 0:
+                bimodal[bidx] = bctr - 1
+
+            # -- graceful periodic aging of the u counters.
+            if (t + 1) % u_reset == 0:
+                for j in range(n_tagged):
+                    for s in range(size):
+                        u[j, s] = u[j, s] >> 1
+
+        counts[c, 0] = mispredictions
+        counts[c, 15] = prob_k if prob_enabled != 0 else -1
+    return 0
+
+
+def _ogehl_run(takens, planes, ctr_max, ctr_min, log_entries,
+               predictions, high):
+    """Flat restatement of the O-GEHL loop in :mod:`repro.sim.fast.gehl`.
+
+    ``takens`` int64[n]; ``planes`` int64[n_tables, n] (precomputed
+    per-table indices); ``predictions``/``high`` uint8[n] outputs.
+    Mirrors the reference ordering exactly: assess against the
+    *pre-update* adaptive threshold, then train, then walk the TC
+    threshold counter.
+    """
+    n = takens.shape[0]
+    n_tables = planes.shape[0]
+    tables = np.zeros((n_tables, 1 << log_entries), np.int64)
+    threshold = n_tables
+    threshold_counter = 0
+    for t in range(n):
+        total = 0
+        for m in range(n_tables):
+            total += tables[m, planes[m, t]]
+        total = 2 * total + n_tables
+        prediction = total >= 0
+        predictions[t] = 1 if prediction else 0
+        magnitude = total if total >= 0 else -total
+        high[t] = 1 if magnitude >= threshold else 0
+        taken = takens[t] == 1
+        mispredicted = prediction != taken
+        if mispredicted or magnitude < threshold:
+            for m in range(n_tables):
+                index = planes[m, t]
+                counter = tables[m, index]
+                if taken:
+                    if counter < ctr_max:
+                        tables[m, index] = counter + 1
+                elif counter > ctr_min:
+                    tables[m, index] = counter - 1
+        if mispredicted:
+            threshold_counter += 1
+            if threshold_counter >= 4:
+                threshold_counter = 0
+                threshold += 1
+        elif magnitude < threshold:
+            threshold_counter -= 1
+            if threshold_counter <= -4:
+                threshold_counter = 0
+                if threshold > 1:
+                    threshold -= 1
+    return 0
+
+
+# ---------------------------------------------------------------------------
+# C mirror: the same two kernels, statement for statement.
+# ---------------------------------------------------------------------------
+
+_C_SOURCE = r"""
+#include <stdint.h>
+#include <stdlib.h>
+
+/* Galois LFSR draw of the Sec 6 probabilistic automaton: k steps, OR of
+ * the tap bits.  Identical to the reference Python loop. */
+static inline uint32_t lfsr_draw(uint32_t state, int64_t k, int64_t *any_set)
+{
+    int64_t any = 0;
+    for (int64_t i = 0; i < k; i++) {
+        uint32_t lsb = state & 1u;
+        state >>= 1;
+        if (lsb) {
+            state ^= 0xA3000000u;
+            any = 1;
+        }
+    }
+    *any_set = any;
+    return state;
+}
+
+/* Saturating counter step, standard or probabilistic (draw consumed
+ * only on the transition into saturation, never when prob is 1). */
+static inline void ctr_step(int64_t *cell, int64_t taken,
+                            int64_t cmax, int64_t cmin,
+                            int64_t prob_enabled, int64_t prob_k,
+                            uint32_t *lfsr_state)
+{
+    int64_t c = *cell;
+    if (taken) {
+        if (c >= cmax)
+            return;
+        if (prob_enabled && c == cmax - 1 && prob_k > 0) {
+            int64_t any_set;
+            *lfsr_state = lfsr_draw(*lfsr_state, prob_k, &any_set);
+            if (any_set)
+                return;
+        }
+        *cell = c + 1;
+    } else {
+        if (c <= cmin)
+            return;
+        if (prob_enabled && c == cmin + 1 && prob_k > 0) {
+            int64_t any_set;
+            *lfsr_state = lfsr_draw(*lfsr_state, prob_k, &any_set);
+            if (any_set)
+                return;
+        }
+        *cell = c - 1;
+    }
+}
+
+int tage_batch(int64_t n, int64_t n_tagged, int64_t n_cells,
+               const int64_t *takens, const int64_t *bim_idx,
+               const int64_t *idx_planes, const int64_t *tag_planes,
+               const int64_t *iparams, const double *fparams,
+               int64_t *counts,
+               int64_t want_predictions, uint8_t *predictions,
+               int64_t want_classes, uint8_t *classes)
+{
+    for (int64_t c = 0; c < n_cells; c++) {
+        const int64_t *ip = iparams + c * 22;
+        int64_t log_tagged = ip[0];
+        int64_t cmax = ip[1], cmin = ip[2];
+        int64_t u_max = ip[3], u_reset = ip[4];
+        int64_t use_alt_enabled = ip[5];
+        int64_t use_alt_max = ip[6], use_alt_min = ip[7];
+        int64_t update_alt = ip[8], randomized = ip[9];
+        int64_t prob_enabled = ip[10], prob_k = ip[11];
+        uint32_t lfsr_state = (uint32_t)ip[12];
+        uint32_t alloc_state = (uint32_t)ip[13];
+        int64_t est_window = ip[14], max_strength = ip[15];
+        int64_t warmup = ip[16];
+        int64_t ctrl_window = ip[17];
+        int64_t ctrl_min = ip[18], ctrl_max = ip[19];
+        int64_t high_mask = ip[20], log_bimodal = ip[21];
+        double ctrl_target = fparams[c * 2];
+        double ctrl_relax = fparams[c * 2 + 1];
+
+        int64_t size = (int64_t)1 << log_tagged;
+        int64_t bsize = (int64_t)1 << log_bimodal;
+        int64_t *ctr = (int64_t *)calloc((size_t)(n_tagged * size),
+                                         sizeof(int64_t));
+        int64_t *tag = (int64_t *)calloc((size_t)(n_tagged * size),
+                                         sizeof(int64_t));
+        int64_t *u = (int64_t *)calloc((size_t)(n_tagged * size),
+                                       sizeof(int64_t));
+        int64_t *bimodal = (int64_t *)malloc((size_t)bsize
+                                             * sizeof(int64_t));
+        if (!ctr || !tag || !u || !bimodal) {
+            free(ctr); free(tag); free(u); free(bimodal);
+            return 1;
+        }
+        for (int64_t s = 0; s < bsize; s++)
+            bimodal[s] = 2;
+
+        int64_t use_alt = 0;
+        int64_t mispredictions = 0;
+        int64_t since_miss = est_window >= 0 ? est_window : 0;
+        int64_t ctrl_high = 0, ctrl_misp = 0;
+        int64_t *out = counts + c * 16;
+
+        for (int64_t t = 0; t < n; t++) {
+            int64_t taken = takens[t] != 0;
+
+            int64_t provider = 0, provider_idx = 0;
+            int64_t alt = 0, alt_idx = 0;
+            for (int64_t i = n_tagged - 1; i >= 0; i--) {
+                int64_t idx = idx_planes[i * n + t];
+                if (tag[i * size + idx] == tag_planes[i * n + t]) {
+                    if (provider) {
+                        alt = i + 1;
+                        alt_idx = idx;
+                        break;
+                    }
+                    provider = i + 1;
+                    provider_idx = idx;
+                }
+            }
+
+            int64_t bidx = bim_idx[t];
+            int64_t bctr = bimodal[bidx];
+
+            int64_t ctrv, provider_pred, altpred, prediction, weak;
+            if (provider) {
+                ctrv = ctr[(provider - 1) * size + provider_idx];
+                provider_pred = ctrv >= 0;
+                weak = ctrv >= -1 && ctrv <= 0;
+                altpred = alt ? (ctr[(alt - 1) * size + alt_idx] >= 0)
+                              : (bctr >= 2);
+                if (weak && use_alt_enabled && use_alt >= 0)
+                    prediction = altpred;
+                else
+                    prediction = provider_pred;
+            } else {
+                ctrv = bctr;
+                prediction = provider_pred = altpred = bctr >= 2;
+                weak = 0;
+            }
+
+            int64_t mispredicted = prediction != taken;
+            if (mispredicted)
+                mispredictions++;
+            if (want_predictions)
+                predictions[c * n + t] = (uint8_t)prediction;
+
+            if (est_window >= 0) {
+                int64_t cls;
+                if (provider) {
+                    int64_t strength = 2 * ctrv + 1;
+                    if (strength < 0)
+                        strength = -strength;
+                    if (strength == 1)
+                        cls = 6;
+                    else if (strength == max_strength)
+                        cls = 3;
+                    else if (strength == max_strength - 2)
+                        cls = 4;
+                    else
+                        cls = 5;
+                } else if (bctr == 1 || bctr == 2) {
+                    cls = 1;
+                } else if (since_miss < est_window) {
+                    cls = 2;
+                } else {
+                    cls = 0;
+                }
+                if (want_classes)
+                    classes[c * n + t] = (uint8_t)cls;
+                if (t >= warmup) {
+                    out[1 + cls]++;
+                    if (mispredicted)
+                        out[8 + cls]++;
+                }
+                if (!provider) {
+                    if (mispredicted)
+                        since_miss = 0;
+                    else if (since_miss < est_window)
+                        since_miss++;
+                }
+                if (ctrl_window > 0 && ((high_mask >> cls) & 1)) {
+                    ctrl_high++;
+                    if (mispredicted)
+                        ctrl_misp++;
+                    if (ctrl_high >= ctrl_window) {
+                        double rate_mkp = 1000.0 * (double)ctrl_misp
+                                          / (double)ctrl_high;
+                        if (rate_mkp > ctrl_target && prob_k < ctrl_max)
+                            prob_k++;
+                        else if (rate_mkp < ctrl_target * ctrl_relax
+                                 && prob_k > ctrl_min)
+                            prob_k--;
+                        ctrl_high = 0;
+                        ctrl_misp = 0;
+                    }
+                }
+            }
+
+            int64_t allocate = mispredicted && provider < n_tagged;
+            if (provider && weak) {
+                if (provider_pred == taken)
+                    allocate = 0;
+                if (provider_pred != altpred) {
+                    if (altpred == taken) {
+                        if (use_alt < use_alt_max)
+                            use_alt++;
+                    } else if (use_alt > use_alt_min) {
+                        use_alt--;
+                    }
+                }
+            }
+
+            if (allocate) {
+                int64_t start = provider + 1;
+                if (randomized) {
+                    uint32_t x = alloc_state;
+                    while (start < n_tagged) {
+                        x ^= x << 13;
+                        x ^= x >> 17;
+                        x ^= x << 5;
+                        if (!(x & 1u))
+                            break;
+                        start++;
+                    }
+                    alloc_state = x;
+                }
+                int64_t allocated = 0;
+                for (int64_t j = start - 1; j < n_tagged; j++) {
+                    int64_t idx = idx_planes[j * n + t];
+                    if (u[j * size + idx] == 0) {
+                        ctr[j * size + idx] = taken ? 0 : -1;
+                        tag[j * size + idx] = tag_planes[j * n + t];
+                        allocated = 1;
+                        break;
+                    }
+                }
+                if (!allocated) {
+                    for (int64_t j = start - 1; j < n_tagged; j++) {
+                        int64_t idx = idx_planes[j * n + t];
+                        if (u[j * size + idx] > 0)
+                            u[j * size + idx]--;
+                    }
+                }
+            }
+
+            if (provider) {
+                int64_t p = provider - 1;
+                ctr_step(&ctr[p * size + provider_idx], taken, cmax, cmin,
+                         prob_enabled, prob_k, &lfsr_state);
+                if (update_alt && u[p * size + provider_idx] == 0) {
+                    if (alt) {
+                        ctr_step(&ctr[(alt - 1) * size + alt_idx], taken,
+                                 cmax, cmin, prob_enabled, prob_k,
+                                 &lfsr_state);
+                    } else if (taken) {
+                        if (bimodal[bidx] < 3)
+                            bimodal[bidx]++;
+                    } else if (bimodal[bidx] > 0) {
+                        bimodal[bidx]--;
+                    }
+                }
+                if (provider_pred != altpred) {
+                    int64_t uv = u[p * size + provider_idx];
+                    if (provider_pred == taken) {
+                        if (uv < u_max)
+                            u[p * size + provider_idx] = uv + 1;
+                    } else if (uv > 0) {
+                        u[p * size + provider_idx] = uv - 1;
+                    }
+                }
+            } else if (taken) {
+                if (bctr < 3)
+                    bimodal[bidx] = bctr + 1;
+            } else if (bctr > 0) {
+                bimodal[bidx] = bctr - 1;
+            }
+
+            if ((t + 1) % u_reset == 0) {
+                for (int64_t s = 0; s < n_tagged * size; s++)
+                    u[s] >>= 1;
+            }
+        }
+
+        out[0] = mispredictions;
+        out[15] = prob_enabled ? prob_k : -1;
+        free(ctr); free(tag); free(u); free(bimodal);
+    }
+    return 0;
+}
+
+int ogehl_run(int64_t n, int64_t n_tables, int64_t log_entries,
+              const int64_t *takens, const int64_t *planes,
+              int64_t ctr_max, int64_t ctr_min,
+              uint8_t *predictions, uint8_t *high)
+{
+    int64_t size = (int64_t)1 << log_entries;
+    int64_t *tables = (int64_t *)calloc((size_t)(n_tables * size),
+                                        sizeof(int64_t));
+    if (!tables)
+        return 1;
+    int64_t threshold = n_tables;
+    int64_t threshold_counter = 0;
+    for (int64_t t = 0; t < n; t++) {
+        int64_t total = 0;
+        for (int64_t m = 0; m < n_tables; m++)
+            total += tables[m * size + planes[m * n + t]];
+        total = 2 * total + n_tables;
+        int64_t prediction = total >= 0;
+        predictions[t] = (uint8_t)prediction;
+        int64_t magnitude = total >= 0 ? total : -total;
+        high[t] = magnitude >= threshold ? 1 : 0;
+        int64_t taken = takens[t] == 1;
+        int64_t mispredicted = prediction != taken;
+        if (mispredicted || magnitude < threshold) {
+            for (int64_t m = 0; m < n_tables; m++) {
+                int64_t index = planes[m * n + t];
+                int64_t counter = tables[m * size + index];
+                if (taken) {
+                    if (counter < ctr_max)
+                        tables[m * size + index] = counter + 1;
+                } else if (counter > ctr_min) {
+                    tables[m * size + index] = counter - 1;
+                }
+            }
+        }
+        if (mispredicted) {
+            threshold_counter++;
+            if (threshold_counter >= 4) {
+                threshold_counter = 0;
+                threshold++;
+            }
+        } else if (magnitude < threshold) {
+            threshold_counter--;
+            if (threshold_counter <= -4) {
+                threshold_counter = 0;
+                if (threshold > 1)
+                    threshold--;
+            }
+        }
+    }
+    free(tables);
+    return 0;
+}
+"""
+
+
+# ---------------------------------------------------------------------------
+# Kernel mode.
+# ---------------------------------------------------------------------------
+
+def kernel_mode() -> str:
+    """The process-wide kernel mode: ``auto`` | ``pure`` | ``compiled``."""
+    value = os.environ.get(KERNEL_MODE_ENV, "auto").strip().lower() or "auto"
+    if value not in KERNEL_MODES:
+        raise ValueError(
+            f"unknown {KERNEL_MODE_ENV}={value!r}; "
+            f"expected one of {', '.join(KERNEL_MODES)}"
+        )
+    return value
+
+
+# ---------------------------------------------------------------------------
+# Provider resolution (lazy, cached, silent).
+# ---------------------------------------------------------------------------
+
+#: provider name -> {"tage": callable, "ogehl": callable}, flat signature.
+_KERNELS: dict[str, dict] = {}
+#: forced-env value -> resolved provider name or None (memoized).
+_RESOLVED: dict[str, str | None] = {}
+#: provider name -> human reason it is unavailable (best effort).
+_UNAVAILABLE: dict[str, str] = {}
+_RESOLVE_LOCK = threading.Lock()
+
+
+def _load_numba() -> bool:
+    if "numba" in _KERNELS:
+        return True
+    try:
+        import numba
+    except Exception as error:  # noqa: BLE001 — availability probe
+        _UNAVAILABLE["numba"] = f"numba is not importable ({error})"
+        return False
+    try:
+        jit = numba.njit(cache=True, fastmath=False)
+        _KERNELS["numba"] = {
+            "tage": jit(_tage_batch),
+            "ogehl": jit(_ogehl_run),
+        }
+    except Exception as error:  # noqa: BLE001 — availability probe
+        _UNAVAILABLE["numba"] = f"numba.njit failed ({error})"
+        return False
+    return True
+
+
+def _cache_dir() -> Path:
+    override = os.environ.get(CACHE_ENV, "").strip()
+    if override:
+        return Path(override)
+    return Path.home() / ".cache" / "repro-kernels"
+
+
+def _find_compiler() -> str | None:
+    cc = os.environ.get("CC", "").strip()
+    if cc and shutil.which(cc):
+        return cc
+    for candidate in ("cc", "gcc", "clang"):
+        if shutil.which(candidate):
+            return candidate
+    return None
+
+
+def _build_shared_library() -> Path:
+    """Compile the embedded C source into a cached shared library.
+
+    The cache key is the source digest, so editing the C string above
+    transparently rebuilds; the build itself is atomic (temp file +
+    ``os.replace``) and therefore safe under concurrent workers.
+    """
+    digest = hashlib.sha256(_C_SOURCE.encode()).hexdigest()[:16]
+    directory = _cache_dir()
+    so_path = directory / f"repro_kernels_{digest}.so"
+    if so_path.exists():
+        return so_path
+    compiler = _find_compiler()
+    if compiler is None:
+        raise RuntimeError("no C compiler found (tried $CC, cc, gcc, clang)")
+    directory.mkdir(parents=True, exist_ok=True)
+    with tempfile.TemporaryDirectory(dir=directory) as build:
+        source = Path(build) / "kernels.c"
+        source.write_text(_C_SOURCE)
+        built = Path(build) / "kernels.so"
+        result = subprocess.run(
+            [compiler, "-O2", "-shared", "-fPIC",
+             "-o", str(built), str(source)],
+            capture_output=True, text=True, timeout=120,
+        )
+        if result.returncode != 0:
+            raise RuntimeError(
+                f"{compiler} failed ({result.returncode}): "
+                f"{result.stderr.strip()[:500]}"
+            )
+        os.replace(built, so_path)
+    return so_path
+
+
+def _load_cext() -> bool:
+    if "cext" in _KERNELS:
+        return True
+    try:
+        library = ctypes.CDLL(str(_build_shared_library()))
+    except Exception as error:  # noqa: BLE001 — availability probe
+        _UNAVAILABLE["cext"] = f"C kernel build failed ({error})"
+        return False
+
+    i64 = ctypes.c_int64
+    p_i64 = ctypes.POINTER(ctypes.c_int64)
+    p_f64 = ctypes.POINTER(ctypes.c_double)
+    p_u8 = ctypes.POINTER(ctypes.c_uint8)
+    library.tage_batch.restype = ctypes.c_int
+    library.tage_batch.argtypes = [
+        i64, i64, i64, p_i64, p_i64, p_i64, p_i64, p_i64, p_f64,
+        p_i64, i64, p_u8, i64, p_u8,
+    ]
+    library.ogehl_run.restype = ctypes.c_int
+    library.ogehl_run.argtypes = [
+        i64, i64, i64, p_i64, p_i64, i64, i64, p_u8, p_u8,
+    ]
+
+    def as_i64(array):
+        return array.ctypes.data_as(p_i64)
+
+    def cext_tage(takens, bim_idx, idx_planes, tag_planes, iparams,
+                  fparams, counts, want_predictions, predictions,
+                  want_classes, classes):
+        status = library.tage_batch(
+            takens.shape[0], idx_planes.shape[0], iparams.shape[0],
+            as_i64(takens), as_i64(bim_idx),
+            as_i64(idx_planes), as_i64(tag_planes),
+            as_i64(iparams), fparams.ctypes.data_as(p_f64),
+            as_i64(counts),
+            int(want_predictions), predictions.ctypes.data_as(p_u8),
+            int(want_classes), classes.ctypes.data_as(p_u8),
+        )
+        if status != 0:
+            raise MemoryError("compiled TAGE kernel ran out of memory")
+        return 0
+
+    def cext_ogehl(takens, planes, ctr_max, ctr_min, log_entries,
+                   predictions, high):
+        status = library.ogehl_run(
+            takens.shape[0], planes.shape[0], int(log_entries),
+            as_i64(takens), as_i64(planes),
+            int(ctr_max), int(ctr_min),
+            predictions.ctypes.data_as(p_u8), high.ctypes.data_as(p_u8),
+        )
+        if status != 0:
+            raise MemoryError("compiled O-GEHL kernel ran out of memory")
+        return 0
+
+    _KERNELS["cext"] = {"tage": cext_tage, "ogehl": cext_ogehl}
+    return True
+
+
+def active_provider() -> str | None:
+    """The resolved compiled provider (``numba`` | ``cext``) or None.
+
+    ``REPRO_COMPILED_PROVIDER`` pins a single candidate (or ``none``
+    to disable); otherwise numba is preferred over the C build.  The
+    result is memoized per forced value, so the import/build probe
+    runs at most once per process.
+    """
+    forced = os.environ.get(PROVIDER_ENV, "").strip().lower()
+    with _RESOLVE_LOCK:
+        if forced in _RESOLVED:
+            return _RESOLVED[forced]
+        if forced in ("none", "pure"):
+            resolved = None
+        elif forced in COMPILED_PROVIDERS:
+            loader = _load_numba if forced == "numba" else _load_cext
+            resolved = forced if loader() else None
+        else:
+            resolved = None
+            for name, loader in (("numba", _load_numba),
+                                 ("cext", _load_cext)):
+                if loader():
+                    resolved = name
+                    break
+        _RESOLVED[forced] = resolved
+        return resolved
+
+
+def provider_unavailable_reason() -> str | None:
+    """Why no compiled provider resolved (None when one is active)."""
+    if active_provider() is not None:
+        return None
+    forced = os.environ.get(PROVIDER_ENV, "").strip().lower()
+    if forced in ("none", "pure"):
+        return f"{PROVIDER_ENV}={forced} disables the compiled providers"
+    parts = [
+        _UNAVAILABLE.get(name, f"{name} unavailable")
+        for name in COMPILED_PROVIDERS
+        if not forced or forced == name
+    ]
+    return "; ".join(parts)
+
+
+def _reset_provider_cache() -> None:
+    """Test hook: forget resolution results (keeps built kernels)."""
+    with _RESOLVE_LOCK:
+        _RESOLVED.clear()
+
+
+# ---------------------------------------------------------------------------
+# Dispatch + the once-per-process fallback warning.
+# ---------------------------------------------------------------------------
+
+_WARNED_MISSING = False
+
+
+def warn_missing_compiled() -> None:
+    """Warn (once per process) that compiled kernels were requested but
+    no provider is available, naming the install remedy."""
+    global _WARNED_MISSING
+    if _WARNED_MISSING:
+        return
+    _WARNED_MISSING = True
+    warnings.warn(
+        "compiled kernels were requested "
+        f"({KERNEL_MODE_ENV}=compiled) but no provider is available "
+        f"({provider_unavailable_reason()}); falling back to the "
+        "pure-Python kernels. Install the optional extra with "
+        "pip install 'repro[compiled]' to enable the Numba build.",
+        FastBackendFallbackWarning,
+        stacklevel=3,
+    )
+
+
+def _reset_missing_warning() -> None:
+    """Test hook: re-arm the once-per-process fallback warning."""
+    global _WARNED_MISSING
+    _WARNED_MISSING = False
+
+
+def _resolve(kind: str, mode: str | None):
+    """(kernel callable, provider name or None) for ``kind`` under ``mode``.
+
+    ``auto`` silently uses a compiled provider when one resolves (the
+    compiled kernels are bit-identical, so there is nothing to warn
+    about either way); an explicit ``compiled`` request with no
+    provider warns once per process and falls back to pure.
+    """
+    mode = kernel_mode() if mode is None else mode
+    pure = _tage_batch if kind == "tage" else _ogehl_run
+    if mode == "pure":
+        return pure, None
+    provider = active_provider()
+    if provider is None:
+        if mode == "compiled":
+            warn_missing_compiled()
+        return pure, None
+    return _KERNELS[provider][kind], provider
+
+
+def resolve_tage_kernel(mode: str | None = None):
+    """The batched TAGE kernel for the current (or given) mode.
+
+    Returns ``(kernel, provider)`` where ``provider`` is ``numba``,
+    ``cext`` or None (pure Python); the callable has the
+    :func:`_tage_batch` signature in every case.
+    """
+    return _resolve("tage", mode)
+
+
+def resolve_ogehl_kernel(mode: str | None = None):
+    """The O-GEHL kernel for the current (or given) mode; see
+    :func:`resolve_tage_kernel`."""
+    return _resolve("ogehl", mode)

@@ -91,6 +91,7 @@ __all__ = [
     "observe_tage_fast",
     "vectorized_predictions",
     "vectorized_assessments",
+    "cell_capability",
     "supports_predictor",
     "supports_estimator",
     "unsupported_reason",
@@ -111,29 +112,13 @@ _FAST_PREDICTORS = (
 _SUM_PREDICTORS = (PerceptronPredictor, OgehlPredictor)
 
 
-def supports_predictor(predictor) -> bool:
-    """Can the fast backend reproduce this predictor bit-exactly?
-
-    Exact-type checks on purpose: a subclass may override behaviour the
-    vectorized path would silently ignore.
-    """
-    return type(predictor) in _FAST_PREDICTORS
-
-
-def supports_estimator(estimator) -> bool:
-    """Can the fast backend reproduce this estimator bit-exactly?
-
-    Covers all three protocols: the binary JRS family (vectorized
-    counter scans), the storage-free self-confidence wrapper (read off
-    the sum-based kernels) and the multi-class TAGE observation (read
-    directly off the TAGE kernel's per-branch observations).
-    """
-    return type(estimator) in (
-        JrsEstimator,
-        EnhancedJrsEstimator,
-        SelfConfidenceEstimator,
-        TageConfidenceEstimator,
-    )
+#: The estimator types the fast backend reproduces bit-exactly.
+_FAST_ESTIMATORS = (
+    JrsEstimator,
+    EnhancedJrsEstimator,
+    SelfConfidenceEstimator,
+    TageConfidenceEstimator,
+)
 
 
 def _predictor_reason(predictor) -> str | None:
@@ -176,12 +161,8 @@ def _predictor_reason(predictor) -> str | None:
     )
 
 
-def unsupported_reason(predictor, estimator=None, controller=None) -> str | None:
-    """Why :func:`simulate_fast` would refuse this cell (None = it runs).
-
-    One static predicate shared by the dispatching entry points and the
-    sweep executor's warn-once fallback pass, so they can never disagree.
-    """
+def _unsupported_reason(predictor, estimator=None, controller=None) -> str | None:
+    """Why :func:`simulate_fast` would refuse this cell (None = it runs)."""
     if controller is not None:
         reason = controller_unsupported_reason(predictor, controller)
         if reason is not None:
@@ -204,7 +185,7 @@ def unsupported_reason(predictor, estimator=None, controller=None) -> str | None
     return None
 
 
-def binary_unsupported_reason(predictor, estimator) -> str | None:
+def _binary_unsupported_reason(predictor, estimator) -> str | None:
     """Why :func:`simulate_binary_fast` would refuse this cell."""
     reason = _predictor_reason(predictor)
     if reason is not None:
@@ -233,7 +214,7 @@ def binary_unsupported_reason(predictor, estimator) -> str | None:
 def _jrs_reason(estimator) -> str | None:
     """Why a JRS-family table cannot be scanned (None = it can).
 
-    Shared by :func:`binary_unsupported_reason` and
+    Shared by :func:`_binary_unsupported_reason` and
     :func:`vectorized_assessments` so the dispatch pre-pass and the
     kernel can never disagree about the int64 bounds.
     """
@@ -248,6 +229,104 @@ def _jrs_reason(estimator) -> str | None:
             f"counter width ({_MAX_VECTOR_HISTORY} bits)"
         )
     return None
+
+
+def cell_capability(cell) -> "Capability":
+    """The fast backend's :class:`~repro.sim.backends.Capability` for a
+    :class:`~repro.sim.backends.Cell`.
+
+    This is the single support predicate behind
+    ``get_backend("fast").capability(cell)`` — the dispatching entry
+    points, the sweep executor's warn-once fallback pass, the serve
+    layer and the CLI all read the same verdict (and the same ``reason``
+    wording) from here.  Beyond the verdict it reports *how* the cell
+    would run: whether a compiled kernel build serves it under the
+    current ``REPRO_KERNEL`` mode (and which provider), and whether it
+    can join a multi-cell lockstep batch.
+    """
+    from repro.sim.backends import Capability
+    from repro.sim.fast import compiled
+
+    if cell.binary:
+        if cell.controller is not None:
+            reason = (
+                "the adaptive saturation controller does not apply to "
+                "the binary confidence protocol"
+            )
+        else:
+            reason = _binary_unsupported_reason(cell.predictor, cell.estimator)
+    else:
+        reason = _unsupported_reason(
+            cell.predictor, estimator=cell.estimator, controller=cell.controller
+        )
+    if reason is not None:
+        return Capability(
+            backend="fast", supported=False, reason=reason,
+            fallback="reference",
+        )
+
+    # Which kernels would actually execute this cell?  The sequential
+    # TAGE and O-GEHL loops have compiled builds; the other predictors
+    # are already vectorized NumPy end to end.  Lockstep batching fuses
+    # accuracy-protocol TAGE cells sharing one plane geometry.
+    compiled_eligible = type(cell.predictor) in (TagePredictor, OgehlPredictor)
+    provider = None
+    if compiled_eligible and compiled.kernel_mode() != "pure":
+        provider = compiled.active_provider()
+    return Capability(
+        backend="fast",
+        supported=True,
+        compiled=provider is not None,
+        compiled_provider=provider,
+        lockstep=not cell.binary and type(cell.predictor) is TagePredictor,
+    )
+
+
+def _deprecated(old: str, new: str) -> None:
+    import warnings
+
+    warnings.warn(
+        f"repro.sim.fast.{old} is deprecated; query "
+        f"{new} instead",
+        DeprecationWarning,
+        stacklevel=3,
+    )
+
+
+def supports_predictor(predictor) -> bool:
+    """Deprecated: use ``get_backend('fast').capability(Cell(...))``.
+
+    Exact-type membership in the fast predictor family (a subclass may
+    override behaviour the vectorized path would silently ignore).
+    """
+    _deprecated("supports_predictor", "get_backend('fast').capability(cell)")
+    return type(predictor) in _FAST_PREDICTORS
+
+
+def supports_estimator(estimator) -> bool:
+    """Deprecated: use ``get_backend('fast').capability(Cell(...))``.
+
+    Exact-type membership across all three estimator protocols (binary
+    JRS family, storage-free self-confidence, multi-class TAGE
+    observation).
+    """
+    _deprecated("supports_estimator", "get_backend('fast').capability(cell)")
+    return type(estimator) in _FAST_ESTIMATORS
+
+
+def unsupported_reason(predictor, estimator=None, controller=None) -> str | None:
+    """Deprecated: read ``capability(cell).reason`` instead."""
+    _deprecated("unsupported_reason",
+                "get_backend('fast').capability(cell).reason")
+    return _unsupported_reason(predictor, estimator=estimator,
+                               controller=controller)
+
+
+def binary_unsupported_reason(predictor, estimator) -> str | None:
+    """Deprecated: read ``capability(cell).reason`` (``binary=True``)."""
+    _deprecated("binary_unsupported_reason",
+                "get_backend('fast').capability(cell).reason")
+    return _binary_unsupported_reason(predictor, estimator)
 
 
 def _bimodal_predictions(
@@ -420,7 +499,7 @@ def simulate_fast(
     """
     if warmup_branches < 0:
         raise ValueError(f"warmup_branches must be non-negative, got {warmup_branches}")
-    reason = unsupported_reason(predictor, estimator=estimator, controller=controller)
+    reason = _unsupported_reason(predictor, estimator=estimator, controller=controller)
     if reason is not None:
         raise FastBackendUnsupported(reason)
     if type(predictor) is TagePredictor:
@@ -458,7 +537,7 @@ def simulate_binary_fast(
     """
     if warmup_branches < 0:
         raise ValueError(f"warmup_branches must be non-negative, got {warmup_branches}")
-    reason = binary_unsupported_reason(predictor, estimator)
+    reason = _binary_unsupported_reason(predictor, estimator)
     if reason is not None:
         raise FastBackendUnsupported(reason)
     arrays = TraceArrays.from_trace(trace)

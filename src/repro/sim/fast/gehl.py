@@ -42,6 +42,7 @@ from repro.common.bitops import mask
 from repro.predictors.ogehl import OgehlPredictor
 from repro.predictors.perceptron import PerceptronPredictor
 from repro.sim.backends import FastBackendUnsupported
+from repro.sim.fast import compiled
 from repro.sim.fast.arrays import MAX_WINDOW_BITS, TraceArrays, history_windows
 from repro.sim.fast.planes import _folded_series
 
@@ -153,8 +154,9 @@ def perceptron_fast_run(
 
 def _ogehl_index_planes(
     arrays: TraceArrays, predictor: OgehlPredictor
-) -> list[list[int]]:
-    """Every table index of every branch, precomputed trace-wide.
+) -> np.ndarray:
+    """Every table index of every branch, precomputed trace-wide as one
+    C-contiguous int64 ``(n_tables, n)`` plane block.
 
     Table 0 is PC-indexed; tables 1..M-1 mix the PC with the folded
     geometric history exactly like ``OgehlPredictor._indices`` — and the
@@ -166,11 +168,11 @@ def _ogehl_index_planes(
     index_mask = mask(log_entries)
     pc_part = arrays.pcs >> 2
     outcomes = arrays.takens.astype(np.int64)
-    planes = [(pc_part & index_mask).tolist()]
+    planes = np.empty((predictor.n_tables, len(arrays)), dtype=np.int64)
+    planes[0] = pc_part & index_mask
     for table, length in enumerate(predictor.history_lengths, start=1):
         (folded,) = _folded_series(outcomes, length, (log_entries,))
-        values = (pc_part ^ (pc_part >> (table + 1)) ^ folded) & index_mask
-        planes.append(values.tolist())
+        planes[table] = (pc_part ^ (pc_part >> (table + 1)) ^ folded) & index_mask
     return planes
 
 
@@ -190,9 +192,20 @@ def ogehl_fast_run(
     n = len(arrays)
     planes = _ogehl_index_planes(arrays, predictor)
     n_tables = predictor.n_tables
-    tables = [[0] * (1 << predictor.log_entries) for _ in range(n_tables)]
     ctr_max = predictor._ctr_max
     ctr_min = predictor._ctr_min
+
+    kernel, provider = compiled.resolve_ogehl_kernel()
+    if provider is not None and n > 0:
+        takens64 = np.ascontiguousarray(arrays.takens, dtype=np.int64)
+        predictions_u8 = np.zeros(n, dtype=np.uint8)
+        high_u8 = np.zeros(n, dtype=np.uint8)
+        kernel(takens64, planes, ctr_max, ctr_min,
+               predictor.log_entries, predictions_u8, high_u8)
+        return predictions_u8.astype(bool), high_u8.astype(bool)
+
+    plane_lists = [row.tolist() for row in planes]
+    tables = [[0] * (1 << predictor.log_entries) for _ in range(n_tables)]
     # Power-on threshold (``predictor.threshold`` is live TC state the
     # reference run mutates; the kernel starts from reset like every
     # other table above).
@@ -205,7 +218,7 @@ def ogehl_fast_run(
     for t in range(n):
         total = 0
         for table in range(n_tables):
-            total += tables[table][planes[table][t]]
+            total += tables[table][plane_lists[table][t]]
         total = 2 * total + n_tables
         prediction = total >= 0
         predictions[t] = prediction
@@ -217,7 +230,7 @@ def ogehl_fast_run(
         mispredicted = prediction != taken
         if mispredicted or magnitude < threshold:
             for table in range(n_tables):
-                index = planes[table][t]
+                index = plane_lists[table][t]
                 counter = tables[table][index]
                 if taken:
                     if counter < ctr_max:

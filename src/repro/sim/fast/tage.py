@@ -45,6 +45,7 @@ from repro.predictors.tage.predictor import TagePredictor
 from repro.sim.backends import FastBackendUnsupported
 from repro.sim.engine import SimulationResult
 from repro.sim.observe import OBSERVATION_CLASS_CODES
+from repro.sim.fast import compiled
 from repro.sim.fast.arrays import TraceArrays
 from repro.sim.fast.planes import (
     PlaneCache,
@@ -431,6 +432,133 @@ def _kernel(
     return mispredictions, pred_counts, misp_counts, predictions, class_codes, prob_k
 
 
+def _cell_params(config, estimator_window, max_strength, warmup,
+                 initial_k, controller_params):
+    """One cell's packed parameter rows for the batched compiled kernel.
+
+    Performs exactly the config reads the top of :func:`_kernel` does
+    (including the seed masking/defaulting and the live ``initial_k``
+    override) so the packed row and the pure kernel can never disagree.
+    Layout: :mod:`repro.sim.fast.compiled` ``IP_*`` / ``FP_*`` slots.
+    """
+    prob_enabled = config.automaton == AUTOMATON_PROBABILISTIC
+    if prob_enabled:
+        prob_k = config.sat_prob_log2 if initial_k is None else initial_k
+    else:
+        prob_k = 0
+    if controller_params is not None:
+        ctrl_target, ctrl_window, ctrl_min, ctrl_max, ctrl_relax = (
+            controller_params
+        )
+    else:
+        ctrl_target = 0.0
+        ctrl_window = ctrl_min = ctrl_max = 0
+        ctrl_relax = 0.0
+    iparams = [
+        config.log_tagged,
+        (1 << (config.ctr_bits - 1)) - 1,
+        -(1 << (config.ctr_bits - 1)),
+        (1 << config.u_bits) - 1,
+        config.u_reset_period,
+        1 if config.use_alt_on_na_enabled else 0,
+        (1 << (config.use_alt_on_na_bits - 1)) - 1,
+        -(1 << (config.use_alt_on_na_bits - 1)),
+        1 if config.update_alt_when_u_zero else 0,
+        1 if config.allocation_policy == "randomized" else 0,
+        1 if prob_enabled else 0,
+        prob_k,
+        config.lfsr_seed & _MASK32 or 0xDEADBEEF,
+        config.alloc_seed & _MASK32 or 0x12345678,
+        -1 if estimator_window is None else estimator_window,
+        max_strength,
+        warmup,
+        ctrl_window,
+        ctrl_min,
+        ctrl_max,
+        sum(1 << code for code in _HIGH_CLASS_CODES),
+        config.log_bimodal,
+    ]
+    return iparams, [float(ctrl_target), float(ctrl_relax)]
+
+
+def _batch_arrays(planes: TagePlanes, n_tagged: int):
+    """The shared trace-side inputs of the batched kernel, as
+    C-contiguous int64 arrays (no copy when the plane store already is —
+    the memmapped ``data`` block satisfies both)."""
+    data = planes.data
+    takens = np.ascontiguousarray(data[1], dtype=np.int64)
+    bim_idx = np.ascontiguousarray(data[2], dtype=np.int64)
+    idx_planes = np.ascontiguousarray(data[3:3 + n_tagged], dtype=np.int64)
+    tag_planes = np.ascontiguousarray(
+        data[3 + n_tagged:3 + 2 * n_tagged], dtype=np.int64
+    )
+    return takens, bim_idx, idx_planes, tag_planes
+
+
+def _run_batch(planes: TagePlanes, cells, want_predictions: bool,
+               want_classes: bool, mode: str | None = None,
+               kernel_override=None):
+    """Run a batch of independent TAGE cells over one shared plane set.
+
+    ``cells`` is a list of ``(config, estimator_window, max_strength,
+    warmup, initial_k, controller_params)`` tuples, every config with
+    the plane geometry of ``planes``.  Returns the :func:`_kernel`
+    result tuple per cell, in order.
+
+    In pure mode this is a per-cell :func:`_kernel` loop (the list-based
+    original out-runs flat NumPy indexing under CPython); with a
+    compiled provider the whole batch is one kernel call.
+    ``kernel_override`` forces a specific flat-signature kernel (the
+    differential tests pin the un-jitted flat restatement this way).
+    """
+    kernel = kernel_override
+    if kernel is None:
+        kernel, provider = compiled.resolve_tage_kernel(mode)
+        if provider is None:
+            return [
+                _kernel(
+                    config, planes, estimator_window, max_strength, warmup,
+                    want_predictions, initial_k=initial_k,
+                    controller_params=controller_params,
+                    want_classes=want_classes,
+                )
+                for (config, estimator_window, max_strength, warmup,
+                     initial_k, controller_params) in cells
+            ]
+    n = len(planes)
+    n_tagged = cells[0][0].n_tagged
+    takens, bim_idx, idx_planes, tag_planes = _batch_arrays(planes, n_tagged)
+    n_cells = len(cells)
+    iparams = np.zeros((n_cells, compiled.N_IPARAMS), dtype=np.int64)
+    fparams = np.zeros((n_cells, compiled.N_FPARAMS), dtype=np.float64)
+    for row, cell in enumerate(cells):
+        iparams[row], fparams[row] = _cell_params(*cell)
+    counts = np.zeros((n_cells, compiled.N_COUNTS), dtype=np.int64)
+    predictions = np.zeros(
+        (n_cells, n) if want_predictions else (1, 1), dtype=np.uint8
+    )
+    classes = np.zeros(
+        (n_cells, n) if want_classes else (1, 1), dtype=np.uint8
+    )
+    kernel(
+        takens, bim_idx, idx_planes, tag_planes, iparams, fparams, counts,
+        1 if want_predictions else 0, predictions,
+        1 if want_classes else 0, classes,
+    )
+    results = []
+    for row in range(n_cells):
+        final_k = int(counts[row, compiled.CT_FINAL_PROB_K])
+        results.append((
+            int(counts[row, compiled.CT_MISPREDICTIONS]),
+            [int(v) for v in counts[row, 1:8]],
+            [int(v) for v in counts[row, 8:15]],
+            [bool(v) for v in predictions[row]] if want_predictions else None,
+            [int(v) for v in classes[row]] if want_classes else None,
+            final_k if final_k >= 0 else None,
+        ))
+    return results
+
+
 def _live_sat_prob_log2(predictor) -> int | None:
     """The automaton's *current* saturation probability (None when the
     automaton is not probabilistic).  The §6.2 controller — or a direct
@@ -442,30 +570,20 @@ def _live_sat_prob_log2(predictor) -> int | None:
     return predictor.automaton.sat_prob_log2
 
 
-def simulate_tage_fast(
-    trace,
-    predictor,
-    estimator=None,
-    controller=None,
-    warmup_branches: int = 0,
-    materialization: "PlaneCache | str | Path | None" = None,
-    planes: TagePlanes | None = None,
-) -> SimulationResult:
-    """Fast-backend equivalent of :func:`repro.sim.engine.simulate` for
-    TAGE, with the §5 observation estimator and the §6.2 adaptive
-    saturation controller optionally attached.
+def _cell_inputs(predictor, estimator, controller, warmup_branches: int):
+    """Validate one TAGE cell and distil it to a :func:`_run_batch`
+    parameter tuple — the single place the predictor/estimator/
+    controller objects are read, shared by the one-cell entry points
+    and the lockstep batch runner.
 
     Raises:
-        FastBackendUnsupported: for subclassed predictor/estimator/
-            controller types, a controller steering a different
-            predictor, or path histories beyond the packed window width.
+        FastBackendUnsupported: for cells outside the kernel's family.
     """
     if warmup_branches < 0:
-        raise ValueError(f"warmup_branches must be non-negative, got {warmup_branches}")
+        raise ValueError(
+            f"warmup_branches must be non-negative, got {warmup_branches}"
+        )
     _check_tage_cell(predictor, estimator, controller)
-    config = predictor.config
-    arrays = TraceArrays.from_trace(trace)
-    resolved = resolve_planes(arrays, config, materialization, planes)
 
     if estimator is None:
         estimator_window = None
@@ -487,16 +605,15 @@ def simulate_tage_fast(
             controller.relax_fraction,
         )
 
-    mispredictions, pred_counts, misp_counts, _, _, final_k = _kernel(
-        config,
-        resolved,
-        estimator_window,
-        max_strength,
-        warmup_branches,
-        False,
-        initial_k=_live_sat_prob_log2(predictor),
-        controller_params=controller_params,
-    )
+    return (predictor.config, estimator_window, max_strength,
+            warmup_branches, _live_sat_prob_log2(predictor),
+            controller_params)
+
+
+def _assemble_result(trace, predictor, estimator, controller,
+                     cell_result) -> SimulationResult:
+    """One cell's :func:`_run_batch` output as a SimulationResult."""
+    mispredictions, pred_counts, misp_counts, _, _, final_k = cell_result
 
     classes: ClassBreakdown | None = None
     if estimator is not None:
@@ -521,6 +638,31 @@ def simulate_tage_fast(
     )
 
 
+def simulate_tage_fast(
+    trace,
+    predictor,
+    estimator=None,
+    controller=None,
+    warmup_branches: int = 0,
+    materialization: "PlaneCache | str | Path | None" = None,
+    planes: TagePlanes | None = None,
+) -> SimulationResult:
+    """Fast-backend equivalent of :func:`repro.sim.engine.simulate` for
+    TAGE, with the §5 observation estimator and the §6.2 adaptive
+    saturation controller optionally attached.
+
+    Raises:
+        FastBackendUnsupported: for subclassed predictor/estimator/
+            controller types, a controller steering a different
+            predictor, or path histories beyond the packed window width.
+    """
+    cell = _cell_inputs(predictor, estimator, controller, warmup_branches)
+    arrays = TraceArrays.from_trace(trace)
+    resolved = resolve_planes(arrays, predictor.config, materialization, planes)
+    (cell_result,) = _run_batch(resolved, [cell], False, False)
+    return _assemble_result(trace, predictor, estimator, controller, cell_result)
+
+
 def tage_fast_predictions(
     arrays: TraceArrays,
     predictor,
@@ -534,11 +676,13 @@ def tage_fast_predictions(
     """
     _check_tage_cell(predictor, None)
     resolved = resolve_planes(arrays, predictor.config, materialization, planes)
-    _, _, _, predictions, _, _ = _kernel(
-        predictor.config, resolved, None, 0, 0, True,
-        initial_k=_live_sat_prob_log2(predictor),
+    (cell_result,) = _run_batch(
+        resolved,
+        [(predictor.config, None, 0, 0, _live_sat_prob_log2(predictor), None)],
+        True,
+        False,
     )
-    return np.asarray(predictions, dtype=bool)
+    return np.asarray(cell_result[3], dtype=bool)
 
 
 def observe_tage_fast(
@@ -565,14 +709,12 @@ def observe_tage_fast(
     config = predictor.config
     arrays = TraceArrays.from_trace(trace)
     resolved = resolve_planes(arrays, config, materialization, planes)
-    _, _, _, predictions, class_codes, _ = _kernel(
-        config,
+    (cell_result,) = _run_batch(
         resolved,
-        estimator.bim_miss_window,
-        (1 << estimator.predictor.config.ctr_bits) - 1,
-        0,
+        [(config, estimator.bim_miss_window,
+          (1 << estimator.predictor.config.ctr_bits) - 1, 0,
+          _live_sat_prob_log2(predictor), None)],
         True,
-        initial_k=_live_sat_prob_log2(predictor),
-        want_classes=True,
+        True,
     )
-    return predictions, class_codes
+    return cell_result[3], cell_result[4]

@@ -51,7 +51,7 @@ from typing import Callable
 from repro.sweep.faults import FaultInjector, TransientJobError
 from repro.sweep.journal import RunJournal
 from repro.sweep.result import JobResult
-from repro.sweep.spec import JobSpec
+from repro.sweep.spec import JobSpec, LockstepBatch
 from repro.sweep.worker import DEFAULT_HEARTBEAT_INTERVAL, worker_main
 
 __all__ = [
@@ -142,7 +142,7 @@ class _WorkerSlot:
         self.worker_id = worker_id
         self._ctx = ctx
         self._config = config
-        self.busy: tuple[int, int, JobSpec] | None = None
+        self.busy: tuple[int, int, JobSpec | LockstepBatch] | None = None
         self.respawns = 0
         self.spawn()
 
@@ -163,7 +163,8 @@ class _WorkerSlot:
         self.busy = None
         self.last_beat = time.monotonic()
 
-    def assign(self, index: int, attempt: int, job: JobSpec) -> None:
+    def assign(self, index: int, attempt: int,
+               job: JobSpec | LockstepBatch) -> None:
         self.task_w.send((index, attempt, job))
         self.busy = (index, attempt, job)
         self.last_beat = time.monotonic()
@@ -203,11 +204,19 @@ class _WorkerSlot:
 
 @dataclass
 class _JobState:
-    """Broker-side bookkeeping for one pending job."""
+    """Broker-side bookkeeping for one pending work unit (a single job
+    or a :class:`~repro.sweep.spec.LockstepBatch` of jobs)."""
 
-    job: JobSpec
+    job: JobSpec | LockstepBatch
     attempt: int = 0
     history: list[str] = field(default_factory=list)
+
+
+def _unit_members(index: int, unit: JobSpec | LockstepBatch):
+    """The (grid index, job) pairs one dispatched unit carries."""
+    if isinstance(unit, LockstepBatch):
+        return unit.members
+    return ((index, unit),)
 
 
 class Broker:
@@ -232,6 +241,9 @@ class Broker:
         self.n_retries = 0
         self._stop = threading.Event()
         self._stop_signal: int | None = None
+        #: Unit indices completed or quarantined (a lockstep batch
+        #: settles as one unit; its members fan out individually).
+        self._settled: set[int] = set()
 
     # -- shared bookkeeping --------------------------------------------
 
@@ -239,30 +251,45 @@ class Broker:
         if self.progress:
             self.progress(line)
 
-    def _complete(self, index: int, state: _JobState, outcome: JobResult,
+    def _complete(self, index: int, state: _JobState, outcome,
                   results: dict[int, JobResult]) -> None:
-        results[index] = outcome
-        if self.cache is not None:
-            self.cache.store(state.job, outcome)
-            if self.injector.post_store(index, state.attempt,
-                                        self.cache.path(state.job)):
-                self._log(f"fault: corrupted cache entry for job {index} "
-                          f"({state.job.spec_hash()})")
-        if self.journal is not None:
-            self.journal.job_done(index, state.job.spec_hash(), state.attempt)
+        """Record a finished unit: one result, or a batch fanned out.
+
+        A lockstep batch returns one :class:`JobResult` per member (in
+        member order); each is stored, journaled and slotted under its
+        own grid index and spec hash, so downstream consumers (cache,
+        resume, result table) never see the batching.
+        """
+        if isinstance(state.job, LockstepBatch):
+            pairs = list(zip(state.job.members, outcome))
+        else:
+            pairs = [((index, state.job), outcome)]
+        for (job_index, job), job_outcome in pairs:
+            results[job_index] = job_outcome
+            if self.cache is not None:
+                self.cache.store(job, job_outcome)
+                if self.injector.post_store(job_index, state.attempt,
+                                            self.cache.path(job)):
+                    self._log(f"fault: corrupted cache entry for job {job_index} "
+                              f"({job.spec_hash()})")
+            if self.journal is not None:
+                self.journal.job_done(job_index, job.spec_hash(), state.attempt)
+        self._settled.add(index)
 
     def _quarantine(self, index: int, state: _JobState, kind: str, error: str,
                     quarantined: list[QuarantinedJob]) -> None:
-        entry = QuarantinedJob(
-            index=index, job=state.job, kind=kind, error=error,
-            attempts=state.attempt + 1,
-        )
-        quarantined.append(entry)
-        if self.journal is not None:
-            self.journal.job_quarantined(
-                index, state.job.spec_hash(), kind, error, state.attempt + 1
+        for job_index, job in _unit_members(index, state.job):
+            entry = QuarantinedJob(
+                index=job_index, job=job, kind=kind, error=error,
+                attempts=state.attempt + 1,
             )
-        self._log(f"quarantine: {entry.describe()}")
+            quarantined.append(entry)
+            if self.journal is not None:
+                self.journal.job_quarantined(
+                    job_index, job.spec_hash(), kind, error, state.attempt + 1
+                )
+            self._log(f"quarantine: {entry.describe()}")
+        self._settled.add(index)
 
     def _fail(self, index: int, state: _JobState, kind: str, error: str,
               retry_heap: list, quarantined: list[QuarantinedJob]) -> None:
@@ -314,7 +341,11 @@ class Broker:
         return restore
 
     def _raise_interrupted(self, results: dict, states: dict) -> None:
-        n_pending = len(states) - len(results)
+        n_jobs = sum(
+            len(_unit_members(index, state.job))
+            for index, state in states.items()
+        )
+        n_pending = n_jobs - len(results)
         if self.journal is not None:
             self.journal.interrupt(len(results), n_pending)
         self._log(
@@ -327,9 +358,12 @@ class Broker:
     # -- execution -----------------------------------------------------
 
     def run(
-        self, pending: list[tuple[int, JobSpec]]
+        self, pending: list[tuple[int, JobSpec | LockstepBatch]]
     ) -> tuple[dict[int, JobResult], list[QuarantinedJob]]:
-        """Execute the pending jobs; returns (results by index, quarantined).
+        """Execute the pending work units; returns (results by grid
+        index, quarantined jobs).  Units are single jobs or
+        :class:`~repro.sweep.spec.LockstepBatch` groups; batch results
+        fan out so the returned dict always maps *job* indices.
 
         Raises:
             SweepInterrupted: after journaling a clean checkpoint on
@@ -337,6 +371,7 @@ class Broker:
         """
         if not pending:
             return {}, []
+        self._settled = set()
         restore = self._install_signal_handlers()
         try:
             if self.config.workers == 1 or len(pending) == 1:
@@ -346,7 +381,7 @@ class Broker:
             restore()
 
     def _run_inline(self, pending) -> tuple[dict[int, JobResult], list[QuarantinedJob]]:
-        from repro.sweep.executor import execute_job
+        from repro.sweep.executor import execute_work
 
         states = {index: _JobState(job=job) for index, job in pending}
         results: dict[int, JobResult] = {}
@@ -367,7 +402,7 @@ class Broker:
             state = states[index]
             try:
                 self.injector.pre_job(index, state.attempt)
-                outcome = execute_job(state.job)
+                outcome = execute_work(state.job)
             except TransientJobError as error:
                 self._fail(index, state, "transient", str(error),
                            retry_heap, quarantined)
@@ -393,7 +428,7 @@ class Broker:
         slots = [_WorkerSlot(i, self._ctx, self.config) for i in range(n_workers)]
 
         def outstanding() -> int:
-            return len(states) - len(results) - len(quarantined)
+            return len(states) - len(self._settled)
 
         try:
             while outstanding() > 0:
@@ -479,9 +514,7 @@ class Broker:
                 if slot.busy is not None:
                     index, attempt, job = slot.busy
                     slot.busy = None
-                    if index not in states or index in {
-                        q.index for q in quarantined
-                    } or index in results:
+                    if index not in states or index in self._settled:
                         pass
                     else:
                         self._fail(index, states[index], _CRASH,

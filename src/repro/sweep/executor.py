@@ -61,8 +61,10 @@ from repro.predictors.ogehl import OgehlPredictor
 from repro.predictors.perceptron import PerceptronPredictor
 from repro.predictors.tage.config import AUTOMATON_PROBABILISTIC
 from repro.sim.backends import (
+    Capability,
+    Cell,
     FastBackendFallbackWarning,
-    FastBackendUnsupported,
+    get_backend,
     load_fast_engine,
 )
 from repro.sim.engine import simulate, simulate_binary
@@ -83,20 +85,39 @@ from repro.sweep.journal import (
     replay_journal,
 )
 from repro.sweep.result import JobResult, ResultTable
-from repro.sweep.spec import EstimatorSpec, ExperimentSpec, JobSpec, PredictorSpec
+from repro.sweep.spec import (
+    EstimatorSpec,
+    ExperimentSpec,
+    JobSpec,
+    LockstepBatch,
+    PredictorSpec,
+)
 
 __all__ = [
     "execute_job",
+    "execute_batch",
+    "execute_work",
+    "plan_lockstep",
     "run_sweep",
     "resume_sweep",
     "SweepRun",
     "SweepInterrupted",
     "QuarantinedJob",
+    "LOCKSTEP_ENV",
+    "LOCKSTEP_MAX_BATCH",
     "default_workers",
     "default_journal_dir",
     "build_cell_predictor",
     "build_cell_binary_estimator",
 ]
+
+#: Opt-out switch for lockstep batching (``0``/``off``/``false`` disable).
+LOCKSTEP_ENV = "REPRO_LOCKSTEP"
+
+#: Largest lockstep batch the planner builds.  Bounds per-unit memory
+#: (each cell owns a full table set inside the kernel) and keeps enough
+#: independent units for the worker pool to stay busy.
+LOCKSTEP_MAX_BATCH = 16
 
 _BASELINE_PREDICTORS = {
     "gshare": GsharePredictor,
@@ -210,17 +231,156 @@ def execute_job(job: JobSpec) -> JobResult:
     )
 
 
-def _fast_cell_unsupported_reason(job: JobSpec) -> str | None:
-    """Why the fast backend would refuse this cell (None = it runs).
+def execute_batch(batch: LockstepBatch) -> tuple[JobResult, ...]:
+    """Run one lockstep batch; one :class:`JobResult` per member, in order.
 
-    Builds throwaway component instances from the cell's specs and asks
-    the fast engine's static predicate — the same one the engine raises
-    from — so the pre-pass can never disagree with execution.
+    Every member shares the batch's trace and plane geometry (the
+    planner guarantees it), so the planes are resolved once and all
+    cells advance through a single
+    :func:`~repro.sim.fast.lockstep.simulate_tage_lockstep` kernel pass
+    — bit-identical to running each member through
+    :func:`execute_job` independently.  The shared wall-clock cost is
+    attributed evenly across the members' ``elapsed`` fields.
     """
-    try:
+    start = time.perf_counter()
+    first = batch.members[0][1]
+    trace = get_trace(first.trace, first.n_branches)
+    fast = load_fast_engine()
+    cells = []
+    for _, job in batch.members:
+        predictor = _build_predictor(job.predictor, job.adaptive, job.seed)
+        estimator = TageConfidenceEstimator(predictor, **dict(job.estimator.params))
+        controller = (
+            AdaptiveSaturationController(predictor, target_mkp=job.target_mkp)
+            if job.adaptive
+            else None
+        )
+        cells.append(
+            fast.LockstepCell(
+                predictor=predictor,
+                estimator=estimator,
+                controller=controller,
+                warmup_branches=job.warmup_branches,
+            )
+        )
+    results = fast.simulate_tage_lockstep(
+        trace, cells, materialization=first.materialization_dir
+    )
+    elapsed = (time.perf_counter() - start) / len(batch.members)
+    return tuple(
+        JobResult(
+            job=job,
+            result=result,
+            binary=result.binary_confusion(),
+            estimator_bits=0,
+            elapsed=elapsed,
+        )
+        for (_, job), result in zip(batch.members, results)
+    )
+
+
+def execute_work(unit: JobSpec | LockstepBatch):
+    """The broker/worker entry point: run one work unit of either shape."""
+    if isinstance(unit, LockstepBatch):
+        return execute_batch(unit)
+    return execute_job(unit)
+
+
+def _lockstep_key(job: JobSpec, geometries: dict) -> tuple | None:
+    """The grouping key a job must share to join a lockstep batch
+    (None = the job cannot join one).
+
+    Only supported fast-backend TAGE×observation accuracy cells
+    qualify (the capability API's ``lockstep`` flag); the key then pins
+    everything batched execution shares — the trace (and its length)
+    and the plane geometry the predictor's config folds to.  Kernel
+    knobs (automaton, saturation probability, seeds, warmup, §6.2
+    controller) may differ freely across members.
+    """
+    if job.backend != "fast":
+        return None
+    if job.predictor.kind != "tage" or job.estimator.kind != "tage":
+        return None
+    cell = (job.predictor, job.adaptive)
+    if cell not in geometries:
         fast = load_fast_engine()
-    except FastBackendUnsupported as unsupported:
-        return str(unsupported)
+        predictor = _build_predictor(job.predictor, job.adaptive, None)
+        geometries[cell] = fast.plane_geometry(predictor.config)
+    return (job.trace, job.n_branches, job.materialization_dir,
+            geometries[cell])
+
+
+def plan_lockstep(
+    pending: list[tuple[int, JobSpec]],
+    progress: Callable[[str], None] | None = None,
+) -> list[tuple[int, JobSpec | LockstepBatch]]:
+    """Fuse shareable fast TAGE jobs into :class:`LockstepBatch` units.
+
+    Jobs sharing one trace's planes (same trace, branch count and plane
+    geometry) are grouped — in grid order, at most
+    :data:`LOCKSTEP_MAX_BATCH` per batch — and each group of two or
+    more becomes one batch unit, emitted at its first member's position
+    with that member's grid index as the unit index.  Everything else
+    passes through unchanged, so the plan preserves grid order and
+    the batching is invisible in the results: each member is cached,
+    journaled and reported under its own index and spec hash.
+    """
+    geometries: dict = {}
+    groups: dict[tuple, list[tuple[int, JobSpec]]] = {}
+    keys: dict[int, tuple | None] = {}
+    for index, job in pending:
+        key = _lockstep_key(job, geometries)
+        keys[index] = key
+        if key is not None:
+            groups.setdefault(key, []).append((index, job))
+
+    batches: dict[int, LockstepBatch] = {}
+    fused_members: set[int] = set()
+    n_fused_jobs = 0
+    for members in groups.values():
+        for chunk_start in range(0, len(members), LOCKSTEP_MAX_BATCH):
+            chunk = members[chunk_start:chunk_start + LOCKSTEP_MAX_BATCH]
+            if len(chunk) < 2:
+                continue
+            batch = LockstepBatch(members=tuple(chunk))
+            batches[batch.index] = batch
+            fused_members.update(index for index, _ in chunk)
+            n_fused_jobs += len(chunk)
+
+    plan: list[tuple[int, JobSpec | LockstepBatch]] = []
+    for index, job in pending:
+        if index in batches:
+            plan.append((index, batches[index]))
+        elif index not in fused_members:
+            plan.append((index, job))
+    if progress and batches:
+        progress(
+            f"lockstep: fused {n_fused_jobs} job(s) into {len(batches)} "
+            f"batch(es) of <= {LOCKSTEP_MAX_BATCH}"
+        )
+    return plan
+
+
+def _lockstep_enabled(lockstep: bool | None, faults: str) -> bool:
+    """Resolve the lockstep toggle: explicit arg > env > default-on.
+
+    Fault injection disables batching regardless: fault plans key on
+    job indices and fire per dispatched *unit*, so fusing jobs would
+    silently shift which jobs a plan hits.
+    """
+    if faults:
+        return False
+    if lockstep is not None:
+        return lockstep
+    return os.environ.get(LOCKSTEP_ENV, "").strip().lower() not in (
+        "0", "off", "false", "no",
+    )
+
+
+def _job_cell(job: JobSpec) -> Cell:
+    """The capability-query cell for one grid job: throwaway component
+    instances built from the cell's specs, exactly as execution would
+    build them, so the pre-pass can never disagree with execution."""
     predictor = _build_predictor(job.predictor, job.adaptive, job.seed)
     if job.estimator.kind == "tage":
         estimator = TageConfidenceEstimator(predictor, **dict(job.estimator.params))
@@ -229,10 +389,17 @@ def _fast_cell_unsupported_reason(job: JobSpec) -> str | None:
             if job.adaptive
             else None
         )
-        return fast.unsupported_reason(predictor, estimator=estimator, controller=controller)
-    return fast.binary_unsupported_reason(
-        predictor, _build_binary_estimator(job.estimator, predictor)
+        return Cell(predictor=predictor, estimator=estimator, controller=controller)
+    return Cell(
+        predictor=predictor,
+        estimator=_build_binary_estimator(job.estimator, predictor),
+        binary=True,
     )
+
+
+def _fast_cell_capability(job: JobSpec) -> Capability:
+    """The fast backend's capability verdict for one grid cell."""
+    return get_backend("fast").capability(_job_cell(job))
 
 
 def _resolve_fast_fallbacks(
@@ -248,7 +415,7 @@ def _resolve_fast_fallbacks(
     The downgraded jobs run on the reference engine directly (identical
     results; the backend is not part of the cache identity).
     """
-    reasons: dict[tuple[PredictorSpec, EstimatorSpec, bool], str | None] = {}
+    verdicts: dict[tuple[PredictorSpec, EstimatorSpec, bool], Capability] = {}
     resolved: list[tuple[int, JobSpec]] = []
     downgraded: dict[tuple[PredictorSpec, EstimatorSpec, bool], int] = {}
     for index, job in pending:
@@ -256,9 +423,9 @@ def _resolve_fast_fallbacks(
             resolved.append((index, job))
             continue
         cell = (job.predictor, job.estimator, job.adaptive)
-        if cell not in reasons:
-            reasons[cell] = _fast_cell_unsupported_reason(job)
-        if reasons[cell] is None:
+        if cell not in verdicts:
+            verdicts[cell] = _fast_cell_capability(job)
+        if verdicts[cell]:
             resolved.append((index, job))
         else:
             downgraded[cell] = downgraded.get(cell, 0) + 1
@@ -267,8 +434,8 @@ def _resolve_fast_fallbacks(
         predictor, estimator, _ = cell
         warnings.warn(
             f"fast backend cannot run {predictor.label}x{estimator.label} "
-            f"({reasons[cell]}); falling back to the reference engine for "
-            f"{count} job(s)",
+            f"({verdicts[cell].reason}); falling back to the reference "
+            f"engine for {count} job(s)",
             FastBackendFallbackWarning,
             stacklevel=3,
         )
@@ -406,6 +573,7 @@ def run_sweep(
     heartbeat_timeout: float = 30.0,
     faults: str | None = None,
     fsync_journal: bool = True,
+    lockstep: bool | None = None,
 ) -> SweepRun:
     """Execute every cell of a spec and aggregate the results.
 
@@ -439,6 +607,12 @@ def run_sweep(
             defaults to ``$REPRO_FAULTS``.
         fsync_journal: fsync each journal record (leave on outside
             tests; without it a crash can forget acknowledged progress).
+        lockstep: fuse fast-backend TAGE jobs sharing one trace's
+            planes into batched kernel passes (bit-identical results;
+            see :func:`plan_lockstep`).  ``None`` (the default) reads
+            ``$REPRO_LOCKSTEP`` and falls back to on; fault injection
+            forces it off.  Execution plumbing like ``backend`` — never
+            part of the spec hash or the cache identity.
 
     Returns:
         A :class:`SweepRun` whose table preserves grid order (minus any
@@ -501,9 +675,14 @@ def run_sweep(
                     for index, job in pending
                 ]
             planes_before = _count_plane_files(materialization_dir)
+            units: list[tuple[int, JobSpec | LockstepBatch]] = (
+                plan_lockstep(pending, progress)
+                if _lockstep_enabled(lockstep, faults)
+                else list(pending)
+            )
             broker = Broker(
                 BrokerConfig(
-                    workers=min(workers, len(pending)),
+                    workers=min(workers, len(units)),
                     max_retries=max_retries,
                     heartbeat_timeout=heartbeat_timeout,
                     faults=faults,
@@ -514,7 +693,7 @@ def run_sweep(
                 journal=journal,
                 progress=progress,
             )
-            outcomes, dropped = broker.run(pending)
+            outcomes, dropped = broker.run(units)
             n_retries = broker.n_retries
             quarantined = tuple(dropped)
             for index, outcome in outcomes.items():
@@ -563,6 +742,7 @@ def resume_sweep(
     heartbeat_timeout: float = 30.0,
     faults: str | None = None,
     fsync_journal: bool = True,
+    lockstep: bool | None = None,
 ) -> SweepRun:
     """Resume an interrupted run from its journal alone.
 
@@ -602,4 +782,5 @@ def resume_sweep(
         heartbeat_timeout=heartbeat_timeout,
         faults=faults,
         fsync_journal=fsync_journal,
+        lockstep=lockstep,
     )

@@ -32,6 +32,7 @@ __all__ = [
     "EstimatorSpec",
     "ExperimentSpec",
     "JobSpec",
+    "LockstepBatch",
     "canonical_json",
     "stable_digest",
 ]
@@ -272,6 +273,44 @@ class JobSpec:
     @property
     def label(self) -> str:
         return f"{self.trace}/{self.predictor.label}/{self.estimator.label}"
+
+
+@dataclass(frozen=True)
+class LockstepBatch:
+    """A fused work unit: fast-backend TAGE jobs sharing one trace's
+    planes, executed in a single batched kernel pass.
+
+    ``members`` keeps each job's original grid index so the broker can
+    fan completion (cache store, journal record, result slot) back out
+    per job — the batch is an execution vehicle, never an identity: each
+    member is cached and journaled under its own :meth:`JobSpec.spec_hash`,
+    bit-identical to an independent run (see
+    ``tests/equivalence/test_lockstep.py``).  Built by
+    :func:`repro.sweep.executor.plan_lockstep`; lives here (pure data
+    over :class:`JobSpec`) so the broker can type-dispatch on it without
+    importing the executor.
+    """
+
+    members: tuple[tuple[int, "JobSpec"], ...]
+
+    def __post_init__(self) -> None:
+        if len(self.members) < 2:
+            raise ValueError(
+                f"a lockstep batch needs >= 2 member jobs, got {len(self.members)}"
+            )
+
+    @property
+    def index(self) -> int:
+        """The unit's dispatch index: its first member's grid index."""
+        return self.members[0][0]
+
+    @property
+    def label(self) -> str:
+        first = self.members[0][1]
+        return (
+            f"lockstep[{len(self.members)}] {first.trace}/"
+            f"{first.predictor.label}/{first.estimator.label}"
+        )
 
 
 @dataclass(frozen=True)

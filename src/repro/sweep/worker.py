@@ -68,7 +68,7 @@ def worker_main(worker_id: int, task_conn, result_conn,
     # Import here, not at module top: the worker only needs the (heavy)
     # engine stack once it actually runs, and keeping the import inside
     # makes the fork cheap even if this module is loaded early.
-    from repro.sweep.executor import execute_job
+    from repro.sweep.executor import execute_work
 
     injector = FaultInjector.parse(faults_text)
     send_lock = threading.Lock()
@@ -94,7 +94,7 @@ def worker_main(worker_id: int, task_conn, result_conn,
             started = time.perf_counter()
             try:
                 injector.pre_job(index, attempt, on_stall=suppress.set)
-                outcome = execute_job(job)
+                outcome = execute_work(job)
             except TransientJobError as error:
                 report = ("failed", worker_id, index, "transient", str(error))
             except (MemoryError, OSError) as error:

@@ -28,14 +28,15 @@ from repro.predictors.local import LocalHistoryPredictor
 from repro.predictors.ogehl import OgehlPredictor
 from repro.predictors.perceptron import PerceptronPredictor
 from repro.predictors.tage.predictor import TagePredictor
-from repro.sim.backends import FastBackendFallbackWarning, FastBackendUnsupported
-from repro.sim.engine import simulate, simulate_binary
-from repro.sim.fast import (
-    simulate_binary_fast,
-    simulate_fast,
-    supports_estimator,
-    supports_predictor,
+from repro.sim.backends import (
+    Capability,
+    Cell,
+    FastBackendFallbackWarning,
+    FastBackendUnsupported,
+    get_backend,
 )
+from repro.sim.engine import simulate, simulate_binary
+from repro.sim.fast import simulate_binary_fast, simulate_fast
 from repro.sim.runner import build_predictor, run_trace
 from repro.sweep.executor import execute_job
 from repro.sweep.spec import EstimatorSpec, JobSpec, PredictorSpec
@@ -58,27 +59,109 @@ class _SubclassedController(AdaptiveSaturationController):
     """Same exact-type rule for the in-kernel §6.2 feedback loop."""
 
 
-def test_supports_predictor_truth_table():
-    assert supports_predictor(BimodalPredictor())
-    assert supports_predictor(GsharePredictor())
-    assert supports_predictor(build_predictor("16K"))
-    assert supports_predictor(PerceptronPredictor())
-    assert supports_predictor(OgehlPredictor())
-    assert supports_predictor(LocalHistoryPredictor())
-    assert not supports_predictor(_SubclassedBimodal())
-    assert not supports_predictor(_SubclassedPerceptron())
-    assert not supports_predictor(_SubclassedTage(build_predictor("16K").config))
+def _capability(predictor, estimator=None, controller=None, binary=False):
+    return get_backend("fast").capability(
+        Cell(predictor=predictor, estimator=estimator, controller=controller,
+             binary=binary)
+    )
 
 
-def test_supports_estimator_truth_table():
-    assert supports_estimator(JrsEstimator())
-    assert supports_estimator(TageConfidenceEstimator(build_predictor("16K")))
-    assert supports_estimator(SelfConfidenceEstimator(PerceptronPredictor()))
+def test_capability_predictor_truth_table():
+    assert _capability(BimodalPredictor())
+    assert _capability(GsharePredictor())
+    assert _capability(build_predictor("16K"))
+    assert _capability(PerceptronPredictor())
+    assert _capability(OgehlPredictor())
+    assert _capability(LocalHistoryPredictor())
+    assert not _capability(_SubclassedBimodal())
+    assert not _capability(_SubclassedPerceptron())
+    assert not _capability(_SubclassedTage(build_predictor("16K").config))
+
+
+def test_capability_estimator_truth_table():
+    gshare = GsharePredictor()
+    assert _capability(gshare, JrsEstimator(), binary=True)
+    tage = build_predictor("16K")
+    assert _capability(tage, TageConfidenceEstimator(tage))
+    perceptron = PerceptronPredictor()
+    assert _capability(
+        perceptron, SelfConfidenceEstimator(perceptron), binary=True
+    )
 
     class _SubclassedSelf(SelfConfidenceEstimator):
         pass
 
-    assert not supports_estimator(_SubclassedSelf(OgehlPredictor()))
+    ogehl = OgehlPredictor()
+    assert not _capability(ogehl, _SubclassedSelf(ogehl), binary=True)
+
+
+def test_capability_refusal_carries_reason_and_fallback():
+    capability = _capability(_SubclassedBimodal())
+    assert isinstance(capability, Capability)
+    assert capability.backend == "fast"
+    assert not capability.supported
+    assert capability.fallback == "reference"
+    assert "not vectorizable" in capability.reason
+
+
+def test_capability_rejects_binary_with_controller():
+    predictor = build_predictor("16K", automaton="probabilistic")
+    capability = _capability(
+        predictor,
+        JrsEstimator(),
+        controller=AdaptiveSaturationController(predictor),
+        binary=True,
+    )
+    assert not capability
+    assert "binary" in capability.reason
+
+
+def test_capability_reports_lockstep_for_tage_accuracy_cells():
+    tage = build_predictor("16K")
+    assert _capability(tage, TageConfidenceEstimator(tage)).lockstep
+    assert not _capability(build_predictor("16K"), JrsEstimator(),
+                           binary=True).lockstep
+    assert not _capability(OgehlPredictor()).lockstep
+
+
+def test_capability_compiled_flag_tracks_kernel_mode(monkeypatch):
+    from repro.sim.fast import compiled
+
+    tage = build_predictor("16K")
+    monkeypatch.setenv(compiled.KERNEL_MODE_ENV, "pure")
+    assert not _capability(tage, TageConfidenceEstimator(tage)).compiled
+
+    monkeypatch.delenv(compiled.KERNEL_MODE_ENV, raising=False)
+    capability = _capability(tage, TageConfidenceEstimator(tage))
+    assert capability.compiled == (compiled.active_provider() is not None)
+    if capability.compiled:
+        assert capability.compiled_provider == compiled.active_provider()
+
+
+def test_reference_backend_supports_everything():
+    capability = get_backend("reference").capability(
+        Cell(predictor=_SubclassedBimodal())
+    )
+    assert capability
+    assert capability.fallback is None
+
+
+def test_deprecated_support_shims_warn_and_delegate():
+    from repro.sim import fast
+
+    with pytest.warns(DeprecationWarning, match="capability"):
+        assert fast.supports_predictor(BimodalPredictor())
+    with pytest.warns(DeprecationWarning, match="capability"):
+        assert not fast.supports_predictor(_SubclassedBimodal())
+    with pytest.warns(DeprecationWarning, match="capability"):
+        assert fast.supports_estimator(JrsEstimator())
+    with pytest.warns(DeprecationWarning, match="capability"):
+        assert fast.unsupported_reason(build_predictor("16K")) is None
+    with pytest.warns(DeprecationWarning, match="capability"):
+        reason = fast.binary_unsupported_reason(
+            GsharePredictor(), JrsEstimator(history_length=80)
+        )
+    assert "window width" in reason
 
 
 def test_fast_engine_raises_for_subclassed_tage(tiny_trace):
