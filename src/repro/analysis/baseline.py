@@ -1,0 +1,113 @@
+"""Committed baseline of grandfathered findings.
+
+The baseline lets ``repro lint`` be adopted on a codebase with known,
+deliberately-deferred findings without turning the CI gate off: entries
+in the committed JSON file suppress matching findings, everything else
+fails the build.  Keys are line-number-free (``rule, path, symbol,
+message``) so unrelated edits above a grandfathered site do not
+invalidate the entry; a count caps how many identical findings one
+entry may absorb, so a *new* duplicate of a baselined problem still
+fails.
+
+Entries that match nothing are reported as *stale* — the finding was
+fixed, so the entry must be deleted (``--update-baseline`` rewrites the
+file from the current findings).  The project keeps this file near
+empty by policy: genuine findings are fixed, deliberate ones carry an
+inline ``allow[...]`` pragma with a reason; the baseline is only for
+transitional debt.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.analysis.finding import Finding
+
+__all__ = ["Baseline", "BaselineError"]
+
+_FORMAT_VERSION = 1
+_ENTRY_KEYS = ("rule", "path", "symbol", "message")
+
+
+class BaselineError(ValueError):
+    """The baseline file exists but cannot be used (corrupt/unknown)."""
+
+
+@dataclass
+class Baseline:
+    """In-memory form: baseline key → remaining suppression budget."""
+
+    budgets: dict[tuple[str, str, str, str], int] = field(default_factory=dict)
+    path: Path | None = None
+
+    @classmethod
+    def load(cls, path: Path) -> "Baseline":
+        """Read a baseline file; a missing file is an empty baseline."""
+        if not path.exists():
+            return cls(path=path)
+        try:
+            payload = json.loads(path.read_text(encoding="utf-8"))
+        except (OSError, json.JSONDecodeError) as error:
+            raise BaselineError(f"cannot read baseline {path}: {error}") from error
+        if not isinstance(payload, dict) or payload.get("version") != _FORMAT_VERSION:
+            raise BaselineError(
+                f"baseline {path} has unsupported version "
+                f"{payload.get('version') if isinstance(payload, dict) else '?'}"
+            )
+        budgets: dict[tuple[str, str, str, str], int] = {}
+        for entry in payload.get("entries", ()):
+            if not isinstance(entry, dict) or not all(
+                isinstance(entry.get(k), str) for k in _ENTRY_KEYS
+            ):
+                raise BaselineError(f"baseline {path} has a malformed entry: {entry}")
+            key = tuple(entry[k] for k in _ENTRY_KEYS)
+            count = entry.get("count", 1)
+            if not isinstance(count, int) or count < 1:
+                raise BaselineError(
+                    f"baseline {path}: entry count must be a positive int, "
+                    f"got {count!r}"
+                )
+            budgets[key] = budgets.get(key, 0) + count
+        return cls(budgets=budgets, path=path)
+
+    def apply(
+        self, findings: list[Finding]
+    ) -> tuple[list[Finding], list[Finding], list[dict]]:
+        """Split findings into (active, baselined); report stale entries.
+
+        Stale entries are returned as plain dicts (the file's own shape)
+        so reporters can print exactly what to delete.
+        """
+        remaining = dict(self.budgets)
+        active: list[Finding] = []
+        baselined: list[Finding] = []
+        for finding in findings:
+            key = finding.baseline_key
+            if remaining.get(key, 0) > 0:
+                remaining[key] -= 1
+                baselined.append(finding)
+            else:
+                active.append(finding)
+        stale = [
+            dict(zip(_ENTRY_KEYS, key), count=count)
+            for key, count in sorted(remaining.items())
+            if count > 0
+        ]
+        return active, baselined, stale
+
+    @staticmethod
+    def serialize(findings: list[Finding]) -> str:
+        """Canonical baseline JSON for the given findings (sorted, keyed)."""
+        counts: dict[tuple[str, str, str, str], int] = {}
+        for finding in findings:
+            key = finding.baseline_key
+            counts[key] = counts.get(key, 0) + 1
+        entries = [
+            dict(zip(_ENTRY_KEYS, key), count=count)
+            for key, count in sorted(counts.items())
+        ]
+        return json.dumps(
+            {"version": _FORMAT_VERSION, "entries": entries}, indent=2
+        ) + "\n"

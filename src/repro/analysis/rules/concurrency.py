@@ -1,0 +1,213 @@
+"""RPR003 — fork/async safety in the sweep and serving layers.
+
+Two process models meet in this codebase and each has a way to corrupt
+state silently:
+
+* **Fork/spawn workers** (``repro/sweep``): broker and worker processes
+  import the same modules.  Module-level mutable state mutated from
+  functions is per-process after fork — mutations in a worker are
+  invisible to the broker (and vice versa), and a respawned worker
+  starts from the import-time value.  Code that *looks* like shared
+  accounting quietly isn't; anything resembling it gets flagged.
+* **The asyncio serving path** (``repro/serve``): one event loop serves
+  every tenant, so a single blocking call (``time.sleep``, synchronous
+  file I/O, ``subprocess``) inside an ``async def`` stalls *all*
+  tenants, breaking the admission-control latency contract.  Shared
+  module-level mutable state is also flagged here — tenant isolation
+  requires all mutable state to hang off per-tenant/per-shard objects
+  (``serve/state.py``'s ``TenantSession``), never off the module.
+
+Read-only module-level tables (built once at import, never mutated in a
+function) are fine and common; the rule only fires on *mutation* from
+function scope — ``global`` rebinding, mutating method calls
+(``.append``/``.update``/...), subscript stores and deletes.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, Iterator
+
+from repro.analysis.finding import Finding
+from repro.analysis.rules.base import FileRule, scoped
+from repro.analysis.source import SourceFile
+
+__all__ = ["ConcurrencyRule"]
+
+#: Layers with forked workers / the multi-tenant event loop.
+PROCESS_SCOPES = ("repro/sweep/", "repro/serve/")
+
+#: Constructors whose results are module-level mutable containers.
+_MUTABLE_FACTORIES = {
+    "dict", "list", "set", "bytearray",
+    "collections.defaultdict", "collections.deque", "collections.Counter",
+    "collections.OrderedDict",
+}
+
+#: Method calls that mutate their receiver in place.
+_MUTATOR_METHODS = {
+    "append", "extend", "insert", "add", "update", "setdefault", "pop",
+    "popitem", "remove", "discard", "clear", "appendleft", "extendleft",
+}
+
+#: Calls that block the event loop when awaited code runs them.
+_BLOCKING_CALLS = {
+    "time.sleep": "sleeps the whole event loop; use asyncio.sleep",
+    "subprocess.run": "blocks the event loop; use asyncio.create_subprocess_exec",
+    "subprocess.call": "blocks the event loop; use asyncio.create_subprocess_exec",
+    "subprocess.check_call": (
+        "blocks the event loop; use asyncio.create_subprocess_exec"
+    ),
+    "subprocess.check_output": (
+        "blocks the event loop; use asyncio.create_subprocess_exec"
+    ),
+    "subprocess.Popen": "blocks the event loop; use asyncio.create_subprocess_exec",
+    "os.system": "blocks the event loop; use asyncio.create_subprocess_shell",
+    "open": "synchronous file I/O stalls every tenant; use a thread executor",
+}
+
+#: Blocking Path / file-object style methods (matched by attribute name).
+_BLOCKING_METHODS = {"read_text", "write_text", "read_bytes", "write_bytes"}
+
+
+def _is_mutable_literal(node: ast.expr, sf: SourceFile) -> bool:
+    if isinstance(node, (ast.Dict, ast.List, ast.Set,
+                         ast.DictComp, ast.ListComp, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Call):
+        return sf.resolve_name(node.func) in _MUTABLE_FACTORIES
+    return False
+
+
+class ConcurrencyRule(FileRule):
+    rule_id = "RPR003"
+    name = "fork-async-safety"
+    description = (
+        "no mutation of module-level mutable state in forked/multi-tenant "
+        "layers; no blocking calls inside async def"
+    )
+
+    def check_file(self, sf: SourceFile) -> Iterable[Finding]:
+        if scoped(sf, PROCESS_SCOPES):
+            yield from self._check_module_state(sf)
+        yield from self._check_async_blocking(sf)
+
+    # -- module-level mutable state ------------------------------------------
+
+    def _check_module_state(self, sf: SourceFile) -> Iterator[Finding]:
+        module_mutables: dict[str, int] = {}
+        for node in sf.tree.body:
+            targets: list[ast.expr] = []
+            value: ast.expr | None = None
+            if isinstance(node, ast.Assign):
+                targets, value = node.targets, node.value
+            elif isinstance(node, ast.AnnAssign) and node.value is not None:
+                targets, value = [node.target], node.value
+            if value is None or not _is_mutable_literal(value, sf):
+                continue
+            for target in targets:
+                if isinstance(target, ast.Name):
+                    module_mutables[target.id] = node.lineno
+        if not module_mutables:
+            return
+        for fn in ast.walk(sf.tree):
+            if not isinstance(fn, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            yield from self._check_function_mutations(sf, fn, module_mutables)
+
+    def _check_function_mutations(
+        self, sf: SourceFile, fn: ast.AST, module_mutables: dict[str, int]
+    ) -> Iterator[Finding]:
+        # A plain (non-`global`) assignment to the name anywhere in the
+        # function makes it local — reads and mutations then touch the
+        # local, not the module state.
+        globals_declared: set[str] = set()
+        locals_bound: set[str] = set()
+        for node in ast.walk(fn):
+            if isinstance(node, ast.Global):
+                globals_declared.update(node.names)
+            elif isinstance(node, ast.Assign):
+                for target in node.targets:
+                    if isinstance(target, ast.Name):
+                        locals_bound.add(target.id)
+
+        def is_module_ref(name: str) -> bool:
+            if name not in module_mutables:
+                return False
+            return name in globals_declared or name not in locals_bound
+
+        for node in ast.walk(fn):
+            name: str | None = None
+            verb = ""
+            if (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and isinstance(node.func.value, ast.Name)
+                and node.func.attr in _MUTATOR_METHODS
+            ):
+                name, verb = node.func.value.id, f".{node.func.attr}()"
+            elif isinstance(node, (ast.Assign, ast.AugAssign)):
+                targets = (
+                    node.targets if isinstance(node, ast.Assign) else [node.target]
+                )
+                for target in targets:
+                    if isinstance(target, ast.Subscript) and isinstance(
+                        target.value, ast.Name
+                    ):
+                        name, verb = target.value.id, "[...] ="
+                    elif (
+                        isinstance(target, ast.Name)
+                        and target.id in globals_declared
+                    ):
+                        name, verb = target.id, "="
+            elif isinstance(node, ast.Delete):
+                for target in node.targets:
+                    if isinstance(target, ast.Subscript) and isinstance(
+                        target.value, ast.Name
+                    ):
+                        name, verb = target.value.id, "del [...]"
+            if name and is_module_ref(name):
+                yield self.finding(
+                    sf, node.lineno, node.col_offset,
+                    f"module-level mutable '{name}' is mutated ({verb}) "
+                    f"inside '{fn.name}' — in forked workers / the multi-"
+                    "tenant server this state silently diverges per "
+                    "process; move it onto an owning object",
+                )
+
+    # -- blocking calls inside async def -------------------------------------
+
+    def _check_async_blocking(self, sf: SourceFile) -> Iterator[Finding]:
+        for fn in ast.walk(sf.tree):
+            if not isinstance(fn, ast.AsyncFunctionDef):
+                continue
+            for node in self._walk_same_function(fn):
+                if not isinstance(node, ast.Call):
+                    continue
+                qualified = sf.resolve_name(node.func)
+                reason = _BLOCKING_CALLS.get(qualified or "")
+                if reason is None and isinstance(node.func, ast.Attribute):
+                    if node.func.attr in _BLOCKING_METHODS:
+                        qualified = f"...{node.func.attr}"
+                        reason = (
+                            "synchronous file I/O stalls every tenant; "
+                            "use a thread executor"
+                        )
+                if reason is not None:
+                    yield self.finding(
+                        sf, node.lineno, node.col_offset,
+                        f"blocking call `{qualified}()` inside "
+                        f"`async def {fn.name}` {reason}",
+                    )
+
+    @staticmethod
+    def _walk_same_function(fn: ast.AsyncFunctionDef) -> Iterator[ast.AST]:
+        """Walk ``fn`` without descending into nested function defs —
+        those are visited (and judged) on their own."""
+        stack: list[ast.AST] = list(ast.iter_child_nodes(fn))
+        while stack:
+            node = stack.pop()
+            yield node
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            stack.extend(ast.iter_child_nodes(node))

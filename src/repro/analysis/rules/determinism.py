@@ -1,0 +1,347 @@
+"""RPR001 — determinism: no ambient nondeterminism in result-producing code.
+
+The reproduction's headline guarantee is byte-identical re-runs: the
+same spec hash must always map to the same result bytes, across
+processes, machines and Python hash seeds.  Inside the result-producing
+layers (``repro/sim``, ``repro/sweep``, ``repro/traces/sources``,
+``repro/artifacts`` and the ``tools/`` gates built on them) this rule
+flags every construct whose value depends on ambient state:
+
+* **wall-clock reads** — ``time.time``, ``datetime.now`` and friends;
+* **ambient entropy** — ``os.urandom``, ``uuid.uuid1/uuid4``,
+  ``secrets.*``;
+* **unseeded RNGs** — the module-level ``random.*`` functions (process
+  global state), ``random.Random()`` / ``numpy.random.default_rng()``
+  without a seed, and the legacy ``numpy.random.*`` global functions;
+* **hash-seed-dependent iteration** — iterating a ``set`` (or feeding
+  one to an order-sensitive consumer such as ``list``/``join``/a dict
+  comprehension) without ``sorted``; order-insensitive reducers
+  (``sum``/``min``/``max``/``any``/``all``/``len``) are fine;
+* **filesystem enumeration order** — ``os.listdir``/``glob``/
+  ``iterdir``/``scandir`` results consumed without ``sorted``.
+
+Timing *telemetry* is legitimate even in result-producing code — the
+monotonic clocks (``perf_counter``/``monotonic``/``process_time``) are
+allowlisted **by sink, not by file**: a read is fine when it flows into
+a recognizably telemetry-shaped sink (an ``elapsed``/``start``/
+``deadline``-style name, a delta/comparison expression), and flagged
+when it escapes toward anything else.  Wall-clock reads have no allowed
+sink here: a timestamp in a result payload breaks byte-identity by
+construction and needs an explicit ``allow[RPR001]`` pragma.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Iterable, Iterator
+
+from repro.analysis.finding import Finding
+from repro.analysis.rules.base import FileRule, scoped
+from repro.analysis.source import SourceFile
+
+__all__ = ["DeterminismRule"]
+
+#: Layers whose output feeds result payloads, caches or reports.
+RESULT_SCOPES = (
+    "repro/sim/",
+    "repro/sweep/",
+    "repro/traces/sources/",
+    "repro/artifacts/",
+    "tools/",
+)
+
+_WALL_CLOCK = {
+    "time.time": "wall-clock read",
+    "time.time_ns": "wall-clock read",
+    "time.ctime": "wall-clock read",
+    "time.localtime": "wall-clock read",
+    "time.gmtime": "wall-clock read",
+    "time.strftime": "wall-clock formatting",
+    "datetime.datetime.now": "wall-clock read",
+    "datetime.datetime.utcnow": "wall-clock read",
+    "datetime.datetime.today": "wall-clock read",
+    "datetime.date.today": "wall-clock read",
+}
+
+_ENTROPY = {
+    "os.urandom": "ambient OS entropy",
+    "uuid.uuid1": "host/time-derived UUID",
+    "uuid.uuid4": "random UUID",
+    "secrets.token_bytes": "ambient OS entropy",
+    "secrets.token_hex": "ambient OS entropy",
+    "secrets.token_urlsafe": "ambient OS entropy",
+    "secrets.randbits": "ambient OS entropy",
+    "secrets.randbelow": "ambient OS entropy",
+    "secrets.choice": "ambient OS entropy",
+}
+
+#: Module-level functions of the process-global ``random`` RNG.
+_GLOBAL_RANDOM_FNS = {
+    "random", "randint", "randrange", "uniform", "triangular", "choice",
+    "choices", "shuffle", "sample", "gauss", "normalvariate", "betavariate",
+    "expovariate", "lognormvariate", "vonmisesvariate", "paretovariate",
+    "weibullvariate", "getrandbits", "randbytes",
+}
+
+#: Legacy numpy global-state RNG functions.
+_NUMPY_GLOBAL_RANDOM = {
+    "rand", "randn", "randint", "random", "random_sample", "choice",
+    "shuffle", "permutation", "normal", "uniform", "standard_normal", "bytes",
+}
+
+_MONOTONIC = {
+    "time.perf_counter", "time.perf_counter_ns",
+    "time.monotonic", "time.monotonic_ns",
+    "time.process_time", "time.process_time_ns",
+}
+
+#: Sink names that mark a monotonic-clock read as timing telemetry.
+_TELEMETRY_RE = re.compile(
+    r"(elapsed|duration|start|began|begin|end|deadline|timeout|t0|t1|now|"
+    r"beat|tick|wall|took|timer|clock|stamp|latency|budget)",
+    re.IGNORECASE,
+)
+
+#: Unordered filesystem enumeration: absolute names and bare method names.
+_FS_ENUM_QUALIFIED = {"os.listdir", "os.scandir", "glob.glob", "glob.iglob"}
+_FS_ENUM_METHODS = {"iterdir", "scandir"}
+
+#: Order-insensitive consumers of an iterable.
+_ORDER_FREE_REDUCERS = {
+    "sorted", "sum", "min", "max", "any", "all", "len", "set", "frozenset",
+}
+#: Order-sensitive consumers that materialize iteration order.
+_ORDER_SENSITIVE_CALLS = {"list", "tuple", "enumerate", "iter", "next"}
+
+
+def _is_set_expr(node: ast.AST, sf: SourceFile, set_locals: set[str]) -> bool:
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Call):
+        return sf.resolve_name(node.func) in ("set", "frozenset")
+    if isinstance(node, ast.Name):
+        return node.id in set_locals
+    return False
+
+
+class DeterminismRule(FileRule):
+    rule_id = "RPR001"
+    name = "determinism"
+    description = (
+        "wall-clock, ambient entropy, unseeded RNGs and hash-ordering-"
+        "dependent iteration must not reach result-producing code"
+    )
+
+    def check_file(self, sf: SourceFile) -> Iterable[Finding]:
+        if not scoped(sf, RESULT_SCOPES):
+            return
+        set_locals = self._set_typed_names(sf)
+        for node in ast.walk(sf.tree):
+            if isinstance(node, ast.Call):
+                yield from self._check_call(sf, node, set_locals)
+            elif isinstance(node, (ast.For, ast.AsyncFor)):
+                if _is_set_expr(node.iter, sf, set_locals):
+                    yield self.finding(
+                        sf, node.iter.lineno, node.iter.col_offset,
+                        "iteration order of a set depends on the process "
+                        "hash seed; iterate sorted(...) or keep a tuple",
+                    )
+            elif isinstance(node, (ast.ListComp, ast.GeneratorExp, ast.DictComp)):
+                yield from self._check_comprehension(sf, node, set_locals)
+
+    # -- call-level checks ---------------------------------------------------
+
+    def _check_call(
+        self, sf: SourceFile, node: ast.Call, set_locals: set[str]
+    ) -> Iterator[Finding]:
+        qualified = sf.resolve_name(node.func)
+        if qualified is None:
+            return
+        if qualified in _WALL_CLOCK:
+            yield self.finding(
+                sf, node.lineno, node.col_offset,
+                f"{_WALL_CLOCK[qualified]} `{qualified}()` in result-"
+                "producing code breaks byte-identical re-runs; derive "
+                "timestamps outside the result path",
+            )
+            return
+        if qualified in _ENTROPY:
+            yield self.finding(
+                sf, node.lineno, node.col_offset,
+                f"{_ENTROPY[qualified]} `{qualified}()` in result-"
+                "producing code breaks reproducibility; derive identity "
+                "from the spec hash or a seeded RNG",
+            )
+            return
+        yield from self._check_random(sf, node, qualified)
+        yield from self._check_monotonic(sf, node, qualified)
+        yield from self._check_fs_enum(sf, node, qualified)
+        yield from self._check_order_sensitive_call(sf, node, qualified, set_locals)
+
+    def _check_random(
+        self, sf: SourceFile, node: ast.Call, qualified: str
+    ) -> Iterator[Finding]:
+        head, _, tail = qualified.rpartition(".")
+        if head == "random" and tail in _GLOBAL_RANDOM_FNS:
+            yield self.finding(
+                sf, node.lineno, node.col_offset,
+                f"`{qualified}()` draws from the process-global RNG; use a "
+                "seeded `random.Random(seed)` instance derived from the spec",
+            )
+        elif qualified == "random.Random" and not node.args and not node.keywords:
+            yield self.finding(
+                sf, node.lineno, node.col_offset,
+                "`random.Random()` without a seed is nondeterministic; "
+                "derive the seed from the spec",
+            )
+        elif head == "numpy.random" and tail in _NUMPY_GLOBAL_RANDOM:
+            yield self.finding(
+                sf, node.lineno, node.col_offset,
+                f"`{qualified}()` uses numpy's global RNG state; use a "
+                "seeded `numpy.random.default_rng(seed)` generator",
+            )
+        elif qualified in ("numpy.random.default_rng", "numpy.random.Generator"):
+            if not node.args and not node.keywords:
+                yield self.finding(
+                    sf, node.lineno, node.col_offset,
+                    f"`{qualified}()` without a seed is nondeterministic; "
+                    "derive the seed from the spec",
+                )
+
+    def _check_monotonic(
+        self, sf: SourceFile, node: ast.Call, qualified: str
+    ) -> Iterator[Finding]:
+        if qualified not in _MONOTONIC:
+            return
+        if self._is_telemetry_sink(sf, node):
+            return
+        yield self.finding(
+            sf, node.lineno, node.col_offset,
+            f"monotonic clock `{qualified}()` flows into an unrecognized "
+            "sink; timing telemetry must land in an elapsed/duration-style "
+            "field (allowlisted by sink, not by file)",
+        )
+
+    def _is_telemetry_sink(self, sf: SourceFile, node: ast.Call) -> bool:
+        """Does this clock read feed a recognizable telemetry sink?
+
+        Deltas and comparisons (``now() - started``, ``now() < deadline``)
+        are telemetry by shape; otherwise the nearest enclosing statement
+        must bind a telemetry-named target or keyword.
+        """
+        child: ast.AST = node
+        for parent in sf.ancestors(node):
+            if isinstance(parent, (ast.BinOp, ast.Compare)):
+                return True
+            if isinstance(parent, ast.keyword):
+                return bool(parent.arg and _TELEMETRY_RE.search(parent.arg))
+            if isinstance(parent, (ast.Assign, ast.AnnAssign, ast.AugAssign)):
+                targets = (
+                    parent.targets
+                    if isinstance(parent, ast.Assign)
+                    else [parent.target]
+                )
+                return any(self._target_is_telemetry(t) for t in targets)
+            if isinstance(parent, ast.Call) and child is not parent.func:
+                name = sf.resolve_name(parent.func) or ""
+                return bool(_TELEMETRY_RE.search(name))
+            if isinstance(parent, ast.stmt):
+                return False
+            child = parent
+        return False
+
+    @staticmethod
+    def _target_is_telemetry(target: ast.AST) -> bool:
+        if isinstance(target, ast.Name):
+            return bool(_TELEMETRY_RE.search(target.id))
+        if isinstance(target, ast.Attribute):
+            return bool(_TELEMETRY_RE.search(target.attr))
+        if isinstance(target, (ast.Tuple, ast.List)):
+            return any(
+                DeterminismRule._target_is_telemetry(item) for item in target.elts
+            )
+        return False
+
+    # -- filesystem enumeration ----------------------------------------------
+
+    def _check_fs_enum(
+        self, sf: SourceFile, node: ast.Call, qualified: str
+    ) -> Iterator[Finding]:
+        is_enum = qualified in _FS_ENUM_QUALIFIED or (
+            isinstance(node.func, ast.Attribute)
+            and node.func.attr in _FS_ENUM_METHODS
+        )
+        if not is_enum:
+            return
+        for parent in sf.ancestors(node):
+            if isinstance(parent, ast.Call):
+                if sf.resolve_name(parent.func) == "sorted":
+                    return
+            if isinstance(parent, ast.stmt):
+                break
+        yield self.finding(
+            sf, node.lineno, node.col_offset,
+            f"filesystem enumeration `{qualified}()` has platform-dependent "
+            "order; wrap it in sorted(...)",
+        )
+
+    # -- set-iteration checks ------------------------------------------------
+
+    @staticmethod
+    def _set_typed_names(sf: SourceFile) -> set[str]:
+        """Names assigned *only* set expressions anywhere in the file.
+
+        Deliberately simple flow-insensitive inference: a name counts as
+        set-typed when every plain assignment to it is a set expression.
+        """
+        assigned_set: set[str] = set()
+        assigned_other: set[str] = set()
+        for node in ast.walk(sf.tree):
+            if isinstance(node, ast.Assign) and node.value is not None:
+                targets = [t for t in node.targets if isinstance(t, ast.Name)]
+            elif isinstance(node, ast.AnnAssign) and node.value is not None:
+                targets = [node.target] if isinstance(node.target, ast.Name) else []
+            else:
+                continue
+            is_set = _is_set_expr(node.value, sf, set())
+            for target in targets:
+                (assigned_set if is_set else assigned_other).add(target.id)
+        return assigned_set - assigned_other
+
+    def _check_comprehension(
+        self, sf: SourceFile, node: ast.AST, set_locals: set[str]
+    ) -> Iterator[Finding]:
+        for generator in node.generators:
+            if not _is_set_expr(generator.iter, sf, set_locals):
+                continue
+            if isinstance(node, (ast.ListComp, ast.GeneratorExp)):
+                parent = sf.parents.get(node)
+                if (
+                    isinstance(parent, ast.Call)
+                    and len(parent.args) == 1
+                    and parent.args[0] is node
+                    and sf.resolve_name(parent.func) in _ORDER_FREE_REDUCERS
+                ):
+                    continue
+            elif isinstance(node, ast.SetComp):
+                continue
+            yield self.finding(
+                sf, generator.iter.lineno, generator.iter.col_offset,
+                "comprehension over a set materializes hash-seed-dependent "
+                "order; iterate sorted(...) or feed an order-insensitive "
+                "reducer",
+            )
+
+    def _check_order_sensitive_call(
+        self, sf: SourceFile, node: ast.Call, qualified: str,
+        set_locals: set[str],
+    ) -> Iterator[Finding]:
+        if qualified not in _ORDER_SENSITIVE_CALLS or len(node.args) != 1:
+            return
+        if _is_set_expr(node.args[0], sf, set_locals):
+            yield self.finding(
+                sf, node.lineno, node.col_offset,
+                f"`{qualified}()` over a set materializes hash-seed-"
+                "dependent order; wrap the set in sorted(...)",
+            )

@@ -1,0 +1,126 @@
+"""RPR005 — warning/exception hygiene on the fallback paths.
+
+The fallback machinery is this project's safety net: when the fast
+backend cannot run a cell, when a compiled provider is missing, when a
+cache entry is corrupt, the code *must* degrade loudly — a typed,
+filterable warning — and never swallow the evidence.  Three patterns
+defeat that design and are flagged:
+
+* **bare ``except:``** — catches ``KeyboardInterrupt``/``SystemExit``
+  too, so a Ctrl-C during a sweep can be eaten by an error path and the
+  journal checkpoint never written;
+* **category-less ``warnings.warn("...")``** — defaults to
+  ``UserWarning``, which makes targeted filtering (and the test suite's
+  ``FastBackendFallbackWarning`` accounting) impossible.  Passing an
+  exception *instance* (``warnings.warn(SomeWarning(...))``) is fine;
+* **blanket suppression** — ``simplefilter("ignore")`` /
+  ``filterwarnings("ignore")`` without a ``category=`` silences every
+  warning in the process, including the fallback warnings other layers
+  rely on observing; suppress the one category you mean.
+
+Swallowing a caught warning category silently (``except SomeWarning:
+pass``) is flagged for the same reason: a warning that was important
+enough to catch is important enough to handle or re-raise.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, Iterator
+
+from repro.analysis.finding import Finding
+from repro.analysis.rules.base import FileRule
+from repro.analysis.source import SourceFile
+
+__all__ = ["HygieneRule"]
+
+
+def _is_warning_name(name: str | None) -> bool:
+    return bool(name) and name.split(".")[-1].endswith("Warning")
+
+
+def _swallows(body: list[ast.stmt]) -> bool:
+    return all(isinstance(node, (ast.Pass, ast.Continue)) for node in body)
+
+
+class HygieneRule(FileRule):
+    rule_id = "RPR005"
+    name = "warning-hygiene"
+    description = (
+        "no bare except, no category-less warnings.warn, no blanket "
+        "warning suppression"
+    )
+
+    def check_file(self, sf: SourceFile) -> Iterable[Finding]:
+        for node in ast.walk(sf.tree):
+            if isinstance(node, ast.ExceptHandler):
+                yield from self._check_handler(sf, node)
+            elif isinstance(node, ast.Call):
+                yield from self._check_call(sf, node)
+
+    def _check_handler(
+        self, sf: SourceFile, node: ast.ExceptHandler
+    ) -> Iterator[Finding]:
+        if node.type is None:
+            yield self.finding(
+                sf, node.lineno, node.col_offset,
+                "bare `except:` also catches KeyboardInterrupt/SystemExit, "
+                "breaking the checkpoint-on-interrupt contract; name the "
+                "exception types",
+            )
+            return
+        caught = [node.type] if not isinstance(node.type, ast.Tuple) \
+            else list(node.type.elts)
+        for expr in caught:
+            name = sf.resolve_name(expr)
+            if _is_warning_name(name) and _swallows(node.body):
+                yield self.finding(
+                    sf, node.lineno, node.col_offset,
+                    f"caught warning category `{name}` is silently "
+                    "swallowed; handle it or re-raise — the fallback "
+                    "contract requires degradation to stay observable",
+                )
+
+    def _check_call(self, sf: SourceFile, node: ast.Call) -> Iterator[Finding]:
+        qualified = sf.resolve_name(node.func)
+        if qualified == "warnings.warn":
+            yield from self._check_warn(sf, node)
+        elif qualified in ("warnings.simplefilter", "warnings.filterwarnings"):
+            yield from self._check_filter(sf, node, qualified)
+
+    def _check_warn(self, sf: SourceFile, node: ast.Call) -> Iterator[Finding]:
+        if len(node.args) >= 2:
+            return
+        if any(kw.arg == "category" for kw in node.keywords):
+            return
+        if node.args and isinstance(node.args[0], ast.Call):
+            if _is_warning_name(sf.resolve_name(node.args[0].func)):
+                return  # warnings.warn(SomeWarning("...")) carries its category
+        yield self.finding(
+            sf, node.lineno, node.col_offset,
+            "warnings.warn(...) without an explicit category defaults to "
+            "UserWarning and cannot be filtered or asserted on; pass the "
+            "typed warning class",
+        )
+
+    def _check_filter(
+        self, sf: SourceFile, node: ast.Call, qualified: str
+    ) -> Iterator[Finding]:
+        action = node.args[0] if node.args else None
+        if not (
+            isinstance(action, ast.Constant) and action.value == "ignore"
+        ):
+            return
+        # simplefilter(action, category=...) — category is 2nd positional;
+        # filterwarnings(action, message="", category=...) — 3rd positional.
+        category_index = 1 if qualified.endswith("simplefilter") else 2
+        if len(node.args) > category_index:
+            return
+        if any(kw.arg == "category" for kw in node.keywords):
+            return
+        yield self.finding(
+            sf, node.lineno, node.col_offset,
+            f"{qualified}('ignore') without a category silences every "
+            "warning in the process, including the fallback warnings other "
+            "layers assert on; restrict it with category=",
+        )

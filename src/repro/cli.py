@@ -52,6 +52,7 @@ import os
 import signal
 import sys
 import uuid
+from pathlib import Path
 
 from repro.artifacts import (
     ARTIFACT_KEYS,
@@ -359,6 +360,46 @@ def build_parser() -> argparse.ArgumentParser:
     capability_cmd.add_argument(
         "--kernel", choices=("auto", "pure", "compiled"), default=None,
         help="evaluate under this $REPRO_KERNEL mode",
+    )
+
+    lint_cmd = commands.add_parser(
+        "lint",
+        help="run the static invariant analyzers (determinism, spec-hash "
+             "hygiene, fork/async safety, kernel parity, warning hygiene)",
+    )
+    lint_cmd.add_argument(
+        "paths", nargs="*", metavar="PATH",
+        help="files/directories to analyze (default: [tool.repro.lint] "
+             "paths in pyproject.toml, else src/ and tools/)",
+    )
+    lint_cmd.add_argument(
+        "--rules", nargs="+", metavar="RPRnnn", default=None,
+        help="run only these rule IDs (default: all)",
+    )
+    lint_cmd.add_argument(
+        "--format", choices=("text", "json", "sarif"), default="text",
+        dest="fmt", help="report format (default text)",
+    )
+    lint_cmd.add_argument(
+        "--output", default=None, metavar="PATH",
+        help="write the report here instead of stdout",
+    )
+    lint_cmd.add_argument(
+        "--baseline", default=None, metavar="PATH",
+        help="baseline file of grandfathered findings "
+             "(default: tools/lint_baseline.json when present)",
+    )
+    lint_cmd.add_argument(
+        "--no-baseline", action="store_true",
+        help="ignore the baseline file (report every finding)",
+    )
+    lint_cmd.add_argument(
+        "--update-baseline", action="store_true",
+        help="rewrite the baseline from the current findings and exit 0",
+    )
+    lint_cmd.add_argument(
+        "--list-rules", action="store_true",
+        help="print the rule table and exit",
     )
 
     serve_cmd = commands.add_parser(
@@ -736,6 +777,91 @@ def _cmd_capability(args) -> int:
     return 0
 
 
+def _lint_config() -> dict:
+    """``[tool.repro.lint]`` from ./pyproject.toml, when readable.
+
+    ``tomllib`` landed in Python 3.11; on 3.10 (or with no pyproject in
+    the working directory) the built-in defaults apply.
+    """
+    try:
+        import tomllib
+    except ModuleNotFoundError:  # Python 3.10: fall back to defaults
+        return {}
+    pyproject = Path("pyproject.toml")
+    if not pyproject.is_file():
+        return {}
+    try:
+        with pyproject.open("rb") as handle:
+            data = tomllib.load(handle)
+    except (OSError, tomllib.TOMLDecodeError):
+        return {}
+    section = data.get("tool", {}).get("repro", {}).get("lint", {})
+    return section if isinstance(section, dict) else {}
+
+
+def _cmd_lint(args) -> int:
+    from repro.analysis import (
+        Baseline,
+        RULES,
+        get_rules,
+        render_json,
+        render_sarif,
+        render_text,
+        run_lint,
+    )
+    from repro.analysis.baseline import BaselineError
+
+    if args.list_rules:
+        print(render_table(
+            ("rule", "name", "description"),
+            [[rule.rule_id, rule.name, rule.description] for rule in RULES],
+            title="repro lint rules",
+        ))
+        return 0
+
+    config = _lint_config()
+    paths = args.paths or config.get("paths") or ["src", "tools"]
+    baseline_path = Path(
+        args.baseline or config.get("baseline") or "tools/lint_baseline.json"
+    )
+    try:
+        rules = get_rules(args.rules)
+    except ValueError as error:
+        raise SystemExit(str(error)) from None
+    try:
+        baseline = None if args.no_baseline else Baseline.load(baseline_path)
+    except BaselineError as error:
+        raise SystemExit(str(error)) from None
+    try:
+        report = run_lint(
+            [Path(p) for p in paths], root=Path.cwd(),
+            rules=rules, baseline=baseline,
+        )
+    except FileNotFoundError as error:
+        raise SystemExit(str(error)) from None
+
+    if args.update_baseline:
+        baseline_path.parent.mkdir(parents=True, exist_ok=True)
+        baseline_path.write_text(
+            Baseline.serialize(report.findings), encoding="utf-8"
+        )
+        print(
+            f"wrote {baseline_path} ({len(report.findings)} entr"
+            + ("y" if len(report.findings) == 1 else "ies") + ")"
+        )
+        return 0
+
+    renderer = {"text": render_text, "json": render_json,
+                "sarif": render_sarif}[args.fmt]
+    rendered = renderer(report)
+    if args.output:
+        Path(args.output).write_text(rendered, encoding="utf-8")
+        print(f"wrote {args.output}")
+    else:
+        print(rendered)
+    return report.exit_code
+
+
 async def _serve_until_signalled(config: ServerConfig) -> ConfidenceServer:
     server = ConfidenceServer(config)
     host, port = await server.start()
@@ -867,6 +993,7 @@ _HANDLERS = {
     "trace": _cmd_trace,
     "list-traces": _cmd_list_traces,
     "capability": _cmd_capability,
+    "lint": _cmd_lint,
     "serve": _cmd_serve,
     "drive": _cmd_drive,
 }
