@@ -531,6 +531,7 @@ def _open_journal(
     if journal_dir is None:
         return None, run_id, {}
     if run_id is None:
+        # repro: allow[RPR001] run-id labels the journal file, never results
         run_id = f"{spec.spec_hash()}-{uuid.uuid4().hex[:8]}"
     path = journal_path(journal_dir, run_id)
     job_hashes = [job.spec_hash() for job in expansion.jobs]

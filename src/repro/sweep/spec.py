@@ -248,8 +248,8 @@ class JobSpec:
     adaptive: bool = False
     target_mkp: float = 10.0
     seed: int | None = None
-    backend: str = DEFAULT_BACKEND
-    materialization_dir: str | None = None
+    backend: str = DEFAULT_BACKEND  # repro: allow[RPR002] execution-only; results are backend-invariant
+    materialization_dir: str | None = None  # repro: allow[RPR002] execution-only plumbing
 
     def __post_init__(self) -> None:
         validate_backend(self.backend)
@@ -348,8 +348,8 @@ class ExperimentSpec:
     adaptive: bool = False
     target_mkp: float = 10.0
     seed: int | None = None
-    backend: str = DEFAULT_BACKEND
-    skip_incompatible: bool = field(default=True, compare=False)
+    backend: str = DEFAULT_BACKEND  # repro: allow[RPR002] execution-only; results are backend-invariant
+    skip_incompatible: bool = field(default=True, compare=False)  # repro: allow[RPR002] expansion policy, not result state
 
     def __post_init__(self) -> None:
         validate_backend(self.backend)
