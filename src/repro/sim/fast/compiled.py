@@ -42,6 +42,21 @@ planes are walked once per cell from warm cache lines).  The lockstep
 sweep scheduler (:mod:`repro.sim.fast.lockstep`) and the single-cell
 entry points in :mod:`repro.sim.fast.tage` both call it; a single-cell
 simulation is simply a batch of one.
+
+Every kernel in this module is a *translation* of a reference loop and
+carries parity markers — ``repro: parity-begin <group>/<side>
+fingerprint=<8 hex>`` / ``repro: parity-end <group>/<side>`` — around
+the translated region (as ``#`` comments in Python, ``/* */`` comments
+inside the C source; markers are matched on raw lines, so both work).
+Two groups live here: ``tage-batch`` (sides ``pure`` in
+:mod:`repro.sim.fast.tage`, ``flat`` and ``c`` below) and ``ogehl-run``
+(``pure`` in :mod:`repro.sim.fast.gehl`, ``flat`` and ``c`` below).
+Every side records the same group-wide fingerprint (a CRC-32 of all
+sides' whitespace-normalized contents), so ``repro lint`` rule RPR004
+fails the moment any one translation changes alone; the fix is to
+update every side, re-run the differential suites
+(``tests/equivalence/``), and stamp the new fingerprint the finding
+prints onto all sides.
 """
 
 from __future__ import annotations
@@ -133,6 +148,7 @@ N_COUNTS = 16
 # Flat kernels (pure Python / numba-compatible subset).
 # ---------------------------------------------------------------------------
 
+# repro: parity-begin tage-batch/flat fingerprint=dac68809
 def _tage_batch(takens, bim_idx, idx_planes, tag_planes, iparams, fparams,
                 counts, want_predictions, predictions, want_classes, classes):
     """Batched flat-array restatement of :func:`repro.sim.fast.tage._kernel`.
@@ -437,8 +453,10 @@ def _tage_batch(takens, bim_idx, idx_planes, tag_planes, iparams, fparams,
         counts[c, 0] = mispredictions
         counts[c, 15] = prob_k if prob_enabled != 0 else -1
     return 0
+# repro: parity-end tage-batch/flat
 
 
+# repro: parity-begin ogehl-run/flat fingerprint=d0071cbe
 def _ogehl_run(takens, planes, ctr_max, ctr_min, log_entries,
                predictions, high):
     """Flat restatement of the O-GEHL loop in :mod:`repro.sim.fast.gehl`.
@@ -486,6 +504,7 @@ def _ogehl_run(takens, planes, ctr_max, ctr_min, log_entries,
                 if threshold > 1:
                     threshold -= 1
     return 0
+# repro: parity-end ogehl-run/flat
 
 
 # ---------------------------------------------------------------------------
@@ -496,6 +515,7 @@ _C_SOURCE = r"""
 #include <stdint.h>
 #include <stdlib.h>
 
+/* repro: parity-begin tage-batch/c fingerprint=dac68809 */
 /* Galois LFSR draw of the Sec 6 probabilistic automaton: k steps, OR of
  * the tap bits.  Identical to the reference Python loop. */
 static inline uint32_t lfsr_draw(uint32_t state, int64_t k, int64_t *any_set)
@@ -781,7 +801,9 @@ int tage_batch(int64_t n, int64_t n_tagged, int64_t n_cells,
     }
     return 0;
 }
+/* repro: parity-end tage-batch/c */
 
+/* repro: parity-begin ogehl-run/c fingerprint=d0071cbe */
 int ogehl_run(int64_t n, int64_t n_tables, int64_t log_entries,
               const int64_t *takens, const int64_t *planes,
               int64_t ctr_max, int64_t ctr_min,
@@ -835,6 +857,7 @@ int ogehl_run(int64_t n, int64_t n_tables, int64_t log_entries,
     free(tables);
     return 0;
 }
+/* repro: parity-end ogehl-run/c */
 """
 
 

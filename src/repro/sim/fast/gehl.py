@@ -32,6 +32,15 @@ the assess-between-predict-and-train ordering of
 enforced by ``tests/equivalence/test_gehl_differential.py``.  Like the
 rest of the fast backend, the predictor instances are only read for
 configuration and stay in their power-on state.
+
+The scalar O-GEHL loop below is one side of the ``ogehl-run`` parity
+group: the region between its ``repro: parity-begin`` and ``repro:
+parity-end`` comments must change in lockstep with its twin
+translations in :mod:`repro.sim.fast.compiled` (flat restatement and
+embedded-C mirror).  All sides record the same group fingerprint, so
+``repro lint`` (rule RPR004) fails when any side drifts until every
+translation is revisited and re-stamped — see
+:mod:`repro.analysis.rules.parity`.
 """
 
 from __future__ import annotations
@@ -204,6 +213,7 @@ def ogehl_fast_run(
                predictor.log_entries, predictions_u8, high_u8)
         return predictions_u8.astype(bool), high_u8.astype(bool)
 
+    # repro: parity-begin ogehl-run/pure fingerprint=d0071cbe
     plane_lists = [row.tolist() for row in planes]
     tables = [[0] * (1 << predictor.log_entries) for _ in range(n_tables)]
     # Power-on threshold (``predictor.threshold`` is live TC state the
@@ -248,4 +258,5 @@ def ogehl_fast_run(
                 threshold_counter = 0
                 if threshold > 1:
                     threshold -= 1
+    # repro: parity-end ogehl-run/pure
     return predictions, high

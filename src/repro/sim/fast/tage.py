@@ -28,6 +28,17 @@ apps layer replays (:func:`observe_tage_fast`).
 
 The predictor and estimator instances are only read for configuration
 and are left in their power-on state, like the rest of the fast backend.
+
+The sequential loop below is one side of the ``tage-batch`` parity
+group: the region between its ``repro: parity-begin`` and ``repro:
+parity-end`` comments must change in lockstep with its twin
+translations in :mod:`repro.sim.fast.compiled` (the flat batched
+restatement and the embedded-C mirror).  Every side records the same
+group-wide fingerprint, so ``repro lint`` (rule RPR004) fails when any
+side changes until the author has visited every translation, re-run
+the differential suites, and stamped the new fingerprint printed in
+the finding — see :mod:`repro.analysis.rules.parity` for the
+convention.
 """
 
 from __future__ import annotations
@@ -155,6 +166,7 @@ def resolve_planes(
     return cache.load_or_compute(arrays, geometry)
 
 
+# repro: parity-begin tage-batch/pure fingerprint=dac68809
 def _kernel(
     config,
     planes: TagePlanes,
@@ -430,6 +442,7 @@ def _kernel(
                 u[:] = [value >> 1 for value in u]
 
     return mispredictions, pred_counts, misp_counts, predictions, class_codes, prob_k
+# repro: parity-end tage-batch/pure
 
 
 def _cell_params(config, estimator_window, max_strength, warmup,
