@@ -1,0 +1,147 @@
+"""RPR003 fixtures: module-state mutation and blocking calls in async."""
+
+from __future__ import annotations
+
+from tests.analysis.conftest import rule_hits
+
+
+def test_module_dict_mutation_fires(lint_files):
+    report = lint_files({
+        "src/repro/sweep/state.py": """
+            _RESULTS = {}
+
+            def record(key, value):
+                _RESULTS[key] = value
+        """,
+    }, rules=["RPR003"])
+    assert rule_hits(report) == [("RPR003", 5)]
+    assert "_RESULTS" in report.findings[0].message
+
+
+def test_module_list_append_fires(lint_files):
+    report = lint_files({
+        "src/repro/serve/state.py": """
+            _EVENTS = []
+
+            def log_event(event):
+                _EVENTS.append(event)
+        """,
+    }, rules=["RPR003"])
+    assert [f.rule for f in report.findings] == ["RPR003"]
+
+
+def test_global_rebinding_fires(lint_files):
+    report = lint_files({
+        "src/repro/sweep/state.py": """
+            _CACHE = {}
+
+            def reset():
+                global _CACHE
+                _CACHE = {}
+        """,
+    }, rules=["RPR003"])
+    assert [f.rule for f in report.findings] == ["RPR003"]
+
+
+def test_readonly_module_table_is_fine(lint_files):
+    report = lint_files({
+        "src/repro/serve/tables.py": """
+            _CODES = {"a": 1, "b": 2}
+
+            def lookup(name):
+                return _CODES[name]
+        """,
+    }, rules=["RPR003"])
+    assert report.findings == []
+
+
+def test_local_shadow_is_fine(lint_files):
+    report = lint_files({
+        "src/repro/sweep/local.py": """
+            _CACHE = {}
+
+            def build():
+                _CACHE = {}
+                _CACHE["x"] = 1
+                return _CACHE
+        """,
+    }, rules=["RPR003"])
+    assert report.findings == []
+
+
+def test_module_state_out_of_scope_is_fine(lint_files):
+    report = lint_files({
+        "src/repro/sim/fast/registry.py": """
+            _KERNELS = {}
+
+            def register(name, fn):
+                _KERNELS[name] = fn
+        """,
+    }, rules=["RPR003"])
+    assert report.findings == []
+
+
+def test_blocking_sleep_in_async_fires(lint_files):
+    report = lint_files({
+        "src/repro/serve/handler.py": """
+            import time
+
+            async def handle(request):
+                time.sleep(0.1)
+                return request
+        """,
+    }, rules=["RPR003"])
+    assert rule_hits(report) == [("RPR003", 5)]
+    assert "asyncio.sleep" in report.findings[0].message
+
+
+def test_sync_file_io_in_async_fires(lint_files):
+    report = lint_files({
+        "src/repro/serve/handler.py": """
+            async def load(path):
+                with open(path) as handle:
+                    data = handle.read()
+                return path.read_text() + data
+        """,
+    }, rules=["RPR003"])
+    rules = [f.rule for f in report.findings]
+    assert rules == ["RPR003", "RPR003"]
+
+
+def test_subprocess_in_async_fires(lint_files):
+    report = lint_files({
+        "src/repro/serve/handler.py": """
+            import subprocess
+
+            async def rebuild():
+                subprocess.run(["make"])
+        """,
+    }, rules=["RPR003"])
+    assert [f.rule for f in report.findings] == ["RPR003"]
+
+
+def test_async_sleep_is_fine(lint_files):
+    report = lint_files({
+        "src/repro/serve/handler.py": """
+            import asyncio
+
+            async def handle(request):
+                await asyncio.sleep(0.1)
+                return request
+        """,
+    }, rules=["RPR003"])
+    assert report.findings == []
+
+
+def test_nested_sync_def_in_async_is_not_flagged(lint_files):
+    report = lint_files({
+        "src/repro/serve/handler.py": """
+            import time
+
+            async def handle(loop):
+                def blocking_work():
+                    time.sleep(1.0)
+                return await loop.run_in_executor(None, blocking_work)
+        """,
+    }, rules=["RPR003"])
+    assert report.findings == []

@@ -1,0 +1,170 @@
+"""RPR001 fixtures: every deny class fires; the allow shapes stay quiet."""
+
+from __future__ import annotations
+
+from tests.analysis.conftest import rule_hits
+
+
+def hits(report):
+    return [rule for rule, _ in rule_hits(report)]
+
+
+def test_wall_clock_fires(lint_files):
+    report = lint_files({
+        "src/repro/sim/bad.py": """
+            from datetime import datetime
+
+            def stamp():
+                return datetime.now()
+        """,
+    }, rules=["RPR001"])
+    assert hits(report) == ["RPR001"]
+    assert "datetime.datetime.now" in report.findings[0].message
+
+
+def test_entropy_fires(lint_files):
+    report = lint_files({
+        "src/repro/sweep/bad.py": """
+            import os
+            import uuid
+
+            def ident():
+                return os.urandom(8), uuid.uuid4()
+        """,
+    }, rules=["RPR001"])
+    assert hits(report) == ["RPR001", "RPR001"]
+
+
+def test_global_random_fires(lint_files):
+    report = lint_files({
+        "src/repro/traces/sources/bad.py": """
+            import random
+            import numpy as np
+
+            def draw():
+                return random.random(), np.random.rand()
+        """,
+    }, rules=["RPR001"])
+    assert hits(report) == ["RPR001", "RPR001"]
+
+
+def test_unseeded_rng_constructors_fire(lint_files):
+    report = lint_files({
+        "src/repro/artifacts/bad.py": """
+            import random
+            import numpy as np
+
+            def make():
+                return random.Random(), np.random.default_rng()
+        """,
+    }, rules=["RPR001"])
+    assert hits(report) == ["RPR001", "RPR001"]
+
+
+def test_seeded_rngs_are_fine(lint_files):
+    report = lint_files({
+        "src/repro/sim/ok.py": """
+            import random
+            import numpy as np
+
+            def make(seed):
+                return random.Random(seed), np.random.default_rng(seed)
+        """,
+    }, rules=["RPR001"])
+    assert report.findings == []
+
+
+def test_monotonic_clock_in_telemetry_sink_allowed(lint_files):
+    report = lint_files({
+        "src/repro/sweep/telemetry.py": """
+            import time
+
+            def measure(run):
+                started = time.perf_counter()
+                run()
+                elapsed = time.perf_counter() - started
+                deadline_passed = time.monotonic() > 5.0
+                return elapsed, deadline_passed
+        """,
+    }, rules=["RPR001"])
+    assert report.findings == []
+
+
+def test_monotonic_clock_into_result_field_fires(lint_files):
+    report = lint_files({
+        "src/repro/sweep/bad.py": """
+            import time
+
+            def result():
+                return {"value": time.perf_counter()}
+        """,
+    }, rules=["RPR001"])
+    assert hits(report) == ["RPR001"]
+    assert "sink" in report.findings[0].message
+
+
+def test_set_iteration_fires_and_sorted_is_fine(lint_files):
+    report = lint_files({
+        "src/repro/sim/sets.py": """
+            def bad(items):
+                names = {"a", "b"}
+                for name in names:
+                    items.append(name)
+                return list({"x", "y"})
+
+            def good():
+                return [n for n in sorted({"a", "b"})]
+        """,
+    }, rules=["RPR001"])
+    assert hits(report) == ["RPR001", "RPR001"]
+
+
+def test_order_free_reducer_over_set_is_fine(lint_files):
+    report = lint_files({
+        "src/repro/sim/ok.py": """
+            def total(values):
+                keys = {1, 2, 3}
+                return sum(v for v in keys) + max(keys & values, default=0)
+        """,
+    }, rules=["RPR001"])
+    assert report.findings == []
+
+
+def test_fs_enumeration_needs_sorted(lint_files):
+    report = lint_files({
+        "src/repro/artifacts/fs.py": """
+            import os
+
+            def bad(path):
+                return [name for name in os.listdir(path)]
+
+            def good(path):
+                return sorted(os.listdir(path))
+        """,
+    }, rules=["RPR001"])
+    assert hits(report) == ["RPR001"]
+    assert report.findings[0].line == 5
+
+
+def test_out_of_scope_file_is_ignored(lint_files):
+    report = lint_files({
+        "src/repro/serve/clock.py": """
+            import time
+
+            def now():
+                return time.time()
+        """,
+    }, rules=["RPR001"])
+    assert report.findings == []
+
+
+def test_tools_are_in_scope(lint_files):
+    report = lint_files({
+        "tools/gate.py": """
+            import time
+
+            def stamp():
+                return time.time()
+        """,
+    }, rules=["RPR001"])
+    assert hits(report) == ["RPR001"]

@@ -1,0 +1,119 @@
+"""RPR005 fixtures: bare except, category-less warn, blanket suppression."""
+
+from __future__ import annotations
+
+from tests.analysis.conftest import rule_hits
+
+
+def test_bare_except_fires(lint_files):
+    report = lint_files({
+        "src/repro/common/bad.py": """
+            def load(path):
+                try:
+                    return path.read_text()
+                except:
+                    return None
+        """,
+    }, rules=["RPR005"])
+    assert rule_hits(report) == [("RPR005", 5)]
+    assert "bare" in report.findings[0].message
+
+
+def test_typed_except_is_fine(lint_files):
+    report = lint_files({
+        "src/repro/common/ok.py": """
+            def load(path):
+                try:
+                    return path.read_text()
+                except (OSError, ValueError):
+                    return None
+        """,
+    }, rules=["RPR005"])
+    assert report.findings == []
+
+
+def test_swallowed_warning_category_fires(lint_files):
+    report = lint_files({
+        "src/repro/sim/bad.py": """
+            from repro.sim.backends import FastBackendFallbackWarning
+
+            def run(simulate):
+                try:
+                    return simulate()
+                except FastBackendFallbackWarning:
+                    pass
+        """,
+    }, rules=["RPR005"])
+    assert [f.rule for f in report.findings] == ["RPR005"]
+    assert "swallowed" in report.findings[0].message
+
+
+def test_handled_warning_is_fine(lint_files):
+    report = lint_files({
+        "src/repro/sim/ok.py": """
+            def run(simulate, log):
+                try:
+                    return simulate()
+                except UserWarning as warning:
+                    log(warning)
+                    raise
+        """,
+    }, rules=["RPR005"])
+    assert report.findings == []
+
+
+def test_categoryless_warn_fires(lint_files):
+    report = lint_files({
+        "src/repro/sweep/bad.py": """
+            import warnings
+
+            def deprecate():
+                warnings.warn("old path")
+        """,
+    }, rules=["RPR005"])
+    assert [f.rule for f in report.findings] == ["RPR005"]
+    assert "category" in report.findings[0].message
+
+
+def test_warn_with_category_is_fine(lint_files):
+    report = lint_files({
+        "src/repro/sweep/ok.py": """
+            import warnings
+
+            class FallbackWarning(RuntimeWarning):
+                pass
+
+            def fall_back():
+                warnings.warn("falling back", FallbackWarning)
+                warnings.warn("again", category=FallbackWarning)
+                warnings.warn(FallbackWarning("instance carries category"))
+        """,
+    }, rules=["RPR005"])
+    assert report.findings == []
+
+
+def test_blanket_ignore_fires(lint_files):
+    report = lint_files({
+        "src/repro/common/bad.py": """
+            import warnings
+
+            def hush():
+                warnings.simplefilter("ignore")
+                warnings.filterwarnings("ignore")
+        """,
+    }, rules=["RPR005"])
+    assert [f.rule for f in report.findings] == ["RPR005", "RPR005"]
+
+
+def test_scoped_ignore_is_fine(lint_files):
+    report = lint_files({
+        "src/repro/common/ok.py": """
+            import warnings
+
+            def hush():
+                warnings.simplefilter("ignore", DeprecationWarning)
+                warnings.filterwarnings("ignore", category=DeprecationWarning)
+                warnings.simplefilter("error")
+        """,
+    }, rules=["RPR005"])
+    assert report.findings == []

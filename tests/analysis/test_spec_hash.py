@@ -1,0 +1,141 @@
+"""RPR002 fixtures: excluded fields, dead keys, consumer reads, pragmas."""
+
+from __future__ import annotations
+
+from tests.analysis.conftest import rule_hits
+
+EXCLUDED_FIELD = """
+    from dataclasses import dataclass
+
+    @dataclass(frozen=True)
+    class JobSpec:
+        trace: str
+        seed: int
+        backend: str
+
+        def as_dict(self):
+            return {"trace": self.trace, "seed": self.seed}
+"""
+
+
+def test_excluded_field_fires_at_field_line(lint_files):
+    report = lint_files({"src/repro/sweep/spec.py": EXCLUDED_FIELD},
+                        rules=["RPR002"])
+    assert rule_hits(report) == [("RPR002", 8)]
+    assert "backend" in report.findings[0].message
+
+
+def test_fully_hashed_spec_is_clean(lint_files):
+    report = lint_files({
+        "src/repro/sweep/spec.py": """
+            from dataclasses import dataclass
+
+            @dataclass(frozen=True)
+            class JobSpec:
+                trace: str
+                seed: int
+
+                def as_dict(self):
+                    return {"trace": self.trace, "seed": self.seed}
+        """,
+    }, rules=["RPR002"])
+    assert report.findings == []
+
+
+def test_dead_hashed_key_fires(lint_files):
+    report = lint_files({
+        "src/repro/sweep/spec.py": """
+            from dataclasses import dataclass
+
+            @dataclass(frozen=True)
+            class JobSpec:
+                trace: str
+
+                def as_dict(self):
+                    return {"trace": self.trace, "n_branches": 1000}
+        """,
+    }, rules=["RPR002"])
+    assert [f.rule for f in report.findings] == ["RPR002"]
+    assert "n_branches" in report.findings[0].message
+
+
+def test_derived_self_referencing_key_is_fine(lint_files):
+    report = lint_files({
+        "src/repro/sweep/spec.py": """
+            from dataclasses import dataclass
+
+            @dataclass(frozen=True)
+            class ScaleSpec:
+                n_branches: int
+
+                def as_dict(self):
+                    return {
+                        "n_branches": self.n_branches,
+                        "warmup_branches": self.n_branches // 10,
+                    }
+        """,
+    }, rules=["RPR002"])
+    assert report.findings == []
+
+
+def test_consumer_read_of_excluded_field_fires(lint_files):
+    report = lint_files({
+        "src/repro/sweep/spec.py": EXCLUDED_FIELD,
+        "src/repro/sweep/executor.py": """
+            from repro.sweep.spec import JobSpec
+
+            def execute(job: JobSpec):
+                return job.backend
+        """,
+    }, rules=["RPR002"])
+    rules = [f.rule for f in report.findings]
+    assert rules == ["RPR002", "RPR002"]
+    consumer = [f for f in report.findings
+                if f.path.endswith("executor.py")]
+    assert len(consumer) == 1
+    assert "JobSpec.backend" in consumer[0].message
+
+
+def test_field_pragma_sanctions_consumer_reads(lint_files):
+    report = lint_files({
+        "src/repro/sweep/spec.py": EXCLUDED_FIELD.replace(
+            "backend: str",
+            "backend: str  # repro: allow[RPR002] execution-only",
+        ),
+        "src/repro/sweep/executor.py": """
+            from repro.sweep.spec import JobSpec
+
+            def execute(job: JobSpec):
+                return job.backend
+        """,
+    }, rules=["RPR002"])
+    assert report.findings == []
+    assert [f.rule for f in report.pragma_suppressed] == ["RPR002"]
+
+
+def test_string_annotation_consumer_read_fires(lint_files):
+    report = lint_files({
+        "src/repro/sweep/spec.py": EXCLUDED_FIELD,
+        "src/repro/sweep/grid.py": """
+            def expand(spec: "JobSpec"):
+                return spec.backend
+        """,
+    }, rules=["RPR002"])
+    consumer = [f for f in report.findings if f.path.endswith("grid.py")]
+    assert len(consumer) == 1
+
+
+def test_non_spec_class_is_ignored(lint_files):
+    report = lint_files({
+        "src/repro/sweep/other.py": """
+            from dataclasses import dataclass
+
+            @dataclass
+            class Settings:
+                verbose: bool
+
+                def as_dict(self):
+                    return {}
+        """,
+    }, rules=["RPR002"])
+    assert report.findings == []
